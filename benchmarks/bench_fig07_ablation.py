@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fig. 7 — ablation of MTM's techniques on VoltDB.
+
+Paper (VoltDB): disabling adaptive memory regions costs 22%; random scan
+distribution (no APS) costs 21%; no overhead control triples profiling
+time; no PEBS guidance costs ~4% on VoltDB (10.6% average); synchronous
+migration raises migration overhead ~60% and costs ~12% end to end.
+Thermostat- and tiered-AutoNUMA-style profiling (with MTM's migration)
+trail the full system.
+"""
+
+from __future__ import annotations
+
+from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.runner import run_solution
+from repro.metrics.report import Table
+
+VARIANTS = [
+    "thermostat",
+    "tiered-autonuma",
+    "mtm",
+    "mtm-no-amr",
+    "mtm-no-pebs",
+    "mtm-no-aps",
+    "mtm-no-oc",
+    "mtm-sync",
+]
+
+
+def run_experiment(profile: BenchProfile, workload: str = "voltdb") -> str:
+    table = Table(
+        f"Fig.7: ablation on {workload} (seconds; lower is better)",
+        ["variant", "total", "app", "profiling", "migration", "vs mtm"],
+    )
+    results = {}
+    for variant in VARIANTS:
+        results[variant] = run_solution(variant, workload, profile)
+    mtm_time = results["mtm"].total_time
+    for variant, result in results.items():
+        b = result.breakdown()
+        table.add_row(
+            variant,
+            f"{result.total_time:.3f}",
+            f"{b['app']:.3f}",
+            f"{b['profiling']:.4f}",
+            f"{b['migration']:.4f}",
+            f"{result.total_time / mtm_time:.2f}x",
+        )
+    no_oc = results["mtm-no-oc"].breakdown()["profiling"]
+    with_oc = results["mtm"].breakdown()["profiling"]
+    note = (
+        f"\nprofiling time without overhead control: "
+        f"{no_oc / max(with_oc, 1e-12):.1f}x the controlled system's "
+        f"(paper: ~3x)"
+    )
+    return table.render() + note
+
+
+def test_fig07_ablation(benchmark, profile):
+    out = benchmark.pedantic(run_experiment, args=(profile,), rounds=1, iterations=1)
+    print(out)
+
+
+if __name__ == "__main__":
+    print(run_experiment(profile_from_env(default="full")))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fig. 9 — sensitivity to the merge/split thresholds (tau_m, tau_s).
+
+Paper (VoltDB): with num_scans=3, (tau_m, tau_s) = (1, 2) performs best by
+at least 7%; aggressive merging (large tau_m) degrades profiling quality,
+aggressive splitting (small tau_s) inflates profiling time.  The same
+trend holds at num_scans=6 with (2, 4).
+"""
+
+from __future__ import annotations
+
+from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.runner import run_solution
+from repro.metrics.report import Table
+from repro.profile.mtm import MtmProfilerConfig
+from repro.sim.costmodel import effective_interval
+
+#: The paper's sweep points: (num_scans, tau_m, tau_s).
+SWEEP = [
+    (3, 0, 3), (3, 1, 1), (3, 1, 2), (3, 2, 0), (3, 2, 1), (3, 3, 0),
+    (6, 0, 6), (6, 2, 2), (6, 2, 4), (6, 4, 0), (6, 4, 2), (6, 6, 0),
+]
+
+
+def run_experiment(profile: BenchProfile, workload: str = "voltdb",
+                   sweep: list[tuple[int, int, int]] | None = None) -> str:
+    sweep = sweep if sweep is not None else SWEEP
+    table = Table(
+        f"Fig.9: {workload} vs (tau_m, tau_s)",
+        ["num_scans", "(tau_m,tau_s)", "total (s)", "profiling (s)", "migration (s)"],
+    )
+    interval = effective_interval(profile.scale)
+    for num_scans, tau_m, tau_s in sweep:
+        config = MtmProfilerConfig(
+            interval=interval,
+            num_scans=num_scans,
+            tau_m=float(tau_m),
+            tau_s=float(tau_s),
+        )
+        result = run_solution(
+            "mtm", workload, profile, mtm_profiler_config=config
+        )
+        b = result.breakdown()
+        table.add_row(
+            num_scans, f"({tau_m},{tau_s})", f"{result.total_time:.3f}",
+            f"{b['profiling']:.4f}", f"{b['migration']:.4f}",
+        )
+    return table.render()
+
+
+def test_fig09_tau_sensitivity(benchmark, profile):
+    # Quick mode sweeps the num_scans=3 half.
+    out = benchmark.pedantic(
+        run_experiment, args=(profile, "voltdb", SWEEP[:6]), rounds=1, iterations=1
+    )
+    print(out)
+
+
+if __name__ == "__main__":
+    print(run_experiment(profile_from_env(default="full")))

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Fig. 10 — sensitivity to the EMA weight alpha (Eq. 2).
+
+Paper: alpha balances historical vs current profiling results.  alpha=0
+(history only) and alpha=1 (no history) both underperform the default 1/2
+on most workloads; GUPS/VoltDB/Cassandra/BFS/SSSP benefit from using both.
+Results are normalized to alpha = 1/2.
+"""
+
+from __future__ import annotations
+
+from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.runner import run_solution
+from repro.metrics.report import Table
+from repro.profile.mtm import MtmProfilerConfig
+from repro.sim.costmodel import effective_interval
+from repro.workloads.registry import workload_names
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) -> str:
+    workloads = workloads if workloads is not None else workload_names()
+    interval = effective_interval(profile.scale)
+    table = Table(
+        "Fig.10: execution time normalized to alpha=1/2 (lower is better)",
+        ["workload"] + [f"a={a}" for a in ALPHAS],
+    )
+    for workload in workloads:
+        times = {}
+        for alpha in ALPHAS:
+            config = MtmProfilerConfig(interval=interval, alpha=alpha)
+            result = run_solution("mtm", workload, profile, mtm_profiler_config=config)
+            times[alpha] = result.total_time
+        base = times[0.5]
+        table.add_row(workload, *[f"{times[a] / base:.3f}" for a in ALPHAS])
+    return table.render()
+
+
+def test_fig10_alpha(benchmark, profile):
+    out = benchmark.pedantic(
+        run_experiment, args=(profile, ["gups"]), rounds=1, iterations=1
+    )
+    print(out)
+
+
+if __name__ == "__main__":
+    print(run_experiment(profile_from_env(default="full")))

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fig. 11 — migration mechanisms under R / R-W / W access patterns.
+
+Paper: migrating a 1 GB array between tiers, MTM's mechanism beats
+move_pages() by 40% (read-only) and 23% (50% read), and is about equal
+(-0.5%) for write-only; vs Nimble the gains are 26% / 4% / -6%.  The same
+trend holds for every tier pair.
+
+Mechanism timings are paper-absolute.  The write-rate of each scenario is
+derived from touching the 1 GB array continuously during migration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.hw.topology import optane_4tier
+from repro.metrics.report import Table
+from repro.migrate.mechanism import Mechanism
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism
+from repro.migrate.nimble import NimbleMechanism
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import GiB, PAGE_SIZE, PAGES_PER_HUGE_PAGE, format_time
+
+#: 1 GB array, as in the paper's microbenchmark, moved region by region.
+ARRAY_PAGES = 1 * GiB // PAGE_SIZE
+N_REGIONS = ARRAY_PAGES // PAGES_PER_HUGE_PAGE
+
+#: Scenario -> probability a 2 MB region takes a write mid-copy.  A
+#: sequential read never writes; the 50%-read loop hits roughly half the
+#: regions while they are in flight; the pure writer hits essentially all.
+SCENARIOS = {"R": 0.0, "R/W": 0.5, "W": 0.98}
+
+
+def _move_array(mechanism: Mechanism, src: int, dst: int, switch_p: float, cm: CostModel) -> float:
+    """Critical-path seconds to move the whole array, region by region."""
+    window = cm.alloc_time(PAGES_PER_HUGE_PAGE) + cm.copy_time(
+        PAGES_PER_HUGE_PAGE, src, dst, parallelism=4
+    )
+    write_rate = 0.0 if switch_p <= 0 else -math.log(max(1e-9, 1.0 - switch_p)) / window
+    total = 0.0
+    for _ in range(N_REGIONS):
+        total += mechanism.timing(
+            PAGES_PER_HUGE_PAGE, src, dst, write_rate=write_rate
+        ).critical_time
+    return total
+
+
+def run_experiment(profile: BenchProfile) -> str:
+    topo = optane_4tier(profile.scale)
+    cm = CostModel(topo, CostParams())
+    view = topo.view(0)
+    sections = []
+    for dst_tier in (2, 3, 4):
+        src = view.node_at_tier(1)
+        dst = view.node_at_tier(dst_tier)
+        table = Table(
+            f"Fig.11: 1GB array, tier 1 -> tier {dst_tier} (critical-path time)",
+            ["pattern", "move_pages()", "Nimble", "move_memory_regions()", "MTM vs mp", "MTM vs Nimble"],
+        )
+        for pattern, switch_p in SCENARIOS.items():
+            mp = _move_array(MovePagesMechanism(cm), src, dst, 0.0, cm)
+            nb = _move_array(NimbleMechanism(cm), src, dst, 0.0, cm)
+            mmr = _move_array(
+                MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(profile.seed)),
+                src, dst, switch_p, cm,
+            )
+            table.add_row(
+                pattern,
+                format_time(mp),
+                format_time(nb),
+                format_time(mmr),
+                f"{(1 - mmr / mp):+.0%}",
+                f"{(1 - mmr / nb):+.0%}",
+            )
+        sections.append(table.render())
+    return "\n\n".join(sections)
+
+
+def test_fig11_mechanisms(benchmark, profile):
+    out = benchmark.pedantic(run_experiment, args=(profile,), rounds=1, iterations=1)
+    print(out)
+
+
+if __name__ == "__main__":
+    print(run_experiment(profile_from_env(default="full")))

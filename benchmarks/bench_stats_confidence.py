@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Multi-seed confidence check (reproduction-specific rigor).
+
+The paper reports single-run numbers from a physical machine; a simulator
+can do better.  This bench repeats the headline GUPS comparison across
+seeds and reports mean normalized times with 95% confidence half-widths,
+so the Fig. 4 conclusions can be read with error bars.
+"""
+
+from __future__ import annotations
+
+from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.stats import repeated_comparison, stats_table
+
+SOLUTIONS = ["first-touch", "hmc", "tiered-autonuma", "mtm"]
+
+
+def run_experiment(profile: BenchProfile, workload: str = "gups", repeats: int = 3) -> str:
+    stats = repeated_comparison(workload, SOLUTIONS, profile, repeats=repeats)
+    table = stats_table(workload, stats, baseline="first-touch")
+    mtm = stats["mtm"]
+    verdict = (
+        f"\n\nMTM vs first-touch: {mtm.mean:.3f} +/- {mtm.ci95:.3f}; the win is "
+        + ("statistically solid" if mtm.mean + mtm.ci95 < 1.0 else "within noise")
+        + " at this repeat count."
+    )
+    return table.render() + verdict
+
+
+def test_stats_confidence(benchmark, profile):
+    out = benchmark.pedantic(
+        run_experiment, args=(profile, "gups", 2), rounds=1, iterations=1
+    )
+    print(out)
+
+
+if __name__ == "__main__":
+    print(run_experiment(profile_from_env(default="full")))

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Table 4 — GUPS time under different initial page placements.
+
+Paper: MTM allocates in the local slow tier; first-touch allocates in the
+fast tier.  Near the start of execution slow-tier-first is ~4.9% slower,
+but the gap vanishes as the run progresses because MTM promotes what
+matters — initial placement is not where the performance comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.hw.topology import optane_4tier
+from repro.metrics.report import Table
+from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism
+from repro.policy.mtm_policy import MtmPolicy, MtmPolicyConfig
+from repro.profile.mtm import MtmProfiler, MtmProfilerConfig
+from repro.sim.costmodel import CostModel, CostParams, effective_interval
+from repro.sim.engine import (
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_SLOW_TIER_FIRST,
+    SimulationEngine,
+)
+from repro.workloads.registry import build_workload
+
+#: Progress checkpoints, as fractions of the full run (the paper reports
+#: cumulative time at increasing giga-update counts).
+CHECKPOINTS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run_with_placement(profile: BenchProfile, placement: str, intervals: int) -> list[float]:
+    topology = optane_4tier(profile.scale)
+    params = CostParams().with_scale(profile.scale)
+    cost_model = CostModel(topology, params)
+    engine = SimulationEngine(
+        topology=topology,
+        workload=build_workload("gups", profile.scale, seed=profile.seed),
+        policy=MtmPolicy(MtmPolicyConfig(scale=profile.scale)),
+        profiler=MtmProfiler(
+            cost_model,
+            MtmProfilerConfig(interval=effective_interval(profile.scale)),
+            rng=np.random.default_rng(profile.seed),
+        ),
+        mechanism=MoveMemoryRegionsMechanism(
+            cost_model, rng=np.random.default_rng(profile.seed + 1)
+        ),
+        placement=placement,
+        cost_params=params,
+        seed=profile.seed,
+        label=f"mtm({placement})",
+    )
+    cumulative = []
+    for _ in range(intervals):
+        engine.step()
+        cumulative.append(engine.clock.now)
+    return cumulative
+
+
+def run_experiment(profile: BenchProfile) -> str:
+    intervals = profile.intervals_for("gups")
+    slow_first = run_with_placement(profile, PLACEMENT_SLOW_TIER_FIRST, intervals)
+    first_touch = run_with_placement(profile, PLACEMENT_FIRST_TOUCH, intervals)
+
+    table = Table(
+        "Table 4: GUPS cumulative time vs progress, MTM under two initial placements",
+        ["progress", "slow tier first (s)", "first-touch (s)", "gap"],
+    )
+    for frac in CHECKPOINTS:
+        idx = max(0, int(intervals * frac) - 1)
+        a, b = slow_first[idx], first_touch[idx]
+        table.add_row(f"{frac:.0%}", f"{a:.3f}", f"{b:.3f}", f"{(a - b) / b:+.1%}")
+    return table.render() + (
+        "\n\nthe placement gap shrinks with progress as promotion takes over "
+        "(paper: 4.9% early, negligible later)"
+    )
+
+
+def test_tab4_initial_placement(benchmark, profile):
+    out = benchmark.pedantic(run_experiment, args=(profile,), rounds=1, iterations=1)
+    print(out)
+
+
+if __name__ == "__main__":
+    print(run_experiment(profile_from_env(default="full")))

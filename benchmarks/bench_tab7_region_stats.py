@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Table 7 — statistics of MTM's region formation.
+
+Paper: per profiling interval, the merged + split regions average ~3.4%
+of all regions; steady-state region counts are in the low thousands on a
+multi-hundred-GB footprint (i.e., average regions of ~hundreds of MB).
+"""
+
+from __future__ import annotations
+
+from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.core.baselines import make_engine
+from repro.metrics.report import Table
+from repro.units import PAGE_SIZE, format_bytes
+from repro.workloads.registry import workload_names
+
+
+def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) -> str:
+    workloads = workloads if workloads is not None else workload_names()
+    table = Table(
+        "Table 7: region formation statistics (per profiling interval)",
+        ["workload", "intervals", "avg merged/PI", "avg split/PI",
+         "avg regions/PI", "avg region size", "churn"],
+    )
+    for workload in workloads:
+        engine = make_engine("mtm", workload, scale=profile.scale, seed=profile.seed)
+        intervals = profile.intervals_for(workload)
+        engine.run(intervals)
+        stats = engine.profiler.regions.stats
+        avg_regions = stats.avg_regions()
+        churn = (
+            (stats.merged_per_interval() + stats.split_per_interval()) / avg_regions
+            if avg_regions else 0.0
+        )
+        footprint = engine.workload.footprint_pages()
+        table.add_row(
+            workload,
+            stats.intervals,
+            f"{stats.merged_per_interval():.1f}",
+            f"{stats.split_per_interval():.1f}",
+            f"{avg_regions:.0f}",
+            format_bytes(footprint / max(avg_regions, 1) * PAGE_SIZE),
+            f"{churn:.1%}",
+        )
+    return table.render() + "\n\npaper: churn ~3.4% of regions per interval"
+
+
+def test_tab7_region_stats(benchmark, profile):
+    out = benchmark.pedantic(
+        run_experiment, args=(profile, ["gups"]), rounds=1, iterations=1
+    )
+    print(out)
+
+
+if __name__ == "__main__":
+    print(run_experiment(profile_from_env(default="full")))

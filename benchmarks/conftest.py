@@ -1,0 +1,16 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to the QUICK profile (scale 1/512, short runs) so
+``pytest benchmarks/ --benchmark-only`` completes in minutes; run any
+module directly (``python benchmarks/bench_fig04_overall.py``) or set
+``REPRO_BENCH_PROFILE=full`` for paper-shaped runs.
+"""
+
+import pytest
+
+from repro.bench.scaling import profile_from_env
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return profile_from_env(default="quick")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Graph analytics on tiered memory: BFS and SSSP under four solutions.
+
+Reproduces the paper's motivating scenario for terabyte-scale graph
+analysis (Sec. 1): traversals over a power-law graph whose edge array far
+exceeds the fast tiers.  Compares first-touch, tiered-AutoNUMA, HeMem, and
+MTM, and shows where the runtime state (frontier, distances) ends up.
+
+Usage::
+
+    python examples/graph_analytics.py [num_intervals]
+"""
+
+import sys
+
+from repro.core import make_engine
+from repro.metrics.report import Table, normalize
+from repro.units import format_time
+
+SCALE = 1.0 / 256.0
+SOLUTIONS = ["first-touch", "tiered-autonuma", "hemem", "mtm"]
+
+
+def run(workload: str, intervals: int) -> dict[str, float]:
+    times = {}
+    for solution in SOLUTIONS:
+        engine = make_engine(solution, workload, scale=SCALE, seed=7)
+        result = engine.run(intervals)
+        times[solution] = result.total_time
+        share = result.fast_tier_share()
+        print(f"  {solution:<18} {format_time(result.total_time):>10} "
+              f"(fast-tier share {share:5.1%})")
+    return times
+
+
+def main() -> None:
+    intervals = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+
+    table = Table(
+        "Graph traversal: normalized execution time (lower is better)",
+        ["workload"] + SOLUTIONS,
+    )
+    for workload in ("bfs", "sssp"):
+        print(f"\n{workload.upper()} over a power-law graph, {intervals} intervals:")
+        times = run(workload, intervals)
+        norm = normalize(times, "first-touch")
+        table.add_row(workload, *[f"{norm[s]:.3f}" for s in SOLUTIONS])
+
+    print()
+    print(table.render())
+    print("\nThe traversal's runtime state (frontier queues, visited bitmap,"
+          "\ndistance array) is allocated after the graph loads; a static"
+          "\nfirst-touch placement strands it on the slow tiers, which is the"
+          "\ngap MTM's migration closes.")
+
+
+if __name__ == "__main__":
+    main()

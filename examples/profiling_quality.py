@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Profiling-quality shoot-out: MTM vs DAMON vs Thermostat vs AutoTiering.
+
+The Fig. 1 experiment as a runnable example: all profilers observe the
+same GUPS access stream under the same 5% overhead budget, and their
+hot-page recall/accuracy is scored against the workload's ground truth
+every interval.
+
+Usage::
+
+    python examples/profiling_quality.py [num_intervals]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import make_engine
+from repro.hw.topology import optane_4tier
+from repro.metrics.report import Table
+from repro.mm.mmu import Mmu
+from repro.perf.pebs import PebsSampler
+from repro.profile import (
+    DamonConfig,
+    DamonProfiler,
+    MtmProfiler,
+    MtmProfilerConfig,
+    RandomWindowConfig,
+    RandomWindowProfiler,
+    ThermostatConfig,
+    ThermostatProfiler,
+    evaluate_quality,
+)
+from repro.sim.costmodel import CostModel, CostParams, effective_interval
+
+SCALE = 1.0 / 256.0
+
+
+def main() -> None:
+    intervals = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+
+    # Build one engine for the machine + workload, then profile the same
+    # stream with every mechanism.
+    engine = make_engine("first-touch", "gups", scale=SCALE, seed=13)
+    topology = engine.topology
+    interval = effective_interval(SCALE)
+    cost_model = CostModel(topology, CostParams().with_scale(SCALE))
+    rng = np.random.default_rng(99)
+
+    profilers = {
+        "mtm": MtmProfiler(cost_model, MtmProfilerConfig(interval=interval), rng=rng),
+        "damon": DamonProfiler(cost_model, DamonConfig(interval=interval), rng=rng),
+        "thermostat": ThermostatProfiler(
+            cost_model, ThermostatConfig(interval=interval), rng=rng
+        ),
+        "autotiering": RandomWindowProfiler(
+            cost_model, RandomWindowConfig(interval=interval, mfu=False), rng=rng
+        ),
+    }
+    for profiler in profilers.values():
+        profiler.setup(engine.space.page_table, engine.workload.spans())
+
+    pebs = PebsSampler(topology, period=cost_model.params.pebs_period,
+                       rng=np.random.default_rng(5))
+    series = {name: {"recall": [], "accuracy": []} for name in profilers}
+
+    for _ in range(intervals):
+        batch = engine.workload.next_batch(engine.rngs["workload"])
+        engine.mmu.begin_interval(batch)
+        truth = engine.workload.hot_pages()
+        for name, profiler in profilers.items():
+            snapshot = profiler.profile(engine.mmu, pebs=pebs)
+            quality = evaluate_quality(snapshot, truth)
+            series[name]["recall"].append(quality.recall)
+            series[name]["accuracy"].append(quality.accuracy)
+
+    table = Table(
+        f"Hot-page profiling quality over {intervals} intervals (GUPS, 20% hot)",
+        ["profiler", "final recall", "final accuracy", "mean recall", "mean accuracy"],
+    )
+    for name, data in series.items():
+        recall = np.array(data["recall"])
+        accuracy = np.array(data["accuracy"])
+        table.add_row(
+            name,
+            f"{recall[-5:].mean():.2f}",
+            f"{accuracy[-5:].mean():.2f}",
+            f"{recall.mean():.2f}",
+            f"{accuracy.mean():.2f}",
+        )
+    print(table.render())
+    print("\nMTM reaches high recall within a few intervals (PEBS-guided,"
+          "\nevent-driven) and keeps accuracy high (burst-window multi-scan);"
+          "\nDAMON's evenly spread checks saturate on 2 MB entries, capping its"
+          "\naccuracy — the Fig. 1 result.")
+
+
+if __name__ == "__main__":
+    main()

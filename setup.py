@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on machines without the ``wheel``
+package (offline environments): with no ``[build-system]`` table in
+pyproject.toml and this file present, pip uses the legacy editable path.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""MTM reproduction: multi-tiered memory profiling and migration.
+
+A discrete-time simulation library reproducing *MTM: Rethinking Memory
+Profiling and Migration for Multi-Tiered Large Memory* (EuroSys '24):
+the adaptive profiler, the global fast-promotion/slow-demotion policy,
+the adaptive asynchronous migration mechanism, and every baseline the
+paper evaluates against, on a simulated 4-tier Optane-class machine.
+
+Quickstart::
+
+    from repro import MtmManager, build_workload
+
+    manager = MtmManager(scale=1 / 256)
+    result = manager.run(build_workload("gups", 1 / 256), num_intervals=60)
+    print(result.breakdown(), result.fast_tier_share())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.manager import MtmManager, MtmSystemConfig
+from repro.core.api import move_memory_regions
+from repro.core.baselines import SOLUTIONS, make_engine, solution_names
+from repro.hw.topology import cxl_topology, optane_2tier, optane_4tier, uniform_topology
+from repro.sim.costmodel import CostModel, CostParams, effective_interval
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.workloads.registry import WORKLOAD_SPECS, build_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MtmManager",
+    "MtmSystemConfig",
+    "move_memory_regions",
+    "SOLUTIONS",
+    "make_engine",
+    "solution_names",
+    "optane_2tier",
+    "optane_4tier",
+    "cxl_topology",
+    "uniform_topology",
+    "CostModel",
+    "CostParams",
+    "effective_interval",
+    "SimulationEngine",
+    "SimulationResult",
+    "WORKLOAD_SPECS",
+    "build_workload",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness support: scaled configurations and runners.
+
+The modules under ``benchmarks/`` (one per paper table/figure) are thin
+wrappers around these helpers, so each experiment's workload parameters
+and run lengths live in exactly one place.
+"""
+
+from repro.bench.scaling import BenchProfile, FULL, QUICK, profile_from_env
+from repro.bench.runner import run_solution, run_matrix, MatrixResult
+from repro.bench.stats import SeriesStats, repeated_comparison, stats_table
+
+__all__ = [
+    "BenchProfile",
+    "FULL",
+    "QUICK",
+    "profile_from_env",
+    "run_solution",
+    "run_matrix",
+    "MatrixResult",
+    "SeriesStats",
+    "repeated_comparison",
+    "stats_table",
+]

@@ -1,0 +1,95 @@
+"""Experiment runners: one solution, or a workload x solution matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.scaling import BenchProfile
+from repro.core.baselines import make_engine
+from repro.errors import ConfigError
+from repro.metrics.report import Table, normalize
+from repro.sim.engine import SimulationResult
+
+
+def run_solution(
+    solution: str,
+    workload: str,
+    profile: BenchProfile,
+    intervals: int | None = None,
+    collect_quality: bool = False,
+    **engine_kwargs,
+) -> SimulationResult:
+    """Run one solution on one workload under a bench profile."""
+    engine = make_engine(
+        solution,
+        workload,
+        scale=profile.scale,
+        seed=profile.seed,
+        collect_quality=collect_quality,
+        **engine_kwargs,
+    )
+    return engine.run(intervals if intervals is not None else profile.intervals_for(workload))
+
+
+@dataclass
+class MatrixResult:
+    """Results of a workload x solution sweep.
+
+    Attributes:
+        results: ``results[workload][solution]`` -> SimulationResult.
+        baseline: solution used for normalization.
+    """
+
+    results: dict[str, dict[str, SimulationResult]]
+    baseline: str = "first-touch"
+
+    def total_times(self, workload: str) -> dict[str, float]:
+        return {s: r.total_time for s, r in self.results[workload].items()}
+
+    def normalized(self, workload: str) -> dict[str, float]:
+        """Execution times normalized to the baseline (Fig. 4's y-axis)."""
+        return normalize(self.total_times(workload), self.baseline)
+
+    def table(self, title: str = "Normalized execution time") -> Table:
+        """Text table with one row per workload, normalized per solution."""
+        workloads = list(self.results)
+        if not workloads:
+            raise ConfigError("empty matrix")
+        solutions = list(self.results[workloads[0]])
+        table = Table(title=title, columns=["workload"] + solutions)
+        for workload in workloads:
+            norm = self.normalized(workload)
+            table.add_row(workload, *[f"{norm[s]:.3f}" for s in solutions])
+        return table
+
+    def geomean_speedup(self, solution: str) -> float:
+        """Geometric-mean speedup of ``solution`` over the baseline."""
+        product = 1.0
+        n = 0
+        for workload in self.results:
+            norm = self.normalized(workload)
+            if norm[solution] <= 0:
+                raise ConfigError(f"non-positive normalized time for {solution}")
+            product *= 1.0 / norm[solution]
+            n += 1
+        return product ** (1.0 / n) if n else 1.0
+
+
+def run_matrix(
+    workloads: list[str],
+    solutions: list[str],
+    profile: BenchProfile,
+    baseline: str = "first-touch",
+    intervals: int | None = None,
+) -> MatrixResult:
+    """Run every solution on every workload (Fig. 4 / Fig. 5 driver)."""
+    if baseline not in solutions:
+        raise ConfigError(f"baseline {baseline!r} must be one of the solutions")
+    results: dict[str, dict[str, SimulationResult]] = {}
+    for workload in workloads:
+        results[workload] = {}
+        for solution in solutions:
+            results[workload][solution] = run_solution(
+                solution, workload, profile, intervals=intervals
+            )
+    return MatrixResult(results=results, baseline=baseline)

@@ -1,0 +1,80 @@
+"""Benchmark profiles: how large and how long each experiment runs.
+
+Two profiles ship:
+
+* ``FULL`` — machine scaled 1/128, interval counts proportional to the
+  paper's Table 7 run lengths; minutes of wall time per figure.
+* ``QUICK`` — machine scaled 1/512 and short runs; used by pytest-benchmark
+  so the whole suite finishes quickly while exercising identical code.
+
+Select with the ``REPRO_BENCH_PROFILE`` environment variable
+(``full``/``quick``; default quick for pytest, full for standalone runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One benchmark sizing profile.
+
+    Attributes:
+        name: profile label.
+        scale: machine capacity scale.
+        intervals: per-workload simulated profiling intervals.
+        seed: base RNG seed.
+    """
+
+    name: str
+    scale: float
+    intervals: dict[str, int] = field(
+        default_factory=lambda: {
+            "gups": 200,
+            "voltdb": 180,
+            "cassandra": 200,
+            "bfs": 120,
+            "sssp": 160,
+            "spark": 192,
+        }
+    )
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+
+    def intervals_for(self, workload: str) -> int:
+        return self.intervals.get(workload, 120)
+
+
+FULL = BenchProfile(name="full", scale=1.0 / 128.0)
+
+QUICK = BenchProfile(
+    name="quick",
+    scale=1.0 / 512.0,
+    intervals={
+        "gups": 40,
+        "voltdb": 40,
+        "cassandra": 40,
+        "bfs": 30,
+        "sssp": 30,
+        "spark": 48,
+    },
+)
+
+_PROFILES = {"full": FULL, "quick": QUICK}
+
+
+def profile_from_env(default: str = "quick") -> BenchProfile:
+    """Pick the profile named by ``REPRO_BENCH_PROFILE`` (or ``default``)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", default).lower()
+    if name not in _PROFILES:
+        raise ConfigError(
+            f"unknown bench profile {name!r}; choose from {sorted(_PROFILES)}"
+        )
+    return _PROFILES[name]

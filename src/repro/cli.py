@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one solution on one workload, print the summary;
+* ``compare`` — run several solutions on one workload, print the
+  normalized table (Fig. 4's presentation);
+* ``list`` — show the available solutions and workloads.
+
+Example::
+
+    python -m repro run --solution mtm --workload gups --intervals 80
+    python -m repro compare --workload voltdb --solutions first-touch,mtm
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.baselines import make_engine, solution_names
+from repro.errors import ReproError
+from repro.metrics.breakdown import TimeBreakdown
+from repro.metrics.report import Table, normalize
+from repro.units import format_bytes, format_time
+from repro.workloads.registry import WORKLOAD_SPECS, workload_names
+
+DEFAULT_SCALE_DENOM = 256
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", default="gups", choices=workload_names(),
+        help="workload from Table 2 (default: gups)",
+    )
+    parser.add_argument(
+        "--intervals", type=int, default=80,
+        help="profiling intervals to simulate (default: 80)",
+    )
+    parser.add_argument(
+        "--scale-denominator", type=int, default=DEFAULT_SCALE_DENOM,
+        metavar="N", help="machine capacity scale 1/N (default: 256)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MTM (EuroSys'24) multi-tiered memory simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one solution on one workload")
+    run.add_argument(
+        "--solution", default="mtm", choices=solution_names(),
+        help="page-management solution (default: mtm)",
+    )
+    _add_common(run)
+
+    compare = sub.add_parser("compare", help="compare solutions on one workload")
+    compare.add_argument(
+        "--solutions",
+        default="first-touch,tiered-autonuma,mtm",
+        help="comma-separated solution names (first is the baseline)",
+    )
+    _add_common(compare)
+
+    sub.add_parser("list", help="list solutions and workloads")
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``run``: simulate one solution and print its summary."""
+    scale = 1.0 / args.scale_denominator
+    engine = make_engine(
+        args.solution, args.workload, scale=scale, seed=args.seed
+    )
+    result = engine.run(args.intervals)
+    b = TimeBreakdown.from_result(result)
+    print(f"{args.solution} on {args.workload} "
+          f"(scale 1/{args.scale_denominator}, {args.intervals} intervals)")
+    print(f"  total       : {format_time(b.total)}")
+    print(f"  app         : {format_time(b.app)}")
+    print(f"  profiling   : {format_time(b.profiling)} ({b.profiling_share():.1%})")
+    print(f"  migration   : {format_time(b.migration)} ({b.migration_share():.1%})")
+    print(f"  async copy  : {format_time(b.background)} (overlapped)")
+    print(f"  fast tier   : {result.fast_tier_share():.1%} of accesses")
+    log = result.migration_log
+    print(f"  migrated    : {format_bytes(log.promoted_bytes)} up / "
+          f"{format_bytes(log.demoted_bytes)} down")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``compare``: run several solutions, print the normalized table."""
+    solutions = [s.strip() for s in args.solutions.split(",") if s.strip()]
+    if len(solutions) < 2:
+        print("compare needs at least two solutions", file=sys.stderr)
+        return 2
+    scale = 1.0 / args.scale_denominator
+    times: dict[str, float] = {}
+    for solution in solutions:
+        result = make_engine(
+            solution, args.workload, scale=scale, seed=args.seed
+        ).run(args.intervals)
+        times[solution] = result.total_time
+    norm = normalize(times, solutions[0])
+    table = Table(
+        f"{args.workload}: execution time normalized to {solutions[0]}",
+        ["solution", "time", "normalized"],
+    )
+    for solution in solutions:
+        table.add_row(solution, format_time(times[solution]), f"{norm[solution]:.3f}")
+    print(table.render())
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """``list``: print the available solutions and workloads."""
+    from repro.core.baselines import SOLUTIONS
+
+    table = Table("Solutions", ["name", "description"])
+    for spec in SOLUTIONS.values():
+        table.add_row(spec.name, spec.description)
+    print(table.render())
+    print()
+    table = Table("Workloads (Table 2)", ["name", "paper footprint", "R/W", "description"])
+    for spec in WORKLOAD_SPECS.values():
+        table.add_row(
+            spec.name, format_bytes(spec.footprint_bytes), spec.rw_mix, spec.description
+        )
+    print(table.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return cmd_run(args)
+        if args.command == "compare":
+            return cmd_compare(args)
+        return cmd_list(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # output piped into head & friends
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""The MTM page-management system: high-level API and baseline factory.
+
+:class:`~repro.core.manager.MtmManager` is the paper's user-space daemon
+service as a library object: point it at a workload and it profiles,
+decides, and migrates per interval.  :mod:`repro.core.baselines` builds the
+same machinery for every baseline the paper evaluates, so comparative
+experiments are one call per solution.
+"""
+
+from repro.core.manager import MtmManager, MtmSystemConfig
+from repro.core.api import move_memory_regions
+from repro.core.baselines import (
+    SOLUTIONS,
+    SolutionSpec,
+    make_engine,
+    solution_names,
+)
+
+__all__ = [
+    "MtmManager",
+    "MtmSystemConfig",
+    "move_memory_regions",
+    "SOLUTIONS",
+    "SolutionSpec",
+    "make_engine",
+    "solution_names",
+]

@@ -1,0 +1,66 @@
+"""``move_memory_regions()``: the paper's new migration API (Sec. 7.2/8).
+
+Takes the same inputs as Linux ``move_pages()`` — a set of pages and a
+destination node — but migrates through MTM's adaptive mechanism: helper
+threads copy asynchronously, dirtiness is tracked through the reserved PTE
+bit, and a mid-copy write switches the move to the synchronous scheme.
+
+This module exposes it as a plain function over the simulator's kernel
+objects, mirroring how the daemon service calls into the kernel module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MigrationError
+from repro.hw.frames import FrameAccountant
+from repro.migrate.mechanism import MigrationTiming
+from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism, MtmMechanismConfig
+from repro.migrate.planner import MigrationPlanner
+from repro.mm.mmu import Mmu
+from repro.mm.pagetable import PageTable
+from repro.policy.base import MigrationOrder
+from repro.sim.costmodel import CostModel
+
+
+def move_memory_regions(
+    page_table: PageTable,
+    frames: FrameAccountant,
+    cost_model: CostModel,
+    pages: np.ndarray,
+    dst_node: int,
+    mmu: Mmu | None = None,
+    config: MtmMechanismConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> MigrationTiming:
+    """Move ``pages`` to ``dst_node`` with the adaptive mechanism.
+
+    All pages must currently reside on a single source node (one region),
+    as with the kernel API.  Returns the timing split into critical-path
+    and background (overlapped) work; the page table and frame accounting
+    are updated on success.
+
+    Raises:
+        MigrationError: if the pages span several source nodes, are
+            unmapped, or the destination lacks capacity.
+    """
+    pages = np.asarray(pages, dtype=np.int64)
+    if pages.size == 0:
+        raise MigrationError("no pages to move")
+    nodes = np.unique(page_table.node_of(pages))
+    if nodes.size != 1 or nodes[0] < 0:
+        raise MigrationError(f"pages span nodes {nodes.tolist()}; move one region at a time")
+    src_node = int(nodes[0])
+    if src_node == dst_node:
+        raise MigrationError("pages already on the destination node")
+    if not frames.can_fit(dst_node, int(pages.size)):
+        raise MigrationError(f"node {dst_node} lacks capacity for {pages.size} pages")
+
+    mechanism = MoveMemoryRegionsMechanism(cost_model, config=config, rng=rng)
+    planner = MigrationPlanner(page_table, frames, mechanism)
+    order = MigrationOrder(pages=pages, src_node=src_node, dst_node=dst_node)
+    timing = planner.execute([order], mmu)
+    if planner.log.orders_executed != 1:
+        raise MigrationError("migration was skipped; check placement state")
+    return timing

@@ -1,0 +1,264 @@
+"""Solution factory: MTM, its ablations, and every evaluated baseline.
+
+Each entry builds a fully wired :class:`~repro.sim.engine.SimulationEngine`
+for one of the solutions in the paper's evaluation (Sec. 9), with the
+baselines configured exactly as the paper describes — same migration
+throughput cap, same profiling overhead target, their own profiling and
+policy quirks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.hw.topology import TierTopology, optane_4tier
+from repro.migrate.mechanism import Mechanism
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism
+from repro.migrate.nimble import NimbleMechanism
+from repro.policy.autotiering import AutoTieringConfig, AutoTieringPolicy
+from repro.policy.base import Policy
+from repro.policy.first_touch import FirstTouchPolicy
+from repro.policy.hemem_policy import HeMemPolicy, HeMemPolicyConfig
+from repro.policy.mtm_policy import MtmPolicy, MtmPolicyConfig
+from repro.policy.thermostat_policy import ThermostatPolicy, ThermostatPolicyConfig
+from repro.policy.tiered_autonuma import TieredAutoNumaConfig, TieredAutoNumaPolicy
+from repro.profile.autonuma import RandomWindowConfig, RandomWindowProfiler
+from repro.profile.base import Profiler
+from repro.profile.hemem import PebsOnlyProfiler
+from repro.profile.mtm import MtmProfiler, MtmProfilerConfig
+from repro.profile.thermostat import ThermostatProfiler
+from repro.sim.costmodel import CostModel, CostParams, effective_interval
+from repro.sim.engine import (
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_PM_ONLY,
+    PLACEMENT_SLOW_TIER_FIRST,
+    SimulationEngine,
+)
+from repro.sim.rng import make_rng
+from repro.workloads.base import Workload
+from repro.workloads.registry import build_workload
+
+
+@dataclass(frozen=True)
+class SolutionSpec:
+    """Static description of one solution.
+
+    Attributes:
+        name: registry key.
+        description: one-liner for reports.
+        placement: initial placement strategy.
+        hmc: hardware cache mode.
+    """
+
+    name: str
+    description: str
+    placement: str = PLACEMENT_FIRST_TOUCH
+    hmc: bool = False
+
+
+SOLUTIONS: dict[str, SolutionSpec] = {
+    "first-touch": SolutionSpec(
+        "first-touch", "first-touch NUMA allocation, no migration"
+    ),
+    "hmc": SolutionSpec(
+        "hmc", "hardware-managed DRAM cache (Optane Memory Mode)",
+        placement=PLACEMENT_PM_ONLY, hmc=True,
+    ),
+    "vanilla-tiered-autonuma": SolutionSpec(
+        "vanilla-tiered-autonuma", "Linux tiered-AutoNUMA without the hot-page patches"
+    ),
+    "tiered-autonuma": SolutionSpec(
+        "tiered-autonuma", "tiered-AutoNUMA with MFU hot-page selection patches"
+    ),
+    "autotiering": SolutionSpec(
+        "autotiering", "AutoTiering (ATC'21): flexible but unranked migration"
+    ),
+    "hemem": SolutionSpec(
+        "hemem", "HeMem (SOSP'21): PEBS-only profiling, two-tier policy"
+    ),
+    "thermostat": SolutionSpec(
+        "thermostat", "Thermostat (ASPLOS'17): fixed regions, demotion-driven"
+    ),
+    "damon": SolutionSpec(
+        "damon", "DAMON monitor + DAMOS migrate_hot/cold schemes (extension)"
+    ),
+    "mtm": SolutionSpec(
+        "mtm", "MTM: adaptive profiling + global fast-promotion policy",
+        placement=PLACEMENT_SLOW_TIER_FIRST,
+    ),
+    # Ablations (Fig. 7).
+    "mtm-no-amr": SolutionSpec(
+        "mtm-no-amr", "MTM without adaptive memory regions",
+        placement=PLACEMENT_SLOW_TIER_FIRST,
+    ),
+    "mtm-no-aps": SolutionSpec(
+        "mtm-no-aps", "MTM with random PTE-scan distribution",
+        placement=PLACEMENT_SLOW_TIER_FIRST,
+    ),
+    "mtm-no-oc": SolutionSpec(
+        "mtm-no-oc", "MTM without profiling overhead control",
+        placement=PLACEMENT_SLOW_TIER_FIRST,
+    ),
+    "mtm-no-pebs": SolutionSpec(
+        "mtm-no-pebs", "MTM without performance-counter assistance",
+        placement=PLACEMENT_SLOW_TIER_FIRST,
+    ),
+    "mtm-sync": SolutionSpec(
+        "mtm-sync", "MTM with synchronous page migration only",
+        placement=PLACEMENT_SLOW_TIER_FIRST,
+    ),
+}
+
+
+def solution_names() -> list[str]:
+    """All registered solution names."""
+    return list(SOLUTIONS)
+
+
+def make_engine(
+    solution: str,
+    workload: Workload | str,
+    scale: float,
+    topology: TierTopology | None = None,
+    interval: float | None = None,
+    overhead_constraint: float = 0.05,
+    seed: int = 0,
+    socket: int = 0,
+    collect_quality: bool = False,
+    cost_params: CostParams | None = None,
+    mtm_profiler_config: MtmProfilerConfig | None = None,
+    mtm_policy_config: MtmPolicyConfig | None = None,
+) -> SimulationEngine:
+    """Build a ready-to-run engine for ``solution`` on ``workload``.
+
+    Args:
+        solution: one of :func:`solution_names`.
+        workload: a built-but-not-attached workload object, or a registry
+            name (built at ``scale`` with ``seed``).
+        scale: machine capacity scale; also scales the effective interval
+            and migration budgets.
+        topology: machine override (default: the 4-tier Optane testbed at
+            ``scale``).
+        interval: profiling interval t_mi in simulated seconds (``None``
+            = the paper's 10 s scaled by ``scale``).
+        overhead_constraint: profiling overhead target (paper default 5%).
+        mtm_profiler_config / mtm_policy_config: overrides for sensitivity
+            studies (tau/alpha sweeps); ignored by non-MTM solutions.
+    """
+    if solution not in SOLUTIONS:
+        raise ConfigError(f"unknown solution {solution!r}; choose from {solution_names()}")
+    spec = SOLUTIONS[solution]
+    if topology is None:
+        topology = optane_4tier(scale)
+    if isinstance(workload, str):
+        workload = build_workload(workload, scale, seed=seed)
+    params = cost_params if cost_params is not None else CostParams().with_scale(scale)
+    if interval is None:
+        interval = effective_interval(params.scale)
+    cost_model = CostModel(topology, params)
+    rng = make_rng(seed + 17)
+
+    profiler: Profiler | None = None
+    policy: Policy
+    mechanism: Mechanism | None = None
+
+    if solution == "first-touch":
+        policy = FirstTouchPolicy()
+    elif solution == "hmc":
+        policy = FirstTouchPolicy()
+    elif solution in ("vanilla-tiered-autonuma", "tiered-autonuma"):
+        patched = solution == "tiered-autonuma"
+        # The patched kernel's NUMA-balancing scanner covers ~1 GB per
+        # interval; vanilla sticks to the classic 256 MB window.
+        from repro.units import GiB, MiB
+
+        profiler = RandomWindowProfiler(
+            cost_model,
+            RandomWindowConfig(
+                interval=interval,
+                mfu=patched,
+                window_bytes=(1 * GiB if patched else 256 * MiB),
+            ),
+            rng=rng,
+        )
+        policy = TieredAutoNumaPolicy(
+            TieredAutoNumaConfig(scale=scale, auto_threshold=patched, default_socket=socket)
+        )
+        mechanism = MovePagesMechanism(cost_model)
+    elif solution == "autotiering":
+        profiler = RandomWindowProfiler(
+            cost_model,
+            RandomWindowConfig(interval=interval, mfu=False),
+            rng=rng,
+        )
+        policy = AutoTieringPolicy(
+            AutoTieringConfig(scale=scale, default_socket=socket, seed=seed)
+        )
+        mechanism = MovePagesMechanism(cost_model)
+    elif solution == "hemem":
+        profiler = PebsOnlyProfiler(cost_model, rng=rng)
+        policy = HeMemPolicy(HeMemPolicyConfig(scale=scale, default_socket=socket))
+        mechanism = NimbleMechanism(cost_model)
+    elif solution == "damon":
+        from repro.policy.damos import DamosConfig, DamosPolicy
+        from repro.profile.damon import DamonConfig, DamonProfiler
+
+        profiler = DamonProfiler(
+            cost_model,
+            DamonConfig(interval=interval, overhead_constraint=overhead_constraint),
+            rng=rng,
+        )
+        policy = DamosPolicy(DamosConfig(scale=scale, default_socket=socket))
+        mechanism = MovePagesMechanism(cost_model)
+    elif solution == "thermostat":
+        from repro.profile.thermostat import ThermostatConfig
+
+        profiler = ThermostatProfiler(
+            cost_model, ThermostatConfig(interval=interval, overhead_constraint=overhead_constraint),
+            rng=rng,
+        )
+        policy = ThermostatPolicy(
+            ThermostatPolicyConfig(scale=scale, default_socket=socket)
+        )
+        mechanism = MovePagesMechanism(cost_model)
+    else:  # mtm and its ablations
+        prof_cfg = mtm_profiler_config
+        if prof_cfg is None:
+            prof_cfg = MtmProfilerConfig(
+                interval=interval, overhead_constraint=overhead_constraint
+            )
+        if solution == "mtm-no-amr":
+            prof_cfg.adaptive_regions = False
+        elif solution == "mtm-no-aps":
+            prof_cfg.adaptive_sampling = False
+        elif solution == "mtm-no-oc":
+            prof_cfg.overhead_control = False
+        elif solution == "mtm-no-pebs":
+            prof_cfg.use_pebs = False
+        profiler = MtmProfiler(cost_model, prof_cfg, rng=rng)
+        pol_cfg = mtm_policy_config
+        if pol_cfg is None:
+            pol_cfg = MtmPolicyConfig(scale=scale, default_socket=socket)
+        policy = MtmPolicy(pol_cfg)
+        mechanism = MoveMemoryRegionsMechanism(
+            cost_model, rng=rng, force_sync=(solution == "mtm-sync")
+        )
+
+    return SimulationEngine(
+        topology=topology,
+        workload=workload,
+        policy=policy,
+        profiler=profiler,
+        mechanism=mechanism,
+        placement=spec.placement,
+        cost_params=params,
+        interval=interval,
+        seed=seed,
+        socket=socket,
+        collect_quality=collect_quality,
+        hmc=spec.hmc,
+        label=solution,
+    )

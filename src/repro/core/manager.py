@@ -1,0 +1,133 @@
+"""MtmManager: the user-space daemon service as a library object (Sec. 8).
+
+The paper implements MTM as a kernel module (profiling) plus a user-space
+daemon (policy + migration).  This class is that daemon for simulator
+users: construct it over a machine, attach a workload, and either run a
+number of intervals in one call or step interval by interval.
+
+Example:
+    >>> from repro.core import MtmManager
+    >>> from repro.workloads import build_workload
+    >>> mgr = MtmManager(scale=1 / 256)
+    >>> result = mgr.run(build_workload("gups", 1 / 256), num_intervals=50)
+    >>> result.fast_tier_share() > 0
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.topology import TierTopology, optane_4tier
+from repro.profile.mtm import MtmProfilerConfig
+from repro.policy.mtm_policy import MtmPolicyConfig
+from repro.sim.costmodel import CostParams
+from repro.sim.engine import IntervalRecord, SimulationEngine, SimulationResult
+from repro.workloads.base import Workload
+
+
+@dataclass
+class MtmSystemConfig:
+    """Everything configurable about an MTM deployment.
+
+    Attributes:
+        scale: machine capacity scale (1.0 = the paper's testbed sizes).
+        interval: profiling interval t_mi in simulated seconds; ``None``
+            uses the paper's 10 s scaled by ``scale``.
+        overhead_constraint: profiling overhead target (paper: 5%).
+        socket: viewpoint socket for tier ranking.
+        seed: master RNG seed.
+        profiler: MTM profiler overrides (tau, num_scans, ablations...).
+        policy: MTM policy overrides (alpha is on the profiler; budget,
+            buckets here).
+        collect_quality: score profiling against workload ground truth.
+    """
+
+    scale: float = 1.0 / 128.0
+    interval: float | None = None
+    overhead_constraint: float = 0.05
+    socket: int = 0
+    seed: int = 0
+    profiler: MtmProfilerConfig | None = None
+    policy: MtmPolicyConfig | None = None
+    collect_quality: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+        if self.interval is not None and self.interval <= 0:
+            raise ConfigError(f"interval must be positive, got {self.interval}")
+
+
+class MtmManager:
+    """High-level entry point: manage a workload with MTM.
+
+    Args:
+        topology: machine (default: 4-tier Optane testbed at ``scale``).
+        scale: capacity scale used when building the default topology.
+        config: deployment configuration.
+    """
+
+    def __init__(
+        self,
+        topology: TierTopology | None = None,
+        scale: float | None = None,
+        config: MtmSystemConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else MtmSystemConfig()
+        if scale is not None:
+            self.config.scale = scale
+        self.topology = topology if topology is not None else optane_4tier(self.config.scale)
+        self._engine: SimulationEngine | None = None
+
+    def attach(self, workload: Workload) -> SimulationEngine:
+        """Wire MTM around ``workload``; returns the live engine."""
+        from repro.core.baselines import make_engine
+
+        cfg = self.config
+        from repro.sim.costmodel import effective_interval
+
+        interval = cfg.interval if cfg.interval is not None else effective_interval(cfg.scale)
+        prof_cfg = cfg.profiler
+        if prof_cfg is None:
+            prof_cfg = MtmProfilerConfig(
+                interval=interval, overhead_constraint=cfg.overhead_constraint
+            )
+        pol_cfg = cfg.policy
+        if pol_cfg is None:
+            pol_cfg = MtmPolicyConfig(scale=cfg.scale, default_socket=cfg.socket)
+        self._engine = make_engine(
+            "mtm",
+            workload,
+            scale=cfg.scale,
+            topology=self.topology,
+            interval=interval,
+            overhead_constraint=cfg.overhead_constraint,
+            seed=cfg.seed,
+            socket=cfg.socket,
+            collect_quality=cfg.collect_quality,
+            cost_params=CostParams().with_scale(cfg.scale),
+            mtm_profiler_config=prof_cfg,
+            mtm_policy_config=pol_cfg,
+        )
+        return self._engine
+
+    @property
+    def engine(self) -> SimulationEngine:
+        if self._engine is None:
+            raise ConfigError("no workload attached; call attach() or run()")
+        return self._engine
+
+    def run(self, workload: Workload, num_intervals: int) -> SimulationResult:
+        """Attach ``workload`` and simulate ``num_intervals`` intervals."""
+        self.attach(workload)
+        return self.engine.run(num_intervals)
+
+    def step(self) -> IntervalRecord:
+        """Advance the attached system by one profiling interval."""
+        return self.engine.step()
+
+    def result(self) -> SimulationResult:
+        """Results so far for the attached system."""
+        return self.engine.result()

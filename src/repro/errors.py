@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class CapacityError(ReproError):
+    """A memory tier ran out of frames for an allocation that must succeed."""
+
+
+class TranslationError(ReproError):
+    """A virtual address could not be translated (no VMA / not mapped)."""
+
+
+class MigrationError(ReproError):
+    """A page migration request was invalid (bad tier, unmapped page...)."""
+
+
+class ProfilingError(ReproError):
+    """A profiler was driven incorrectly (e.g. results read before a scan)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured or driven incorrectly."""

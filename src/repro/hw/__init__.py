@@ -1,0 +1,46 @@
+"""Hardware model: memory components, tier topologies, frame accounting.
+
+This subpackage encodes everything the paper's Table 1 describes about the
+testbed: the four memory components of the two-socket Optane machine, the
+per-socket access costs that make them appear as four *tiers*, and the
+capacity bookkeeping used by allocation and migration.  It also provides the
+hardware-managed DRAM-cache mode (Optane "Memory Mode") used as the HMC
+baseline.
+"""
+
+from repro.hw.tier import AccessCost, MemoryComponent, MemoryKind
+from repro.hw.topology import (
+    TierTopology,
+    TierView,
+    cxl_topology,
+    optane_4tier,
+    optane_2tier,
+    uniform_topology,
+)
+from repro.hw.frames import FrameAccountant
+from repro.hw.dram_cache import DramCache, DramCacheStats
+from repro.hw.placement import (
+    Placer,
+    TierOrderPlacer,
+    first_touch_placer,
+    slow_tier_first_placer,
+)
+
+__all__ = [
+    "AccessCost",
+    "MemoryComponent",
+    "MemoryKind",
+    "TierTopology",
+    "TierView",
+    "optane_4tier",
+    "optane_2tier",
+    "cxl_topology",
+    "uniform_topology",
+    "FrameAccountant",
+    "DramCache",
+    "DramCacheStats",
+    "Placer",
+    "TierOrderPlacer",
+    "first_touch_placer",
+    "slow_tier_first_placer",
+]

@@ -1,0 +1,158 @@
+"""Hardware-managed DRAM cache (Optane "Memory Mode") — the HMC baseline.
+
+In Memory Mode the DRAM is a direct-mapped, physically-indexed cache in
+front of PM: software sees only the PM capacity, every miss fetches a whole
+cache block from PM, and dirty victims are written back first (the write
+amplification the paper cites from Hildebrand et al. as HMC's weakness).
+
+We model the cache at page granularity with a direct-mapped tag array.
+Access batches are page-indexed histograms, so a page's first access in a
+batch decides hit/miss and the remaining accesses to it in the same batch
+hit in DRAM — which matches how a direct-mapped cache behaves for a batch
+with temporal locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import PAGE_SIZE
+
+
+@dataclass
+class DramCacheStats:
+    """Running hit/miss/write-back counters for a :class:`DramCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    bytes_fetched: int = 0
+    bytes_written_back: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from DRAM; 0 when never accessed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def write_amplification(self) -> float:
+        """Bytes moved between DRAM and PM per byte of demand traffic.
+
+        >1 means the cache moved more data than the application asked for —
+        the effect that makes HMC lose to software tiering in the paper.
+        """
+        demand = self.accesses * PAGE_SIZE
+        if demand == 0:
+            return 0.0
+        return (self.bytes_fetched + self.bytes_written_back) / demand
+
+
+class DramCache:
+    """Direct-mapped page-granularity DRAM cache over a PM backing store.
+
+    Args:
+        num_sets: number of page-sized cache slots (DRAM capacity / 4 KB).
+        block_pages: pages fetched per miss (1 models Optane's near-page
+            blocks after scaling; >1 exaggerates amplification for studies).
+        block_bytes: bytes actually transferred per miss/write-back; Optane
+            Memory Mode moves multiples of the 256 B XPLine, far less than
+            a full page.  Defaults to a whole block.
+    """
+
+    EMPTY = -1
+
+    def __init__(self, num_sets: int, block_pages: int = 1, block_bytes: int | None = None) -> None:
+        if num_sets < 1:
+            raise ConfigError(f"num_sets must be >= 1, got {num_sets}")
+        if block_pages < 1:
+            raise ConfigError(f"block_pages must be >= 1, got {block_pages}")
+        self.num_sets = num_sets
+        self.block_pages = block_pages
+        self.block_bytes = (
+            block_bytes if block_bytes is not None else block_pages * PAGE_SIZE
+        )
+        if self.block_bytes < 1:
+            raise ConfigError(f"block_bytes must be >= 1, got {self.block_bytes}")
+        self._tags = np.full(num_sets, self.EMPTY, dtype=np.int64)
+        self._dirty = np.zeros(num_sets, dtype=bool)
+        self.stats = DramCacheStats()
+
+    def access_batch(self, pages: np.ndarray, counts: np.ndarray, writes: np.ndarray) -> tuple[int, int]:
+        """Apply a batch of page accesses and return ``(dram_hits, pm_misses)``.
+
+        Args:
+            pages: unique page numbers accessed this batch.
+            counts: accesses per page (same length as ``pages``).
+            writes: write accesses per page (``writes <= counts``).
+
+        Returns:
+            Tuple of (accesses served by DRAM, accesses that missed to PM).
+            Only the *first* access to a page in the batch can miss; the
+            rest hit the freshly-filled block.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        writes = np.asarray(writes, dtype=np.int64)
+        if not (pages.shape == counts.shape == writes.shape):
+            raise ConfigError("pages/counts/writes must have identical shapes")
+        if pages.size == 0:
+            return (0, 0)
+        if np.any(counts < 1):
+            raise ConfigError("every listed page must have at least one access")
+        if np.any(writes > counts) or np.any(writes < 0):
+            raise ConfigError("writes per page must be within [0, counts]")
+
+        sets = pages % self.num_sets
+        hit_mask = self._tags[sets] == pages
+
+        miss_pages = pages[~hit_mask]
+        miss_sets = sets[~hit_mask]
+        n_misses = int(miss_pages.size)
+
+        # Victims that are dirty must be written back before the fill.
+        victim_tags = self._tags[miss_sets]
+        victim_dirty = self._dirty[miss_sets] & (victim_tags != self.EMPTY)
+        n_writebacks = int(np.count_nonzero(victim_dirty))
+
+        # Install the new blocks.  If two missing pages in the batch map to
+        # the same set, numpy's last-write-wins matches a sequential fill.
+        self._tags[miss_sets] = miss_pages
+        self._dirty[miss_sets] = False
+
+        # Mark dirtiness from this batch's writes (hits and fresh fills).
+        written = writes > 0
+        self._dirty[sets[written]] = True
+
+        hits = int(counts.sum()) - n_misses
+        self.stats.hits += hits
+        self.stats.misses += n_misses
+        self.stats.writebacks += n_writebacks
+        self.stats.bytes_fetched += n_misses * self.block_bytes
+        self.stats.bytes_written_back += n_writebacks * self.block_bytes
+        return (hits, n_misses)
+
+    def resident(self, page: int) -> bool:
+        """Whether ``page`` is currently cached in DRAM."""
+        return bool(self._tags[page % self.num_sets] == page)
+
+    def flush(self) -> int:
+        """Write back all dirty blocks and empty the cache.
+
+        Returns:
+            Number of blocks written back.
+        """
+        n_dirty = int(np.count_nonzero(self._dirty & (self._tags != self.EMPTY)))
+        self.stats.writebacks += n_dirty
+        self.stats.bytes_written_back += n_dirty * self.block_bytes
+        self._tags.fill(self.EMPTY)
+        self._dirty.fill(False)
+        return n_dirty

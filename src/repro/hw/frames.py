@@ -1,0 +1,119 @@
+"""Per-component physical frame accounting.
+
+Migration policies only need to know *how many* pages fit on each component,
+not which physical frames hold them, so this is a counting allocator: fast,
+exact, and sufficient for capacity-driven decisions ("does tier 2 have room
+for this 200 MB promotion?").
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw.topology import TierTopology
+from repro.units import PAGE_SIZE, format_bytes
+
+
+class FrameAccountant:
+    """Tracks used/free base pages on every component of a topology.
+
+    Args:
+        topology: the machine whose components to account for.
+        reserved_fraction: fraction of each component held back from
+            allocation (models kernel/metadata reservations; the paper's
+            daemon keeps headroom on the fast tiers for promotions).
+    """
+
+    def __init__(self, topology: TierTopology, reserved_fraction: float = 0.0) -> None:
+        if not 0.0 <= reserved_fraction < 1.0:
+            raise ConfigError(
+                f"reserved_fraction must be in [0, 1), got {reserved_fraction}"
+            )
+        self._topology = topology
+        self._capacity: dict[int, int] = {}
+        self._used: dict[int, int] = {}
+        for component in topology.components:
+            usable = int(component.capacity_pages * (1.0 - reserved_fraction))
+            if usable < 1:
+                raise ConfigError(f"{component.name}: no usable pages after reserve")
+            self._capacity[component.node_id] = usable
+            self._used[component.node_id] = 0
+
+    # -- queries --------------------------------------------------------------
+
+    def capacity_pages(self, node_id: int) -> int:
+        """Usable capacity of ``node_id`` in pages."""
+        self._check(node_id)
+        return self._capacity[node_id]
+
+    def used_pages(self, node_id: int) -> int:
+        """Pages currently allocated on ``node_id``."""
+        self._check(node_id)
+        return self._used[node_id]
+
+    def free_pages(self, node_id: int) -> int:
+        """Pages still available on ``node_id``."""
+        self._check(node_id)
+        return self._capacity[node_id] - self._used[node_id]
+
+    def utilization(self, node_id: int) -> float:
+        """Fraction of usable capacity in use, in [0, 1]."""
+        self._check(node_id)
+        return self._used[node_id] / self._capacity[node_id]
+
+    def can_fit(self, node_id: int, npages: int) -> bool:
+        """Whether ``npages`` more pages fit on ``node_id``."""
+        if npages < 0:
+            raise ConfigError(f"negative page count: {npages}")
+        return self.free_pages(node_id) >= npages
+
+    # -- mutations --------------------------------------------------------------
+
+    def allocate(self, node_id: int, npages: int) -> None:
+        """Claim ``npages`` on ``node_id``.
+
+        Raises:
+            CapacityError: if the component does not have enough free pages.
+        """
+        if npages < 0:
+            raise ConfigError(f"negative page count: {npages}")
+        if not self.can_fit(node_id, npages):
+            raise CapacityError(
+                f"node {node_id}: cannot allocate {npages} pages "
+                f"({self.free_pages(node_id)} free of {self._capacity[node_id]})"
+            )
+        self._used[node_id] += npages
+
+    def release(self, node_id: int, npages: int) -> None:
+        """Return ``npages`` on ``node_id`` to the free pool."""
+        if npages < 0:
+            raise ConfigError(f"negative page count: {npages}")
+        if self._used.get(node_id, 0) < npages:
+            raise CapacityError(
+                f"node {node_id}: releasing {npages} pages but only "
+                f"{self._used.get(node_id, 0)} are allocated"
+            )
+        self._used[node_id] -= npages
+
+    def move(self, src_node: int, dst_node: int, npages: int) -> None:
+        """Atomically transfer accounting of ``npages`` between components."""
+        self.allocate(dst_node, npages)
+        self.release(src_node, npages)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _check(self, node_id: int) -> None:
+        if node_id not in self._capacity:
+            raise ConfigError(f"unknown node id {node_id}")
+
+    def snapshot(self) -> dict[int, tuple[int, int]]:
+        """``{node_id: (used_pages, capacity_pages)}`` for reporting."""
+        return {n: (self._used[n], self._capacity[n]) for n in self._capacity}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        for node_id, (used, cap) in sorted(self.snapshot().items()):
+            parts.append(
+                f"node{node_id}: {format_bytes(used * PAGE_SIZE)}/"
+                f"{format_bytes(cap * PAGE_SIZE)}"
+            )
+        return "FrameAccountant(" + ", ".join(parts) + ")"

@@ -1,0 +1,125 @@
+"""Initial page-placement strategies.
+
+Where freshly allocated pages land before any migration:
+
+* :class:`Placer` — everything on one fixed node (tests, microbenches);
+* :class:`FirstTouchPlacer` — the Linux default and the baselines' choice:
+  fill the toucher's fastest tier, spill downward when full;
+* :class:`SlowTierFirstPlacer` — MTM's choice (Sec. 9.1, Table 4): start
+  in the local *slow* tier and let promotion pull hot pages up, keeping
+  the fast tiers free for pages that prove themselves hot.
+
+Chunks returned by a placer are huge-page aligned (except the final tail)
+so THP mappings are not torn at placement time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import TierTopology
+from repro.units import PAGES_PER_HUGE_PAGE
+
+
+class Placer:
+    """Places every allocation on one fixed node.
+
+    The frame accounting, when provided, is charged so capacity stays
+    consistent with the page table.
+    """
+
+    def __init__(self, node: int, frames: FrameAccountant | None = None) -> None:
+        self.node = node
+        self.frames = frames
+
+    def place(self, npages: int) -> list[tuple[int, int]]:
+        """Split an ``npages`` allocation into ``(chunk_pages, node)`` parts."""
+        if npages < 1:
+            raise ConfigError(f"npages must be >= 1, got {npages}")
+        if self.frames is not None:
+            self.frames.allocate(self.node, npages)
+        return [(npages, self.node)]
+
+
+class TierOrderPlacer(Placer):
+    """Fills components in a fixed preference order, spilling when full.
+
+    Args:
+        topology: the machine.
+        frames: capacity accounting (charged as chunks are placed).
+        preference: component node ids, most-preferred first.
+    """
+
+    def __init__(
+        self,
+        topology: TierTopology,
+        frames: FrameAccountant,
+        preference: list[int],
+    ) -> None:
+        if not preference:
+            raise ConfigError("preference order must not be empty")
+        for node in preference:
+            topology.component(node)  # validates
+        super().__init__(preference[0], frames)
+        self.topology = topology
+        self.preference = list(preference)
+
+    def place(self, npages: int) -> list[tuple[int, int]]:
+        if npages < 1:
+            raise ConfigError(f"npages must be >= 1, got {npages}")
+        assert self.frames is not None
+        chunks: list[tuple[int, int]] = []
+        remaining = npages
+        for node in self.preference:
+            if remaining == 0:
+                break
+            free = self.frames.free_pages(node)
+            if free <= 0:
+                continue
+            take = min(remaining, free)
+            if remaining > take:
+                # Keep the spill boundary huge-aligned.
+                take = (take // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+                if take == 0:
+                    continue
+            self.frames.allocate(node, take)
+            chunks.append((take, node))
+            remaining -= take
+        if remaining > 0:
+            raise CapacityError(
+                f"machine out of memory: {remaining} of {npages} pages unplaced"
+            )
+        return chunks
+
+
+def first_touch_placer(
+    topology: TierTopology, frames: FrameAccountant, socket: int = 0
+) -> TierOrderPlacer:
+    """Fastest tier of the toucher's view first, then down the ladder."""
+    view = topology.view(socket)
+    return TierOrderPlacer(topology, frames, list(view.ranked_nodes))
+
+
+def slow_tier_first_placer(
+    topology: TierTopology, frames: FrameAccountant, socket: int = 0
+) -> TierOrderPlacer:
+    """MTM's initial placement: the slowest *local* tier first, then the
+    remaining tiers slowest-to-fastest (fast tiers stay free for
+    promotions).  CPU-less components (CXL expanders) count as local to
+    every socket."""
+    view = topology.view(socket)
+    local_slowest = None
+    for tier in range(view.num_tiers, 0, -1):
+        node = view.node_at_tier(tier)
+        owner = topology.component(node).socket
+        if owner == socket or owner is None:
+            local_slowest = node
+            break
+    order: list[int] = []
+    if local_slowest is not None:
+        order.append(local_slowest)
+    for tier in range(view.num_tiers, 0, -1):
+        node = view.node_at_tier(tier)
+        if node not in order:
+            order.append(node)
+    return TierOrderPlacer(topology, frames, order)

@@ -1,0 +1,90 @@
+"""Memory components and access costs.
+
+A *component* is a physical memory node (a DRAM DIMM set or a PM module
+attached to one socket).  Whether a component is a "fast" or "slow" *tier*
+depends on who is asking: the same DRAM is tier 1 for the local socket and
+tier 2 for the remote one (the paper's "multi-view of tiered memory",
+Sec. 6.2).  Components therefore carry only identity and capacity; access
+costs live on the topology as (socket, component) pairs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import PAGE_SIZE, format_bytes
+
+
+class MemoryKind(enum.Enum):
+    """Technology class of a memory component."""
+
+    DRAM = "dram"
+    PM = "pm"  # persistent memory (Optane DC PM in the paper)
+    CXL = "cxl"  # CXL-attached expansion (CPU-less node)
+
+
+@dataclass(frozen=True)
+class AccessCost:
+    """Cost of accessing one component from one socket.
+
+    Attributes:
+        latency: seconds per access (the paper quotes idle load latency).
+        bandwidth: bytes per second of sustained transfer.
+    """
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0:
+            raise ConfigError(f"latency must be positive, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ConfigError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` through this link: latency + size/BW."""
+        if nbytes < 0:
+            raise ConfigError(f"negative transfer size: {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def sort_key(self) -> tuple[float, float]:
+        """Ordering key: lower latency first, higher bandwidth breaks ties."""
+        return (self.latency, -self.bandwidth)
+
+
+@dataclass(frozen=True)
+class MemoryComponent:
+    """One physical memory node.
+
+    Attributes:
+        node_id: stable integer id (the NUMA node number).
+        name: human-readable label, e.g. ``"dram0"``.
+        kind: technology class.
+        capacity: size in bytes; must be a whole number of base pages.
+        socket: the socket this component is attached to, or ``None`` for
+            CPU-less nodes (CXL expanders appear this way in Linux).
+    """
+
+    node_id: int
+    name: str
+    kind: MemoryKind
+    capacity: int
+    socket: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError(f"{self.name}: capacity must be positive")
+        if self.capacity % PAGE_SIZE != 0:
+            raise ConfigError(
+                f"{self.name}: capacity {self.capacity} is not page-aligned"
+            )
+
+    @property
+    def capacity_pages(self) -> int:
+        """Capacity expressed in base pages."""
+        return self.capacity // PAGE_SIZE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.kind.value}, {format_bytes(self.capacity)})"

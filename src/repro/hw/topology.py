@@ -1,0 +1,282 @@
+"""Tier topologies: components + per-socket access costs + tier views.
+
+The paper's testbed (Table 1) is a two-socket Optane machine whose four
+memory components form four tiers *from the point of view of one socket*:
+
+====  =========================  ========  =========
+tier  component                  latency   bandwidth
+====  =========================  ========  =========
+1     local DRAM                 90 ns     95 GB/s
+2     remote DRAM                145 ns    35 GB/s
+3     local Optane PM            275 ns    35 GB/s
+4     remote Optane PM           340 ns    1 GB/s
+====  =========================  ========  =========
+
+:func:`optane_4tier` builds exactly this machine (capacities scaled for
+simulation); :func:`optane_2tier` builds the single-socket DRAM+PM system
+of Sec. 9.6; :func:`uniform_topology` builds arbitrary synthetic ladders
+for tests and sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.tier import AccessCost, MemoryComponent, MemoryKind
+from repro.units import GiB, gb_per_s, ns
+
+
+@dataclass(frozen=True)
+class TierView:
+    """One socket's ordering of components into tiers.
+
+    Attributes:
+        socket: the viewing socket.
+        ranked_nodes: component node ids ordered fastest (tier 1) first.
+    """
+
+    socket: int
+    ranked_nodes: tuple[int, ...]
+
+    def tier_of(self, node_id: int) -> int:
+        """1-based tier rank of ``node_id`` in this view."""
+        try:
+            return self.ranked_nodes.index(node_id) + 1
+        except ValueError:
+            raise ConfigError(f"node {node_id} not in view of socket {self.socket}")
+
+    def node_at_tier(self, tier: int) -> int:
+        """Component node id at 1-based tier ``tier``."""
+        if not 1 <= tier <= len(self.ranked_nodes):
+            raise ConfigError(f"tier {tier} out of range 1..{len(self.ranked_nodes)}")
+        return self.ranked_nodes[tier - 1]
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.ranked_nodes)
+
+
+@dataclass
+class TierTopology:
+    """A multi-tier memory machine: components plus per-socket access costs.
+
+    Attributes:
+        components: all memory components, keyed by insertion order.
+        costs: mapping ``(socket, node_id) -> AccessCost``.  Every socket
+            must have a cost to every component.
+        num_sockets: number of CPU sockets.
+    """
+
+    components: tuple[MemoryComponent, ...]
+    costs: dict[tuple[int, int], AccessCost]
+    num_sockets: int
+    _views: dict[int, TierView] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigError("topology needs at least one component")
+        if self.num_sockets < 1:
+            raise ConfigError("topology needs at least one socket")
+        node_ids = [c.node_id for c in self.components]
+        if len(set(node_ids)) != len(node_ids):
+            raise ConfigError(f"duplicate node ids: {node_ids}")
+        for socket in range(self.num_sockets):
+            for component in self.components:
+                if (socket, component.node_id) not in self.costs:
+                    raise ConfigError(
+                        f"missing cost for socket {socket} -> {component.name}"
+                    )
+        for socket in range(self.num_sockets):
+            ranked = sorted(
+                self.components,
+                key=lambda c: self.costs[(socket, c.node_id)].sort_key(),
+            )
+            self._views[socket] = TierView(
+                socket=socket, ranked_nodes=tuple(c.node_id for c in ranked)
+            )
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def num_tiers(self) -> int:
+        """Number of distinct tiers (== number of components)."""
+        return len(self.components)
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        return tuple(c.node_id for c in self.components)
+
+    def component(self, node_id: int) -> MemoryComponent:
+        for c in self.components:
+            if c.node_id == node_id:
+                return c
+        raise ConfigError(f"unknown node id {node_id}")
+
+    def cost(self, socket: int, node_id: int) -> AccessCost:
+        """Access cost from ``socket`` to component ``node_id``."""
+        try:
+            return self.costs[(socket, node_id)]
+        except KeyError:
+            raise ConfigError(f"no cost for socket {socket} -> node {node_id}")
+
+    def view(self, socket: int) -> TierView:
+        """Tier ordering as seen from ``socket``."""
+        try:
+            return self._views[socket]
+        except KeyError:
+            raise ConfigError(f"unknown socket {socket}")
+
+    def copy_cost(self, src_node: int, dst_node: int, socket: int = 0) -> AccessCost:
+        """Effective cost of copying between two components.
+
+        A page copy reads from the source and writes to the destination, so
+        its bandwidth is limited by the slower of the two links and its
+        latency is the sum of both.
+        """
+        src = self.cost(socket, src_node)
+        dst = self.cost(socket, dst_node)
+        return AccessCost(
+            latency=src.latency + dst.latency,
+            bandwidth=min(src.bandwidth, dst.bandwidth),
+        )
+
+    def total_capacity(self) -> int:
+        """Sum of all component capacities in bytes."""
+        return sum(c.capacity for c in self.components)
+
+
+# -- canonical machines -------------------------------------------------------
+
+#: Default capacity scaling applied to the paper's testbed so hundreds of
+#: megabytes stand in for hundreds of gigabytes (see DESIGN.md, scaling rule).
+DEFAULT_SCALE = 1.0 / 1024.0
+
+
+def _scaled_capacity(nbytes: float) -> int:
+    """Round a scaled capacity down to a whole number of 2 MiB chunks.
+
+    Keeping capacities huge-page aligned avoids spurious fragmentation in
+    the frame accounting when THP is enabled.
+    """
+    from repro.units import HUGE_PAGE_SIZE
+
+    chunks = max(1, int(nbytes) // HUGE_PAGE_SIZE)
+    return chunks * HUGE_PAGE_SIZE
+
+
+def optane_4tier(scale: float = DEFAULT_SCALE) -> TierTopology:
+    """The paper's two-socket, four-tier Optane machine (Table 1).
+
+    Args:
+        scale: capacity scale factor.  1.0 reproduces the physical machine
+            (2 x 96 GB DRAM + 2 x 756 GB PM); the default shrinks it ~1000x
+            while preserving all capacity ratios.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    dram0 = MemoryComponent(0, "dram0", MemoryKind.DRAM, _scaled_capacity(96 * GiB * scale), socket=0)
+    dram1 = MemoryComponent(1, "dram1", MemoryKind.DRAM, _scaled_capacity(96 * GiB * scale), socket=1)
+    pm0 = MemoryComponent(2, "pm0", MemoryKind.PM, _scaled_capacity(756 * GiB * scale), socket=0)
+    pm1 = MemoryComponent(3, "pm1", MemoryKind.PM, _scaled_capacity(756 * GiB * scale), socket=1)
+
+    local_dram = AccessCost(latency=ns(90), bandwidth=gb_per_s(95))
+    remote_dram = AccessCost(latency=ns(145), bandwidth=gb_per_s(35))
+    local_pm = AccessCost(latency=ns(275), bandwidth=gb_per_s(35))
+    remote_pm = AccessCost(latency=ns(340), bandwidth=gb_per_s(1))
+
+    costs = {
+        (0, 0): local_dram, (0, 1): remote_dram, (0, 2): local_pm, (0, 3): remote_pm,
+        (1, 1): local_dram, (1, 0): remote_dram, (1, 3): local_pm, (1, 2): remote_pm,
+    }
+    return TierTopology(components=(dram0, dram1, pm0, pm1), costs=costs, num_sockets=2)
+
+
+def optane_2tier(scale: float = DEFAULT_SCALE) -> TierTopology:
+    """Single-socket DRAM + Optane system used in Sec. 9.6 (vs HeMem)."""
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    dram = MemoryComponent(0, "dram0", MemoryKind.DRAM, _scaled_capacity(96 * GiB * scale), socket=0)
+    pm = MemoryComponent(1, "pm0", MemoryKind.PM, _scaled_capacity(756 * GiB * scale), socket=0)
+    costs = {
+        (0, 0): AccessCost(latency=ns(90), bandwidth=gb_per_s(95)),
+        (0, 1): AccessCost(latency=ns(275), bandwidth=gb_per_s(35)),
+    }
+    return TierTopology(components=(dram, pm), costs=costs, num_sockets=1)
+
+
+def cxl_topology(
+    scale: float = DEFAULT_SCALE,
+    expander_capacity: int = 512 * GiB,
+    expander_latency_ns: float = 250.0,
+    expander_bandwidth_gbs: float = 28.0,
+) -> TierTopology:
+    """A CXL-era three-tier machine: DRAM, remote DRAM, CXL expander.
+
+    The paper's introduction names CXL memory expansion as the trend adding
+    tiers; this topology models a two-socket DRAM machine plus a CPU-less
+    CXL Type-3 expander (latencies in the published 170-250 ns range,
+    bandwidth of a x8 CXL 2.0 link).  The expander appears to both sockets
+    at the same cost — a CPU-less node, exactly how Linux exposes it.
+
+    Args:
+        scale: capacity scale factor.
+        expander_capacity: expander size at paper scale.
+        expander_latency_ns / expander_bandwidth_gbs: CXL link costs.
+    """
+    if scale <= 0:
+        raise ConfigError(f"scale must be positive, got {scale}")
+    dram0 = MemoryComponent(0, "dram0", MemoryKind.DRAM, _scaled_capacity(96 * GiB * scale), socket=0)
+    dram1 = MemoryComponent(1, "dram1", MemoryKind.DRAM, _scaled_capacity(96 * GiB * scale), socket=1)
+    cxl = MemoryComponent(
+        2, "cxl0", MemoryKind.CXL, _scaled_capacity(expander_capacity * scale), socket=None
+    )
+    local = AccessCost(latency=ns(90), bandwidth=gb_per_s(95))
+    remote = AccessCost(latency=ns(145), bandwidth=gb_per_s(35))
+    link = AccessCost(latency=ns(expander_latency_ns), bandwidth=gb_per_s(expander_bandwidth_gbs))
+    costs = {
+        (0, 0): local, (0, 1): remote, (0, 2): link,
+        (1, 1): local, (1, 0): remote, (1, 2): link,
+    }
+    return TierTopology(components=(dram0, dram1, cxl), costs=costs, num_sockets=2)
+
+
+def uniform_topology(
+    capacities: list[int],
+    latencies_ns: list[float] | None = None,
+    bandwidths_gbs: list[float] | None = None,
+    num_sockets: int = 1,
+) -> TierTopology:
+    """Synthetic single-view ladder of tiers, for tests and sweeps.
+
+    Args:
+        capacities: per-tier capacities in bytes, fastest first.
+        latencies_ns: per-tier latencies (defaults to 100ns * 2^i).
+        bandwidths_gbs: per-tier bandwidths (defaults to 64 / 2^i GB/s).
+        num_sockets: all sockets share the same view of every component.
+    """
+    n = len(capacities)
+    if n == 0:
+        raise ConfigError("need at least one tier")
+    if latencies_ns is None:
+        latencies_ns = [100.0 * (2**i) for i in range(n)]
+    if bandwidths_gbs is None:
+        bandwidths_gbs = [64.0 / (2**i) for i in range(n)]
+    if not (len(latencies_ns) == len(bandwidths_gbs) == n):
+        raise ConfigError("capacities/latencies/bandwidths lengths differ")
+    components = tuple(
+        MemoryComponent(
+            i,
+            f"tier{i + 1}",
+            MemoryKind.DRAM if i == 0 else MemoryKind.PM,
+            capacities[i],
+            socket=0,
+        )
+        for i in range(n)
+    )
+    costs = {
+        (s, i): AccessCost(latency=ns(latencies_ns[i]), bandwidth=gb_per_s(bandwidths_gbs[i]))
+        for s in range(num_sockets)
+        for i in range(n)
+    }
+    return TierTopology(components=components, costs=costs, num_sockets=num_sockets)

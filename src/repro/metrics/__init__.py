@@ -1,0 +1,29 @@
+"""Measurement and reporting utilities.
+
+Everything the paper's tables and figures read out: time breakdowns
+(Fig. 5), access heatmaps (Fig. 6), hot-page volume accounting (Table 3),
+memory-overhead accounting (Table 5), and plain-text table/series
+formatters used by the benchmark harness.
+"""
+
+from repro.metrics.ascii_plot import ascii_plot
+from repro.metrics.breakdown import TimeBreakdown, breakdown_table
+from repro.metrics.heatmap import AccessHeatmap
+from repro.metrics.counters import HotVolumeTracker, migration_summary
+from repro.metrics.report import (
+    Table,
+    format_series,
+    normalize,
+)
+
+__all__ = [
+    "ascii_plot",
+    "TimeBreakdown",
+    "breakdown_table",
+    "AccessHeatmap",
+    "HotVolumeTracker",
+    "migration_summary",
+    "Table",
+    "format_series",
+    "normalize",
+]

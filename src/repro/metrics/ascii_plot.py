@@ -1,0 +1,100 @@
+"""Terminal line plots for benchmark series.
+
+The paper's line figures (Fig. 1's recall/accuracy, Fig. 12's throughput
+curves) need a way to be *seen* without matplotlib; this renders multiple
+series into a character grid with a legend, one glyph per series.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Glyphs assigned to series in order.
+_GLYPHS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: dict[str, list[float]],
+    width: int = 72,
+    height: int = 18,
+    y_label: str = "",
+    x_label: str = "interval",
+    y_min: float | None = None,
+    y_max: float | None = None,
+    logy: bool = False,
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Args:
+        series: name -> y-values (x is the index; lengths may differ).
+        width/height: plot area in characters.
+        y_min/y_max: axis limits (auto from data when omitted).
+        logy: log-scale the y axis (Fig. 1 uses log recall); requires all
+            plotted values > 0 (zeros are clamped to the axis minimum).
+    """
+    if not series:
+        raise ConfigError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ConfigError("plot area too small")
+    if len(series) > len(_GLYPHS):
+        raise ConfigError(f"at most {len(_GLYPHS)} series supported")
+
+    all_values = [v for ys in series.values() for v in ys]
+    if not all_values:
+        raise ConfigError("series are empty")
+    lo = min(all_values) if y_min is None else y_min
+    hi = max(all_values) if y_max is None else y_max
+    if logy:
+        positive = [v for v in all_values if v > 0]
+        floor = min(positive) if positive else 1e-3
+        lo = max(lo, floor / 2) if lo <= 0 else lo
+    if hi <= lo:
+        hi = lo + 1.0
+
+    def to_row(value: float) -> int:
+        if logy:
+            value = max(value, lo)
+            frac = (math.log10(value) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        else:
+            frac = (value - lo) / (hi - lo)
+        return int(round((height - 1) * (1.0 - min(max(frac, 0.0), 1.0))))
+
+    grid = [[" "] * width for _ in range(height)]
+    max_len = max(len(ys) for ys in series.values())
+    for (name, ys), glyph in zip(series.items(), _GLYPHS):
+        if not ys:
+            continue
+        for i, value in enumerate(ys):
+            col = 0 if max_len == 1 else int(round(i * (width - 1) / (max_len - 1)))
+            grid[to_row(value)][col] = glyph
+
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    lines = []
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_idx == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    lines.append(" " * (gutter + 1) + x_label)
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    header = (y_label + ("  [log y]" if logy else "")).strip()
+    out = []
+    if header:
+        out.append(header)
+    out.extend(lines)
+    out.append(legend)
+    return "\n".join(out)

@@ -1,0 +1,73 @@
+"""Execution-time breakdowns (Fig. 5).
+
+Splits a run's critical-path time into application execution, profiling,
+and migration — plus the overlapped background migration work that, being
+asynchronous, does *not* appear in end-to-end time (MTM's whole point in
+Sec. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimulationResult
+from repro.units import format_time
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """One run's time split.
+
+    Attributes:
+        label: solution name.
+        app: application execution seconds.
+        profiling: profiling seconds on the critical path.
+        migration: migration seconds on the critical path.
+        background: overlapped (asynchronous) migration seconds.
+    """
+
+    label: str
+    app: float
+    profiling: float
+    migration: float
+    background: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """End-to-end critical-path time."""
+        return self.app + self.profiling + self.migration
+
+    def profiling_share(self) -> float:
+        """Profiling as a fraction of total (the 5% constraint check)."""
+        if self.total == 0:
+            return 0.0
+        return self.profiling / self.total
+
+    def migration_share(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.migration / self.total
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "TimeBreakdown":
+        b = result.breakdown()
+        return cls(
+            label=result.label,
+            app=b["app"],
+            profiling=b["profiling"],
+            migration=b["migration"],
+            background=result.clock.background_time,
+        )
+
+
+def breakdown_table(breakdowns: list[TimeBreakdown]) -> str:
+    """Text table of breakdowns, one row per solution (Fig. 5's data)."""
+    header = f"{'solution':<26} {'total':>10} {'app':>10} {'profiling':>10} {'migration':>10} {'async(bg)':>10}"
+    lines = [header, "-" * len(header)]
+    for b in breakdowns:
+        lines.append(
+            f"{b.label:<26} {format_time(b.total):>10} {format_time(b.app):>10} "
+            f"{format_time(b.profiling):>10} {format_time(b.migration):>10} "
+            f"{format_time(b.background):>10}"
+        )
+    return "\n".join(lines)

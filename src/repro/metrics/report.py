@@ -1,0 +1,75 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+Every benchmark prints the rows/series the paper's tables and figures
+report; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Table:
+    """A simple left-aligned text table.
+
+    Attributes:
+        title: printed above the table.
+        columns: header labels.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are str()-ed."""
+        if len(cells) != len(self.columns):
+            raise ConfigError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """The table as aligned plain text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: list[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "  ".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title), fmt(self.columns), sep]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def normalize(values: dict[str, float], baseline: str) -> dict[str, float]:
+    """Normalize a {name: value} map to one entry (Fig. 4's presentation).
+
+    Raises:
+        ConfigError: if the baseline is missing or non-positive.
+    """
+    if baseline not in values:
+        raise ConfigError(f"baseline {baseline!r} not in {sorted(values)}")
+    base = values[baseline]
+    if base <= 0:
+        raise ConfigError(f"baseline value must be positive, got {base}")
+    return {name: value / base for name, value in values.items()}
+
+
+def format_series(name: str, xs: list, ys: list, x_label: str = "x", y_label: str = "y") -> str:
+    """Two-column series dump (the data behind a figure's line)."""
+    if len(xs) != len(ys):
+        raise ConfigError("xs and ys lengths differ")
+    lines = [f"# series: {name}", f"# {x_label:>12} {y_label:>14}"]
+    for x, y in zip(xs, ys):
+        y_text = f"{y:.6g}" if isinstance(y, float) else str(y)
+        lines.append(f"{str(x):>14} {y_text:>14}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Migration mechanisms and the planner that executes policy orders.
+
+Sec. 7 of the paper: Linux ``move_pages()`` (sequential, synchronous,
+four-step), Nimble (parallel multi-threaded copy), and MTM's
+``move_memory_regions()`` (asynchronous helper-thread copy with
+reserved-bit dirtiness tracking and an adaptive async->sync switch).
+The planner applies a policy's :class:`~repro.policy.base.MigrationOrder`
+list through a mechanism, keeping the page table, frame accounting, and
+timing consistent — including splitting any huge page a non-huge-aligned
+order would tear.
+"""
+
+from repro.migrate.mechanism import Mechanism, MigrationTiming, StepTimes
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.nimble import NimbleMechanism
+from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism, MtmMechanismConfig
+from repro.migrate.planner import MigrationPlanner, MigrationLog
+
+__all__ = [
+    "Mechanism",
+    "MigrationTiming",
+    "StepTimes",
+    "MovePagesMechanism",
+    "NimbleMechanism",
+    "MoveMemoryRegionsMechanism",
+    "MtmMechanismConfig",
+    "MigrationPlanner",
+    "MigrationLog",
+]

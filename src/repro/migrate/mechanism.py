@@ -1,0 +1,96 @@
+"""Mechanism interface and timing records.
+
+A mechanism computes *how long* moving a set of pages takes and how the
+time splits between the critical path (the application is stalled or the
+daemon occupies the move) and background work (helper threads overlapping
+application execution).  The per-step breakdown feeds Figs. 3 and 11.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, fields
+
+from repro.errors import ConfigError
+from repro.sim.costmodel import CostModel
+
+
+@dataclass
+class StepTimes:
+    """Seconds per migration step (the paper's Fig. 3/11 categories)."""
+
+    allocate: float = 0.0
+    unmap_remap: float = 0.0
+    copy: float = 0.0
+    migrate_page_table: float = 0.0
+    dirtiness_tracking: float = 0.0
+
+    def total(self) -> float:
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class MigrationTiming:
+    """Outcome of one migration call.
+
+    Attributes:
+        critical: per-step times on the critical path.
+        background: per-step times overlapped with the application.
+        switched_to_sync: MTM's adaptive mechanism fell back to the
+            synchronous copy because a write hit the region mid-copy.
+        extra_copied_pages: pages copied more than once (async re-copy).
+    """
+
+    critical: StepTimes = field(default_factory=StepTimes)
+    background: StepTimes = field(default_factory=StepTimes)
+    switched_to_sync: bool = False
+    extra_copied_pages: int = 0
+
+    @property
+    def critical_time(self) -> float:
+        return self.critical.total()
+
+    @property
+    def background_time(self) -> float:
+        return self.background.total()
+
+
+class Mechanism(abc.ABC):
+    """Common contract for migration mechanisms.
+
+    Mechanisms compute timing only; applying the move to the page table
+    and frame accounting is the planner's job, so timings can also be used
+    standalone (the Fig. 3/11 microbenchmarks).
+    """
+
+    #: Short name used in reports.
+    name: str = "base"
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+
+    @abc.abstractmethod
+    def timing(
+        self,
+        npages: int,
+        src_node: int,
+        dst_node: int,
+        write_rate: float = 0.0,
+    ) -> MigrationTiming:
+        """Time to move ``npages`` pages.
+
+        Args:
+            npages: base pages to move.
+            src_node / dst_node: components involved.
+            write_rate: writes/second landing in the moved range while the
+                migration runs (drives MTM's adaptive switch).
+        """
+
+    def _check(self, npages: int, write_rate: float) -> None:
+        if npages < 0:
+            raise ConfigError(f"negative page count: {npages}")
+        if write_rate < 0:
+            raise ConfigError(f"negative write rate: {write_rate}")

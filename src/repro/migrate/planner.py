@@ -1,0 +1,187 @@
+"""Migration planner: applies policy orders through a mechanism.
+
+The planner is the glue the paper's daemon service provides (Sec. 8):
+take the interval's orders, make them safe (drop pages that already moved,
+split any huge page an order would tear — the fragmentation cost
+non-huge-aware baselines pay), compute timing through the mechanism, and
+commit the moves to the page table and frame accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MigrationError
+from repro.hw.frames import FrameAccountant
+from repro.migrate.mechanism import Mechanism, MigrationTiming, StepTimes
+from repro.mm.mmu import Mmu
+from repro.mm.pagetable import PageTable
+from repro.policy.base import MigrationOrder
+from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+
+@dataclass
+class MigrationLog:
+    """Aggregate migration accounting across intervals."""
+
+    promoted_pages: int = 0
+    demoted_pages: int = 0
+    orders_executed: int = 0
+    orders_skipped: int = 0
+    huge_pages_torn: int = 0
+    sync_switches: int = 0
+    extra_copied_pages: int = 0
+    critical_time: float = 0.0
+    background_time: float = 0.0
+    critical_steps: StepTimes = field(default_factory=StepTimes)
+
+    @property
+    def promoted_bytes(self) -> int:
+        return self.promoted_pages * PAGE_SIZE
+
+    @property
+    def demoted_bytes(self) -> int:
+        return self.demoted_pages * PAGE_SIZE
+
+
+class MigrationPlanner:
+    """Executes migration orders for one managed process.
+
+    Args:
+        page_table: the process's page table.
+        frames: machine frame accounting.
+        mechanism: the migration mechanism to charge timing through.
+        interval: profiling-interval length (converts interval write
+            counts into write rates for the adaptive mechanism).
+        time_scale: factor applied to all mechanism timings.  On a
+            capacity-scaled machine every quantity shrinks with ``scale``
+            except the 2 MB region quantum; scaling the per-move cost keeps
+            migration's share of an interval faithful to the full-size
+            system.  Mechanism timings used directly (the Fig. 3/11
+            microbenchmarks) remain paper-absolute.
+    """
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        frames: FrameAccountant,
+        mechanism: Mechanism,
+        interval: float = 10.0,
+        time_scale: float = 1.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise MigrationError(f"time_scale must be positive, got {time_scale}")
+        self.page_table = page_table
+        self.frames = frames
+        self.mechanism = mechanism
+        self.interval = interval
+        self.time_scale = time_scale
+        self.log = MigrationLog()
+
+    def execute(self, orders: list[MigrationOrder], mmu: Mmu | None = None) -> MigrationTiming:
+        """Run all orders sequentially; returns the summed timing.
+
+        Orders are validated against live page-table state: pages that are
+        no longer on the claimed source node are dropped from the order
+        (a later order may have raced an earlier one in policy space).
+        """
+        total = MigrationTiming()
+        for order in orders:
+            timing = self._execute_one(order, mmu)
+            if timing is None:
+                self.log.orders_skipped += 1
+                continue
+            self._accumulate(total, timing)
+        self.log.critical_time += total.critical_time
+        self.log.background_time += total.background_time
+        return total
+
+    # -- internals --------------------------------------------------------------
+
+    def _execute_one(self, order: MigrationOrder, mmu: Mmu | None) -> MigrationTiming | None:
+        pages = np.asarray(order.pages, dtype=np.int64)
+        on_src = self.page_table.node[pages] == order.src_node
+        pages = pages[on_src]
+        if pages.size == 0:
+            return None
+        if not self.frames.can_fit(order.dst_node, int(pages.size)):
+            return None
+
+        torn = self._tear_partial_huge_pages(pages)
+        self.log.huge_pages_torn += torn
+
+        # The kernel moves one 2 MB region at a time (Fig. 3's unit), so a
+        # large order is a sequence of region moves — each with its own
+        # write-tracking window, so one written huge page only forces *its*
+        # chunk to the synchronous path, not the whole order.
+        timing = MigrationTiming()
+        for lo in range(0, int(pages.size), PAGES_PER_HUGE_PAGE):
+            chunk = pages[lo : lo + PAGES_PER_HUGE_PAGE]
+            write_rate = 0.0
+            if mmu is not None and self.interval > 0:
+                entries = np.unique(self.page_table.entry_index(chunk))
+                writes = int(mmu.entry_write_count(entries).sum())
+                write_rate = writes / self.interval
+            chunk_timing = self.mechanism.timing(
+                int(chunk.size), order.src_node, order.dst_node, write_rate=write_rate
+            )
+            self._accumulate(timing, chunk_timing)
+        if self.time_scale != 1.0:
+            for step in (
+                "allocate", "unmap_remap", "copy", "migrate_page_table", "dirtiness_tracking",
+            ):
+                setattr(timing.critical, step, getattr(timing.critical, step) * self.time_scale)
+                setattr(timing.background, step, getattr(timing.background, step) * self.time_scale)
+
+        self.page_table.move_pages(pages, order.dst_node)
+        self.frames.move(order.src_node, order.dst_node, int(pages.size))
+
+        self.log.orders_executed += 1
+        if order.reason == "promotion":
+            self.log.promoted_pages += int(pages.size)
+        else:
+            self.log.demoted_pages += int(pages.size)
+        if timing.switched_to_sync:
+            self.log.sync_switches += 1
+        self.log.extra_copied_pages += timing.extra_copied_pages
+        return timing
+
+    def _tear_partial_huge_pages(self, pages: np.ndarray) -> int:
+        """Split huge mappings the order covers only partially.
+
+        A huge page must live on one node; migrating a strict subset of
+        its base pages forces the kernel to split it first.  Huge-aware
+        orders (MTM's) never trigger this; DAMON-shaped regions can.
+        """
+        huge_mask = self.page_table.is_huge(pages)
+        if not np.any(huge_mask):
+            return 0
+        heads = np.unique(pages[huge_mask] - (pages[huge_mask] % PAGES_PER_HUGE_PAGE))
+        torn = 0
+        page_set = set(pages.tolist())
+        for head in heads:
+            span = range(int(head), int(head) + PAGES_PER_HUGE_PAGE)
+            if not all(p in page_set for p in span):
+                self.page_table.split_huge(int(head))
+                torn += 1
+        return torn
+
+    @staticmethod
+    def _accumulate(total: MigrationTiming, timing: MigrationTiming) -> None:
+        for step in ("allocate", "unmap_remap", "copy", "migrate_page_table", "dirtiness_tracking"):
+            setattr(total.critical, step, getattr(total.critical, step) + getattr(timing.critical, step))
+            setattr(total.background, step, getattr(total.background, step) + getattr(timing.background, step))
+        total.switched_to_sync = total.switched_to_sync or timing.switched_to_sync
+        total.extra_copied_pages += timing.extra_copied_pages
+
+    def sanity_check(self) -> None:
+        """Verify frame accounting matches the page table (tests)."""
+        for node in self.frames.snapshot():
+            actual = self.page_table.pages_on_node(node)
+            tracked = self.frames.used_pages(node)
+            if actual != tracked:
+                raise MigrationError(
+                    f"node {node}: page table has {actual} pages, accountant {tracked}"
+                )

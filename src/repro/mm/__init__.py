@@ -1,0 +1,32 @@
+"""Memory-management substrate: address spaces, page tables, MMU, faults.
+
+This subpackage provides the kernel-side objects the paper's profilers and
+migration mechanisms manipulate: virtual address spaces carved into VMAs, a
+five-level page-table model with PTE bitfields (present / accessed / dirty /
+reserved-bit-11 / protection), transparent huge pages, an MMU that applies
+access batches, a TLB with flush costs, and the fault taxonomy (page,
+protection, hint faults).
+"""
+
+from repro.mm.layout import PageTableGeometry, X86_64_GEOMETRY
+from repro.mm.pte import PteFlag
+from repro.mm.pagetable import PageTable
+from repro.mm.vma import Vma, AddressSpace
+from repro.mm.hugepage import ThpManager
+from repro.mm.mmu import Mmu
+from repro.mm.tlb import Tlb
+from repro.mm.faults import FaultKind, FaultCounter
+
+__all__ = [
+    "PageTableGeometry",
+    "X86_64_GEOMETRY",
+    "PteFlag",
+    "PageTable",
+    "Vma",
+    "AddressSpace",
+    "ThpManager",
+    "Mmu",
+    "Tlb",
+    "FaultKind",
+    "FaultCounter",
+]

@@ -1,0 +1,124 @@
+"""Transparent huge page (THP) management.
+
+The paper's testbed uses ``madvise``-driven THP with 2 MB pages.  The
+manager decides, per VMA, which aligned 2 MB spans are mapped huge when the
+VMA is populated, and offers collapse/split passes afterwards (khugepaged's
+job).  Mixing huge and base pages inside one VMA is exactly the situation
+that forces MTM's region split/merge to be huge-page aware (Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mm.pagetable import PageTable
+from repro.mm.vma import Vma
+from repro.units import PAGES_PER_HUGE_PAGE
+
+
+@dataclass(frozen=True)
+class ThpPlan:
+    """How one VMA's pages should be mapped.
+
+    Attributes:
+        huge_heads: heads of spans to map as 2 MB pages.
+        base_pages: pages to map as 4 KB PTEs.
+    """
+
+    huge_heads: np.ndarray
+    base_pages: np.ndarray
+
+    @property
+    def total_pages(self) -> int:
+        return int(self.huge_heads.size) * PAGES_PER_HUGE_PAGE + int(self.base_pages.size)
+
+
+class ThpManager:
+    """Chooses huge/base mappings for VMAs.
+
+    Args:
+        enabled: THP off maps everything with base pages.
+        huge_fraction: fraction of each VMA's *eligible aligned spans* mapped
+            huge (1.0 = madvise on the whole VMA; intermediate values model
+            the mixed mappings real THP produces under fragmentation).
+        deterministic: if True, the first spans are chosen (reproducible);
+            otherwise a generator must be supplied to :meth:`plan`.
+    """
+
+    def __init__(self, enabled: bool = True, huge_fraction: float = 1.0, deterministic: bool = True) -> None:
+        if not 0.0 <= huge_fraction <= 1.0:
+            raise ConfigError(f"huge_fraction must be in [0, 1], got {huge_fraction}")
+        self.enabled = enabled
+        self.huge_fraction = huge_fraction
+        self.deterministic = deterministic
+
+    def plan(self, vma: Vma, rng: np.random.Generator | None = None) -> ThpPlan:
+        """Decide huge spans and leftover base pages for ``vma``."""
+        all_pages = vma.pages()
+        if not self.enabled or self.huge_fraction == 0.0:
+            return ThpPlan(huge_heads=np.empty(0, dtype=np.int64), base_pages=all_pages)
+
+        first_aligned = -(-vma.start // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+        last_aligned_end = (vma.end // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+        if last_aligned_end <= first_aligned:
+            return ThpPlan(huge_heads=np.empty(0, dtype=np.int64), base_pages=all_pages)
+
+        candidates = np.arange(first_aligned, last_aligned_end, PAGES_PER_HUGE_PAGE, dtype=np.int64)
+        n_huge = int(round(candidates.size * self.huge_fraction))
+        if n_huge == 0:
+            return ThpPlan(huge_heads=np.empty(0, dtype=np.int64), base_pages=all_pages)
+        if self.deterministic or rng is None:
+            heads = candidates[:n_huge]
+        else:
+            heads = np.sort(rng.choice(candidates, size=n_huge, replace=False))
+
+        in_huge = np.zeros(vma.npages, dtype=bool)
+        for head in heads:
+            offset = head - vma.start
+            in_huge[offset : offset + PAGES_PER_HUGE_PAGE] = True
+        return ThpPlan(huge_heads=heads, base_pages=all_pages[~in_huge])
+
+    def populate(
+        self,
+        page_table: PageTable,
+        vma: Vma,
+        node: int,
+        rng: np.random.Generator | None = None,
+    ) -> ThpPlan:
+        """Map the whole VMA onto ``node`` following the THP plan."""
+        plan = self.plan(vma, rng)
+        for head in plan.huge_heads:
+            page_table.map_range(int(head), PAGES_PER_HUGE_PAGE, node, huge=True)
+        base = plan.base_pages
+        if base.size:
+            # Map maximal contiguous runs of base pages in one call each.
+            breaks = np.nonzero(np.diff(base) != 1)[0]
+            run_starts = np.concatenate(([0], breaks + 1))
+            run_ends = np.concatenate((breaks + 1, [base.size]))
+            for lo, hi in zip(run_starts, run_ends):
+                page_table.map_range(int(base[lo]), int(hi - lo), node)
+        return plan
+
+    @staticmethod
+    def collapse_pass(page_table: PageTable, vma: Vma) -> int:
+        """khugepaged sweep: collapse every eligible aligned span in ``vma``.
+
+        Returns:
+            Number of spans collapsed.
+        """
+        first = -(-vma.start // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+        last_end = (vma.end // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+        collapsed = 0
+        for head in range(first, last_end, PAGES_PER_HUGE_PAGE):
+            span = slice(head, head + PAGES_PER_HUGE_PAGE)
+            flags = page_table.flags[span]
+            from repro.mm.pte import PteFlag
+
+            if np.all(flags & PteFlag.PRESENT) and not np.any(flags & PteFlag.HUGE):
+                if np.unique(page_table.node[span]).size == 1:
+                    page_table.collapse_huge(head)
+                    collapsed += 1
+        return collapsed

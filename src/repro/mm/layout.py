@@ -1,0 +1,103 @@
+"""Page-table geometry for the five-level x86-64 layout.
+
+The paper's default *memory region* is "a contiguous address space mapped by
+a last-level page directory entry (PDE)" — on x86-64 a PMD entry covering
+2 MB.  This module provides the arithmetic for how many entries and table
+pages each level needs for a given span, which the cost model uses to price
+full-table scans and the migration mechanisms use to count the page-table
+pages that must move with a region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class PageTableGeometry:
+    """Shape of a radix page table.
+
+    Attributes:
+        levels: number of levels (5 for x86-64 with LA57).
+        bits_per_level: index bits per level (9 on x86-64: 512 entries).
+        page_shift: log2 of the base page size (12 for 4 KB).
+    """
+
+    levels: int = 5
+    bits_per_level: int = 9
+    page_shift: int = 12
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ConfigError("page table needs at least 2 levels")
+        if self.bits_per_level < 1:
+            raise ConfigError("bits_per_level must be >= 1")
+        if (1 << self.page_shift) != PAGE_SIZE:
+            raise ConfigError(
+                f"page_shift {self.page_shift} disagrees with PAGE_SIZE {PAGE_SIZE}"
+            )
+
+    @property
+    def entries_per_table(self) -> int:
+        """Entries in one table page (512 on x86-64)."""
+        return 1 << self.bits_per_level
+
+    @property
+    def huge_page_pages(self) -> int:
+        """Base pages covered by one last-level PDE (a PMD huge page)."""
+        return self.entries_per_table
+
+    @property
+    def region_pages(self) -> int:
+        """Base pages in the paper's default memory region (one PMD span)."""
+        return self.entries_per_table
+
+    def span_pages(self, level: int) -> int:
+        """Base pages covered by one entry at ``level`` (0 = leaf PTE).
+
+        Level 0 is a PTE (1 page); level 1 is a PMD entry (512 pages), etc.
+        """
+        if not 0 <= level < self.levels:
+            raise ConfigError(f"level {level} out of range 0..{self.levels - 1}")
+        return self.entries_per_table**level
+
+    def tables_needed(self, npages: int, level: int = 0) -> int:
+        """Table pages needed at ``level`` to map ``npages`` contiguous pages.
+
+        Level 0 counts leaf PTE table pages, level 1 counts PMD table pages,
+        and so on.  Assumes the mapping starts table-aligned, which is how
+        the simulator lays out VMAs.
+        """
+        if npages < 0:
+            raise ConfigError(f"negative page count: {npages}")
+        if npages == 0:
+            return 0
+        covered_by_one_table = self.entries_per_table * self.span_pages(level)
+        return -(-npages // covered_by_one_table)
+
+    def total_table_pages(self, npages: int) -> int:
+        """Table pages across all levels to map ``npages`` base pages."""
+        return sum(self.tables_needed(npages, level) for level in range(self.levels - 1))
+
+    def pte_entries_to_scan(self, npages: int, huge_mask_pages: int = 0) -> int:
+        """Leaf entries a full scan must visit for a mixed mapping.
+
+        Args:
+            npages: base pages mapped as 4 KB PTEs.
+            huge_mask_pages: base pages mapped by 2 MB PDEs (each PDE is a
+                single entry covering :attr:`huge_page_pages` pages).
+        """
+        if npages < 0 or huge_mask_pages < 0:
+            raise ConfigError("negative page counts")
+        if huge_mask_pages % self.huge_page_pages:
+            raise ConfigError(
+                f"huge span {huge_mask_pages} not a multiple of {self.huge_page_pages}"
+            )
+        return npages + huge_mask_pages // self.huge_page_pages
+
+
+#: The geometry of the paper's testbed (Linux v6.6, five-level tables).
+X86_64_GEOMETRY = PageTableGeometry()

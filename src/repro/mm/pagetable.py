@@ -1,0 +1,255 @@
+"""Array-backed leaf page table for one address space.
+
+The table stores, for every base (4 KB) virtual page, the component (NUMA
+node) holding its frame and a :class:`~repro.mm.pte.PteFlag` bitfield.  Huge
+pages are spans of :data:`~repro.units.PAGES_PER_HUGE_PAGE` aligned base
+pages that all carry the HUGE flag; their access/dirty bits live on the
+*head* page only, mirroring how a PMD-mapped huge page has a single entry.
+
+Everything is vectorized over numpy arrays: a profiler scanning ten
+thousand PTEs performs one array operation, which is what keeps simulating
+hundreds of thousands of pages tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, TranslationError
+from repro.mm.layout import PageTableGeometry, X86_64_GEOMETRY
+from repro.mm.pte import PteFlag
+from repro.units import PAGES_PER_HUGE_PAGE
+
+_UNMAPPED_NODE = -1
+
+
+class PageTable:
+    """Leaf page-table state for ``n_pages`` of virtual address space.
+
+    Args:
+        n_pages: size of the virtual space in base pages.
+        geometry: radix geometry, used for table-page counting.
+    """
+
+    def __init__(self, n_pages: int, geometry: PageTableGeometry = X86_64_GEOMETRY) -> None:
+        if n_pages < 1:
+            raise ConfigError(f"n_pages must be >= 1, got {n_pages}")
+        self.n_pages = n_pages
+        self.geometry = geometry
+        self.flags = np.zeros(n_pages, dtype=np.uint16)
+        self.node = np.full(n_pages, _UNMAPPED_NODE, dtype=np.int16)
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map_range(self, start: int, npages: int, node: int, huge: bool = False) -> None:
+        """Map ``npages`` pages starting at ``start`` onto component ``node``.
+
+        Args:
+            start: first virtual page number.
+            npages: number of base pages.
+            node: destination component node id (>= 0).
+            huge: map as 2 MB huge pages; requires huge alignment of both
+                ``start`` and ``npages``.
+        """
+        self._check_range(start, npages)
+        if node < 0:
+            raise ConfigError(f"invalid node {node}")
+        sl = slice(start, start + npages)
+        if np.any(self.flags[sl] & PteFlag.PRESENT):
+            raise TranslationError(f"range [{start}, {start + npages}) already mapped")
+        base = np.uint16(PteFlag.default_mapped())
+        if huge:
+            if start % PAGES_PER_HUGE_PAGE or npages % PAGES_PER_HUGE_PAGE:
+                raise ConfigError(
+                    f"huge mapping [{start}, {start + npages}) is not 2MB-aligned"
+                )
+            base |= np.uint16(PteFlag.HUGE)
+        self.flags[sl] = base
+        self.node[sl] = node
+
+    def unmap_range(self, start: int, npages: int) -> None:
+        """Remove the mapping for ``npages`` pages starting at ``start``."""
+        self._check_range(start, npages)
+        sl = slice(start, start + npages)
+        if not np.all(self.flags[sl] & PteFlag.PRESENT):
+            raise TranslationError(f"range [{start}, {start + npages}) not fully mapped")
+        heads = self._partial_huge_heads(start, npages)
+        if heads.size:
+            raise TranslationError(
+                f"unmap [{start}, {start + npages}) would tear huge pages at {heads[:4]}"
+            )
+        self.flags[sl] = 0
+        self.node[sl] = _UNMAPPED_NODE
+
+    def is_mapped(self, pages: np.ndarray | int) -> np.ndarray | bool:
+        """Presence test for one page or an array of pages."""
+        present = (self.flags[pages] & PteFlag.PRESENT) != 0
+        if np.isscalar(pages) or isinstance(pages, (int, np.integer)):
+            return bool(present)
+        return present
+
+    def node_of(self, pages: np.ndarray | int) -> np.ndarray | int:
+        """Component node holding each page (-1 if unmapped)."""
+        nodes = self.node[pages]
+        if np.isscalar(pages) or isinstance(pages, (int, np.integer)):
+            return int(nodes)
+        return nodes
+
+    def move_pages(self, pages: np.ndarray, dst_node: int) -> None:
+        """Retarget mapped pages to ``dst_node`` (the remap step of migration)."""
+        pages = np.asarray(pages, dtype=np.int64)
+        if dst_node < 0:
+            raise ConfigError(f"invalid node {dst_node}")
+        if not np.all((self.flags[pages] & PteFlag.PRESENT) != 0):
+            raise TranslationError("move_pages on unmapped page(s)")
+        self.node[pages] = dst_node
+
+    # -- huge pages --------------------------------------------------------------
+
+    def is_huge(self, pages: np.ndarray | int) -> np.ndarray | bool:
+        """Whether each page is part of a huge mapping."""
+        huge = (self.flags[pages] & PteFlag.HUGE) != 0
+        if np.isscalar(pages) or isinstance(pages, (int, np.integer)):
+            return bool(huge)
+        return huge
+
+    def collapse_huge(self, head: int) -> None:
+        """Collapse the aligned 2 MB span at ``head`` into a huge mapping.
+
+        All base pages must be mapped on the same node (khugepaged's
+        precondition).
+        """
+        if head % PAGES_PER_HUGE_PAGE:
+            raise ConfigError(f"head {head} not huge-aligned")
+        self._check_range(head, PAGES_PER_HUGE_PAGE)
+        sl = slice(head, head + PAGES_PER_HUGE_PAGE)
+        if not np.all(self.flags[sl] & PteFlag.PRESENT):
+            raise TranslationError(f"span at {head} not fully mapped")
+        if np.unique(self.node[sl]).size != 1:
+            raise TranslationError(f"span at {head} straddles nodes; cannot collapse")
+        self.flags[sl] |= np.uint16(PteFlag.HUGE)
+        # Bits of the constituent pages fold into the single PMD entry.
+        folded = np.uint16(0)
+        if np.any(self.flags[sl] & PteFlag.ACCESSED):
+            folded |= np.uint16(PteFlag.ACCESSED)
+        if np.any(self.flags[sl] & PteFlag.DIRTY):
+            folded |= np.uint16(PteFlag.DIRTY)
+        self.flags[sl] &= ~np.uint16(PteFlag.ACCESSED | PteFlag.DIRTY)
+        self.flags[head] |= folded
+
+    def split_huge(self, head: int) -> None:
+        """Split the huge mapping at ``head`` back into base PTEs.
+
+        The PMD's access/dirty bits are inherited by every base page, which
+        is what the kernel's split does (it cannot know which 4 KB piece was
+        touched).
+        """
+        if head % PAGES_PER_HUGE_PAGE:
+            raise ConfigError(f"head {head} not huge-aligned")
+        if not self.is_huge(head):
+            raise TranslationError(f"page {head} is not huge")
+        sl = slice(head, head + PAGES_PER_HUGE_PAGE)
+        inherited = self.flags[head] & np.uint16(PteFlag.ACCESSED | PteFlag.DIRTY)
+        self.flags[sl] &= ~np.uint16(PteFlag.HUGE)
+        self.flags[sl] |= inherited
+
+    def entry_index(self, pages: np.ndarray) -> np.ndarray:
+        """The leaf entry holding each page's access/dirty bits.
+
+        For a 4 KB page that is the page itself; for a page inside a huge
+        mapping it is the huge head (the single PMD entry).
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        huge = (self.flags[pages] & PteFlag.HUGE) != 0
+        entries = pages.copy()
+        entries[huge] = pages[huge] - (pages[huge] % PAGES_PER_HUGE_PAGE)
+        return entries
+
+    def huge_heads(self) -> np.ndarray:
+        """Heads of all current huge mappings, ascending."""
+        candidates = np.arange(0, self.n_pages, PAGES_PER_HUGE_PAGE)
+        mask = (self.flags[candidates] & PteFlag.HUGE) != 0
+        return candidates[mask]
+
+    # -- accessed / dirty bits -----------------------------------------------
+
+    def set_accessed(self, entries: np.ndarray, written: np.ndarray | None = None) -> None:
+        """MMU path: mark entries accessed, and dirty where ``written``."""
+        entries = np.asarray(entries, dtype=np.int64)
+        self.flags[entries] |= np.uint16(PteFlag.ACCESSED)
+        if written is not None:
+            written = np.asarray(written, dtype=bool)
+            self.flags[entries[written]] |= np.uint16(PteFlag.DIRTY)
+
+    def scan_accessed(self, entries: np.ndarray, reset: bool = True) -> np.ndarray:
+        """Read (and by default clear) the access bit of ``entries``.
+
+        This is the primitive every PTE-scan profiler is built on; the
+        *cost* of the scan is charged separately by the cost model.
+        """
+        entries = np.asarray(entries, dtype=np.int64)
+        accessed = (self.flags[entries] & PteFlag.ACCESSED) != 0
+        if reset:
+            self.flags[entries] &= ~np.uint16(PteFlag.ACCESSED)
+        return accessed
+
+    def test_and_clear_dirty(self, entries: np.ndarray) -> np.ndarray:
+        """Read and clear the dirty bit of ``entries``."""
+        entries = np.asarray(entries, dtype=np.int64)
+        dirty = (self.flags[entries] & PteFlag.DIRTY) != 0
+        self.flags[entries] &= ~np.uint16(PteFlag.DIRTY)
+        return dirty
+
+    # -- auxiliary flags (profiler / migration machinery) ----------------------
+
+    def set_flag(self, entries: np.ndarray, flag: PteFlag) -> None:
+        """Set ``flag`` on ``entries`` (e.g. RESERVED11 write tracking)."""
+        self.flags[np.asarray(entries, dtype=np.int64)] |= np.uint16(flag)
+
+    def clear_flag(self, entries: np.ndarray, flag: PteFlag) -> None:
+        """Clear ``flag`` on ``entries``."""
+        self.flags[np.asarray(entries, dtype=np.int64)] &= ~np.uint16(flag)
+
+    def has_flag(self, entries: np.ndarray, flag: PteFlag) -> np.ndarray:
+        """Test ``flag`` on ``entries``."""
+        return (self.flags[np.asarray(entries, dtype=np.int64)] & np.uint16(flag)) != 0
+
+    # -- statistics --------------------------------------------------------------
+
+    def mapped_pages(self) -> int:
+        """Number of mapped base pages."""
+        return int(np.count_nonzero(self.flags & PteFlag.PRESENT))
+
+    def huge_mapped_pages(self) -> int:
+        """Number of base pages covered by huge mappings."""
+        return int(np.count_nonzero(self.flags & PteFlag.HUGE))
+
+    def leaf_entries(self) -> int:
+        """Leaf entries a full scan must touch (4 KB PTEs + one per PMD)."""
+        mapped = self.mapped_pages()
+        huge_span = self.huge_mapped_pages()
+        return self.geometry.pte_entries_to_scan(mapped - huge_span, huge_span)
+
+    def pages_on_node(self, node: int) -> int:
+        """Mapped base pages resident on component ``node``."""
+        return int(np.count_nonzero(self.node == node))
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_range(self, start: int, npages: int) -> None:
+        if npages < 1:
+            raise ConfigError(f"npages must be >= 1, got {npages}")
+        if start < 0 or start + npages > self.n_pages:
+            raise ConfigError(
+                f"range [{start}, {start + npages}) outside space of {self.n_pages}"
+            )
+
+    def _partial_huge_heads(self, start: int, npages: int) -> np.ndarray:
+        """Huge heads whose span crosses either boundary of the range."""
+        heads = self.huge_heads()
+        if heads.size == 0:
+            return heads
+        end = start + npages
+        crosses_start = (heads < start) & (heads + PAGES_PER_HUGE_PAGE > start)
+        crosses_end = (heads < end) & (heads + PAGES_PER_HUGE_PAGE > end)
+        return heads[crosses_start | crosses_end]

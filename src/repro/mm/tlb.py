@@ -1,0 +1,57 @@
+"""TLB cost accounting.
+
+The simulator does not model TLB *contents* (reach effects are folded into
+the per-tier latencies, which were measured with THP on).  What it does
+track is the operations whose costs differentiate the profiling and
+migration designs: full flushes and per-page remote shootdowns.  MTM's PTE
+scan deliberately skips the TLB flush (Sec. 5, "PTE scan without flushing
+TLB"), Thermostat's protection games cannot, and every migration unmap
+pays a shootdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class Tlb:
+    """Counts TLB maintenance operations and their time.
+
+    Attributes:
+        flush_cost: seconds per full flush.
+        shootdown_cost: seconds per page of remote shootdown.
+    """
+
+    flush_cost: float = 4e-6
+    shootdown_cost: float = 1e-6
+    flushes: int = 0
+    pages_shot_down: int = 0
+    time_spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flush_cost < 0 or self.shootdown_cost < 0:
+            raise ConfigError("TLB costs must be non-negative")
+
+    def flush(self) -> float:
+        """Record a full flush; returns its cost."""
+        self.flushes += 1
+        self.time_spent += self.flush_cost
+        return self.flush_cost
+
+    def shootdown(self, npages: int) -> float:
+        """Record shootdown of ``npages`` mappings; returns its cost."""
+        if npages < 0:
+            raise ConfigError(f"negative page count: {npages}")
+        cost = npages * self.shootdown_cost
+        self.pages_shot_down += npages
+        self.time_spent += cost
+        return cost
+
+    def reset(self) -> None:
+        """Zero all counters and accumulated time."""
+        self.flushes = 0
+        self.pages_shot_down = 0
+        self.time_spent = 0.0

@@ -1,0 +1,26 @@
+"""Performance-counter substrate: PEBS-like sampling and PCM-like counting.
+
+MTM uses PEBS (``MEM_LOAD_RETIRED.LOCAL_PMM`` / ``REMOTE_PMM``, one sample
+per 200 accesses) to find regions with activity on the slowest tier, and
+HeMem relies on PEBS alone.  Table 6's per-tier access counts come from the
+Intel PCM-style counters.
+"""
+
+from repro.perf.events import (
+    PebsEvent,
+    PEBS_ALL_EVENTS,
+    PEBS_PMM_EVENTS,
+    PEBS_SLOW_MEMORY_EVENTS,
+)
+from repro.perf.pebs import PebsSampler, PebsSampleSet
+from repro.perf.pcm import PcmCounters
+
+__all__ = [
+    "PebsEvent",
+    "PEBS_PMM_EVENTS",
+    "PEBS_SLOW_MEMORY_EVENTS",
+    "PEBS_ALL_EVENTS",
+    "PebsSampler",
+    "PebsSampleSet",
+    "PcmCounters",
+]

@@ -1,0 +1,85 @@
+"""PEBS event definitions.
+
+An event selects which memory accesses are eligible for sampling, by the
+technology kind of the component serving the access and (optionally) its
+locality relative to the issuing socket.  The two events the paper
+programs are loads retired from local and remote PM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.tier import MemoryKind
+
+
+@dataclass(frozen=True)
+class PebsEvent:
+    """One programmable sampling event.
+
+    Attributes:
+        name: the hardware event name (informational).
+        kinds: component kinds whose accesses this event captures.
+        local: restrict to local (True) / remote (False) accesses, or
+            ``None`` for both.
+    """
+
+    name: str
+    kinds: frozenset[MemoryKind]
+    local: bool | None = None
+
+    def matches(self, kind: MemoryKind, is_local: bool) -> bool:
+        """Whether an access served by ``kind`` memory matches this event."""
+        if kind not in self.kinds:
+            return False
+        if self.local is None:
+            return True
+        return self.local == is_local
+
+
+MEM_LOAD_RETIRED_LOCAL_PMM = PebsEvent(
+    name="MEM_LOAD_RETIRED.LOCAL_PMM",
+    kinds=frozenset({MemoryKind.PM}),
+    local=True,
+)
+
+MEM_LOAD_RETIRED_REMOTE_PMM = PebsEvent(
+    name="MEM_LOAD_RETIRED.REMOTE_PMM",
+    kinds=frozenset({MemoryKind.PM}),
+    local=False,
+)
+
+MEM_LOAD_RETIRED_DRAM = PebsEvent(
+    name="MEM_LOAD_RETIRED.LOCAL_DRAM",
+    kinds=frozenset({MemoryKind.DRAM}),
+    local=None,
+)
+
+#: Loads served by CXL-attached expanders.  The paper notes MTM only needs
+#: "memory access-related events for slow and fast memories" to exist on
+#: an architecture (Sec. 8); on CXL parts this is the cross-socket/remote
+#: load event family.
+MEM_LOAD_RETIRED_CXL = PebsEvent(
+    name="MEM_LOAD_RETIRED.CXL_MEM",
+    kinds=frozenset({MemoryKind.CXL}),
+    local=None,
+)
+
+#: The pair MTM programs on Optane (Sec. 8): PM loads, local and remote.
+PEBS_PMM_EVENTS = (MEM_LOAD_RETIRED_LOCAL_PMM, MEM_LOAD_RETIRED_REMOTE_PMM)
+
+#: Slow-memory loads generally (PM or CXL) — the architecture-independent
+#: set the default sampler programs.
+PEBS_SLOW_MEMORY_EVENTS = (
+    MEM_LOAD_RETIRED_LOCAL_PMM,
+    MEM_LOAD_RETIRED_REMOTE_PMM,
+    MEM_LOAD_RETIRED_CXL,
+)
+
+#: Everything, as HeMem programs (DRAM + NVM reads and writes).
+PEBS_ALL_EVENTS = (
+    MEM_LOAD_RETIRED_DRAM,
+    MEM_LOAD_RETIRED_LOCAL_PMM,
+    MEM_LOAD_RETIRED_REMOTE_PMM,
+    MEM_LOAD_RETIRED_CXL,
+)

@@ -1,0 +1,36 @@
+"""Migration policies: MTM's global ranking and all baselines.
+
+Implements Sec. 6 (which regions to migrate, where to) plus the policies
+of the evaluated baselines: first-touch (no migration), vanilla and patched
+tiered-AutoNUMA (tier-by-tier), AutoTiering (opportunistic), HeMem and
+Thermostat (two-tier).  Policies consume :class:`~repro.profile.base.ProfileSnapshot`
+objects and produce :class:`MigrationOrder` lists; they never touch the
+page table directly.
+"""
+
+from repro.policy.base import MigrationOrder, Policy, PlacementState
+from repro.policy.histogram import WhiHistogram
+from repro.policy.mtm_policy import MtmPolicy, MtmPolicyConfig
+from repro.policy.first_touch import FirstTouchPolicy
+from repro.policy.tiered_autonuma import TieredAutoNumaPolicy, TieredAutoNumaConfig
+from repro.policy.autotiering import AutoTieringPolicy, AutoTieringConfig
+from repro.policy.hemem_policy import HeMemPolicy, HeMemPolicyConfig
+from repro.policy.thermostat_policy import ThermostatPolicy, ThermostatPolicyConfig
+
+__all__ = [
+    "MigrationOrder",
+    "Policy",
+    "PlacementState",
+    "WhiHistogram",
+    "MtmPolicy",
+    "MtmPolicyConfig",
+    "FirstTouchPolicy",
+    "TieredAutoNumaPolicy",
+    "TieredAutoNumaConfig",
+    "AutoTieringPolicy",
+    "AutoTieringConfig",
+    "HeMemPolicy",
+    "HeMemPolicyConfig",
+    "ThermostatPolicy",
+    "ThermostatPolicyConfig",
+]

@@ -1,0 +1,88 @@
+"""Policy interface and migration orders.
+
+A policy looks at one interval's :class:`~repro.profile.base.ProfileSnapshot`
+plus the current placement state and emits an ordered list of
+:class:`MigrationOrder` — demotions first where space must be made, then
+promotions.  The planner executes them in order through a mechanism and
+charges the time.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import TierTopology
+from repro.mm.pagetable import PageTable
+from repro.profile.base import ProfileSnapshot
+from repro.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class MigrationOrder:
+    """Move one region's pages between components.
+
+    Attributes:
+        pages: base page numbers to move (one contiguous region, usually).
+        src_node: component currently holding the pages.
+        dst_node: destination component.
+        reason: "promotion" or "demotion" (reporting only).
+        score: the hotness score that justified the order (reporting only).
+    """
+
+    pages: np.ndarray
+    src_node: int
+    dst_node: int
+    reason: str = "promotion"
+    score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src_node == self.dst_node:
+            raise ConfigError("order moves pages to their current node")
+        if self.src_node < 0 or self.dst_node < 0:
+            raise ConfigError("invalid node in migration order")
+
+    @property
+    def npages(self) -> int:
+        return int(self.pages.size)
+
+    @property
+    def nbytes(self) -> int:
+        return self.npages * PAGE_SIZE
+
+
+@dataclass
+class PlacementState:
+    """Everything a policy may inspect when deciding.
+
+    Attributes:
+        page_table: current placement.
+        frames: per-component capacity accounting.
+        topology: the machine.
+    """
+
+    page_table: PageTable
+    frames: FrameAccountant
+    topology: TierTopology
+
+    def free_pages(self, node: int) -> int:
+        return self.frames.free_pages(node)
+
+
+class Policy(abc.ABC):
+    """Common contract for all migration policies."""
+
+    #: Short name used in reports ("mtm", "tiered-autonuma", ...).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def decide(self, snapshot: ProfileSnapshot, state: PlacementState) -> list[MigrationOrder]:
+        """Plan this interval's migrations (demotions before promotions)."""
+
+    def wants_profiling(self) -> bool:
+        """Whether this policy consumes profiling results at all."""
+        return True

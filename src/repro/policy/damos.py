@@ -1,0 +1,142 @@
+"""DAMOS: DAMON operation schemes as a migration policy.
+
+Linux pairs DAMON's region monitor with *operation schemes* (DAMOS) that
+act on regions matching (size, access-count, age) filters —
+``DAMOS_MIGRATE_HOT`` / ``DAMOS_MIGRATE_COLD`` in recent kernels.  The
+paper evaluates DAMON only as a profiler; this policy completes the pair
+so DAMON can run end to end as a tiering solution and be compared with
+MTM on equal terms (an extension, not a paper experiment).
+
+The scheme semantics follow upstream: regions whose access count is at or
+above ``hot_threshold`` migrate toward the fastest tier, regions at or
+below ``cold_threshold`` migrate one tier down, and a quota bounds the
+bytes moved per interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policy.base import MigrationOrder, PlacementState, Policy
+from repro.profile.base import ProfileSnapshot, RegionReport
+from repro.units import MiB, PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+
+@dataclass
+class DamosConfig:
+    """DAMOS scheme parameters.
+
+    Attributes:
+        hot_threshold: region access count (nr_accesses) at or above which
+            the migrate-hot scheme applies.
+        cold_threshold: count at or below which migrate-cold applies.
+        quota_bytes: max bytes migrated per interval (upstream's quota);
+            ``None`` scales the paper's 200 MB with a 16-region floor.
+        scale: machine capacity scale.
+        default_socket: view socket for tier ranking.
+    """
+
+    hot_threshold: float = 1.0
+    cold_threshold: float = 0.0
+    quota_bytes: int | None = None
+    scale: float = 1.0
+    default_socket: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cold_threshold > self.hot_threshold:
+            raise ConfigError("cold_threshold must not exceed hot_threshold")
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def budget_bytes(self) -> int:
+        """Per-interval migration byte budget (scaled paper N, floored)."""
+        if self.quota_bytes is not None:
+            return self.quota_bytes
+        floor = 16 * PAGES_PER_HUGE_PAGE * PAGE_SIZE
+        return max(int(200 * MiB * self.scale), floor)
+
+
+class DamosPolicy(Policy):
+    """migrate_hot / migrate_cold schemes over DAMON regions."""
+
+    name = "damos"
+
+    def __init__(self, config: DamosConfig | None = None) -> None:
+        self.config = config if config is not None else DamosConfig()
+
+    def decide(self, snapshot: ProfileSnapshot, state: PlacementState) -> list[MigrationOrder]:
+        cfg = self.config
+        view = state.topology.view(cfg.default_socket)
+        fastest = view.node_at_tier(1)
+        budget = cfg.budget_bytes // PAGE_SIZE
+        free = {n: state.frames.free_pages(n) for n in state.topology.node_ids}
+        orders: list[MigrationOrder] = []
+        spent = 0
+
+        # migrate_cold first: free space on the fast tiers.
+        cold = sorted(
+            (r for r in snapshot.reports
+             if r.score <= cfg.cold_threshold and r.node == fastest),
+            key=lambda r: r.score,
+        )
+        for report in cold:
+            if spent >= budget:
+                break
+            pages = self._pages_on_node(report, state, report.node)
+            if pages.size == 0:
+                continue
+            target = self._next_lower_with_space(view, 1, pages.size, free)
+            if target is None:
+                continue
+            orders.append(MigrationOrder(
+                pages=pages, src_node=fastest, dst_node=target,
+                reason="demotion", score=report.score,
+            ))
+            free[target] -= pages.size
+            free[fastest] += pages.size
+            spent += pages.size
+
+        # migrate_hot: hottest first, straight to the fastest tier.
+        hot = sorted(
+            (r for r in snapshot.reports
+             if r.score >= cfg.hot_threshold and r.node >= 0 and r.node != fastest),
+            key=lambda r: r.score,
+            reverse=True,
+        )
+        for report in hot:
+            if spent >= budget:
+                break
+            pages = self._pages_on_node(report, state, report.node)
+            if pages.size == 0 or free[fastest] < pages.size:
+                continue
+            remaining = budget - spent
+            if pages.size > remaining:
+                cut = (remaining // PAGES_PER_HUGE_PAGE) * PAGES_PER_HUGE_PAGE
+                if cut == 0:
+                    break
+                pages = pages[:cut]
+            orders.append(MigrationOrder(
+                pages=pages, src_node=report.node, dst_node=fastest,
+                reason="promotion", score=report.score,
+            ))
+            free[fastest] -= pages.size
+            free[report.node] += pages.size
+            spent += pages.size
+        return orders
+
+    @staticmethod
+    def _pages_on_node(report: RegionReport, state: PlacementState, node: int) -> np.ndarray:
+        pages = np.arange(report.start, report.end, dtype=np.int64)
+        return pages[state.page_table.node[pages] == node]
+
+    @staticmethod
+    def _next_lower_with_space(view, from_tier: int, need: int, free) -> int | None:
+        for tier in range(from_tier + 1, view.num_tiers + 1):
+            node = view.node_at_tier(tier)
+            if free[node] >= need:
+                return node
+        return None

@@ -1,0 +1,24 @@
+"""First-touch NUMA: allocate near the first toucher, never migrate.
+
+The common default allocation policy and one of the paper's baselines.
+Initial placement is handled by the manager (pages land on the fastest
+local tier with space, spilling down); the policy itself never emits
+orders.
+"""
+
+from __future__ import annotations
+
+from repro.policy.base import MigrationOrder, PlacementState, Policy
+from repro.profile.base import ProfileSnapshot
+
+
+class FirstTouchPolicy(Policy):
+    """No migration at all."""
+
+    name = "first-touch"
+
+    def decide(self, snapshot: ProfileSnapshot, state: PlacementState) -> list[MigrationOrder]:
+        return []
+
+    def wants_profiling(self) -> bool:
+        return False

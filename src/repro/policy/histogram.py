@@ -1,0 +1,74 @@
+"""Histogram over regions' EMA hotness (Sec. 6.1).
+
+MTM segments the range of WHI values into buckets and tracks which regions
+fall into each.  Promotion drains the highest buckets; demotion drains the
+lowest.  The histogram is rebuilt from the snapshot each interval — with a
+few thousand regions this is microseconds, matching the paper's "low
+overhead" claim for maintaining it incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.profile.base import RegionReport
+
+
+class WhiHistogram:
+    """Buckets region reports by hotness score.
+
+    Args:
+        reports: the interval's region reports.
+        num_buckets: histogram resolution.
+    """
+
+    def __init__(self, reports: list[RegionReport], num_buckets: int = 16) -> None:
+        if num_buckets < 2:
+            raise ConfigError(f"num_buckets must be >= 2, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self.reports = list(reports)
+        scores = np.array([r.score for r in reports], dtype=np.float64)
+        if scores.size == 0:
+            self._edges = np.linspace(0.0, 1.0, num_buckets + 1)
+            self._bucket_of = np.empty(0, dtype=np.int64)
+            return
+        lo, hi = float(scores.min()), float(scores.max())
+        if hi <= lo:
+            hi = lo + 1.0
+        self._edges = np.linspace(lo, hi, num_buckets + 1)
+        # Highest bucket index = hottest.
+        self._bucket_of = np.clip(
+            np.searchsorted(self._edges, scores, side="right") - 1, 0, num_buckets - 1
+        )
+
+    def bucket(self, idx: int) -> list[RegionReport]:
+        """Regions in bucket ``idx`` (0 = coldest)."""
+        if not 0 <= idx < self.num_buckets:
+            raise ConfigError(f"bucket {idx} out of range 0..{self.num_buckets - 1}")
+        return [r for r, b in zip(self.reports, self._bucket_of) if b == idx]
+
+    def hottest_first(self) -> list[RegionReport]:
+        """All regions, hottest bucket first, score-descending within."""
+        order = np.lexsort(
+            (
+                [-r.score for r in self.reports],
+                [-b for b in self._bucket_of],
+            )
+        )
+        return [self.reports[i] for i in order]
+
+    def coldest_first(self) -> list[RegionReport]:
+        """All regions, coldest bucket first, score-ascending within."""
+        return list(reversed(self.hottest_first()))
+
+    def bucket_counts(self) -> np.ndarray:
+        """Regions per bucket, index 0 = coldest."""
+        counts = np.zeros(self.num_buckets, dtype=np.int64)
+        for b in self._bucket_of:
+            counts[b] += 1
+        return counts
+
+    def bucket_index(self, report_idx: int) -> int:
+        """Bucket of the ``report_idx``-th report."""
+        return int(self._bucket_of[report_idx])

@@ -1,0 +1,131 @@
+"""Thermostat's placement policy (two-tier, demotion-driven).
+
+Thermostat allocates everything in the fast tier and *selectively moves
+cold pages down*, bounding the slowdown it may cause.  It "cannot support
+applications with footprint larger than the fast tier" (Sec. 9) — here the
+manager spills the initial allocation when it must, and the policy then
+demotes the coldest regions until the fast tier has the configured
+headroom, promoting back regions it misjudged (hot ones found below).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policy.base import MigrationOrder, PlacementState, Policy
+from repro.profile.base import ProfileSnapshot, RegionReport
+from repro.units import MiB, PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+
+@dataclass
+class ThermostatPolicyConfig:
+    """Thermostat policy tunables.
+
+    Attributes:
+        headroom_fraction: free space to maintain on the fast tier.
+        migration_budget_bytes: bytes moved per interval; ``None`` scales
+            the paper's 200 MB with a 16-region floor.
+        scale: machine capacity scale.
+        default_socket: view socket defining the fast tier.
+        cold_threshold: scores at or below this are demotable.
+    """
+
+    headroom_fraction: float = 0.05
+    migration_budget_bytes: int | None = None
+    scale: float = 1.0
+    default_socket: int = 0
+    cold_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.headroom_fraction < 1.0:
+            raise ConfigError("headroom_fraction must be in [0, 1)")
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale}")
+
+    @property
+    def budget_bytes(self) -> int:
+        """Per-interval migration byte budget (scaled paper N, floored)."""
+        if self.migration_budget_bytes is not None:
+            return self.migration_budget_bytes
+        floor = 16 * PAGES_PER_HUGE_PAGE * PAGE_SIZE
+        return max(int(200 * MiB * self.scale), floor)
+
+
+class ThermostatPolicy(Policy):
+    """Demote cold pages from the fast tier; recover misjudged hot ones."""
+
+    name = "thermostat"
+
+    def __init__(self, config: ThermostatPolicyConfig | None = None) -> None:
+        self.config = config if config is not None else ThermostatPolicyConfig()
+
+    def decide(self, snapshot: ProfileSnapshot, state: PlacementState) -> list[MigrationOrder]:
+        cfg = self.config
+        view = state.topology.view(cfg.default_socket)
+        fast = view.node_at_tier(1)
+        budget_pages = cfg.budget_bytes // PAGE_SIZE
+        free = {n: state.frames.free_pages(n) for n in state.topology.node_ids}
+        target_free = int(state.frames.capacity_pages(fast) * cfg.headroom_fraction)
+        orders: list[MigrationOrder] = []
+        spent = 0
+
+        # Demote coldest fast-tier regions until the headroom target holds.
+        if free[fast] < target_free:
+            victims = sorted(
+                (r for r in snapshot.reports if r.node == fast and r.score <= cfg.cold_threshold),
+                key=lambda r: r.score,
+            )
+            for victim in victims:
+                if free[fast] >= target_free or spent >= budget_pages:
+                    break
+                pages = self._pages_on_node(victim, state, fast)
+                if pages.size == 0:
+                    continue
+                target = None
+                for tier in range(2, view.num_tiers + 1):
+                    node = view.node_at_tier(tier)
+                    if free[node] >= pages.size:
+                        target = node
+                        break
+                if target is None:
+                    break
+                orders.append(
+                    MigrationOrder(
+                        pages=pages, src_node=fast, dst_node=target,
+                        reason="demotion", score=victim.score,
+                    )
+                )
+                free[target] -= pages.size
+                free[fast] += pages.size
+                spent += pages.size
+
+        # Recover hot regions that ended up below (poor man's promotion).
+        hot = sorted(
+            (r for r in snapshot.reports if r.node >= 0 and r.node != fast and r.score > cfg.cold_threshold),
+            key=lambda r: r.score,
+            reverse=True,
+        )
+        for report in hot:
+            if spent >= budget_pages:
+                break
+            pages = self._pages_on_node(report, state, report.node)
+            if pages.size == 0 or free[fast] < pages.size:
+                continue
+            orders.append(
+                MigrationOrder(
+                    pages=pages, src_node=report.node, dst_node=fast,
+                    reason="promotion", score=report.score,
+                )
+            )
+            free[fast] -= pages.size
+            free[report.node] += pages.size
+            spent += pages.size
+        return orders
+
+    @staticmethod
+    def _pages_on_node(report: RegionReport, state: PlacementState, node: int) -> np.ndarray:
+        pages = np.arange(report.start, report.end, dtype=np.int64)
+        return pages[state.page_table.node[pages] == node]

@@ -1,0 +1,39 @@
+"""Profiling mechanisms: MTM's adaptive profiler and all baselines.
+
+Implements Sec. 5 of the paper (adaptive memory regions, adaptive page
+sampling, overhead control, huge-page awareness, PEBS-assisted scan) plus
+the profilers MTM is evaluated against: DAMON, Thermostat, the
+AutoNUMA/AutoTiering random-window sampler, and HeMem's PEBS-only
+profiling.  :mod:`repro.profile.quality` computes the recall/accuracy
+metrics of Fig. 1.
+"""
+
+from repro.profile.base import Profiler, ProfileSnapshot, RegionReport
+from repro.profile.regions import MemoryRegion, RegionSet, RegionStats
+from repro.profile.quality import ProfilingQuality, evaluate_quality
+from repro.profile.mtm import MtmProfiler, MtmProfilerConfig
+from repro.profile.damon import DamonProfiler, DamonConfig
+from repro.profile.thermostat import ThermostatProfiler, ThermostatConfig
+from repro.profile.autonuma import RandomWindowProfiler, RandomWindowConfig
+from repro.profile.hemem import PebsOnlyProfiler, PebsOnlyConfig
+
+__all__ = [
+    "Profiler",
+    "ProfileSnapshot",
+    "RegionReport",
+    "MemoryRegion",
+    "RegionSet",
+    "RegionStats",
+    "ProfilingQuality",
+    "evaluate_quality",
+    "MtmProfiler",
+    "MtmProfilerConfig",
+    "DamonProfiler",
+    "DamonConfig",
+    "ThermostatProfiler",
+    "ThermostatConfig",
+    "RandomWindowProfiler",
+    "RandomWindowConfig",
+    "PebsOnlyProfiler",
+    "PebsOnlyConfig",
+]

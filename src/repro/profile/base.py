@@ -1,0 +1,124 @@
+"""Profiler interface and per-interval snapshots.
+
+All profilers — MTM's and every baseline — implement the same contract:
+``setup`` once over the VMA spans, then once per interval ``profile`` the
+current MMU state, returning a :class:`ProfileSnapshot` with per-region
+hotness scores and the profiling time spent.  Downstream code (policies,
+quality metrics) only ever sees snapshots, so profilers are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.mm.mmu import Mmu
+from repro.mm.pagetable import PageTable
+from repro.perf.pebs import PebsSampler
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """One region's result for one interval.
+
+    Attributes:
+        start: first base page of the region.
+        npages: region length in base pages.
+        score: hotness score; higher = hotter.  Scales differ between
+            profilers (scan counts vs PEBS samples) but are consistent
+            within one profiler, which is all ranking needs.
+        whi: the profiler's smoothed hotness (EMA), where maintained.
+        node: component currently holding the region (-1 unknown).
+        dominant_socket: socket issuing most accesses (-1 unknown).
+    """
+
+    start: int
+    npages: int
+    score: float
+    whi: float = 0.0
+    node: int = -1
+    dominant_socket: int = -1
+
+    @property
+    def end(self) -> int:
+        return self.start + self.npages
+
+
+@dataclass
+class ProfileSnapshot:
+    """Everything a profiler learned in one interval.
+
+    Attributes:
+        interval: 0-based interval index.
+        reports: per-region results, sorted by start page.
+        profiling_time: seconds of critical-path profiling work.
+        scans_performed: PTE scans executed (for overhead audits).
+        pebs_samples: PEBS samples processed.
+    """
+
+    interval: int
+    reports: list[RegionReport]
+    profiling_time: float
+    scans_performed: int = 0
+    pebs_samples: int = 0
+
+    def page_scores(self, n_pages: int) -> np.ndarray:
+        """Dense per-page hotness: each page gets its region's score."""
+        scores = np.zeros(n_pages, dtype=np.float64)
+        for report in self.reports:
+            scores[report.start : report.end] = report.score
+        return scores
+
+    def top_hot_pages(self, volume_pages: int) -> np.ndarray:
+        """Pages the profiler would call hot, up to ``volume_pages`` pages.
+
+        Regions are taken hottest-first (score, density already per-page);
+        a region is included wholly — profilers cannot see within a region,
+        which is precisely DAMON's accuracy problem in Fig. 1.
+        """
+        if volume_pages < 0:
+            raise ProfilingError(f"negative volume: {volume_pages}")
+        chosen: list[np.ndarray] = []
+        taken = 0
+        for report in sorted(self.reports, key=lambda r: r.score, reverse=True):
+            if report.score <= 0 or taken >= volume_pages:
+                break
+            pages = np.arange(report.start, report.end, dtype=np.int64)
+            if taken + pages.size > volume_pages:
+                pages = pages[: volume_pages - taken]
+            chosen.append(pages)
+            taken += pages.size
+        if not chosen:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(chosen))
+
+    def hot_volume_pages(self, score_threshold: float = 0.0) -> int:
+        """Pages in regions scoring above ``score_threshold``."""
+        return sum(r.npages for r in self.reports if r.score > score_threshold)
+
+
+class Profiler(abc.ABC):
+    """Common contract for all profiling mechanisms."""
+
+    #: Short name used in reports ("mtm", "damon", ...).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def setup(self, page_table: PageTable, spans: list[tuple[int, int]]) -> None:
+        """Initialize over the workload's VMA spans ``(start, npages)``."""
+
+    @abc.abstractmethod
+    def profile(
+        self,
+        mmu: Mmu,
+        pebs: PebsSampler | None = None,
+        socket: int = 0,
+    ) -> ProfileSnapshot:
+        """Profile the current interval (after ``mmu.begin_interval``)."""
+
+    def memory_overhead_bytes(self) -> int:
+        """Bookkeeping memory the profiler consumes (Table 5)."""
+        return 0

@@ -1,0 +1,39 @@
+"""Discrete-time simulation engine.
+
+The engine advances time in *profiling intervals* (the paper's default is
+10 s).  Within each interval the workload produces an :class:`AccessBatch`
+(a page-indexed access histogram), the cost model converts it into
+application execution time given the current page placement, the profiler
+consumes scan budget, and the policy migrates regions whose cost is charged
+per the mechanism model.
+"""
+
+from repro.sim.trace import AccessBatch
+from repro.sim.clock import Clock
+from repro.sim.costmodel import CostModel, CostParams
+from repro.sim.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "AccessBatch",
+    "Clock",
+    "CostModel",
+    "CostParams",
+    "make_rng",
+    "spawn_rngs",
+    "IntervalRecord",
+    "SimulationEngine",
+    "SimulationResult",
+]
+
+_LAZY = {"IntervalRecord", "SimulationEngine", "SimulationResult"}
+
+
+def __getattr__(name: str):
+    # The engine sits above the whole stack (profilers, policies,
+    # mechanisms), while low-level modules import repro.sim.trace; loading
+    # it lazily keeps ``from repro.sim import AccessBatch`` cycle-free.
+    if name in _LAZY:
+        from repro.sim import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,151 @@
+"""Trace recording and replay.
+
+Records a workload's interval-by-interval access batches (and hot-page
+ground truth) into a compressed ``.npz`` file, and replays them later as a
+drop-in :class:`~repro.workloads.base.Workload`.  Useful for
+
+* pinning an exact access stream across solution comparisons (beyond the
+  statistical equivalence seeds already give),
+* capturing expensive generators (graph traversals) once,
+* shipping externally-collected traces into the simulator — the paper's
+  production-trace experiments become reproducible from files.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.hw.placement import Placer
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace, Vma
+from repro.sim.trace import AccessBatch
+from repro.workloads.base import Workload
+
+
+class TraceRecorder:
+    """Accumulates interval batches and writes them to one ``.npz`` file."""
+
+    def __init__(self, spans: list[tuple[int, int]], names: list[str] | None = None) -> None:
+        if not spans:
+            raise WorkloadError("trace needs at least one VMA span")
+        self.spans = list(spans)
+        self.names = list(names) if names is not None else [
+            f"vma{i}" for i in range(len(spans))
+        ]
+        if len(self.names) != len(self.spans):
+            raise WorkloadError("names/spans length mismatch")
+        self._batches: list[AccessBatch] = []
+        self._hot: list[np.ndarray] = []
+
+    def record(self, batch: AccessBatch, hot_pages: np.ndarray) -> None:
+        """Append one interval's batch and ground-truth hot set."""
+        self._batches.append(batch)
+        self._hot.append(np.asarray(hot_pages, dtype=np.int64))
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self._batches)
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Write the trace as compressed npz."""
+        if not self._batches:
+            raise WorkloadError("nothing recorded")
+        arrays: dict[str, np.ndarray] = {
+            "spans": np.array(self.spans, dtype=np.int64),
+            "names": np.array(self.names),
+            "n_intervals": np.array([len(self._batches)]),
+        }
+        for i, (batch, hot) in enumerate(zip(self._batches, self._hot)):
+            arrays[f"pages_{i}"] = batch.pages
+            arrays[f"counts_{i}"] = batch.counts
+            arrays[f"writes_{i}"] = batch.writes
+            arrays[f"sockets_{i}"] = batch.sockets
+            arrays[f"hot_{i}"] = hot
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def capture(
+        cls,
+        workload: Workload,
+        intervals: int,
+        rng: np.random.Generator,
+    ) -> "TraceRecorder":
+        """Drive a built workload for ``intervals`` and record everything."""
+        if intervals < 1:
+            raise WorkloadError("need at least one interval")
+        recorder = cls(
+            spans=workload.spans(),
+            names=[v.name for v in workload.vmas()],
+        )
+        for _ in range(intervals):
+            batch = workload.next_batch(rng)
+            recorder.record(batch, workload.hot_pages())
+        return recorder
+
+
+class TraceWorkload(Workload):
+    """Replays a recorded trace as a workload.
+
+    The trace loops when the simulation runs longer than the recording.
+    ``build()`` reallocates the original VMA layout; the recorded page
+    numbers are used verbatim, so the address space must be laid out the
+    same way (the default sequential allocator guarantees it).
+    """
+
+    name = "trace"
+    rw_mix = "recorded"
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self._data = np.load(path, allow_pickle=False)
+        self._spans = [tuple(int(x) for x in row) for row in self._data["spans"]]
+        self._names = [str(n) for n in self._data["names"]]
+        self._n = int(self._data["n_intervals"][0])
+        self._vmas: list[Vma] = []
+        self._cursor = -1
+
+    def build(self, space: AddressSpace, thp: ThpManager, placer: Placer) -> None:
+        from repro.workloads.base import SegmentedWorkload, populate
+
+        for (start, npages), name in zip(self._spans, self._names):
+            vma = space.allocate_vma(npages, name)
+            if vma.start != start:
+                raise WorkloadError(
+                    f"trace expects VMA {name!r} at page {start}, got {vma.start}; "
+                    "replay into a fresh address space"
+                )
+            offset = vma.start
+            for chunk_pages, node in placer.place(npages):
+                chunk = Vma(start=offset, npages=chunk_pages, name=f"{name}[chunk]")
+                thp.populate(space.page_table, chunk, node)
+                offset += chunk_pages
+            self._vmas.append(vma)
+
+    def vmas(self) -> list[Vma]:
+        return list(self._vmas)
+
+    def footprint_pages(self) -> int:
+        return sum(n for _, n in self._spans)
+
+    def next_batch(self, rng: np.random.Generator) -> AccessBatch:
+        self._cursor += 1
+        i = self._cursor % self._n
+        return AccessBatch(
+            pages=self._data[f"pages_{i}"],
+            counts=self._data[f"counts_{i}"],
+            writes=self._data[f"writes_{i}"],
+            sockets=self._data[f"sockets_{i}"],
+        )
+
+    def hot_pages(self) -> np.ndarray:
+        if self._cursor < 0:
+            raise WorkloadError("hot_pages() before the first next_batch()")
+        return self._data[f"hot_{self._cursor % self._n}"]
+
+    @property
+    def num_intervals(self) -> int:
+        """Intervals in the recording (replay loops past this)."""
+        return self._n

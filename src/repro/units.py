@@ -1,0 +1,91 @@
+"""Size and time unit helpers used throughout the simulator.
+
+All sizes in the simulator are plain ``int`` bytes and all times are
+``float`` seconds.  These constants and conversion helpers keep call sites
+readable (``4 * MiB`` instead of ``4194304``) and give one place to convert
+the mixed units the paper reports (ns latencies, GB/s bandwidths, MB
+migration budgets).
+"""
+
+from __future__ import annotations
+
+# -- sizes (bytes) -----------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: Base page size used by the memory-management substrate (Linux default).
+PAGE_SIZE = 4 * KiB
+
+#: Transparent-huge-page size (x86-64 2 MB pages, the paper's default).
+HUGE_PAGE_SIZE = 2 * MiB
+
+#: Number of base pages spanned by one huge page.
+PAGES_PER_HUGE_PAGE = HUGE_PAGE_SIZE // PAGE_SIZE
+
+# -- times (seconds) ---------------------------------------------------------
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * US
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a GB/s bandwidth figure to bytes/second.
+
+    The paper's Table 1 quotes decimal gigabytes per second, as vendor
+    datasheets do.
+    """
+    return value * 1e9
+
+
+def bytes_to_pages(nbytes: int) -> int:
+    """Number of base pages needed to hold ``nbytes`` (rounded up)."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    return -(-nbytes // PAGE_SIZE)
+
+
+def pages_to_bytes(npages: int) -> int:
+    """Size in bytes of ``npages`` base pages."""
+    if npages < 0:
+        raise ValueError(f"negative page count: {npages}")
+    return npages * PAGE_SIZE
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable size, e.g. ``format_bytes(3 * MiB) == '3.0MiB'``."""
+    value = float(nbytes)
+    for suffix, scale in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(value) >= scale:
+            return f"{value / scale:.1f}{suffix}"
+    return f"{value:.0f}B"
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration, e.g. ``format_time(2.5e-5) == '25.0us'``."""
+    value = float(seconds)
+    if abs(value) >= 1.0:
+        return f"{value:.2f}s"
+    if abs(value) >= MS:
+        return f"{value / MS:.1f}ms"
+    if abs(value) >= US:
+        return f"{value / US:.1f}us"
+    return f"{value / NS:.0f}ns"

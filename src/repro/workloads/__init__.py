@@ -1,0 +1,43 @@
+"""Workload generators for the paper's six applications (Table 2).
+
+Each workload allocates named VMAs in an address space and then emits one
+:class:`~repro.sim.trace.AccessBatch` per profiling interval, built from
+per-segment access *rates* (expected accesses per page per interval).
+Workloads also expose their ground-truth hot pages per interval, which is
+what makes the Fig. 1 recall/accuracy measurements possible.
+"""
+
+from repro.hw.placement import Placer
+from repro.workloads.base import RateSegment, SegmentedWorkload, Workload
+from repro.workloads.gups import GupsWorkload, GupsConfig
+from repro.workloads.voltdb import VoltDbWorkload, VoltDbConfig
+from repro.workloads.cassandra import CassandraWorkload, CassandraConfig
+from repro.workloads.graph import CsrGraph, generate_power_law_graph
+from repro.workloads.bfs import BfsWorkload, BfsConfig
+from repro.workloads.sssp import SsspWorkload, SsspConfig
+from repro.workloads.spark import SparkTeraSortWorkload, SparkConfig
+from repro.workloads.registry import WORKLOAD_SPECS, build_workload, workload_names
+
+__all__ = [
+    "Placer",
+    "RateSegment",
+    "SegmentedWorkload",
+    "Workload",
+    "GupsWorkload",
+    "GupsConfig",
+    "VoltDbWorkload",
+    "VoltDbConfig",
+    "CassandraWorkload",
+    "CassandraConfig",
+    "CsrGraph",
+    "generate_power_law_graph",
+    "BfsWorkload",
+    "BfsConfig",
+    "SsspWorkload",
+    "SsspConfig",
+    "SparkTeraSortWorkload",
+    "SparkConfig",
+    "WORKLOAD_SPECS",
+    "build_workload",
+    "workload_names",
+]

@@ -1,0 +1,78 @@
+"""Shared machinery for graph-traversal workloads (BFS, SSSP).
+
+Maps per-round vertex sets from a real CSR traversal onto VA segments:
+each vertex's edge list occupies a proportional slice of the big edge
+VMA, and its metadata (distance/parent) a slice of the metadata VMA.
+Touched huge-page-sized chunks are coalesced into contiguous
+:class:`~repro.workloads.base.RateSegment` runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.mm.vma import Vma
+from repro.units import PAGES_PER_HUGE_PAGE
+from repro.workloads.base import RateSegment
+from repro.workloads.graph import CsrGraph
+
+
+def edge_chunks_for_vertices(graph: CsrGraph, vertices: np.ndarray, vma: Vma) -> np.ndarray:
+    """Huge-chunk indices (within ``vma``) covering the vertices' edge lists."""
+    if vertices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    m = max(1, graph.num_edges)
+    starts = graph.offsets[vertices]
+    ends = np.maximum(graph.offsets[vertices + 1], starts + 1)
+    page_lo = (starts * vma.npages // m).astype(np.int64)
+    page_hi = ((ends - 1) * vma.npages // m).astype(np.int64)
+    chunk_lo = page_lo // PAGES_PER_HUGE_PAGE
+    chunk_hi = page_hi // PAGES_PER_HUGE_PAGE
+    chunks = [chunk_lo, chunk_hi]
+    # Hubs whose edge list spans several chunks contribute the interior too.
+    wide = np.nonzero(chunk_hi > chunk_lo + 1)[0]
+    for i in wide:
+        chunks.append(np.arange(chunk_lo[i] + 1, chunk_hi[i], dtype=np.int64))
+    return np.unique(np.concatenate(chunks))
+
+
+def meta_chunks_for_vertices(graph: CsrGraph, vertices: np.ndarray, vma: Vma) -> np.ndarray:
+    """Huge-chunk indices (within ``vma``) covering the vertices' metadata."""
+    if vertices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    n = max(1, graph.num_vertices)
+    pages = (vertices * vma.npages // n).astype(np.int64)
+    return np.unique(pages // PAGES_PER_HUGE_PAGE)
+
+
+def chunks_to_segments(
+    chunks: np.ndarray,
+    vma: Vma,
+    rate: float,
+    write_ratio: float,
+    hot: bool,
+) -> list[RateSegment]:
+    """Coalesce consecutive chunk indices into rate segments."""
+    if chunks.size == 0:
+        return []
+    if chunks.min() < 0:
+        raise WorkloadError("negative chunk index")
+    breaks = np.nonzero(np.diff(chunks) != 1)[0]
+    run_starts = np.concatenate(([0], breaks + 1))
+    run_ends = np.concatenate((breaks + 1, [chunks.size]))
+    segments = []
+    for lo, hi in zip(run_starts, run_ends):
+        first_page = vma.start + int(chunks[lo]) * PAGES_PER_HUGE_PAGE
+        last_page = vma.start + (int(chunks[hi - 1]) + 1) * PAGES_PER_HUGE_PAGE
+        last_page = min(last_page, vma.end)
+        npages = last_page - first_page
+        if npages <= 0:
+            continue
+        segments.append(
+            RateSegment(
+                start=first_page, npages=npages, rate=rate,
+                write_ratio=write_ratio, hot=hot,
+            )
+        )
+    return segments

@@ -1,0 +1,184 @@
+"""BFS over a power-law graph (Table 2: 525 GB, read-only).
+
+A level-synchronous BFS is actually executed over the generated CSR; each
+interval replays the edge and metadata traffic of the next level(s).
+Power-law level sets give the characteristic burst: tiny frontier, then an
+explosion touching most hubs, then a shrinking tail — strong temporal
+variance for profilers to chase.  When a traversal finishes, a new one
+starts from the next root (the paper runs BFS repeatedly for 120
+intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace
+from repro.units import GiB, PAGES_PER_HUGE_PAGE
+from repro.workloads._traversal import (
+    chunks_to_segments,
+    edge_chunks_for_vertices,
+    meta_chunks_for_vertices,
+)
+from repro.workloads.base import (
+    COLD_RATE,
+    HOT_RATE,
+    WARM_RATE,
+    Placer,
+    RateSegment,
+    SegmentedWorkload,
+    populate,
+    scaled_pages,
+)
+from repro.workloads.graph import CsrGraph, generate_power_law_graph
+
+
+@dataclass
+class BfsConfig:
+    """BFS workload tunables.
+
+    Attributes:
+        footprint_bytes: total at paper scale (525 GB).
+        scale: machine capacity scale.
+        num_vertices: simulated graph size (traversal runs for real).
+        avg_degree: mean out-degree (paper graph: ~15.5).
+        levels_per_interval: BFS levels replayed per profiling interval.
+        seed: RNG seed for graph generation and root cycling.
+    """
+
+    footprint_bytes: int = 525 * GiB
+    scale: float = 1.0
+    num_vertices: int = 50_000
+    avg_degree: float = 14.0
+    levels_per_interval: int = 1
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 2:
+            raise ConfigError("num_vertices must be >= 2")
+        if self.levels_per_interval < 1:
+            raise ConfigError("levels_per_interval must be >= 1")
+
+
+class BfsWorkload(SegmentedWorkload):
+    """Replay of a real BFS traversal's page traffic."""
+
+    name = "bfs"
+    rw_mix = "read-only"
+
+    #: Edge accesses are pure reads; frontier/visited metadata is updated.
+    EDGE_WRITE_RATIO = 0.0
+    META_WRITE_RATIO = 0.5
+
+    def __init__(self, config: BfsConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else BfsConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.graph: CsrGraph | None = None
+        self._edges = None
+        self._meta = None
+        self._state = None  # frontier queues / visited bitmap: always hot
+        self._levels: list[np.ndarray] = []
+        self._cursor = 0
+        self._root = 0
+
+    # -- construction --------------------------------------------------------
+
+    def build(self, space: AddressSpace, thp: ThpManager, placer: Placer) -> None:
+        cfg = self.config
+        self.graph = self._make_graph()
+        total = scaled_pages(cfg.footprint_bytes, cfg.scale)
+        # The paper's graph: 14B edges (~112 GB) vs 0.9B vertices of
+        # distance/parent/visited metadata (~1/8 of the edge bytes).
+        meta = max(PAGES_PER_HUGE_PAGE, total // 8)
+        state = max(PAGES_PER_HUGE_PAGE, total // 128)
+        edges = max(1, total - meta - state)
+        # The CSR edge array is loaded from disk first; per-traversal
+        # runtime state (frontier queues, visited bitmap, distances) is
+        # allocated afterwards and lands on slow tiers under first-touch.
+        vmas = populate(
+            self,
+            space,
+            thp,
+            placer,
+            [
+                (f"{self.name}.edges", edges),
+                (f"{self.name}.meta", meta),
+                (f"{self.name}.state", state),
+            ],
+        )
+        self._state = vmas[f"{self.name}.state"]
+        self._meta = vmas[f"{self.name}.meta"]
+        self._edges = vmas[f"{self.name}.edges"]
+        self._start_traversal()
+
+    def _make_graph(self) -> CsrGraph:
+        cfg = self.config
+        return generate_power_law_graph(
+            cfg.num_vertices, avg_degree=cfg.avg_degree, seed=cfg.seed
+        )
+
+    def _rounds_from(self, root: int) -> list[np.ndarray]:
+        assert self.graph is not None
+        return self.graph.bfs_levels(root)
+
+    def _start_traversal(self) -> None:
+        assert self.graph is not None
+        self._levels = []
+        attempts = 0
+        # Roots with no outgoing reach produce empty traversals; cycle on.
+        while len(self._levels) < 2 and attempts < 32:
+            self._levels = self._rounds_from(self._root)
+            self._root = (self._root + 1 + int(self._rng.integers(0, 97))) % self.graph.num_vertices
+            attempts += 1
+        self._cursor = 0
+
+    # -- interval plan --------------------------------------------------------
+
+    def segments(self, interval: int) -> list[RateSegment]:
+        if self.graph is None or self._edges is None:
+            raise ConfigError("segments() before build()")
+        cfg = self.config
+        if self._cursor >= len(self._levels):
+            self._start_traversal()
+        take = self._levels[self._cursor : self._cursor + cfg.levels_per_interval]
+        self._cursor += cfg.levels_per_interval
+        active = np.unique(np.concatenate(take)) if take else np.empty(0, dtype=np.int64)
+
+        segs: list[RateSegment] = [
+            # Frontier queues and the visited bitmap: small, always hot.
+            RateSegment(
+                start=self._state.start, npages=self._state.npages,
+                rate=HOT_RATE, write_ratio=self.META_WRITE_RATIO, hot=True,
+            ),
+            # Every neighbour of every frontier vertex probes visited[] /
+            # dist[]: the whole metadata array is warm in every active
+            # interval — the stable mass a tiering policy can win on.
+            RateSegment(
+                start=self._meta.start, npages=self._meta.npages,
+                rate=WARM_RATE, write_ratio=self.META_WRITE_RATIO, hot=False,
+            ),
+            # Background stray traffic over the edge array.
+            RateSegment(
+                start=self._edges.start, npages=self._edges.npages,
+                rate=COLD_RATE / 8, write_ratio=0.0, hot=False,
+            ),
+        ]
+        if active.size:
+            edge_chunks = edge_chunks_for_vertices(self.graph, active, self._edges)
+            segs.extend(
+                chunks_to_segments(
+                    edge_chunks, self._edges, HOT_RATE, self.EDGE_WRITE_RATIO, hot=True
+                )
+            )
+            meta_chunks = meta_chunks_for_vertices(self.graph, active, self._meta)
+            segs.extend(
+                chunks_to_segments(
+                    meta_chunks, self._meta, HOT_RATE, self.META_WRITE_RATIO, hot=True
+                )
+            )
+        return segs

@@ -1,0 +1,176 @@
+"""Cassandra under YCSB workload A (Table 2: 400 GB, update-heavy 50/50).
+
+A partitioned row store accessed with a zipfian key distribution.  The
+page-level shape:
+
+* a memtable/commit-log area absorbing every write — small, always hot;
+* sstable data where zipfian key popularity yields *many small scattered
+  hot fragments* (hashed partitioning destroys spatial locality), slowly
+  reshuffled as popularity shifts — the hardest case for region-based
+  profilers and the workload where the paper's Table 3 shows the biggest
+  MTM advantage in hot-page volume;
+* a long cold tail of old sstables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace
+from repro.units import GiB, PAGES_PER_HUGE_PAGE
+from repro.workloads.base import (
+    HOT_RATE,
+    WARM_RATE,
+    Placer,
+    RateSegment,
+    SegmentedWorkload,
+    balance_cold_rate,
+    populate,
+    scaled_pages,
+)
+
+
+@dataclass
+class CassandraConfig:
+    """Cassandra/YCSB-A tunables.
+
+    Attributes:
+        footprint_bytes: total at paper scale (400 GB).
+        scale: machine capacity scale.
+        write_ratio: YCSB-A is 50% updates.
+        hot_fragments: scattered hot fragments across the sstable area.
+        fragment_hugepages: fragment size in huge pages (small fragments =
+            low spatial locality).
+        reshuffle_every: intervals between popularity shifts (a random
+            third of the fragments move).
+        flush_every: intervals between memtable flushes.  The *active*
+            memtable is a window of the memtable arena that advances on
+            every flush — fresh allocations land wherever memory is free,
+            so a static first-touch placement loses the memtable's
+            locality over time.
+        seed: RNG seed.
+    """
+
+    footprint_bytes: int = 400 * GiB
+    scale: float = 1.0
+    write_ratio: float = 0.5
+    hot_fragments: int = 24
+    fragment_hugepages: int = 1
+    reshuffle_every: int = 10
+    flush_every: int = 20
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.hot_fragments < 1:
+            raise ConfigError("hot_fragments must be >= 1")
+        if self.flush_every < 1:
+            raise ConfigError("flush_every must be >= 1")
+        if self.fragment_hugepages < 1:
+            raise ConfigError("fragment_hugepages must be >= 1")
+        if self.reshuffle_every < 1:
+            raise ConfigError("reshuffle_every must be >= 1")
+
+
+class CassandraWorkload(SegmentedWorkload):
+    """YCSB-A zipfian row-store access pattern."""
+
+    name = "cassandra"
+    rw_mix = "1:1"
+
+    def __init__(self, config: CassandraConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else CassandraConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._memtable = None
+        self._sstables = None
+        self._fragments: np.ndarray | None = None
+
+    def build(self, space: AddressSpace, thp: ThpManager, placer: Placer) -> None:
+        cfg = self.config
+        total = scaled_pages(cfg.footprint_bytes, cfg.scale)
+        memtable = max(PAGES_PER_HUGE_PAGE, total // 64)
+        sstables = max(1, total - memtable)
+        # Startup order: the sstable bulk is loaded first; the memtable
+        # arena is JVM heap that grows once traffic starts — so under
+        # first-touch it lands wherever memory is left (the slow tiers).
+        vmas = populate(
+            self,
+            space,
+            thp,
+            placer,
+            [
+                ("cassandra.sstables", sstables),
+                ("cassandra.memtable", memtable),
+            ],
+        )
+        self._memtable = vmas["cassandra.memtable"]
+        self._sstables = vmas["cassandra.sstables"]
+        self._fragments = self._pick_fragments(cfg.hot_fragments)
+
+    def segments(self, interval: int) -> list[RateSegment]:
+        if self._memtable is None:
+            raise ConfigError("segments() before build()")
+        cfg = self.config
+        if interval > 0 and interval % cfg.reshuffle_every == 0:
+            self._reshuffle()
+        frag_pages = cfg.fragment_hugepages * PAGES_PER_HUGE_PAGE
+
+        # The active memtable is a quarter of the arena, advancing one
+        # window per flush cycle (old memtables become cold garbage until
+        # reused).
+        window = max(PAGES_PER_HUGE_PAGE, self._memtable.npages // 4)
+        slot = (interval // cfg.flush_every) % 4
+        active_start = self._memtable.start + min(
+            slot * window, max(0, self._memtable.npages - window)
+        )
+        segs: list[RateSegment] = [
+            RateSegment(
+                start=active_start, npages=window,
+                rate=HOT_RATE * 6, write_ratio=0.8, hot=True,
+            ),
+        ]
+        assert self._fragments is not None
+        # Zipfian popularity: fragment i gets rate ~ 1/(i+1)^0.8, the first
+        # few fragments much hotter than the tail, which is floored at the
+        # popularity below which YCSB-A keys stop being reused.
+        for i, start in enumerate(self._fragments):
+            rate = max(HOT_RATE / float((i + 1) ** 0.8), 3 * WARM_RATE)
+            segs.append(
+                RateSegment(
+                    start=int(start), npages=frag_pages,
+                    rate=rate, write_ratio=cfg.write_ratio,
+                    hot=rate >= WARM_RATE,
+                )
+            )
+        # Cold sstable base (unpopular keys), balanced so the zipfian head
+        # carries ~80% of the traffic, YCSB-A's skew.
+        hot_accesses = sum(s.rate * s.npages for s in segs)
+        segs.append(
+            RateSegment(
+                start=self._sstables.start, npages=self._sstables.npages,
+                rate=balance_cold_rate(hot_accesses, self._sstables.npages, hot_share=0.8),
+                write_ratio=0.0, hot=False,
+            )
+        )
+        return segs
+
+    # -- internals --------------------------------------------------------------
+
+    def _pick_fragments(self, count: int) -> np.ndarray:
+        assert self._sstables is not None
+        frag_pages = self.config.fragment_hugepages * PAGES_PER_HUGE_PAGE
+        slots = max(1, (self._sstables.npages - frag_pages) // PAGES_PER_HUGE_PAGE)
+        picks = self._rng.choice(slots, size=min(count, slots), replace=False)
+        return self._sstables.start + np.sort(picks) * PAGES_PER_HUGE_PAGE
+
+    def _reshuffle(self) -> None:
+        """A third of the fragments lose popularity; fresh ones appear."""
+        assert self._fragments is not None
+        keep = self._rng.random(self._fragments.size) > 1.0 / 3.0
+        kept = self._fragments[keep]
+        fresh = self._pick_fragments(self._fragments.size - int(kept.size))
+        self._fragments = np.sort(np.concatenate([kept, fresh]))

@@ -1,0 +1,244 @@
+"""GUPS: random updates with a drifting Gaussian hot set.
+
+The paper's microbenchmark (Table 2: 512 GB footprint, 1:1 R/W): 20% of
+the footprint is a hot set receiving 80% of the accesses, page hotness
+within the hot set follows a Gaussian, and the hot set periodically moves
+(Sec. 9.3: "1M-updates repetitively happens, so that there is variance on
+hot pages").  Three hot objects match Fig. 6: the index array ("A"), the
+hot-set information ("B"), and the hot set itself ("C").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace
+from repro.units import GiB, MiB, PAGES_PER_HUGE_PAGE
+from repro.workloads.base import (
+    HOT_RATE,
+    Placer,
+    RateSegment,
+    SegmentedWorkload,
+    populate,
+    scaled_pages,
+)
+
+
+@dataclass
+class GupsConfig:
+    """GUPS tunables.
+
+    Attributes:
+        footprint_bytes: table size at paper scale (512 GB).
+        scale: machine capacity scale.
+        hot_fraction: fraction of the table that is hot (paper: 20%).
+        hot_access_share: fraction of accesses landing in the hot set (80%).
+        write_ratio: update fraction (1:1 R/W -> 0.5).
+        drift_every: intervals between hot-set drift steps.
+        drift_fraction: fraction of the hot window the hot set slides by
+            per drift step.  The paper's GUPS repeats its 1M-update rounds
+            "so that there is variance on hot pages" — gradual drift, not
+            teleportation; a migration budget of a few regions per
+            interval can track it.
+        gaussian_bands: sub-segments approximating the Gaussian shape.
+        threads: application threads (throughput scaling in Fig. 12).
+        remote_thread_fraction: fraction of accesses issued from socket 1.
+        seed: RNG seed for drift placement.
+    """
+
+    footprint_bytes: int = 512 * GiB
+    scale: float = 1.0
+    hot_fraction: float = 0.20
+    hot_access_share: float = 0.80
+    write_ratio: float = 0.5
+    drift_every: int = 10
+    drift_fraction: float = 0.125
+    gaussian_bands: int = 5
+    threads: int = 8
+    remote_thread_fraction: float = 0.0
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise ConfigError("hot_fraction must be in (0,1)")
+        if not 0.0 < self.hot_access_share < 1.0:
+            raise ConfigError("hot_access_share must be in (0,1)")
+        if self.drift_every < 1:
+            raise ConfigError("drift_every must be >= 1")
+        if not 0.0 <= self.drift_fraction <= 1.0:
+            raise ConfigError("drift_fraction must be in [0, 1]")
+        if self.gaussian_bands < 1:
+            raise ConfigError("gaussian_bands must be >= 1")
+        if not 0.0 <= self.remote_thread_fraction <= 1.0:
+            raise ConfigError("remote_thread_fraction must be in [0,1]")
+
+
+class GupsWorkload(SegmentedWorkload):
+    """Giga-updates per second with a drifting hot set."""
+
+    name = "gups"
+    rw_mix = "1:1"
+
+    def __init__(self, config: GupsConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else GupsConfig()
+        self._drift_rng = np.random.default_rng(self.config.seed)
+        self._table = None
+        self._index = None
+        self._hotinfo = None
+        self._hot_offset = 0
+        self._hot_npages = 0
+
+    def build(self, space: AddressSpace, thp: ThpManager, placer: Placer) -> None:
+        cfg = self.config
+        table_pages = scaled_pages(cfg.footprint_bytes, cfg.scale)
+        index_pages = max(PAGES_PER_HUGE_PAGE, scaled_pages(4 * GiB, cfg.scale))
+        hotinfo_pages = max(1, scaled_pages(256 * MiB, cfg.scale))
+        vmas = populate(
+            self,
+            space,
+            thp,
+            placer,
+            [
+                ("gups.index", index_pages),  # "A" in Fig. 6
+                ("gups.hotinfo", hotinfo_pages),  # "B"
+                ("gups.table", table_pages),  # contains "C"
+            ],
+        )
+        self._index = vmas["gups.index"]
+        self._hotinfo = vmas["gups.hotinfo"]
+        self._table = vmas["gups.table"]
+        self._hot_npages = max(
+            PAGES_PER_HUGE_PAGE,
+            int(table_pages * cfg.hot_fraction) // PAGES_PER_HUGE_PAGE * PAGES_PER_HUGE_PAGE,
+        )
+        self._relocate_hot_set()
+
+    def segments(self, interval: int) -> list[RateSegment]:
+        if self._table is None:
+            raise ConfigError("segments() before build()")
+        cfg = self.config
+        if interval > 0 and interval % cfg.drift_every == 0:
+            self._slide_hot_set()
+
+        table = self._table
+        hot_start = table.start + self._hot_offset
+        hot_end = hot_start + self._hot_npages
+        # Thread count scales total throughput (used by Fig. 12's 16- vs
+        # 24-thread comparison); 8 threads is the paper's default.
+        thread_factor = cfg.threads / 8.0
+
+        # Cold rate balances the 80/20 split given the hot/cold page ratio.
+        cold_pages = table.npages - self._hot_npages
+        hot_accesses = HOT_RATE * self._hot_npages * thread_factor
+        cold_rate = 0.0
+        if cold_pages > 0:
+            cold_rate = (
+                hot_accesses * (1.0 - cfg.hot_access_share) / cfg.hot_access_share / cold_pages
+            )
+
+        segs: list[RateSegment] = []
+        # Cold table around the hot window.
+        if hot_start > table.start:
+            segs.append(self._seg(table.start, hot_start - table.start, cold_rate, hot=False))
+        if hot_end < table.end:
+            segs.append(self._seg(hot_end, table.end - hot_end, cold_rate, hot=False))
+        # Gaussian bands across the hot window ("C").
+        segs.extend(self._gaussian_bands(hot_start, self._hot_npages, thread_factor))
+        # Index ("A") and hot-set info ("B") are always hot; the index is
+        # read-mostly (lookups), the info structure is updated.
+        segs.append(
+            RateSegment(
+                start=self._index.start, npages=self._index.npages,
+                rate=HOT_RATE * thread_factor, write_ratio=0.05, hot=True,
+            )
+        )
+        segs.append(
+            RateSegment(
+                start=self._hotinfo.start, npages=self._hotinfo.npages,
+                rate=HOT_RATE * thread_factor, write_ratio=0.5, hot=True,
+            )
+        )
+        return self._attribute_sockets(segs)
+
+    # -- internals --------------------------------------------------------------
+
+    def _seg(self, start: int, npages: int, rate: float, hot: bool) -> RateSegment:
+        return RateSegment(
+            start=start, npages=npages, rate=rate,
+            write_ratio=self.config.write_ratio, hot=hot,
+        )
+
+    def _gaussian_bands(self, start: int, npages: int, thread_factor: float) -> list[RateSegment]:
+        """Approximate Gaussian page hotness with stepped bands.
+
+        Band weights follow the normal pdf across the window, normalized so
+        the window's mean rate equals ``HOT_RATE``.
+        """
+        bands = self.config.gaussian_bands
+        edges = np.linspace(0, npages, bands + 1).astype(np.int64)
+        centers = (edges[:-1] + edges[1:]) / 2.0 / max(1, npages)
+        weights = np.array([math.exp(-0.5 * ((c - 0.5) / 0.22) ** 2) for c in centers])
+        sizes = np.diff(edges).astype(np.float64)
+        weights *= npages / float((weights * sizes).sum())
+        segs = []
+        for i in range(bands):
+            size = int(edges[i + 1] - edges[i])
+            if size <= 0:
+                continue
+            segs.append(
+                self._seg(
+                    start + int(edges[i]), size,
+                    HOT_RATE * float(weights[i]) * thread_factor, hot=True,
+                )
+            )
+        return segs
+
+    def _attribute_sockets(self, segs: list[RateSegment]) -> list[RateSegment]:
+        """Split segment traffic across sockets per the thread placement."""
+        frac = self.config.remote_thread_fraction
+        if frac <= 0.0:
+            return segs
+        out: list[RateSegment] = []
+        for s in segs:
+            if frac >= 1.0:
+                out.append(RateSegment(s.start, s.npages, s.rate, s.write_ratio, 1, s.hot))
+                continue
+            out.append(RateSegment(s.start, s.npages, s.rate * (1 - frac), s.write_ratio, 0, s.hot))
+            out.append(RateSegment(s.start, s.npages, s.rate * frac, s.write_ratio, 1, s.hot))
+        return out
+
+    def _relocate_hot_set(self) -> None:
+        """Place the hot window at a fresh huge-aligned offset (startup)."""
+        assert self._table is not None
+        max_offset = self._table.npages - self._hot_npages
+        if max_offset <= 0:
+            self._hot_offset = 0
+            return
+        slots = max_offset // PAGES_PER_HUGE_PAGE
+        self._hot_offset = int(self._drift_rng.integers(0, slots + 1)) * PAGES_PER_HUGE_PAGE
+
+    def _slide_hot_set(self) -> None:
+        """Drift: slide the window by ``drift_fraction`` of its size."""
+        assert self._table is not None
+        max_offset = self._table.npages - self._hot_npages
+        if max_offset <= 0:
+            return
+        step = int(self._hot_npages * self.config.drift_fraction)
+        step = max(PAGES_PER_HUGE_PAGE, step // PAGES_PER_HUGE_PAGE * PAGES_PER_HUGE_PAGE)
+        self._hot_offset += step
+        if self._hot_offset > max_offset:
+            self._hot_offset = 0  # wrap around to the table start
+
+    # -- introspection for Fig. 6 / Table 4 ------------------------------------
+
+    @property
+    def hot_window(self) -> tuple[int, int]:
+        """(start_page, npages) of the current hot set ("C")."""
+        assert self._table is not None
+        return (self._table.start + self._hot_offset, self._hot_npages)

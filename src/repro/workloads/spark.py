@@ -1,0 +1,182 @@
+"""Spark TeraSort (Table 2: 350 GB, 1:1 R/W).
+
+TeraSort's page traffic is phase-structured, and the phases repeat per
+job stage (Spark runs stages back to back over RDD partitions):
+
+1. **scan** — a sequential read window streams over the input RDD;
+2. **shuffle** — writes scatter nearly uniformly across all output
+   partitions (bandwidth-bound, no stable hot set — the phase where page
+   migration cannot help, cf. the paper's observation that migration is
+   not always beneficial);
+3. **sort** — one partition at a time becomes the hot working set and is
+   sorted in place;
+4. **write** — a sequential output window streams results.
+
+The cycle repeats until the simulation ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace
+from repro.units import GiB, PAGES_PER_HUGE_PAGE
+from repro.workloads.base import (
+    COLD_RATE,
+    HOT_RATE,
+    WARM_RATE,
+    Placer,
+    RateSegment,
+    SegmentedWorkload,
+    populate,
+    scaled_pages,
+)
+
+
+@dataclass
+class SparkConfig:
+    """Spark TeraSort tunables.
+
+    Attributes:
+        footprint_bytes: total at paper scale (350 GB).
+        scale: machine capacity scale.
+        partitions: RDD partitions per stage.
+        phase_intervals: profiling intervals spent in each of the four
+            phases before moving on.
+        seed: RNG seed.
+    """
+
+    footprint_bytes: int = 350 * GiB
+    scale: float = 1.0
+    partitions: int = 8
+    phase_intervals: tuple[int, int, int, int] = (10, 12, 16, 10)
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ConfigError("partitions must be >= 1")
+        if len(self.phase_intervals) != 4 or any(p < 1 for p in self.phase_intervals):
+            raise ConfigError("phase_intervals needs four positive entries")
+
+
+class SparkTeraSortWorkload(SegmentedWorkload):
+    """Phase-structured sort job."""
+
+    name = "spark"
+    rw_mix = "1:1"
+
+    PHASES = ("scan", "shuffle", "sort", "write")
+
+    def __init__(self, config: SparkConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else SparkConfig()
+        self._input = None
+        self._buffers = None
+        self._output = None
+        self._exec_state = None
+
+    def build(self, space: AddressSpace, thp: ThpManager, placer: Placer) -> None:
+        cfg = self.config
+        total = scaled_pages(cfg.footprint_bytes, cfg.scale)
+        exec_state = max(PAGES_PER_HUGE_PAGE, total // 64)
+        input_pages = int(total * 0.4)
+        buffer_pages = int(total * 0.3)
+        output_pages = max(1, total - exec_state - input_pages - buffer_pages)
+        # The input RDD is materialized first; shuffle buffers, output and
+        # executor state appear as the stages run, landing on slow tiers
+        # under first-touch.
+        vmas = populate(
+            self,
+            space,
+            thp,
+            placer,
+            [
+                ("spark.input", input_pages),
+                ("spark.buffers", buffer_pages),
+                ("spark.output", output_pages),
+                ("spark.exec", exec_state),
+            ],
+        )
+        self._exec_state = vmas["spark.exec"]
+        self._input = vmas["spark.input"]
+        self._buffers = vmas["spark.buffers"]
+        self._output = vmas["spark.output"]
+
+    # -- phase machinery --------------------------------------------------------
+
+    def phase_of(self, interval: int) -> tuple[str, int, int]:
+        """``(phase_name, index_within_phase, phase_length)`` for an interval."""
+        lengths = self.config.phase_intervals
+        cycle = sum(lengths)
+        t = interval % cycle
+        for phase, length in zip(self.PHASES, lengths):
+            if t < length:
+                return (phase, t, length)
+            t -= length
+        raise AssertionError("unreachable")
+
+    def segments(self, interval: int) -> list[RateSegment]:
+        if self._input is None:
+            raise ConfigError("segments() before build()")
+        phase, idx, length = self.phase_of(interval)
+        segs: list[RateSegment] = [
+            # Executor state (task queues, block manager): always hot.
+            RateSegment(
+                start=self._exec_state.start, npages=self._exec_state.npages,
+                rate=HOT_RATE, write_ratio=0.5, hot=True,
+            )
+        ]
+        if phase == "scan":
+            segs.extend(self._streaming_window(self._input, idx, length, write_ratio=0.1))
+        elif phase == "shuffle":
+            # Uniform scatter over all buffers: warm everywhere, no hot set.
+            segs.append(
+                RateSegment(
+                    start=self._buffers.start, npages=self._buffers.npages,
+                    rate=WARM_RATE, write_ratio=0.7, hot=False,
+                )
+            )
+            segs.append(
+                RateSegment(
+                    start=self._input.start, npages=self._input.npages,
+                    rate=COLD_RATE, write_ratio=0.0, hot=False,
+                )
+            )
+        elif phase == "sort":
+            # One partition at a time is sorted in place, each held hot for
+            # a couple of intervals; the remaining buffers stay warm (spill
+            # lookups, combiners) — the stable structure migration can win on.
+            part = (idx // 2) % self.config.partitions
+            part_pages = max(PAGES_PER_HUGE_PAGE, self._buffers.npages // self.config.partitions)
+            start = self._buffers.start + part * part_pages
+            npages = min(part_pages, self._buffers.end - start)
+            if npages > 0:
+                segs.append(
+                    RateSegment(start=start, npages=npages, rate=HOT_RATE, write_ratio=0.5, hot=True)
+                )
+            segs.append(
+                RateSegment(
+                    start=self._buffers.start, npages=self._buffers.npages,
+                    rate=WARM_RATE, write_ratio=0.1, hot=False,
+                )
+            )
+        else:  # write
+            segs.extend(self._streaming_window(self._output, idx, length, write_ratio=0.9))
+        return segs
+
+    def _streaming_window(self, vma, idx: int, length: int, write_ratio: float) -> list[RateSegment]:
+        """A sequential window sweeping across ``vma`` over the phase."""
+        window = max(PAGES_PER_HUGE_PAGE, vma.npages // length)
+        start = vma.start + min(idx * window, max(0, vma.npages - window))
+        npages = min(window, vma.end - start)
+        return [
+            RateSegment(start=start, npages=npages, rate=HOT_RATE, write_ratio=write_ratio, hot=True),
+            RateSegment(
+                start=vma.start, npages=vma.npages,
+                rate=COLD_RATE / 4, write_ratio=0.0, hot=False,
+            ),
+        ]

@@ -1,0 +1,59 @@
+"""SSSP over a power-law graph (Table 2: 525 GB, read-only).
+
+Same substrate as :mod:`repro.workloads.bfs` but the traversal is a
+Bellman-Ford-style relaxation: vertices are *revisited* across rounds as
+shorter paths arrive, so the hot set is stickier and the run is longer
+(the paper reports 360 profiling intervals vs BFS's 120).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import GiB
+from repro.workloads.bfs import BfsConfig, BfsWorkload
+from repro.workloads.graph import CsrGraph, generate_power_law_graph
+
+
+@dataclass
+class SsspConfig(BfsConfig):
+    """SSSP tunables (extends the BFS ones).
+
+    Attributes:
+        max_rounds: relaxation-round cap per traversal.
+    """
+
+    footprint_bytes: int = 525 * GiB
+    max_rounds: int = 48
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_rounds < 1:
+            raise ConfigError("max_rounds must be >= 1")
+
+
+class SsspWorkload(BfsWorkload):
+    """Replay of a real relaxation traversal's page traffic."""
+
+    name = "sssp"
+    rw_mix = "read-only"
+
+    #: SSSP updates distances constantly.
+    META_WRITE_RATIO = 0.6
+
+    def __init__(self, config: SsspConfig | None = None) -> None:
+        super().__init__(config if config is not None else SsspConfig())
+
+    def _make_graph(self) -> CsrGraph:
+        cfg = self.config
+        return generate_power_law_graph(
+            cfg.num_vertices, avg_degree=cfg.avg_degree, weighted=True, seed=cfg.seed
+        )
+
+    def _rounds_from(self, root: int) -> list[np.ndarray]:
+        assert self.graph is not None
+        cfg: SsspConfig = self.config  # type: ignore[assignment]
+        return self.graph.sssp_rounds(root, max_rounds=cfg.max_rounds)

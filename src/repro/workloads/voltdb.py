@@ -1,0 +1,199 @@
+"""VoltDB running TPC-C (Table 2: 300 GB, 1:1 R/W).
+
+An in-memory OLTP database has a characteristic page-access shape that the
+generator reproduces structurally:
+
+* tiny, extremely hot control tables (warehouse/district);
+* a customer/stock working set with skewed (zipf-like) warmth — a few hot
+  chunks that rotate slowly as key popularity shifts;
+* an append-dominated order/order-line area whose hot window *slides
+  forward* every interval (new transactions insert at the tail) — the
+  steady temporal drift that punishes slow-reacting profilers;
+* a cold history tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace
+from repro.units import GiB, PAGES_PER_HUGE_PAGE
+from repro.workloads.base import (
+    HOT_RATE,
+    Placer,
+    RateSegment,
+    SegmentedWorkload,
+    balance_cold_rate,
+    populate,
+    scaled_pages,
+)
+
+
+@dataclass
+class VoltDbConfig:
+    """VoltDB/TPC-C tunables.
+
+    Attributes:
+        footprint_bytes: total at paper scale (300 GB).
+        scale: machine capacity scale.
+        write_ratio: 1:1 R/W -> 0.5.
+        hot_chunks: rotating hot chunks in the customer/stock area.
+        rotate_every: intervals between hot-chunk rotation.
+        order_window_fraction: sliding hot window size in the order area.
+        seed: RNG seed for chunk rotation.
+    """
+
+    footprint_bytes: int = 300 * GiB
+    scale: float = 1.0
+    write_ratio: float = 0.5
+    hot_chunks: int = 6
+    rotate_every: int = 15
+    order_window_fraction: float = 0.15
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.hot_chunks < 1:
+            raise ConfigError("hot_chunks must be >= 1")
+        if self.rotate_every < 1:
+            raise ConfigError("rotate_every must be >= 1")
+        if not 0.0 < self.order_window_fraction < 1.0:
+            raise ConfigError("order_window_fraction must be in (0,1)")
+
+
+class VoltDbWorkload(SegmentedWorkload):
+    """TPC-C-shaped OLTP access pattern."""
+
+    name = "voltdb"
+    rw_mix = "1:1"
+
+    def __init__(self, config: VoltDbConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else VoltDbConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._control = None  # warehouse/district
+        self._working = None  # customer/stock
+        self._orders = None  # orders/order_line (append area)
+        self._history = None  # cold tail
+        self._hot_chunk_starts: np.ndarray | None = None
+        self._order_head = 0
+
+    def build(self, space: AddressSpace, thp: ThpManager, placer: Placer) -> None:
+        cfg = self.config
+        total = scaled_pages(cfg.footprint_bytes, cfg.scale)
+        control = max(PAGES_PER_HUGE_PAGE, total // 256)
+        working = int(total * 0.45)
+        orders = int(total * 0.35)
+        history = max(1, total - control - working - orders)
+        # Allocation order mirrors how an OLTP database comes up: the bulk
+        # load (customer/stock) and historical data first, the order
+        # tables last — they only fill once transactions start.  Under
+        # first-touch the late, hottest allocations therefore land on the
+        # slow tiers, which is exactly why page migration matters for
+        # databases.
+        vmas = populate(
+            self,
+            space,
+            thp,
+            placer,
+            [
+                ("voltdb.control", control),
+                ("voltdb.working", working),
+                ("voltdb.history", history),
+                ("voltdb.orders", orders),
+            ],
+        )
+        self._control = vmas["voltdb.control"]
+        self._working = vmas["voltdb.working"]
+        self._orders = vmas["voltdb.orders"]
+        self._history = vmas["voltdb.history"]
+        self._rotate_hot_chunks()
+
+    def segments(self, interval: int) -> list[RateSegment]:
+        if self._control is None:
+            raise ConfigError("segments() before build()")
+        cfg = self.config
+        if interval > 0 and interval % cfg.rotate_every == 0:
+            self._rotate_hot_chunks()
+        segs: list[RateSegment] = []
+
+        # Control tables: always scorching, updated constantly.
+        segs.append(
+            RateSegment(
+                start=self._control.start, npages=self._control.npages,
+                rate=HOT_RATE * 1.5, write_ratio=cfg.write_ratio, hot=True,
+            )
+        )
+
+        # Customer/stock rotating hot chunks (zipf-warm key ranges).
+        chunk_pages = self._chunk_pages()
+        assert self._hot_chunk_starts is not None
+        for start in self._hot_chunk_starts:
+            segs.append(
+                RateSegment(
+                    start=int(start), npages=chunk_pages,
+                    rate=HOT_RATE, write_ratio=cfg.write_ratio, hot=True,
+                )
+            )
+
+        # Orders: sliding append window at the head; it wraps around as
+        # old orders age out.  The head advances at transaction rate —
+        # slow enough that a few-regions-per-interval migration budget can
+        # track it.
+        window = max(
+            PAGES_PER_HUGE_PAGE,
+            int(self._orders.npages * cfg.order_window_fraction),
+        )
+        self._order_head = (self._order_head + window // 16) % max(1, self._orders.npages - window)
+        head_start = self._orders.start + self._order_head
+        segs.append(
+            RateSegment(
+                start=head_start, npages=window,
+                rate=HOT_RATE, write_ratio=0.7, hot=True,
+            )
+        )
+
+        # Uniform cold background over customer/stock, orders, history —
+        # balanced so the hot structures carry ~80% of the traffic, the
+        # TPC-C skew the paper's 5K-warehouse setup exhibits.
+        hot_accesses = sum(s.rate * s.npages for s in segs)
+        cold_pages = self._working.npages + self._orders.npages + self._history.npages
+        cold_rate = balance_cold_rate(hot_accesses, cold_pages, hot_share=0.8)
+        segs.append(
+            RateSegment(
+                start=self._working.start, npages=self._working.npages,
+                rate=cold_rate, write_ratio=cfg.write_ratio, hot=False,
+            )
+        )
+        segs.append(
+            RateSegment(
+                start=self._orders.start, npages=self._orders.npages,
+                rate=cold_rate, write_ratio=0.1, hot=False,
+            )
+        )
+        segs.append(
+            RateSegment(
+                start=self._history.start, npages=self._history.npages,
+                rate=cold_rate / 2, write_ratio=0.05, hot=False,
+            )
+        )
+        return segs
+
+    # -- internals --------------------------------------------------------------
+
+    def _chunk_pages(self) -> int:
+        assert self._working is not None
+        return max(
+            PAGES_PER_HUGE_PAGE,
+            self._working.npages // (self.config.hot_chunks * 8),
+        )
+
+    def _rotate_hot_chunks(self) -> None:
+        assert self._working is not None
+        chunk_pages = self._chunk_pages()
+        slots = max(1, (self._working.npages - chunk_pages) // PAGES_PER_HUGE_PAGE)
+        picks = self._rng.choice(slots, size=min(self.config.hot_chunks, slots), replace=False)
+        self._hot_chunk_starts = self._working.start + np.sort(picks) * PAGES_PER_HUGE_PAGE

@@ -1,0 +1,64 @@
+"""Shared fixtures: small machines, address spaces, deterministic RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.topology import optane_2tier, optane_4tier, uniform_topology
+from repro.mm.hugepage import ThpManager
+from repro.mm.mmu import Mmu
+from repro.mm.vma import AddressSpace
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import MiB
+
+#: Small capacity scale used across unit tests (tier1 = 768 KiB etc. would
+#: be too tiny; 1/512 gives a 4-tier machine with ~190 MiB tier 1).
+TEST_SCALE = 1.0 / 512.0
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def topo4():
+    """Scaled 4-tier Optane machine."""
+    return optane_4tier(TEST_SCALE)
+
+
+@pytest.fixture
+def topo2():
+    """Scaled 2-tier machine."""
+    return optane_2tier(TEST_SCALE)
+
+
+@pytest.fixture
+def tiny_topology():
+    """Synthetic 3-tier ladder with page-sized arithmetic-friendly sizes."""
+    return uniform_topology(capacities=[8 * MiB, 16 * MiB, 64 * MiB])
+
+
+@pytest.fixture
+def cost_model(topo4) -> CostModel:
+    return CostModel(topo4, CostParams().with_scale(TEST_SCALE))
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    """64 Mi of virtual space (16 Ki pages)."""
+    return AddressSpace(16384)
+
+
+@pytest.fixture
+def mapped_space(space) -> AddressSpace:
+    """Space with one THP-mapped VMA of 4096 pages on node 2."""
+    vma = space.allocate_vma(4096, "data")
+    ThpManager().populate(space.page_table, vma, node=2)
+    return space
+
+
+@pytest.fixture
+def mmu(mapped_space) -> Mmu:
+    return Mmu(mapped_space.page_table, num_sockets=2)

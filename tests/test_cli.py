@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.solution == "mtm"
+        assert args.workload == "gups"
+        assert args.intervals == 80
+
+    def test_unknown_solution_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--solution", "magic"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mtm" in out and "gups" in out and "Solutions" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--solution", "first-touch", "--workload", "gups",
+            "--intervals", "3", "--scale-denominator", "512",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "fast tier" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--workload", "gups", "--intervals", "3",
+            "--scale-denominator", "512",
+            "--solutions", "first-touch,mtm",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized" in out and "first-touch" in out
+
+    def test_compare_needs_two(self, capsys):
+        assert main([
+            "compare", "--solutions", "mtm", "--intervals", "2",
+        ]) == 2

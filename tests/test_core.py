@@ -1,0 +1,126 @@
+"""Tests for the core package: manager, API, baseline factory."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import move_memory_regions
+from repro.core.baselines import SOLUTIONS, make_engine, solution_names
+from repro.core.manager import MtmManager, MtmSystemConfig
+from repro.errors import ConfigError, MigrationError
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import optane_4tier
+from repro.mm.pagetable import PageTable
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+from repro.workloads.registry import build_workload
+
+SCALE = 1.0 / 512.0
+R = PAGES_PER_HUGE_PAGE
+
+
+class TestMoveMemoryRegionsApi:
+    @pytest.fixture
+    def env(self):
+        topo = optane_4tier(SCALE)
+        cm = CostModel(topo, CostParams())
+        frames = FrameAccountant(topo)
+        pt = PageTable(topo.total_capacity() // PAGE_SIZE)
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        return pt, frames, cm
+
+    def test_moves_a_region(self, env):
+        pt, frames, cm = env
+        timing = move_memory_regions(pt, frames, cm, np.arange(0, R), dst_node=0)
+        assert pt.node_of(0) == 0
+        assert timing.critical_time > 0
+
+    def test_rejects_multi_node_source(self, env):
+        pt, frames, cm = env
+        pt.map_range(R, R, node=1)
+        frames.allocate(1, R)
+        with pytest.raises(MigrationError):
+            move_memory_regions(pt, frames, cm, np.arange(0, 2 * R), dst_node=0)
+
+    def test_rejects_noop_move(self, env):
+        pt, frames, cm = env
+        with pytest.raises(MigrationError):
+            move_memory_regions(pt, frames, cm, np.arange(0, R), dst_node=2)
+
+    def test_rejects_empty(self, env):
+        pt, frames, cm = env
+        with pytest.raises(MigrationError):
+            move_memory_regions(pt, frames, cm, np.array([]), dst_node=0)
+
+    def test_rejects_capacity_shortfall(self, env):
+        pt, frames, cm = env
+        frames.allocate(0, frames.free_pages(0))
+        with pytest.raises(MigrationError):
+            move_memory_regions(pt, frames, cm, np.arange(0, R), dst_node=0)
+
+
+class TestBaselineFactory:
+    def test_all_solutions_registered(self):
+        expected = {
+            "first-touch", "hmc", "vanilla-tiered-autonuma", "tiered-autonuma",
+            "autotiering", "hemem", "thermostat", "damon", "mtm",
+            "mtm-no-amr", "mtm-no-aps", "mtm-no-oc", "mtm-no-pebs", "mtm-sync",
+        }
+        assert set(solution_names()) == expected
+
+    def test_unknown_solution_rejected(self):
+        with pytest.raises(ConfigError):
+            make_engine("magic", "gups", SCALE)
+
+    @pytest.mark.parametrize("solution", solution_names())
+    def test_every_solution_runs(self, solution):
+        eng = make_engine(solution, "gups", SCALE, seed=1)
+        result = eng.run(3)
+        assert result.total_time > 0
+        assert result.label == solution
+
+    def test_ablation_flags_applied(self):
+        assert make_engine("mtm-no-amr", "gups", SCALE).profiler.config.adaptive_regions is False
+        assert make_engine("mtm-no-aps", "gups", SCALE).profiler.config.adaptive_sampling is False
+        assert make_engine("mtm-no-oc", "gups", SCALE).profiler.config.overhead_control is False
+        assert make_engine("mtm-no-pebs", "gups", SCALE).profiler.config.use_pebs is False
+        assert make_engine("mtm-sync", "gups", SCALE).mechanism.force_sync is True
+
+    def test_workload_object_accepted(self):
+        workload = build_workload("voltdb", SCALE, seed=2)
+        eng = make_engine("first-touch", workload, SCALE, seed=2)
+        assert eng.workload is workload
+
+    def test_spec_descriptions(self):
+        for spec in SOLUTIONS.values():
+            assert spec.description
+
+
+class TestMtmManager:
+    def test_quickstart_flow(self):
+        manager = MtmManager(scale=SCALE)
+        result = manager.run(build_workload("gups", SCALE, seed=1), num_intervals=5)
+        assert result.total_time > 0
+        assert len(result.records) == 5
+
+    def test_step_api(self):
+        manager = MtmManager(scale=SCALE)
+        manager.attach(build_workload("gups", SCALE, seed=1))
+        record = manager.step()
+        assert record.index == 0
+        assert manager.result().records
+
+    def test_engine_before_attach_rejected(self):
+        with pytest.raises(ConfigError):
+            _ = MtmManager(scale=SCALE).engine
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MtmSystemConfig(scale=0)
+        with pytest.raises(ConfigError):
+            MtmSystemConfig(interval=-1.0)
+
+    def test_custom_topology(self):
+        topo = optane_4tier(SCALE)
+        manager = MtmManager(topology=topo, scale=SCALE)
+        assert manager.topology is topo

@@ -1,0 +1,55 @@
+"""Documentation policy: every public item is documented.
+
+A public function/class/module must carry a docstring unless it is
+(a) an override of an interface method whose contract is documented on
+the base class (``setup``/``profile``/``decide``/``timing``/...), or
+(b) a trivial accessor (two statements or fewer) whose name says it all.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+
+#: Interface methods documented on their ABCs / protocol classes.
+DOCUMENTED_CONTRACTS = {
+    "setup", "profile", "decide", "timing", "build", "segments",
+    "next_batch", "hot_pages", "vmas", "footprint_pages",
+    "wants_profiling", "place", "memory_overhead_bytes",
+}
+
+
+def _is_trivial(node: ast.AST) -> bool:
+    body = [n for n in node.body if not isinstance(n, (ast.Expr,))] or node.body
+    return len(node.body) <= 2
+
+
+def _public_items(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                yield node
+
+
+def test_every_module_has_a_docstring():
+    undocumented = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        if not ast.get_docstring(tree):
+            undocumented.append(str(path))
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_public_items_are_documented():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in _public_items(tree):
+            if ast.get_docstring(node):
+                continue
+            if node.name in DOCUMENTED_CONTRACTS:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_trivial(node):
+                continue
+            offenders.append(f"{path.relative_to(SRC.parent.parent)}:{node.lineno} {node.name}")
+    assert not offenders, "undocumented public items:\n" + "\n".join(offenders)

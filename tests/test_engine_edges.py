@@ -1,0 +1,175 @@
+"""Edge cases and failure paths of the engine and manager wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import make_engine
+from repro.errors import ConfigError
+from repro.hw.topology import uniform_topology
+from repro.policy.first_touch import FirstTouchPolicy
+from repro.sim.costmodel import CostParams
+from repro.sim.engine import SimulationEngine
+from repro.units import MiB
+from repro.workloads.registry import build_workload
+
+SCALE = 1.0 / 512.0
+
+
+class TestEngineValidation:
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationEngine(
+                topology=uniform_topology([64 * MiB]),
+                workload=build_workload("gups", SCALE, seed=1),
+                policy=FirstTouchPolicy(),
+                placement="telepathy",
+                cost_params=CostParams().with_scale(SCALE),
+            )
+
+    def test_hmc_requires_dram(self):
+        from repro.hw.tier import MemoryKind
+        from repro.hw.topology import AccessCost, MemoryComponent, TierTopology
+        from repro.units import gb_per_s, ns
+
+        pm_only = TierTopology(
+            components=(
+                MemoryComponent(0, "pm0", MemoryKind.PM, 64 * MiB, socket=0),
+            ),
+            costs={(0, 0): AccessCost(ns(275), gb_per_s(35))},
+            num_sockets=1,
+        )
+        with pytest.raises(ConfigError):
+            SimulationEngine(
+                topology=pm_only,
+                workload=build_workload("gups", SCALE, seed=1),
+                policy=FirstTouchPolicy(),
+                placement="pm_only",
+                hmc=True,
+                cost_params=CostParams().with_scale(SCALE),
+            )
+
+    def test_pm_only_placement_requires_pm(self):
+        dram_only = uniform_topology([512 * MiB])  # tier 1 is DRAM kind
+        from repro.hw.tier import MemoryKind
+
+        # uniform_topology marks tier 1 DRAM and the rest PM; single tier
+        # means no PM at all.
+        assert dram_only.component(0).kind == MemoryKind.DRAM
+        with pytest.raises(ConfigError):
+            SimulationEngine(
+                topology=dram_only,
+                workload=build_workload("gups", SCALE, seed=1),
+                policy=FirstTouchPolicy(),
+                placement="pm_only",
+                cost_params=CostParams().with_scale(SCALE),
+            )
+
+
+class TestRecordFields:
+    def test_promotion_demotion_recorded_per_interval(self):
+        engine = make_engine("mtm", "gups", SCALE, seed=1)
+        totals = {"promoted": 0, "demoted": 0}
+        for _ in range(25):
+            record = engine.step()
+            totals["promoted"] += record.promoted_pages
+            totals["demoted"] += record.demoted_pages
+        log = engine.planner.log
+        assert totals["promoted"] == log.promoted_pages
+        assert totals["demoted"] == log.demoted_pages
+
+    def test_interval_total_time_matches_components(self):
+        engine = make_engine("mtm", "gups", SCALE, seed=1)
+        record = engine.step()
+        assert record.total_time == pytest.approx(
+            record.app_time + record.profiling_time + record.migration_time
+        )
+
+    def test_region_count_tracks_profiler(self):
+        engine = make_engine("mtm", "gups", SCALE, seed=1)
+        record = engine.step()
+        assert record.region_count == len(engine.profiler.regions)
+
+
+class TestWorkloadEngineEdges:
+    def test_small_interval_counts_work_for_all_solutions(self):
+        for solution in ("hmc", "damon", "thermostat", "hemem"):
+            result = make_engine(solution, "cassandra", SCALE, seed=2).run(2)
+            assert result.total_time > 0
+
+    def test_footprint_larger_than_machine_rejected(self):
+        from repro.errors import CapacityError
+
+        tiny = uniform_topology([8 * MiB, 8 * MiB])
+        with pytest.raises((ConfigError, CapacityError)):
+            SimulationEngine(
+                topology=tiny,
+                workload=build_workload("gups", SCALE, seed=1),  # ~1 GiB
+                policy=FirstTouchPolicy(),
+                cost_params=CostParams().with_scale(SCALE),
+            )
+
+
+class TestHmcAccounting:
+    def test_hmc_app_time_tracks_cache_stats(self):
+        engine = make_engine("hmc", "gups", SCALE, seed=4)
+        engine.run(6)
+        stats = engine.dram_cache.stats
+        assert stats.accesses > 0
+        assert stats.misses > 0  # cold footprint exceeds the cache
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_hmc_write_amplification_positive(self):
+        engine = make_engine("hmc", "gups", SCALE, seed=4)
+        engine.run(6)
+        assert engine.dram_cache.stats.write_amplification > 0.0
+
+    def test_hmc_never_migrates(self):
+        engine = make_engine("hmc", "gups", SCALE, seed=4)
+        result = engine.run(4)
+        assert result.migration_log.orders_executed == 0
+
+
+class TestChunkedMigration:
+    def test_partial_write_only_switches_some_chunks(self):
+        """A large order with writes on one huge page must not drag the
+        whole order to the synchronous path."""
+        import numpy as np
+        from repro.hw.frames import FrameAccountant
+        from repro.hw.topology import optane_4tier
+        from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism
+        from repro.migrate.planner import MigrationPlanner
+        from repro.mm.mmu import Mmu
+        from repro.mm.pagetable import PageTable
+        from repro.policy.base import MigrationOrder
+        from repro.sim.costmodel import CostModel, CostParams
+        from repro.sim.trace import AccessBatch
+        from repro.units import PAGES_PER_HUGE_PAGE as R
+
+        topo = optane_4tier(SCALE)
+        cm = CostModel(topo, CostParams())
+        frames = FrameAccountant(topo)
+        pt = PageTable(8 * R)
+        pt.map_range(0, 8 * R, node=2, huge=True)
+        frames.allocate(2, 8 * R)
+        mmu = Mmu(pt)
+        # Writes land only on the first huge page.
+        mmu.begin_interval(AccessBatch(
+            pages=np.array([0]),
+            counts=np.array([10_000]),
+            writes=np.array([10_000]),
+        ))
+        planner = MigrationPlanner(
+            pt, frames,
+            MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(0)),
+            interval=1e-6,  # enormous write rate on the written chunk
+        )
+        order = MigrationOrder(
+            pages=np.arange(0, 8 * R, dtype=np.int64), src_node=2, dst_node=0
+        )
+        timing = planner.execute([order], mmu)
+        # The written chunk fell back to sync (copy on critical), but the
+        # other seven chunks kept their copy in the background.
+        assert timing.switched_to_sync
+        assert timing.background.copy > 0
+        assert timing.critical.copy > 0
+        assert timing.background.copy > timing.critical.copy

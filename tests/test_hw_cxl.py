@@ -1,0 +1,67 @@
+"""Tests for the CXL-expander topology (the paper's motivating trend)."""
+
+import pytest
+
+from repro.core.baselines import make_engine
+from repro.errors import ConfigError
+from repro.hw.tier import MemoryKind
+from repro.hw.topology import cxl_topology
+
+SCALE = 1.0 / 512.0
+
+
+class TestCxlTopology:
+    def test_three_tiers_two_sockets(self):
+        topo = cxl_topology(SCALE)
+        assert topo.num_tiers == 3
+        assert topo.num_sockets == 2
+
+    def test_expander_is_cpuless(self):
+        topo = cxl_topology(SCALE)
+        cxl = topo.component(2)
+        assert cxl.kind == MemoryKind.CXL
+        assert cxl.socket is None
+
+    def test_expander_is_slowest_in_both_views(self):
+        topo = cxl_topology(SCALE)
+        assert topo.view(0).node_at_tier(3) == 2
+        assert topo.view(1).node_at_tier(3) == 2
+
+    def test_symmetric_link_cost(self):
+        topo = cxl_topology(SCALE)
+        assert topo.cost(0, 2) == topo.cost(1, 2)
+
+    def test_custom_link_parameters(self):
+        topo = cxl_topology(SCALE, expander_latency_ns=400, expander_bandwidth_gbs=10)
+        assert topo.cost(0, 2).latency == pytest.approx(400e-9)
+        assert topo.cost(0, 2).bandwidth == pytest.approx(10e9)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            cxl_topology(0)
+
+
+class TestCxlEndToEnd:
+    def test_mtm_manages_a_cxl_machine(self):
+        topo = cxl_topology(SCALE)
+        engine = make_engine("mtm", "gups", scale=SCALE, topology=topo, seed=4)
+        result = engine.run(30)
+        assert result.total_time > 0
+        # The PEBS filter treats the CXL expander as a slow (non-DRAM) tier.
+        assert engine.profiler.slowest_nodes == frozenset({2})
+
+    def test_mtm_beats_first_touch_on_cxl(self):
+        times = {}
+        for solution in ("first-touch", "mtm"):
+            engine = make_engine(
+                solution, "gups", scale=SCALE, topology=cxl_topology(SCALE), seed=4
+            )
+            times[solution] = engine.run(50).total_time
+        assert times["mtm"] < times["first-touch"] * 1.02
+
+    def test_promotions_leave_the_expander(self):
+        topo = cxl_topology(SCALE)
+        engine = make_engine("mtm", "gups", scale=SCALE, topology=topo, seed=4)
+        start_on_cxl = engine.space.page_table.pages_on_node(2)
+        engine.run(40)
+        assert engine.space.page_table.pages_on_node(2) < start_on_cxl

@@ -1,0 +1,100 @@
+"""Unit tests for the hardware-managed DRAM cache (HMC baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.dram_cache import DramCache
+
+
+def batch(pages, counts=None, writes=None):
+    pages = np.asarray(pages, dtype=np.int64)
+    if counts is None:
+        counts = np.ones_like(pages)
+    if writes is None:
+        writes = np.zeros_like(pages)
+    return pages, np.asarray(counts, dtype=np.int64), np.asarray(writes, dtype=np.int64)
+
+
+class TestBasics:
+    def test_first_touch_misses_then_hits(self):
+        cache = DramCache(num_sets=16)
+        hits, misses = cache.access_batch(*batch([3], counts=[5]))
+        assert (hits, misses) == (4, 1)
+        hits, misses = cache.access_batch(*batch([3], counts=[2]))
+        assert (hits, misses) == (2, 0)
+
+    def test_conflict_eviction(self):
+        cache = DramCache(num_sets=4)
+        cache.access_batch(*batch([1]))
+        cache.access_batch(*batch([5]))  # 5 % 4 == 1: evicts page 1
+        assert not cache.resident(1)
+        assert cache.resident(5)
+
+    def test_resident_query(self):
+        cache = DramCache(num_sets=8)
+        assert not cache.resident(2)
+        cache.access_batch(*batch([2]))
+        assert cache.resident(2)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            DramCache(num_sets=0)
+        with pytest.raises(ConfigError):
+            DramCache(num_sets=4, block_pages=0)
+        with pytest.raises(ConfigError):
+            DramCache(num_sets=4, block_bytes=0)
+
+
+class TestWriteBacks:
+    def test_dirty_victim_writes_back(self):
+        cache = DramCache(num_sets=4)
+        cache.access_batch(*batch([1], counts=[1], writes=[1]))  # dirty
+        cache.access_batch(*batch([5]))  # evicts dirty page 1
+        assert cache.stats.writebacks == 1
+
+    def test_clean_victim_does_not_write_back(self):
+        cache = DramCache(num_sets=4)
+        cache.access_batch(*batch([1]))
+        cache.access_batch(*batch([5]))
+        assert cache.stats.writebacks == 0
+
+    def test_flush_writes_back_dirty_only(self):
+        cache = DramCache(num_sets=8)
+        cache.access_batch(*batch([0, 1, 2], writes=[1, 0, 1]))
+        assert cache.flush() == 2
+        assert not cache.resident(0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = DramCache(num_sets=16)
+        cache.access_batch(*batch([1], counts=[10]))
+        assert cache.stats.hit_rate == pytest.approx(0.9)
+
+    def test_write_amplification_grows_with_misses(self):
+        small = DramCache(num_sets=2)
+        for page in range(64):
+            small.access_batch(*batch([page], writes=[1]))
+        assert small.stats.write_amplification > 0.5
+
+    def test_block_bytes_scales_traffic(self):
+        a = DramCache(num_sets=2, block_bytes=256)
+        b = DramCache(num_sets=2, block_bytes=4096)
+        for cache in (a, b):
+            for page in range(8):
+                cache.access_batch(*batch([page]))
+        assert b.stats.bytes_fetched == 16 * a.stats.bytes_fetched
+
+    def test_validation_of_batch_shapes(self):
+        cache = DramCache(num_sets=4)
+        with pytest.raises(ConfigError):
+            cache.access_batch(np.array([1, 2]), np.array([1]), np.array([0]))
+        with pytest.raises(ConfigError):
+            cache.access_batch(np.array([1]), np.array([1]), np.array([2]))
+        with pytest.raises(ConfigError):
+            cache.access_batch(np.array([1]), np.array([0]), np.array([0]))
+
+    def test_empty_batch_is_noop(self):
+        cache = DramCache(num_sets=4)
+        assert cache.access_batch(*batch([])) == (0, 0)

@@ -1,0 +1,90 @@
+"""Unit tests for per-component frame accounting."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import uniform_topology
+from repro.units import MiB, PAGE_SIZE
+
+
+@pytest.fixture
+def topo():
+    return uniform_topology([4 * MiB, 8 * MiB])
+
+
+@pytest.fixture
+def frames(topo):
+    return FrameAccountant(topo)
+
+
+class TestAllocation:
+    def test_initially_empty(self, frames):
+        assert frames.used_pages(0) == 0
+        assert frames.free_pages(0) == 4 * MiB // PAGE_SIZE
+
+    def test_allocate_and_release(self, frames):
+        frames.allocate(0, 100)
+        assert frames.used_pages(0) == 100
+        frames.release(0, 40)
+        assert frames.used_pages(0) == 60
+
+    def test_allocate_beyond_capacity_raises(self, frames):
+        with pytest.raises(CapacityError):
+            frames.allocate(0, 4 * MiB // PAGE_SIZE + 1)
+
+    def test_release_more_than_used_raises(self, frames):
+        frames.allocate(0, 10)
+        with pytest.raises(CapacityError):
+            frames.release(0, 11)
+
+    def test_negative_counts_rejected(self, frames):
+        with pytest.raises(ConfigError):
+            frames.allocate(0, -1)
+        with pytest.raises(ConfigError):
+            frames.release(0, -1)
+
+    def test_unknown_node_rejected(self, frames):
+        with pytest.raises(ConfigError):
+            frames.allocate(7, 1)
+
+
+class TestMove:
+    def test_move_transfers_accounting(self, frames):
+        frames.allocate(0, 50)
+        frames.move(0, 1, 30)
+        assert frames.used_pages(0) == 20
+        assert frames.used_pages(1) == 30
+
+    def test_move_respects_destination_capacity(self, frames):
+        frames.allocate(0, 50)
+        frames.allocate(1, frames.capacity_pages(1))
+        with pytest.raises(CapacityError):
+            frames.move(0, 1, 10)
+
+
+class TestQueries:
+    def test_utilization(self, frames):
+        cap = frames.capacity_pages(0)
+        frames.allocate(0, cap // 2)
+        assert frames.utilization(0) == pytest.approx(0.5)
+
+    def test_can_fit(self, frames):
+        assert frames.can_fit(0, frames.capacity_pages(0))
+        assert not frames.can_fit(0, frames.capacity_pages(0) + 1)
+
+    def test_snapshot(self, frames):
+        frames.allocate(1, 7)
+        snap = frames.snapshot()
+        assert snap[1][0] == 7
+        assert snap[0][0] == 0
+
+
+class TestReservedFraction:
+    def test_reserve_shrinks_usable(self, topo):
+        frames = FrameAccountant(topo, reserved_fraction=0.5)
+        assert frames.capacity_pages(0) == (4 * MiB // PAGE_SIZE) // 2
+
+    def test_invalid_reserve_rejected(self, topo):
+        with pytest.raises(ConfigError):
+            FrameAccountant(topo, reserved_fraction=1.0)

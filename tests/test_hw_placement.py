@@ -1,0 +1,95 @@
+"""Unit tests for initial placement strategies."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hw.frames import FrameAccountant
+from repro.hw.placement import (
+    Placer,
+    TierOrderPlacer,
+    first_touch_placer,
+    slow_tier_first_placer,
+)
+from repro.hw.topology import optane_4tier, uniform_topology
+from repro.units import MiB, PAGES_PER_HUGE_PAGE
+
+
+@pytest.fixture
+def topo():
+    return uniform_topology([8 * MiB, 16 * MiB, 64 * MiB])
+
+
+class TestPlacer:
+    def test_single_node(self):
+        placer = Placer(node=2)
+        assert placer.place(100) == [(100, 2)]
+
+    def test_charges_frames_when_given(self, topo):
+        frames = FrameAccountant(topo)
+        placer = Placer(node=0, frames=frames)
+        placer.place(64)
+        assert frames.used_pages(0) == 64
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            Placer(0).place(0)
+
+
+class TestTierOrderPlacer:
+    def test_spills_in_preference_order(self, topo):
+        frames = FrameAccountant(topo)
+        placer = TierOrderPlacer(topo, frames, preference=[0, 1, 2])
+        cap0 = frames.capacity_pages(0)
+        chunks = placer.place(cap0 + 512)
+        assert chunks[0][1] == 0
+        assert chunks[-1][1] == 1
+        assert sum(n for n, _ in chunks) == cap0 + 512
+
+    def test_spill_boundary_huge_aligned(self, topo):
+        frames = FrameAccountant(topo)
+        frames.allocate(0, frames.capacity_pages(0) - 100)  # leave odd room
+        placer = TierOrderPlacer(topo, frames, preference=[0, 1])
+        chunks = placer.place(1024)
+        # chunk on node 0 must be huge aligned (100 -> 0, skipped entirely)
+        for npages, node in chunks[:-1]:
+            assert npages % PAGES_PER_HUGE_PAGE == 0
+
+    def test_out_of_memory_raises(self, topo):
+        frames = FrameAccountant(topo)
+        placer = TierOrderPlacer(topo, frames, preference=[0])
+        with pytest.raises(CapacityError):
+            placer.place(frames.capacity_pages(0) + 1)
+
+    def test_empty_preference_rejected(self, topo):
+        with pytest.raises(ConfigError):
+            TierOrderPlacer(topo, FrameAccountant(topo), preference=[])
+
+
+class TestCanonicalPlacers:
+    def test_first_touch_prefers_fastest(self):
+        topo = optane_4tier(1 / 512)
+        frames = FrameAccountant(topo)
+        placer = first_touch_placer(topo, frames, socket=0)
+        assert placer.preference == [0, 1, 2, 3]
+
+    def test_first_touch_socket1_view(self):
+        topo = optane_4tier(1 / 512)
+        frames = FrameAccountant(topo)
+        placer = first_touch_placer(topo, frames, socket=1)
+        assert placer.preference == [1, 0, 3, 2]
+
+    def test_slow_tier_first_starts_at_local_pm(self):
+        topo = optane_4tier(1 / 512)
+        frames = FrameAccountant(topo)
+        placer = slow_tier_first_placer(topo, frames, socket=0)
+        # local slow (pm0=2) first, then remaining slowest->fastest
+        assert placer.preference[0] == 2
+        assert set(placer.preference) == {0, 1, 2, 3}
+
+    def test_slow_tier_first_two_tier(self):
+        from repro.hw.topology import optane_2tier
+
+        topo = optane_2tier(1 / 512)
+        frames = FrameAccountant(topo)
+        placer = slow_tier_first_placer(topo, frames, socket=0)
+        assert placer.preference == [1, 0]

@@ -1,0 +1,50 @@
+"""Unit tests for memory components and access costs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.tier import AccessCost, MemoryComponent, MemoryKind
+from repro.units import GiB, MiB, PAGE_SIZE, gb_per_s, ns
+
+
+class TestAccessCost:
+    def test_transfer_time_combines_latency_and_bandwidth(self):
+        cost = AccessCost(latency=ns(100), bandwidth=gb_per_s(1))
+        assert cost.transfer_time(0) == pytest.approx(100e-9)
+        assert cost.transfer_time(10**9) == pytest.approx(100e-9 + 1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            AccessCost(latency=0, bandwidth=gb_per_s(1))
+        with pytest.raises(ConfigError):
+            AccessCost(latency=ns(1), bandwidth=0)
+
+    def test_transfer_rejects_negative_size(self):
+        cost = AccessCost(latency=ns(100), bandwidth=gb_per_s(1))
+        with pytest.raises(ConfigError):
+            cost.transfer_time(-1)
+
+    def test_sort_key_orders_by_latency_then_bandwidth(self):
+        fast = AccessCost(latency=ns(90), bandwidth=gb_per_s(95))
+        slow = AccessCost(latency=ns(275), bandwidth=gb_per_s(35))
+        same_latency_more_bw = AccessCost(latency=ns(90), bandwidth=gb_per_s(100))
+        assert fast.sort_key() < slow.sort_key()
+        assert same_latency_more_bw.sort_key() < fast.sort_key()
+
+
+class TestMemoryComponent:
+    def test_capacity_pages(self):
+        c = MemoryComponent(0, "dram0", MemoryKind.DRAM, 8 * MiB, socket=0)
+        assert c.capacity_pages == 8 * MiB // PAGE_SIZE
+
+    def test_rejects_unaligned_capacity(self):
+        with pytest.raises(ConfigError):
+            MemoryComponent(0, "bad", MemoryKind.DRAM, PAGE_SIZE + 1)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            MemoryComponent(0, "bad", MemoryKind.DRAM, 0)
+
+    def test_cpuless_component_has_no_socket(self):
+        c = MemoryComponent(4, "cxl0", MemoryKind.CXL, 1 * GiB)
+        assert c.socket is None

@@ -1,0 +1,130 @@
+"""Unit tests for tier topologies and per-socket views."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.tier import AccessCost, MemoryComponent, MemoryKind
+from repro.hw.topology import (
+    TierTopology,
+    optane_2tier,
+    optane_4tier,
+    uniform_topology,
+)
+from repro.units import MiB, gb_per_s, ns
+
+
+class TestOptane4Tier:
+    def test_table1_view_from_socket0(self):
+        topo = optane_4tier(1 / 256)
+        view = topo.view(0)
+        # tier1 local DRAM, tier2 remote DRAM, tier3 local PM, tier4 remote PM
+        assert view.ranked_nodes == (0, 1, 2, 3)
+
+    def test_multi_view_is_symmetric(self):
+        topo = optane_4tier(1 / 256)
+        assert topo.view(1).ranked_nodes == (1, 0, 3, 2)
+
+    def test_table1_latencies(self):
+        topo = optane_4tier(1 / 256)
+        assert topo.cost(0, 0).latency == pytest.approx(90e-9)
+        assert topo.cost(0, 1).latency == pytest.approx(145e-9)
+        assert topo.cost(0, 2).latency == pytest.approx(275e-9)
+        assert topo.cost(0, 3).latency == pytest.approx(340e-9)
+
+    def test_table1_bandwidths(self):
+        topo = optane_4tier(1 / 256)
+        assert topo.cost(0, 0).bandwidth == pytest.approx(95e9)
+        assert topo.cost(0, 3).bandwidth == pytest.approx(1e9)
+
+    def test_capacity_ratio_preserved_across_scales(self):
+        big = optane_4tier(1.0)
+        small = optane_4tier(1 / 128)
+        ratio_big = big.component(2).capacity / big.component(0).capacity
+        ratio_small = small.component(2).capacity / small.component(0).capacity
+        assert ratio_small == pytest.approx(ratio_big, rel=0.02)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigError):
+            optane_4tier(0)
+
+    def test_tier_of_and_node_at_tier_roundtrip(self):
+        view = optane_4tier(1 / 256).view(0)
+        for tier in range(1, 5):
+            assert view.tier_of(view.node_at_tier(tier)) == tier
+
+    def test_node_at_tier_bounds(self):
+        view = optane_4tier(1 / 256).view(0)
+        with pytest.raises(ConfigError):
+            view.node_at_tier(0)
+        with pytest.raises(ConfigError):
+            view.node_at_tier(5)
+
+
+class TestOptane2Tier:
+    def test_two_tiers_single_socket(self):
+        topo = optane_2tier(1 / 256)
+        assert topo.num_tiers == 2
+        assert topo.num_sockets == 1
+        assert topo.view(0).ranked_nodes == (0, 1)
+
+    def test_kinds(self):
+        topo = optane_2tier(1 / 256)
+        assert topo.component(0).kind == MemoryKind.DRAM
+        assert topo.component(1).kind == MemoryKind.PM
+
+
+class TestUniformTopology:
+    def test_defaults_build_a_ladder(self):
+        topo = uniform_topology([8 * MiB, 16 * MiB, 32 * MiB])
+        assert topo.num_tiers == 3
+        view = topo.view(0)
+        assert view.ranked_nodes == (0, 1, 2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            uniform_topology([8 * MiB], latencies_ns=[100, 200])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            uniform_topology([])
+
+
+class TestTopologyValidation:
+    def _component(self, node_id: int) -> MemoryComponent:
+        return MemoryComponent(node_id, f"m{node_id}", MemoryKind.DRAM, 8 * MiB, socket=0)
+
+    def test_missing_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            TierTopology(
+                components=(self._component(0), self._component(1)),
+                costs={(0, 0): AccessCost(ns(100), gb_per_s(10))},
+                num_sockets=1,
+            )
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            TierTopology(
+                components=(self._component(0), self._component(0)),
+                costs={(0, 0): AccessCost(ns(100), gb_per_s(10))},
+                num_sockets=1,
+            )
+
+    def test_copy_cost_uses_slower_link(self):
+        topo = optane_4tier(1 / 256)
+        copy = topo.copy_cost(2, 0)  # PM -> DRAM
+        assert copy.bandwidth == pytest.approx(35e9)
+        assert copy.latency == pytest.approx((275 + 90) * 1e-9)
+
+    def test_total_capacity(self):
+        topo = uniform_topology([8 * MiB, 16 * MiB])
+        assert topo.total_capacity() == 24 * MiB
+
+    def test_unknown_socket_rejected(self):
+        topo = uniform_topology([8 * MiB])
+        with pytest.raises(ConfigError):
+            topo.view(3)
+
+    def test_unknown_node_rejected(self):
+        topo = uniform_topology([8 * MiB])
+        with pytest.raises(ConfigError):
+            topo.component(9)

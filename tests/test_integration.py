@@ -1,0 +1,148 @@
+"""End-to-end integration tests: the paper's headline behaviours.
+
+These run full engine loops (small machines, tens of intervals) and
+assert the *qualitative* results the paper reports — MTM beats the
+baselines, profiling stays within budget, demotion engages under
+pressure, the multi-view machinery routes pages to the accessor's socket.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import make_engine
+from repro.hw.topology import optane_2tier, optane_4tier
+from repro.workloads.registry import build_workload
+
+SCALE = 1.0 / 512.0
+INTERVALS = 60
+
+
+@pytest.fixture(scope="module")
+def gups_results():
+    """One run per solution on the same GUPS workload."""
+    results = {}
+    for solution in ("first-touch", "hmc", "tiered-autonuma", "mtm"):
+        engine = make_engine(solution, "gups", scale=SCALE, seed=11)
+        results[solution] = engine.run(INTERVALS)
+    return results
+
+
+class TestHeadline:
+    def test_mtm_beats_first_touch_on_gups(self, gups_results):
+        assert gups_results["mtm"].total_time < gups_results["first-touch"].total_time
+
+    def test_mtm_beats_hmc(self, gups_results):
+        assert gups_results["mtm"].total_time < gups_results["hmc"].total_time
+
+    def test_mtm_beats_tiered_autonuma(self, gups_results):
+        assert gups_results["mtm"].total_time < gups_results["tiered-autonuma"].total_time
+
+    def test_mtm_has_highest_fast_tier_share(self, gups_results):
+        mtm = gups_results["mtm"].fast_tier_share()
+        for name, result in gups_results.items():
+            if name not in ("mtm", "hmc"):  # HMC hides DRAM from software
+                assert mtm >= result.fast_tier_share()
+
+    def test_profiling_overhead_within_budget(self, gups_results):
+        result = gups_results["mtm"]
+        assert result.breakdown()["profiling"] <= 0.07 * result.total_time
+
+    def test_async_copy_overlaps_application(self, gups_results):
+        """MTM's copies run in the background (GUPS is 50% writes, so some
+        moves fall back to sync — but substantial work must overlap)."""
+        result = gups_results["mtm"]
+        assert result.clock.background_time > 0
+        log = result.migration_log
+        assert log.sync_switches < log.orders_executed  # not all fell back
+
+
+class TestDriftTracking:
+    def test_mtm_tracks_a_sliding_hot_set(self):
+        engine = make_engine("mtm", "gups", scale=SCALE, seed=5)
+        workload = engine.workload
+        page_table = engine.space.page_table
+        fastest = engine.topology.view(0).node_at_tier(1)
+        coverage = []
+        for _ in range(INTERVALS):
+            engine.step()
+            hot = workload.hot_pages()
+            on_fast = np.count_nonzero(page_table.node[hot] == fastest)
+            coverage.append(on_fast / hot.size)
+        # Coverage climbs from zero (slow-tier-first start) and stays up
+        # across drift events.
+        assert coverage[0] < 0.2
+        assert np.mean(coverage[-10:]) > 0.4
+
+
+class TestDemotionPressure:
+    def test_demotions_engage_once_fast_tier_fills(self):
+        engine = make_engine("mtm", "gups", scale=SCALE, seed=5)
+        engine.run(INTERVALS)
+        log = engine.planner.log
+        assert log.demoted_pages > 0
+        # Accounting stays exact under heavy churn.
+        engine.planner.sanity_check()
+
+    def test_capacity_never_exceeded(self):
+        engine = make_engine("mtm", "cassandra", scale=SCALE, seed=5)
+        for _ in range(30):
+            engine.step()
+            for node in engine.topology.node_ids:
+                used = engine.frames.used_pages(node)
+                assert used <= engine.frames.capacity_pages(node)
+
+
+class TestMultiView:
+    def test_remote_accessors_pull_pages_to_their_socket(self):
+        """GUPS issuing all accesses from socket 1 must see its early
+        promotions land on socket 1's DRAM (node 1); socket 0's DRAM is
+        only the overflow tier in that view."""
+        workload = build_workload(
+            "gups", SCALE, seed=6, remote_thread_fraction=1.0
+        )
+        engine = make_engine("mtm", workload, scale=SCALE, seed=6, socket=1)
+        # Stop before the promoted volume can exceed dram1's capacity
+        # (~49k pages at this scale; the budget is 8192 pages/interval).
+        engine.run(5)
+        pt = engine.space.page_table
+        assert pt.pages_on_node(1) > 4 * 8192 * 0.8
+        assert pt.pages_on_node(0) == 0
+
+
+class TestTwoTierParity:
+    def test_mtm_runs_on_two_tier_hm(self):
+        topo = optane_2tier(SCALE)
+        engine = make_engine("mtm", "gups", scale=SCALE, topology=topo, seed=7)
+        result = engine.run(30)
+        assert result.fast_tier_share() > 0.2
+
+    def test_mtm_at_least_matches_hemem_beyond_dram(self):
+        """Sec. 9.6: once the working set exceeds DRAM, MTM sustains
+        performance better than HeMem."""
+        topo = optane_2tier(SCALE)
+        dram = topo.component(0).capacity
+        times = {}
+        for solution in ("hemem", "mtm"):
+            workload = build_workload(
+                "gups", SCALE, seed=8,
+                footprint_bytes=int(dram / SCALE * 1.3),
+            )
+            engine = make_engine(
+                solution, workload, scale=SCALE,
+                topology=optane_2tier(SCALE), seed=8,
+            )
+            times[solution] = engine.run(60).total_time
+        assert times["mtm"] <= times["hemem"] * 1.1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = make_engine("mtm", "voltdb", scale=SCALE, seed=9).run(10)
+        b = make_engine("mtm", "voltdb", scale=SCALE, seed=9).run(10)
+        assert a.total_time == pytest.approx(b.total_time, rel=1e-12)
+        assert a.tier_accesses() == b.tier_accesses()
+
+    def test_different_seed_different_stream(self):
+        a = make_engine("mtm", "voltdb", scale=SCALE, seed=9).run(10)
+        b = make_engine("mtm", "voltdb", scale=SCALE, seed=10).run(10)
+        assert a.total_time != b.total_time

@@ -1,0 +1,54 @@
+"""Tests for the ASCII line plotter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_all_series(self):
+        out = ascii_plot({"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=6)
+        assert "*" in out and "o" in out
+        assert "*=a" in out and "o=b" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot({"a": [0.0, 1.0]}, width=20, height=6, y_label="recall")
+        assert out.startswith("recall")
+        assert "interval" in out
+
+    def test_log_scale(self):
+        out = ascii_plot({"a": [0.001, 0.01, 0.1, 1.0]}, width=20, height=9, logy=True)
+        # On a log axis the four decades are evenly spaced: each point sits
+        # on its own distinct row.
+        rows_with_glyph = [
+            i for i, line in enumerate(out.splitlines())
+            if "|" in line and "*" in line
+        ]
+        assert len(rows_with_glyph) == 4
+
+    def test_log_scale_clamps_zero(self):
+        out = ascii_plot({"a": [0.0, 0.5, 1.0]}, width=20, height=6, logy=True)
+        assert "*" in out
+
+    def test_explicit_limits(self):
+        out = ascii_plot({"a": [0.5]}, width=20, height=6, y_min=0.0, y_max=1.0)
+        assert "1" in out.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_plot({})
+        with pytest.raises(ConfigError):
+            ascii_plot({"a": []})
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_plot({str(i): [1.0] for i in range(9)})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ConfigError):
+            ascii_plot({"a": [1.0]}, width=2, height=2)
+
+    def test_flat_series(self):
+        out = ascii_plot({"a": [2.0, 2.0, 2.0]}, width=20, height=6)
+        assert "*" in out

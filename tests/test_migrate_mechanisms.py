@@ -1,0 +1,122 @@
+"""Unit tests for the migration mechanisms (Sec. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.topology import optane_4tier
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism, MtmMechanismConfig
+from repro.migrate.nimble import NimbleMechanism
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import PAGES_PER_HUGE_PAGE
+
+R = PAGES_PER_HUGE_PAGE
+
+
+@pytest.fixture
+def cm():
+    return CostModel(optane_4tier(1 / 512), CostParams())
+
+
+class TestMovePages:
+    def test_everything_on_critical_path(self, cm):
+        timing = MovePagesMechanism(cm).timing(R, 0, 3)
+        assert timing.background_time == 0.0
+        assert timing.critical_time > 0.0
+
+    def test_copy_dominates_long_moves(self, cm):
+        """Fig. 3: page copy is the most expensive step (~40%) for a 2 MB
+        region moved to the slowest tier."""
+        timing = MovePagesMechanism(cm).timing(R, 0, 3)
+        share = timing.critical.copy / timing.critical_time
+        assert 0.25 < share < 0.6
+
+    def test_scales_with_pages(self, cm):
+        m = MovePagesMechanism(cm)
+        assert m.timing(2 * R, 0, 3).critical_time > m.timing(R, 0, 3).critical_time
+
+    def test_rejects_negative(self, cm):
+        with pytest.raises(ConfigError):
+            MovePagesMechanism(cm).timing(-1, 0, 3)
+
+
+class TestNimble:
+    def test_parallel_copy_beats_move_pages_on_fast_links(self, cm):
+        # The tier-4 link (1 GB/s) is saturated by one thread; the gain
+        # shows on the 35 GB/s DRAM<->local-PM link.
+        mp = MovePagesMechanism(cm).timing(R, 0, 2)
+        nb = NimbleMechanism(cm, copy_threads=4).timing(R, 0, 2)
+        assert nb.critical.copy < mp.critical.copy
+
+    def test_slow_link_saturated_by_one_thread(self, cm):
+        mp = MovePagesMechanism(cm).timing(R, 0, 3)
+        nb = NimbleMechanism(cm, copy_threads=4).timing(R, 0, 3)
+        assert nb.critical.copy == pytest.approx(mp.critical.copy)
+
+    def test_exchange_halves_allocation(self, cm):
+        with_x = NimbleMechanism(cm, exchange=True).timing(R, 0, 3)
+        without = NimbleMechanism(cm, exchange=False).timing(R, 0, 3)
+        assert with_x.critical.allocate == pytest.approx(without.critical.allocate / 2)
+
+    def test_rejects_zero_threads(self, cm):
+        with pytest.raises(ConfigError):
+            NimbleMechanism(cm, copy_threads=0)
+
+
+class TestMoveMemoryRegions:
+    def test_read_only_copy_is_background(self, cm):
+        m = MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(0))
+        timing = m.timing(R, 0, 3, write_rate=0.0)
+        assert not timing.switched_to_sync
+        assert timing.background.copy > 0.0
+        assert timing.critical.copy == 0.0
+        assert timing.critical.dirtiness_tracking > 0.0
+
+    def test_critical_path_beats_move_pages_for_reads(self, cm):
+        """The paper's headline: move_memory_regions() is ~4.4x faster than
+        move_pages() on the critical path for read-only regions."""
+        mp = MovePagesMechanism(cm).timing(R, 0, 3)
+        mmr = MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(0)).timing(
+            R, 0, 3, write_rate=0.0
+        )
+        assert mp.critical_time / mmr.critical_time > 2.0
+
+    def test_heavy_writes_switch_to_sync(self, cm):
+        m = MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(0))
+        timing = m.timing(R, 0, 3, write_rate=1e9)
+        assert timing.switched_to_sync
+        assert timing.critical.copy > 0.0
+        assert timing.extra_copied_pages > 0
+
+    def test_sync_switch_costs_write_protect_fault(self, cm):
+        m = MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(0))
+        timing = m.timing(R, 0, 3, write_rate=1e9)
+        assert timing.critical.dirtiness_tracking >= cm.params.write_protect_fault_cost
+
+    def test_write_intensive_close_to_move_pages(self, cm):
+        """Fig. 11 'W': with writes the adaptive mechanism performs about
+        like the synchronous one (within ~25%)."""
+        mp = MovePagesMechanism(cm).timing(R, 0, 3)
+        mmr = MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(0)).timing(
+            R, 0, 3, write_rate=1e9
+        )
+        assert mmr.critical_time == pytest.approx(mp.critical_time, rel=0.4)
+
+    def test_force_sync_mode(self, cm):
+        m = MoveMemoryRegionsMechanism(cm, force_sync=True)
+        timing = m.timing(R, 0, 3, write_rate=0.0)
+        assert timing.critical.copy > 0.0
+        assert timing.background_time == 0.0
+
+    def test_zero_write_rate_never_switches(self, cm):
+        m = MoveMemoryRegionsMechanism(cm, rng=np.random.default_rng(42))
+        assert not any(
+            m.timing(R, 0, 3, write_rate=0.0).switched_to_sync for _ in range(20)
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MtmMechanismConfig(copy_threads=0)
+        with pytest.raises(ConfigError):
+            MtmMechanismConfig(recopy_fraction=1.5)

@@ -1,0 +1,146 @@
+"""Unit tests for the migration planner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MigrationError
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import optane_4tier
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.planner import MigrationPlanner
+from repro.mm.pagetable import PageTable
+from repro.policy.base import MigrationOrder
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+R = PAGES_PER_HUGE_PAGE
+
+
+@pytest.fixture
+def env():
+    topo = optane_4tier(1 / 512)
+    cm = CostModel(topo, CostParams())
+    frames = FrameAccountant(topo)
+    pt = PageTable(topo.total_capacity() // PAGE_SIZE)
+    planner = MigrationPlanner(pt, frames, MovePagesMechanism(cm))
+    return pt, frames, planner
+
+
+def order(start, npages, src, dst, reason="promotion"):
+    return MigrationOrder(
+        pages=np.arange(start, start + npages, dtype=np.int64),
+        src_node=src,
+        dst_node=dst,
+        reason=reason,
+    )
+
+
+class TestExecute:
+    def test_moves_pages_and_accounting(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(0, R, 2, 0)])
+        assert pt.node_of(0) == 0
+        assert frames.used_pages(0) == R
+        assert frames.used_pages(2) == 0
+        planner.sanity_check()
+
+    def test_skips_stale_orders(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=1)
+        frames.allocate(1, R)
+        planner.execute([order(0, R, 2, 0)])  # claims src=2, actually on 1
+        assert planner.log.orders_skipped == 1
+        assert pt.node_of(0) == 1
+
+    def test_partial_stale_moves_remainder(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        pt.move_pages(np.arange(0, 100), 0)
+        frames.move(2, 0, 100)
+        planner.execute([order(0, R, 2, 3)])
+        assert pt.node_of(0) == 0  # already moved pages untouched
+        assert pt.node_of(200) == 3
+
+    def test_capacity_shortfall_skips(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        frames.allocate(0, frames.free_pages(0))  # tier 1 full
+        planner.execute([order(0, R, 2, 0)])
+        assert planner.log.orders_skipped == 1
+
+    def test_promotion_demotion_accounting(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=2)
+        pt.map_range(R, R, node=0)
+        frames.allocate(2, R)
+        frames.allocate(0, R)
+        planner.execute([
+            order(R, R, 0, 2, reason="demotion"),
+            order(0, R, 2, 0, reason="promotion"),
+        ])
+        assert planner.log.promoted_pages == R
+        assert planner.log.demoted_pages == R
+
+    def test_timing_accumulates(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, 2 * R, node=2)
+        frames.allocate(2, 2 * R)
+        timing = planner.execute([order(0, R, 2, 0), order(R, R, 2, 0)])
+        single = MovePagesMechanism(planner.mechanism.cost_model).timing(R, 2, 0)
+        assert timing.critical_time == pytest.approx(2 * single.critical_time)
+
+
+class TestHugePageTearing:
+    def test_partial_huge_order_splits_page(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=2, huge=True)
+        frames.allocate(2, R)
+        half = MigrationOrder(
+            pages=np.arange(0, R // 2, dtype=np.int64), src_node=2, dst_node=0
+        )
+        planner.execute([half])
+        assert planner.log.huge_pages_torn == 1
+        assert not pt.is_huge(0)
+        assert pt.node_of(0) == 0
+        assert pt.node_of(R - 1) == 2
+
+    def test_whole_huge_order_keeps_thp(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=2, huge=True)
+        frames.allocate(2, R)
+        planner.execute([order(0, R, 2, 0)])
+        assert planner.log.huge_pages_torn == 0
+        assert pt.is_huge(0)
+        assert pt.node_of(0) == 0
+
+
+class TestTimeScale:
+    def test_time_scale_shrinks_charges(self, env):
+        pt, frames, planner = env
+        topo = optane_4tier(1 / 512)
+        cm = CostModel(topo, CostParams())
+        pt2 = PageTable(topo.total_capacity() // PAGE_SIZE)
+        frames2 = FrameAccountant(topo)
+        scaled = MigrationPlanner(pt2, frames2, MovePagesMechanism(cm), time_scale=0.5)
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        pt2.map_range(0, R, node=2)
+        frames2.allocate(2, R)
+        full = planner.execute([order(0, R, 2, 0)])
+        half = scaled.execute([order(0, R, 2, 0)])
+        assert half.critical_time == pytest.approx(full.critical_time * 0.5)
+
+    def test_invalid_time_scale(self, env):
+        pt, frames, planner = env
+        with pytest.raises(MigrationError):
+            MigrationPlanner(pt, frames, planner.mechanism, time_scale=0)
+
+    def test_sanity_check_detects_divergence(self, env):
+        pt, frames, planner = env
+        pt.map_range(0, R, node=2)  # page table has pages, accountant empty
+        with pytest.raises(MigrationError):
+            planner.sanity_check()

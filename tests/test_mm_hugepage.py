@@ -1,0 +1,75 @@
+"""Unit tests for THP planning and population."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace
+from repro.units import PAGES_PER_HUGE_PAGE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(8 * PAGES_PER_HUGE_PAGE)
+
+
+class TestPlan:
+    def test_full_thp_covers_aligned_spans(self, space):
+        vma = space.allocate_vma(2 * PAGES_PER_HUGE_PAGE + 100, "d")
+        plan = ThpManager(huge_fraction=1.0).plan(vma)
+        assert plan.huge_heads.size == 2
+        assert plan.base_pages.size == 100
+        assert plan.total_pages == vma.npages
+
+    def test_disabled_thp_all_base(self, space):
+        vma = space.allocate_vma(2 * PAGES_PER_HUGE_PAGE, "d")
+        plan = ThpManager(enabled=False).plan(vma)
+        assert plan.huge_heads.size == 0
+        assert plan.base_pages.size == vma.npages
+
+    def test_half_fraction(self, space):
+        vma = space.allocate_vma(4 * PAGES_PER_HUGE_PAGE, "d")
+        plan = ThpManager(huge_fraction=0.5).plan(vma)
+        assert plan.huge_heads.size == 2
+
+    def test_small_vma_gets_base_pages(self, space):
+        vma = space.allocate_vma(10, "tiny")
+        plan = ThpManager().plan(vma)
+        assert plan.huge_heads.size == 0
+        assert plan.base_pages.size == 10
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            ThpManager(huge_fraction=1.5)
+
+
+class TestPopulate:
+    def test_populate_maps_everything(self, space):
+        vma = space.allocate_vma(2 * PAGES_PER_HUGE_PAGE + 64, "d")
+        ThpManager().populate(space.page_table, vma, node=1)
+        assert space.page_table.mapped_pages() == vma.npages
+        assert space.page_table.huge_mapped_pages() == 2 * PAGES_PER_HUGE_PAGE
+        assert np.all(space.page_table.node[vma.start : vma.end] == 1)
+
+    def test_nondeterministic_plan_uses_rng(self, space):
+        vma = space.allocate_vma(4 * PAGES_PER_HUGE_PAGE, "d")
+        mgr = ThpManager(huge_fraction=0.5, deterministic=False)
+        plan = mgr.plan(vma, rng=np.random.default_rng(0))
+        assert plan.huge_heads.size == 2
+
+
+class TestCollapsePass:
+    def test_collapse_after_base_mapping(self, space):
+        vma = space.allocate_vma(2 * PAGES_PER_HUGE_PAGE, "d")
+        ThpManager(enabled=False).populate(space.page_table, vma, node=0)
+        collapsed = ThpManager.collapse_pass(space.page_table, vma)
+        assert collapsed == 2
+        assert space.page_table.is_huge(vma.start)
+
+    def test_collapse_skips_cross_node_spans(self, space):
+        vma = space.allocate_vma(PAGES_PER_HUGE_PAGE, "d")
+        half = PAGES_PER_HUGE_PAGE // 2
+        space.page_table.map_range(vma.start, half, node=0)
+        space.page_table.map_range(vma.start + half, half, node=1)
+        assert ThpManager.collapse_pass(space.page_table, vma) == 0

@@ -1,0 +1,58 @@
+"""Unit tests for page-table geometry arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mm.layout import PageTableGeometry, X86_64_GEOMETRY
+
+
+class TestGeometry:
+    def test_x86_defaults(self):
+        g = X86_64_GEOMETRY
+        assert g.levels == 5
+        assert g.entries_per_table == 512
+        assert g.huge_page_pages == 512
+        assert g.region_pages == 512
+
+    def test_span_pages_per_level(self):
+        g = X86_64_GEOMETRY
+        assert g.span_pages(0) == 1  # PTE
+        assert g.span_pages(1) == 512  # PMD
+        assert g.span_pages(2) == 512 * 512  # PUD
+
+    def test_span_bounds(self):
+        with pytest.raises(ConfigError):
+            X86_64_GEOMETRY.span_pages(5)
+        with pytest.raises(ConfigError):
+            X86_64_GEOMETRY.span_pages(-1)
+
+    def test_tables_needed_leaf(self):
+        g = X86_64_GEOMETRY
+        assert g.tables_needed(0) == 0
+        assert g.tables_needed(1) == 1
+        assert g.tables_needed(512) == 1
+        assert g.tables_needed(513) == 2
+
+    def test_tables_needed_pmd_level(self):
+        g = X86_64_GEOMETRY
+        assert g.tables_needed(512 * 512, level=1) == 1
+        assert g.tables_needed(512 * 512 + 1, level=1) == 2
+
+    def test_total_table_pages_monotone(self):
+        g = X86_64_GEOMETRY
+        assert g.total_table_pages(512) <= g.total_table_pages(512 * 513)
+
+    def test_pte_entries_to_scan_mixed(self):
+        g = X86_64_GEOMETRY
+        # 1024 base pages + 2 huge pages (each 1 entry)
+        assert g.pte_entries_to_scan(1024, 1024) == 1024 + 2
+
+    def test_pte_entries_rejects_unaligned_huge(self):
+        with pytest.raises(ConfigError):
+            X86_64_GEOMETRY.pte_entries_to_scan(0, 100)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            PageTableGeometry(levels=1)
+        with pytest.raises(ConfigError):
+            PageTableGeometry(page_shift=13)

@@ -1,0 +1,147 @@
+"""Unit tests for the leaf page table: mapping, huge pages, bits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TranslationError
+from repro.mm.pagetable import PageTable
+from repro.mm.pte import PteFlag
+from repro.units import PAGES_PER_HUGE_PAGE
+
+
+@pytest.fixture
+def pt():
+    return PageTable(4 * PAGES_PER_HUGE_PAGE)
+
+
+class TestMapping:
+    def test_map_and_query(self, pt):
+        pt.map_range(0, 100, node=2)
+        assert pt.is_mapped(0)
+        assert pt.is_mapped(99)
+        assert not pt.is_mapped(100)
+        assert pt.node_of(5) == 2
+
+    def test_double_map_rejected(self, pt):
+        pt.map_range(0, 10, node=0)
+        with pytest.raises(TranslationError):
+            pt.map_range(5, 10, node=1)
+
+    def test_unmap(self, pt):
+        pt.map_range(0, 10, node=0)
+        pt.unmap_range(0, 10)
+        assert not pt.is_mapped(0)
+        assert pt.node_of(0) == -1
+
+    def test_unmap_unmapped_rejected(self, pt):
+        with pytest.raises(TranslationError):
+            pt.unmap_range(0, 10)
+
+    def test_out_of_range_rejected(self, pt):
+        with pytest.raises(ConfigError):
+            pt.map_range(0, pt.n_pages + 1, node=0)
+
+    def test_move_pages_retargets(self, pt):
+        pt.map_range(0, 10, node=0)
+        pt.move_pages(np.arange(0, 5), dst_node=3)
+        assert pt.node_of(0) == 3
+        assert pt.node_of(5) == 0
+
+    def test_move_unmapped_rejected(self, pt):
+        with pytest.raises(TranslationError):
+            pt.move_pages(np.array([0]), dst_node=1)
+
+    def test_pages_on_node(self, pt):
+        pt.map_range(0, 100, node=1)
+        pt.map_range(100, 50, node=2)
+        assert pt.pages_on_node(1) == 100
+        assert pt.pages_on_node(2) == 50
+
+
+class TestHugePages:
+    def test_huge_mapping_requires_alignment(self, pt):
+        with pytest.raises(ConfigError):
+            pt.map_range(1, PAGES_PER_HUGE_PAGE, node=0, huge=True)
+
+    def test_huge_mapping_flags_span(self, pt):
+        pt.map_range(0, PAGES_PER_HUGE_PAGE, node=0, huge=True)
+        assert pt.is_huge(0)
+        assert pt.is_huge(PAGES_PER_HUGE_PAGE - 1)
+        assert pt.huge_mapped_pages() == PAGES_PER_HUGE_PAGE
+
+    def test_entry_index_maps_to_head(self, pt):
+        pt.map_range(0, PAGES_PER_HUGE_PAGE, node=0, huge=True)
+        pt.map_range(PAGES_PER_HUGE_PAGE, 10, node=0)
+        entries = pt.entry_index(np.array([5, 300, PAGES_PER_HUGE_PAGE + 3]))
+        assert entries.tolist() == [0, 0, PAGES_PER_HUGE_PAGE + 3]
+
+    def test_leaf_entries_counts_huge_once(self, pt):
+        pt.map_range(0, PAGES_PER_HUGE_PAGE, node=0, huge=True)
+        pt.map_range(PAGES_PER_HUGE_PAGE, 10, node=0)
+        assert pt.leaf_entries() == 1 + 10
+
+    def test_split_huge_inherits_bits(self, pt):
+        pt.map_range(0, PAGES_PER_HUGE_PAGE, node=0, huge=True)
+        pt.set_accessed(np.array([0]), written=np.array([True]))
+        pt.split_huge(0)
+        assert not pt.is_huge(0)
+        assert bool(pt.has_flag(np.array([511]), PteFlag.ACCESSED)[0])
+        assert bool(pt.has_flag(np.array([511]), PteFlag.DIRTY)[0])
+
+    def test_collapse_huge_folds_bits(self, pt):
+        pt.map_range(0, PAGES_PER_HUGE_PAGE, node=1)
+        pt.set_accessed(np.array([7]))
+        pt.collapse_huge(0)
+        assert pt.is_huge(0)
+        assert bool(pt.has_flag(np.array([0]), PteFlag.ACCESSED)[0])
+        assert not bool(pt.has_flag(np.array([7]), PteFlag.ACCESSED)[0])
+
+    def test_collapse_rejects_cross_node_span(self, pt):
+        pt.map_range(0, 256, node=0)
+        pt.map_range(256, 256, node=1)
+        with pytest.raises(TranslationError):
+            pt.collapse_huge(0)
+
+    def test_unmap_cannot_tear_huge_page(self, pt):
+        pt.map_range(0, 2 * PAGES_PER_HUGE_PAGE, node=0, huge=True)
+        with pytest.raises(TranslationError):
+            pt.unmap_range(100, 100)
+
+    def test_huge_heads(self, pt):
+        pt.map_range(0, 2 * PAGES_PER_HUGE_PAGE, node=0, huge=True)
+        assert pt.huge_heads().tolist() == [0, PAGES_PER_HUGE_PAGE]
+
+    def test_split_non_huge_rejected(self, pt):
+        pt.map_range(0, PAGES_PER_HUGE_PAGE, node=0)
+        with pytest.raises(TranslationError):
+            pt.split_huge(0)
+
+
+class TestAccessBits:
+    def test_set_and_scan_resets(self, pt):
+        pt.map_range(0, 10, node=0)
+        pt.set_accessed(np.array([1, 3]))
+        first = pt.scan_accessed(np.arange(5))
+        assert first.tolist() == [False, True, False, True, False]
+        second = pt.scan_accessed(np.arange(5))
+        assert not second.any()
+
+    def test_scan_without_reset(self, pt):
+        pt.map_range(0, 10, node=0)
+        pt.set_accessed(np.array([2]))
+        pt.scan_accessed(np.array([2]), reset=False)
+        assert pt.scan_accessed(np.array([2]))[0]
+
+    def test_dirty_tracking(self, pt):
+        pt.map_range(0, 4, node=0)
+        pt.set_accessed(np.array([0, 1]), written=np.array([True, False]))
+        dirty = pt.test_and_clear_dirty(np.arange(4))
+        assert dirty.tolist() == [True, False, False, False]
+        assert not pt.test_and_clear_dirty(np.arange(4)).any()
+
+    def test_reserved_flag_roundtrip(self, pt):
+        pt.map_range(0, 4, node=0)
+        pt.set_flag(np.array([2]), PteFlag.RESERVED11)
+        assert pt.has_flag(np.array([2]), PteFlag.RESERVED11)[0]
+        pt.clear_flag(np.array([2]), PteFlag.RESERVED11)
+        assert not pt.has_flag(np.array([2]), PteFlag.RESERVED11)[0]

@@ -1,0 +1,65 @@
+"""Unit tests for TLB and fault accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mm.faults import FaultCounter, FaultKind
+from repro.mm.tlb import Tlb
+
+
+class TestTlb:
+    def test_flush_accumulates(self):
+        tlb = Tlb(flush_cost=1e-6)
+        assert tlb.flush() == pytest.approx(1e-6)
+        tlb.flush()
+        assert tlb.flushes == 2
+        assert tlb.time_spent == pytest.approx(2e-6)
+
+    def test_shootdown_scales_with_pages(self):
+        tlb = Tlb(shootdown_cost=2e-6)
+        cost = tlb.shootdown(10)
+        assert cost == pytest.approx(20e-6)
+        assert tlb.pages_shot_down == 10
+
+    def test_negative_rejected(self):
+        tlb = Tlb()
+        with pytest.raises(ConfigError):
+            tlb.shootdown(-1)
+        with pytest.raises(ConfigError):
+            Tlb(flush_cost=-1)
+
+    def test_reset(self):
+        tlb = Tlb()
+        tlb.flush()
+        tlb.reset()
+        assert tlb.flushes == 0
+        assert tlb.time_spent == 0.0
+
+
+class TestFaultCounter:
+    def test_record_and_total(self):
+        counter = FaultCounter()
+        cost = counter.record(FaultKind.HINT, 3)
+        assert cost == pytest.approx(3 * counter.costs[FaultKind.HINT])
+        assert counter.total() == 3
+
+    def test_total_time_sums_kinds(self):
+        counter = FaultCounter()
+        counter.record(FaultKind.PAGE, 2)
+        counter.record(FaultKind.WRITE_PROTECT, 1)
+        expected = 2 * counter.costs[FaultKind.PAGE] + counter.costs[FaultKind.WRITE_PROTECT]
+        assert counter.total_time() == pytest.approx(expected)
+
+    def test_write_protect_fault_is_40us(self):
+        counter = FaultCounter()
+        assert counter.costs[FaultKind.WRITE_PROTECT] == pytest.approx(40e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FaultCounter().record(FaultKind.PAGE, -1)
+
+    def test_reset(self):
+        counter = FaultCounter()
+        counter.record(FaultKind.PROTECTION, 5)
+        counter.reset()
+        assert counter.total() == 0

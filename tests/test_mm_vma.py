@@ -1,0 +1,69 @@
+"""Unit tests for VMAs and the address space."""
+
+import pytest
+
+from repro.errors import ConfigError, TranslationError
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace, Vma
+from repro.units import PAGES_PER_HUGE_PAGE, PAGE_SIZE
+
+
+class TestVma:
+    def test_basic_properties(self):
+        vma = Vma(start=100, npages=50, name="heap")
+        assert vma.end == 150
+        assert vma.nbytes == 50 * PAGE_SIZE
+        assert vma.contains(100) and vma.contains(149)
+        assert not vma.contains(150)
+
+    def test_pages(self):
+        vma = Vma(start=3, npages=4, name="x")
+        assert vma.pages().tolist() == [3, 4, 5, 6]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            Vma(start=-1, npages=1, name="bad")
+        with pytest.raises(ConfigError):
+            Vma(start=0, npages=0, name="bad")
+
+
+class TestAddressSpace:
+    def test_sequential_huge_aligned_allocation(self):
+        space = AddressSpace(8192)
+        a = space.allocate_vma(100, "a")
+        b = space.allocate_vma(100, "b")
+        assert a.start % PAGES_PER_HUGE_PAGE == 0
+        assert b.start % PAGES_PER_HUGE_PAGE == 0
+        assert b.start >= a.end
+
+    def test_exhaustion_raises(self):
+        space = AddressSpace(1024)
+        with pytest.raises(ConfigError):
+            space.allocate_vma(2048, "big")
+
+    def test_vma_of(self):
+        space = AddressSpace(8192)
+        vma = space.allocate_vma(100, "data")
+        assert space.vma_of(vma.start + 5) is vma
+        with pytest.raises(TranslationError):
+            space.vma_of(vma.end + 1000)
+
+    def test_vma_by_name(self):
+        space = AddressSpace(8192)
+        space.allocate_vma(10, "idx")
+        assert space.vma_by_name("idx").npages == 10
+        with pytest.raises(TranslationError):
+            space.vma_by_name("nope")
+
+    def test_mapped_fraction(self):
+        space = AddressSpace(8192)
+        vma = space.allocate_vma(1024, "d")
+        assert space.mapped_fraction() == 0.0
+        ThpManager().populate(space.page_table, vma, node=0)
+        assert space.mapped_fraction() == pytest.approx(1.0)
+
+    def test_total_vma_pages(self):
+        space = AddressSpace(8192)
+        space.allocate_vma(100, "a")
+        space.allocate_vma(200, "b")
+        assert space.total_vma_pages() == 300

@@ -1,0 +1,82 @@
+"""Tests for the formation-model ablation switches (reproduction-specific)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.topology import optane_4tier
+from repro.mm.hugepage import ThpManager
+from repro.mm.mmu import Mmu
+from repro.mm.vma import AddressSpace
+from repro.perf.pebs import PebsSampler
+from repro.profile.mtm import MtmProfiler, MtmProfilerConfig
+from repro.profile.regions import MemoryRegion, RegionSet
+from repro.sim.costmodel import CostModel, CostParams
+from repro.sim.trace import AccessBatch
+from repro.units import PAGES_PER_HUGE_PAGE
+
+SCALE = 1.0 / 512.0
+R = PAGES_PER_HUGE_PAGE
+
+
+class TestEmaGuardFlag:
+    def _pair(self):
+        blink = MemoryRegion(start=0, npages=R, hi=0.0, whi=2.0)
+        cold = MemoryRegion(start=R, npages=R, hi=0.1, whi=0.05)
+        return RegionSet([blink, cold])
+
+    def test_guard_on_blocks(self):
+        rs = self._pair()
+        assert rs.merge_pass(tau_m=1.0, use_ema_guard=True) == 0
+
+    def test_guard_off_merges(self):
+        rs = self._pair()
+        assert rs.merge_pass(tau_m=1.0, use_ema_guard=False) == 1
+
+
+class TestGuidedSplitFlag:
+    def _profiler(self, **flags):
+        topo = optane_4tier(SCALE)
+        cm = CostModel(topo, CostParams().with_scale(SCALE))
+        return MtmProfiler(
+            cm,
+            MtmProfilerConfig(interval=10 * SCALE, **flags),
+            rng=np.random.default_rng(0),
+        )
+
+    def _drive(self, profiler, intervals=3):
+        space = AddressSpace(8 * R)
+        vma = space.allocate_vma(4 * R, "d")
+        ThpManager().populate(space.page_table, vma, node=2)
+        mmu = Mmu(space.page_table, 2)
+        profiler.setup(space.page_table, [(vma.start, vma.npages)])
+        rng = np.random.default_rng(1)
+        topo = profiler.cost_model.topology
+        pebs = PebsSampler(topo, period=3, rng=rng)
+        for _ in range(intervals):
+            counts = rng.poisson(0.02, vma.npages)
+            counts[2 * R : 3 * R] = rng.poisson(0.3, R)  # one hot huge page
+            touched = np.nonzero(counts)[0]
+            batch = AccessBatch(
+                pages=vma.start + touched.astype(np.int64),
+                counts=counts[touched].astype(np.int64),
+                writes=np.zeros(touched.size, dtype=np.int64),
+            )
+            mmu.begin_interval(batch)
+            profiler.profile(mmu, pebs=pebs)
+        return profiler
+
+    def test_guided_records_hot_entry(self):
+        profiler = self._drive(self._profiler(guided_splits=True))
+        assert any(r.hottest_entry >= 0 for r in profiler.regions)
+
+    def test_unguided_never_records(self):
+        profiler = self._drive(self._profiler(guided_splits=False))
+        assert all(r.hottest_entry == -1 for r in profiler.regions)
+
+    def test_heterogeneity_flag_passthrough(self):
+        on = self._profiler(heterogeneity_guard=True)
+        off = self._profiler(heterogeneity_guard=False)
+        assert on.config.heterogeneity_guard and not off.config.heterogeneity_guard
+        # Both must still run end to end.
+        self._drive(on)
+        self._drive(off)

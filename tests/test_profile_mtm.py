@@ -1,0 +1,187 @@
+"""Unit tests for the MTM adaptive profiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mm.hugepage import ThpManager
+from repro.mm.mmu import Mmu
+from repro.mm.vma import AddressSpace
+from repro.perf.pebs import PebsSampler
+from repro.profile.mtm import MtmProfiler, MtmProfilerConfig
+from repro.profile.quality import evaluate_quality
+from repro.sim.costmodel import CostModel, CostParams
+from repro.sim.trace import AccessBatch
+from repro.hw.topology import optane_4tier
+from repro.units import PAGES_PER_HUGE_PAGE
+
+SCALE = 1.0 / 512.0
+
+
+@pytest.fixture
+def setup():
+    """A small machine with a hot window living on the local PM node."""
+    topo = optane_4tier(SCALE)
+    cm = CostModel(topo, CostParams().with_scale(SCALE))
+    space = AddressSpace(64 * PAGES_PER_HUGE_PAGE)
+    vma = space.allocate_vma(32 * PAGES_PER_HUGE_PAGE, "data")
+    ThpManager().populate(space.page_table, vma, node=2)
+    mmu = Mmu(space.page_table, num_sockets=2)
+    rng = np.random.default_rng(3)
+    pebs = PebsSampler(topo, period=3, rng=rng)
+    return topo, cm, space, vma, mmu, pebs, rng
+
+
+def hot_cold_batch(vma, rng, hot_hugepages=8, hot_rate=0.2, cold_rate=0.015):
+    """First ``hot_hugepages`` spans hot, the rest cold."""
+    hot_pages = hot_hugepages * PAGES_PER_HUGE_PAGE
+    counts_hot = rng.poisson(hot_rate, hot_pages)
+    counts_cold = rng.poisson(cold_rate, vma.npages - hot_pages)
+    counts = np.concatenate([counts_hot, counts_cold])
+    touched = np.nonzero(counts)[0]
+    return AccessBatch(
+        pages=vma.start + touched.astype(np.int64),
+        counts=counts[touched].astype(np.int64),
+        writes=np.zeros(touched.size, dtype=np.int64),
+    )
+
+
+class TestConfig:
+    def test_tau_defaults_follow_num_scans(self):
+        cfg = MtmProfilerConfig(num_scans=3)
+        assert cfg.tau_m == pytest.approx(1.0)
+        assert cfg.tau_s == pytest.approx(2.0)
+        cfg6 = MtmProfilerConfig(num_scans=6)
+        assert cfg6.tau_m == pytest.approx(2.0)
+        assert cfg6.tau_s == pytest.approx(4.0)
+
+    def test_scan_exposure_default(self):
+        cfg = MtmProfilerConfig(overhead_constraint=0.05, num_scans=3)
+        assert cfg.scan_exposure == pytest.approx(0.05 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MtmProfilerConfig(num_scans=0)
+        with pytest.raises(ConfigError):
+            MtmProfilerConfig(tau_m=99.0)
+        with pytest.raises(ConfigError):
+            MtmProfilerConfig(alpha=2.0)
+
+
+class TestBudget:
+    def test_budget_matches_eq1(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        cfg = MtmProfilerConfig(interval=10.0 * SCALE, overhead_constraint=0.05)
+        profiler = MtmProfiler(cm, cfg, rng=rng)
+        assert profiler.budget == cm.profiling_budget_pages(
+            10.0 * SCALE, 0.05, 3, with_hint_amortization=True
+        )
+
+    def test_profiling_time_respects_constraint(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        interval = 10.0 * SCALE
+        cfg = MtmProfilerConfig(interval=interval, overhead_constraint=0.05)
+        profiler = MtmProfiler(cm, cfg, rng=rng)
+        profiler.setup(space.page_table, [(vma.start, vma.npages)])
+        for _ in range(5):
+            mmu.begin_interval(hot_cold_batch(vma, rng))
+            snap = profiler.profile(mmu, pebs=pebs)
+            # PEBS processing rides on top; PTE scans must fit the budget.
+            scan_time = cm.scan_time(snap.scans_performed, with_hint_amortization=True)
+            assert scan_time <= 0.05 * interval * 1.01
+
+
+class TestProfiling:
+    def test_finds_hot_window(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        profiler = MtmProfiler(cm, MtmProfilerConfig(interval=10 * SCALE), rng=rng)
+        profiler.setup(space.page_table, [(vma.start, vma.npages)])
+        truth = np.arange(vma.start, vma.start + 8 * PAGES_PER_HUGE_PAGE)
+        quality = None
+        for _ in range(10):
+            mmu.begin_interval(hot_cold_batch(vma, rng))
+            snap = profiler.profile(mmu, pebs=pebs)
+            quality = evaluate_quality(snap, truth)
+        assert quality.recall > 0.6
+        assert quality.accuracy > 0.6
+
+    def test_sample_conservation_when_within_budget(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        profiler = MtmProfiler(cm, MtmProfilerConfig(interval=10 * SCALE), rng=rng)
+        profiler.setup(space.page_table, [(vma.start, vma.npages)])
+        for _ in range(4):
+            mmu.begin_interval(hot_cold_batch(vma, rng))
+            profiler.profile(mmu, pebs=pebs)
+        if len(profiler.regions) <= profiler.budget:
+            assert profiler.regions.total_samples() == profiler.budget
+
+    def test_profile_before_setup_rejected(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        profiler = MtmProfiler(cm, rng=rng)
+        with pytest.raises(ConfigError):
+            profiler.profile(mmu)
+
+    def test_memory_overhead_scales_with_footprint(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        profiler = MtmProfiler(cm, rng=rng)
+        profiler.setup(space.page_table, [(vma.start, vma.npages)])
+        overhead = profiler.memory_overhead_bytes()
+        assert overhead == (vma.npages // PAGES_PER_HUGE_PAGE) * 960
+
+    def test_without_pebs_still_profiles(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        cfg = MtmProfilerConfig(interval=10 * SCALE, use_pebs=False)
+        profiler = MtmProfiler(cm, cfg, rng=rng)
+        profiler.setup(space.page_table, [(vma.start, vma.npages)])
+        mmu.begin_interval(hot_cold_batch(vma, rng))
+        snap = profiler.profile(mmu, pebs=pebs)
+        assert snap.scans_performed > 0
+        assert snap.pebs_samples == 0
+
+    def test_region_size_cap_derived_from_topology(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        profiler = MtmProfiler(cm, rng=rng)
+        smallest = min(c.capacity_pages for c in topo.components)
+        assert profiler.config.max_region_pages == max(
+            PAGES_PER_HUGE_PAGE, smallest // 8
+        )
+
+    def test_slowest_nodes_default_is_pm(self, setup):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        profiler = MtmProfiler(cm, rng=rng)
+        assert profiler.slowest_nodes == frozenset({2, 3})
+
+
+class TestAblations:
+    def _run(self, setup, cfg, intervals=6):
+        topo, cm, space, vma, mmu, pebs, rng = setup
+        profiler = MtmProfiler(cm, cfg, rng=rng)
+        profiler.setup(space.page_table, [(vma.start, vma.npages)])
+        snap = None
+        for _ in range(intervals):
+            mmu.begin_interval(hot_cold_batch(vma, rng))
+            snap = profiler.profile(mmu, pebs=pebs)
+        return profiler, snap
+
+    def test_no_amr_keeps_region_count(self, setup):
+        cfg = MtmProfilerConfig(interval=10 * SCALE, adaptive_regions=False)
+        profiler, _ = self._run(setup, cfg)
+        # Without merge/split the initial 2MB region count persists.
+        assert len(profiler.regions) == 32
+
+    def test_no_oc_scans_more_when_budget_binds(self, setup):
+        # A tight budget (0.5%) truncates scanning; without overhead
+        # control all 32 regions are scanned regardless.
+        on = MtmProfilerConfig(interval=10 * SCALE, overhead_constraint=0.005,
+                               overhead_control=True, use_pebs=False)
+        off = MtmProfilerConfig(interval=10 * SCALE, overhead_constraint=0.005,
+                                overhead_control=False, adaptive_regions=False,
+                                use_pebs=False)
+        _, snap_on = self._run(setup, on, intervals=1)
+        _, snap_off = self._run(setup, off, intervals=1)
+        assert snap_off.scans_performed > snap_on.scans_performed
+
+    def test_no_aps_randomizes_quota(self, setup):
+        cfg = MtmProfilerConfig(interval=10 * SCALE, adaptive_sampling=False)
+        profiler, _ = self._run(setup, cfg)
+        assert profiler.regions.total_samples() >= len(profiler.regions)

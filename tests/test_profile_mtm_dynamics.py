@@ -1,0 +1,118 @@
+"""Behavioural tests for the MTM profiler's dynamic machinery:
+idle decay, stale retention under budget pressure, hint-fault
+attribution, and drift re-discovery."""
+
+import numpy as np
+import pytest
+
+from repro.hw.topology import optane_4tier
+from repro.mm.hugepage import ThpManager
+from repro.mm.mmu import Mmu
+from repro.mm.vma import AddressSpace
+from repro.perf.pebs import PebsSampler
+from repro.profile.mtm import MtmProfiler, MtmProfilerConfig
+from repro.sim.costmodel import CostModel, CostParams
+from repro.sim.trace import AccessBatch
+from repro.units import PAGES_PER_HUGE_PAGE
+
+SCALE = 1.0 / 512.0
+R = PAGES_PER_HUGE_PAGE
+
+
+@pytest.fixture
+def env():
+    topo = optane_4tier(SCALE)
+    cm = CostModel(topo, CostParams().with_scale(SCALE))
+    space = AddressSpace(64 * R)
+    vma = space.allocate_vma(32 * R, "data")
+    ThpManager().populate(space.page_table, vma, node=2)
+    mmu = Mmu(space.page_table, 2)
+    rng = np.random.default_rng(21)
+    pebs = PebsSampler(topo, period=3, rng=rng)
+    profiler = MtmProfiler(cm, MtmProfilerConfig(interval=10 * SCALE), rng=rng)
+    profiler.setup(space.page_table, [(vma.start, vma.npages)])
+    return space, vma, mmu, pebs, profiler, rng
+
+
+def batch_hot_window(vma, rng, lo_hp, hi_hp, hot_rate=0.3, cold_rate=0.01, socket=0):
+    counts = rng.poisson(cold_rate, vma.npages)
+    counts[lo_hp * R : hi_hp * R] = rng.poisson(hot_rate, (hi_hp - lo_hp) * R)
+    touched = np.nonzero(counts)[0]
+    return AccessBatch(
+        pages=vma.start + touched.astype(np.int64),
+        counts=counts[touched].astype(np.int64),
+        writes=np.zeros(touched.size, dtype=np.int64),
+        sockets=np.full(touched.size, socket, dtype=np.int8),
+    )
+
+
+class TestIdleDecay:
+    def test_cooled_region_loses_whi(self, env):
+        space, vma, mmu, pebs, profiler, rng = env
+        # Heat the first 8 huge pages, then go quiet there.
+        for _ in range(5):
+            mmu.begin_interval(batch_hot_window(vma, rng, 0, 8))
+            profiler.profile(mmu, pebs=pebs)
+        hot_before = max(r.whi for r in profiler.regions if r.start < 8 * R)
+        for _ in range(6):
+            mmu.begin_interval(batch_hot_window(vma, rng, 24, 32))
+            profiler.profile(mmu, pebs=pebs)
+        hot_after = max(
+            (r.whi for r in profiler.regions if r.end <= 8 * R), default=0.0
+        )
+        assert hot_after < hot_before / 2
+
+
+class TestDriftRediscovery:
+    def test_new_hot_window_outranks_old_within_a_few_intervals(self, env):
+        space, vma, mmu, pebs, profiler, rng = env
+        for _ in range(6):
+            mmu.begin_interval(batch_hot_window(vma, rng, 0, 8))
+            profiler.profile(mmu, pebs=pebs)
+        for _ in range(6):
+            mmu.begin_interval(batch_hot_window(vma, rng, 20, 28))
+            snap = profiler.profile(mmu, pebs=pebs)
+        hot = snap.top_hot_pages(8 * R)
+        overlap = np.intersect1d(
+            hot, np.arange(vma.start + 20 * R, vma.start + 28 * R)
+        ).size
+        assert overlap > 4 * R  # majority of the detection moved
+
+
+class TestHintAttribution:
+    def test_dominant_socket_follows_accessors(self, env):
+        space, vma, mmu, pebs, profiler, rng = env
+        for _ in range(8):
+            mmu.begin_interval(batch_hot_window(vma, rng, 0, 8, socket=1))
+            profiler.profile(mmu, pebs=pebs)
+        attributed = [
+            r.dominant_socket for r in profiler.regions if r.dominant_socket >= 0
+        ]
+        assert attributed and all(s == 1 for s in attributed)
+
+
+class TestBudgetPressure:
+    def test_over_budget_defers_but_never_loses_regions(self, env):
+        space, vma, mmu, pebs, profiler, rng = env
+        # A brutal budget: 0.2% overhead.
+        profiler.config.overhead_constraint = 0.002
+        pages_before = profiler.regions.total_pages()
+        for _ in range(6):
+            mmu.begin_interval(batch_hot_window(vma, rng, 0, 8))
+            budget = profiler.budget  # before PEBS time feeds back into it
+            snap = profiler.profile(mmu, pebs=pebs)
+            assert snap.scans_performed <= budget * profiler.config.num_scans
+        assert profiler.regions.total_pages() == pages_before
+
+    def test_tau_m_escalates_and_resets(self, env):
+        space, vma, mmu, pebs, profiler, rng = env
+        profiler.config.overhead_constraint = 0.002
+        base_tau = profiler.config.tau_m
+        escalated = False
+        for _ in range(4):
+            mmu.begin_interval(batch_hot_window(vma, rng, 0, 32, hot_rate=0.3))
+            profiler.profile(mmu, pebs=pebs)
+            escalated = escalated or profiler._tau_m_current > base_tau
+        # With everything active, requested samples exceed the tiny budget,
+        # so tau_m must have escalated at least once.
+        assert escalated

@@ -1,0 +1,69 @@
+"""Chaos property test: the planner survives arbitrary (garbage) orders.
+
+A policy bug must never corrupt the kernel-side state: whatever order
+stream the planner receives, page-table and frame accounting must remain
+mutually consistent and capacities respected.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import optane_4tier
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.planner import MigrationPlanner
+from repro.mm.pagetable import PageTable
+from repro.policy.base import MigrationOrder
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+SCALE = 1.0 / 512.0
+R = PAGES_PER_HUGE_PAGE
+N_REGIONS = 8
+
+
+@st.composite
+def chaotic_orders(draw):
+    """Orders with arbitrary (often wrong) src/dst claims."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    orders = []
+    for _ in range(n):
+        region = draw(st.integers(min_value=0, max_value=N_REGIONS - 1))
+        length = draw(st.integers(min_value=1, max_value=R))
+        offset = draw(st.integers(min_value=0, max_value=R - 1))
+        start = region * R + min(offset, R - length)
+        src = draw(st.integers(min_value=0, max_value=3))
+        dst = draw(st.integers(min_value=0, max_value=3))
+        if src == dst:
+            dst = (dst + 1) % 4
+        orders.append(MigrationOrder(
+            pages=np.arange(start, start + length, dtype=np.int64),
+            src_node=src,
+            dst_node=dst,
+            reason=draw(st.sampled_from(["promotion", "demotion"])),
+        ))
+    return orders
+
+
+class TestPlannerChaos:
+    @given(batches=st.lists(chaotic_orders(), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_state_stays_consistent(self, batches):
+        topo = optane_4tier(SCALE)
+        frames = FrameAccountant(topo)
+        pt = PageTable(N_REGIONS * R)
+        # Half the regions start on pm0, half on dram0.
+        for region in range(N_REGIONS):
+            node = 2 if region % 2 else 0
+            pt.map_range(region * R, R, node=node, huge=True)
+            frames.allocate(node, R)
+        planner = MigrationPlanner(
+            pt, frames, MovePagesMechanism(CostModel(topo, CostParams()))
+        )
+        total_pages = pt.mapped_pages()
+        for orders in batches:
+            planner.execute(orders)
+            planner.sanity_check()
+            assert pt.mapped_pages() == total_pages  # nothing lost or created
+            for node in topo.node_ids:
+                assert 0 <= frames.used_pages(node) <= frames.capacity_pages(node)

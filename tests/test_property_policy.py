@@ -1,0 +1,117 @@
+"""Property-based tests for the MTM policy's safety invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import optane_4tier
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.planner import MigrationPlanner
+from repro.mm.pagetable import PageTable
+from repro.policy.base import PlacementState
+from repro.policy.mtm_policy import MtmPolicy, MtmPolicyConfig
+from repro.profile.base import ProfileSnapshot, RegionReport
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import MiB, PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+SCALE = 1.0 / 512.0
+R = PAGES_PER_HUGE_PAGE
+
+
+@st.composite
+def placements(draw):
+    """Random contiguous regions spread across the four components."""
+    n = draw(st.integers(min_value=1, max_value=16))
+    reports = []
+    start = 0
+    nodes = []
+    for _ in range(n):
+        npages = draw(st.integers(min_value=1, max_value=3)) * R
+        node = draw(st.integers(min_value=0, max_value=3))
+        score = draw(st.floats(min_value=0.0, max_value=3.0))
+        socket = draw(st.sampled_from([-1, 0, 1]))
+        reports.append(RegionReport(
+            start=start, npages=npages, score=score, node=node,
+            dominant_socket=socket,
+        ))
+        nodes.append(node)
+        start += npages
+    return reports
+
+
+def build_state(reports):
+    topo = optane_4tier(SCALE)
+    frames = FrameAccountant(topo)
+    pt = PageTable(max(r.end for r in reports) + R)
+    for r in reports:
+        pt.map_range(r.start, r.npages, node=r.node)
+        frames.allocate(r.node, r.npages)
+    return topo, frames, pt
+
+
+class TestPolicyInvariants:
+    @given(reports=placements(), budget_mb=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_orders_are_safe_and_budgeted(self, reports, budget_mb):
+        topo, frames, pt = build_state(reports)
+        policy = MtmPolicy(MtmPolicyConfig(
+            scale=SCALE, migration_budget_bytes=budget_mb * MiB
+        ))
+        snapshot = ProfileSnapshot(interval=0, reports=reports, profiling_time=0.0)
+        state = PlacementState(page_table=pt, frames=frames, topology=topo)
+        orders = policy.decide(snapshot, state)
+
+        promoted = 0
+        for order in orders:
+            # Every ordered page really lives on the claimed source node.
+            assert np.all(pt.node[order.pages] == order.src_node)
+            if order.reason == "promotion":
+                promoted += order.npages
+        assert promoted <= budget_mb * MiB // PAGE_SIZE
+
+    @given(reports=placements())
+    @settings(max_examples=40, deadline=None)
+    def test_promotions_move_strictly_up(self, reports):
+        topo, frames, pt = build_state(reports)
+        policy = MtmPolicy(MtmPolicyConfig(scale=SCALE))
+        snapshot = ProfileSnapshot(interval=0, reports=reports, profiling_time=0.0)
+        state = PlacementState(page_table=pt, frames=frames, topology=topo)
+        for order in policy.decide(snapshot, state):
+            if order.reason != "promotion":
+                continue
+            # Under at least one socket's view the move goes to a strictly
+            # faster tier (the region's dominant accessor decided which).
+            improvements = [
+                topo.view(s).tier_of(order.dst_node) < topo.view(s).tier_of(order.src_node)
+                for s in range(topo.num_sockets)
+            ]
+            assert any(improvements)
+
+    @given(reports=placements())
+    @settings(max_examples=40, deadline=None)
+    def test_executing_orders_keeps_accounting_exact(self, reports):
+        topo, frames, pt = build_state(reports)
+        policy = MtmPolicy(MtmPolicyConfig(scale=SCALE))
+        planner = MigrationPlanner(
+            pt, frames, MovePagesMechanism(CostModel(topo, CostParams()))
+        )
+        snapshot = ProfileSnapshot(interval=0, reports=reports, profiling_time=0.0)
+        state = PlacementState(page_table=pt, frames=frames, topology=topo)
+        planner.execute(policy.decide(snapshot, state))
+        planner.sanity_check()
+        for node in topo.node_ids:
+            assert frames.used_pages(node) <= frames.capacity_pages(node)
+
+    @given(reports=placements())
+    @settings(max_examples=30, deadline=None)
+    def test_decide_is_deterministic(self, reports):
+        topo, frames, pt = build_state(reports)
+        snapshot = ProfileSnapshot(interval=0, reports=reports, profiling_time=0.0)
+        state = PlacementState(page_table=pt, frames=frames, topology=topo)
+        a = MtmPolicy(MtmPolicyConfig(scale=SCALE)).decide(snapshot, state)
+        b = MtmPolicy(MtmPolicyConfig(scale=SCALE)).decide(snapshot, state)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.pages, y.pages)
+            assert (x.src_node, x.dst_node, x.reason) == (y.src_node, y.dst_node, y.reason)

@@ -1,0 +1,124 @@
+"""Property-based tests for region formation invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.profile.regions import MemoryRegion, RegionSet
+from repro.units import PAGES_PER_HUGE_PAGE
+
+R = PAGES_PER_HUGE_PAGE
+
+
+@st.composite
+def region_sets(draw):
+    """Contiguous region sets with random hotness state."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    regions = []
+    start = 0
+    for _ in range(n):
+        npages = draw(st.integers(min_value=1, max_value=4)) * R
+        hi = draw(st.floats(min_value=0.0, max_value=3.0))
+        prev = draw(st.floats(min_value=0.0, max_value=3.0))
+        region = MemoryRegion(
+            start=start,
+            npages=npages,
+            n_samples=draw(st.integers(min_value=1, max_value=8)),
+            hi=hi,
+            whi=hi,
+            prev_hi=prev,
+            last_max_diff=draw(st.floats(min_value=0.0, max_value=3.0)),
+        )
+        regions.append(region)
+        start += npages
+        if draw(st.booleans()):  # occasional gap between regions
+            start += R
+    return RegionSet(regions)
+
+
+class TestFormationInvariants:
+    @given(rs=region_sets(), tau_m=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_preserves_coverage_and_order(self, rs, tau_m):
+        pages_before = rs.total_pages()
+        rs.merge_pass(tau_m)
+        assert rs.total_pages() == pages_before
+        rs.check_invariants()
+
+    @given(rs=region_sets(), tau_s=st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_split_preserves_coverage_and_bounds_samples(self, rs, tau_s):
+        pages_before = rs.total_pages()
+        samples_before = rs.total_samples()
+        regions_before = len(rs)
+        splits = rs.split_pass(tau_s)
+        assert rs.total_pages() == pages_before
+        # Quota is conserved except that splitting a 1-sample region must
+        # mint one extra sample (each child needs >= 1); the overhead
+        # controller's rebalance reabsorbs the excess next interval.
+        assert samples_before <= rs.total_samples() <= samples_before + splits
+        assert len(rs) == regions_before + splits
+        rs.check_invariants()
+
+    @given(rs=region_sets(), tau_m=st.floats(min_value=0.0, max_value=3.0),
+           tau_s=st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_then_split_roundtrip_safe(self, rs, tau_m, tau_s):
+        pages_before = rs.total_pages()
+        rs.merge_pass(tau_m)
+        rs.split_pass(tau_s)
+        assert rs.total_pages() == pages_before
+        rs.check_invariants()
+
+    @given(rs=region_sets(), budget_extra=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_rebalance_hits_budget_exactly(self, rs, budget_extra):
+        budget = len(rs) + budget_extra
+        rs.rebalance_to_budget(budget)
+        assert rs.total_samples() == budget
+        assert all(r.n_samples >= 1 for r in rs)
+
+    @given(rs=region_sets(), quota=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_redistribute_conserves_total(self, rs, quota):
+        before = rs.total_samples()
+        rs.redistribute_quota(quota)
+        assert rs.total_samples() == before + quota
+
+    @given(rs=region_sets(), max_pages=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_respects_size_cap(self, rs, max_pages):
+        cap = max_pages * R
+        sizes_before = {r.start: r.npages for r in rs}
+        rs.merge_pass(tau_m=3.0, max_pages=cap)
+        for region in rs:
+            # A region may exceed the cap only if it already did before.
+            if region.npages > cap:
+                assert sizes_before.get(region.start) == region.npages
+
+
+class TestEmaInvariants:
+    @given(
+        his=st.lists(st.floats(min_value=0.0, max_value=3.0), min_size=1, max_size=30),
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_whi_stays_in_observation_range(self, his, alpha):
+        region = MemoryRegion(start=0, npages=R)
+        for hi in his:
+            region.record_interval(hi, 0.0, alpha)
+        assert 0.0 <= region.whi <= 3.0
+
+    @given(hi=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_one_tracks_instantly(self, hi):
+        region = MemoryRegion(start=0, npages=R)
+        region.record_interval(hi, 0.0, alpha=1.0)
+        assert region.whi == hi
+
+    @given(his=st.lists(st.floats(min_value=0.5, max_value=3.0), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_zero_never_updates(self, his):
+        region = MemoryRegion(start=0, npages=R)
+        for hi in his:
+            region.record_interval(hi, 0.0, alpha=0.0)
+        assert region.whi == 0.0

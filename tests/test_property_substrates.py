@@ -1,0 +1,135 @@
+"""Property-based tests for page-table / frame / cache / batch invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.dram_cache import DramCache
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import uniform_topology
+from repro.mm.pagetable import PageTable
+from repro.sim.trace import AccessBatch
+from repro.units import MiB
+
+
+class TestPageTableInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),  # slot of 8 x 64-page runs
+                st.integers(min_value=0, max_value=3),  # node
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mapped_count_matches_node_sum(self, ops):
+        pt = PageTable(512)
+        mapped = set()
+        for slot, node in ops:
+            start = slot * 64
+            if slot in mapped:
+                pt.unmap_range(start, 64)
+                mapped.remove(slot)
+            else:
+                pt.map_range(start, 64, node=node)
+                mapped.add(slot)
+        assert pt.mapped_pages() == 64 * len(mapped)
+        per_node = sum(pt.pages_on_node(n) for n in range(4))
+        assert per_node == pt.mapped_pages()
+
+    @given(moves=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_moves_conserve_pages(self, moves):
+        pt = PageTable(512)
+        pt.map_range(0, 512, node=0)
+        pages = np.arange(0, 512)
+        for node in moves:
+            pt.move_pages(pages, node)
+        assert pt.mapped_pages() == 512
+        assert pt.pages_on_node(moves[-1]) == 512
+
+
+class TestFrameInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["alloc", "release", "move"]),
+                      st.integers(min_value=0, max_value=1),
+                      st.integers(min_value=1, max_value=64)),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_used_never_exceeds_capacity(self, ops):
+        topo = uniform_topology([1 * MiB, 2 * MiB])
+        frames = FrameAccountant(topo)
+        for op, node, n in ops:
+            try:
+                if op == "alloc":
+                    frames.allocate(node, n)
+                elif op == "release":
+                    frames.release(node, n)
+                else:
+                    frames.move(node, 1 - node, n)
+            except Exception:
+                pass  # rejected ops must leave state consistent
+            for check in (0, 1):
+                assert 0 <= frames.used_pages(check) <= frames.capacity_pages(check)
+                assert frames.free_pages(check) == (
+                    frames.capacity_pages(check) - frames.used_pages(check)
+                )
+
+
+class TestCacheInvariants:
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=200),
+                      st.integers(min_value=1, max_value=5),
+                      st.booleans()),
+            min_size=1, max_size=40,
+        ),
+        sets=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, accesses, sets):
+        cache = DramCache(num_sets=sets)
+        total = 0
+        for page, count, write in accesses:
+            cache.access_batch(
+                np.array([page]), np.array([count]), np.array([int(write)])
+            )
+            total += count
+        assert cache.stats.accesses == total
+        assert cache.stats.hits + cache.stats.misses == total
+
+    @given(sets=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_flush_empties(self, sets):
+        cache = DramCache(num_sets=sets)
+        cache.access_batch(np.arange(10), np.ones(10, dtype=np.int64),
+                           np.ones(10, dtype=np.int64))
+        cache.flush()
+        assert not any(cache.resident(p) for p in range(10))
+
+
+class TestBatchInvariants:
+    @given(
+        raw=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_preserves_total(self, raw):
+        batch = AccessBatch.from_accesses(np.array(raw))
+        assert batch.total_accesses == len(raw)
+        assert np.all(np.diff(batch.pages) > 0)
+
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=50),
+        b=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_preserves_totals(self, a, b):
+        batch_a = AccessBatch.from_accesses(np.array(a), socket=0)
+        batch_b = AccessBatch.from_accesses(np.array(b), socket=1)
+        merged = AccessBatch.merge([batch_a, batch_b])
+        assert merged.total_accesses == len(a) + len(b)
+        assert set(merged.pages.tolist()) == set(a) | set(b)

@@ -1,0 +1,168 @@
+"""Integration tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.baselines import make_engine
+from repro.hw.topology import optane_2tier, optane_4tier
+from repro.policy.first_touch import FirstTouchPolicy
+from repro.sim.costmodel import CostParams, effective_interval
+from repro.sim.engine import (
+    PLACEMENT_FIRST_TOUCH,
+    PLACEMENT_SLOW_TIER_FIRST,
+    SimulationEngine,
+)
+from repro.workloads.registry import build_workload
+
+SCALE = 1.0 / 512.0
+
+
+def engine_for(solution="mtm", workload="gups", **kwargs):
+    return make_engine(solution, workload, scale=SCALE, seed=3, **kwargs)
+
+
+class TestLifecycle:
+    def test_interval_defaults_to_scaled_paper_interval(self):
+        eng = engine_for()
+        assert eng.interval == pytest.approx(effective_interval(SCALE))
+
+    def test_run_produces_records(self):
+        eng = engine_for()
+        result = eng.run(5)
+        assert len(result.records) == 5
+        assert result.total_time > 0
+        assert result.workload == "gups"
+        assert result.label == "mtm"
+
+    def test_zero_intervals_rejected(self):
+        with pytest.raises(ConfigError):
+            engine_for().run(0)
+
+    def test_policy_without_profiler_rejected(self):
+        topo = optane_4tier(SCALE)
+        workload = build_workload("gups", SCALE, seed=1)
+        from repro.policy.mtm_policy import MtmPolicy
+
+        with pytest.raises(ConfigError):
+            SimulationEngine(
+                topology=topo, workload=workload, policy=MtmPolicy(), profiler=None
+            )
+
+    def test_step_returns_record(self):
+        eng = engine_for()
+        record = eng.step()
+        assert record.index == 0
+        assert record.app_time > 0
+
+
+class TestCalibration:
+    def test_first_interval_near_target(self):
+        eng = engine_for("first-touch")
+        record = eng.step()
+        # First-touch places most pages faster than the slow-tier
+        # reference, so its first interval is at most ~the interval.
+        assert 0.1 * eng.interval < record.app_time <= 1.5 * eng.interval
+
+    def test_multiplier_frozen_after_first_interval(self):
+        eng = engine_for("first-touch")
+        eng.step()
+        frozen = eng._app_time_multiplier
+        eng.step()
+        assert eng._app_time_multiplier == frozen
+
+    def test_calibration_disabled(self):
+        topo = optane_4tier(SCALE)
+        workload = build_workload("gups", SCALE, seed=1)
+        eng = SimulationEngine(
+            topology=topo,
+            workload=workload,
+            policy=FirstTouchPolicy(),
+            calibration_target=0.0,
+            cost_params=CostParams().with_scale(SCALE),
+        )
+        record = eng.step()
+        assert record.app_time < eng.interval  # raw model time, uncalibrated
+
+
+class TestAccounting:
+    def test_breakdown_sums_to_total(self):
+        result = engine_for().run(8)
+        b = result.breakdown()
+        assert sum(b.values()) == pytest.approx(result.total_time)
+
+    def test_profiling_respects_constraint(self):
+        result = engine_for().run(12)
+        b = result.breakdown()
+        assert b["profiling"] <= 0.08 * result.total_time
+
+    def test_frames_match_page_table(self):
+        eng = engine_for()
+        eng.run(6)
+        assert eng.planner is not None
+        eng.planner.sanity_check()
+
+    def test_tier_accesses_cover_everything(self):
+        result = engine_for("first-touch").run(4)
+        assert sum(result.tier_accesses().values()) == result.pcm.total_accesses()
+
+    def test_quality_collection(self):
+        eng = engine_for(collect_quality=True)
+        result = eng.run(4)
+        recall, accuracy = result.quality_series()
+        assert recall.size == 4
+        assert np.all((recall >= 0) & (recall <= 1))
+
+    def test_memory_overhead_reported(self):
+        result = engine_for().run(2)
+        assert result.memory_overhead_bytes > 0
+        # Table 5's claim: overhead is a tiny fraction of the footprint.
+        assert result.memory_overhead_bytes < 0.01 * result.footprint_pages * 4096
+
+
+class TestPlacements:
+    def test_slow_tier_first_starts_on_pm(self):
+        eng = engine_for("mtm")
+        pt = eng.space.page_table
+        # Before any migration, nothing sits on the DRAM tiers.
+        assert pt.pages_on_node(0) == 0
+        assert pt.pages_on_node(2) > 0
+
+    def test_first_touch_starts_on_dram(self):
+        eng = engine_for("first-touch")
+        pt = eng.space.page_table
+        assert pt.pages_on_node(0) > 0
+
+    def test_hmc_places_on_pm_only(self):
+        eng = engine_for("hmc")
+        pt = eng.space.page_table
+        assert pt.pages_on_node(0) == 0
+        assert pt.pages_on_node(1) == 0
+        assert eng.dram_cache is not None
+
+
+class TestTwoTier:
+    def test_two_tier_machine_runs(self):
+        topo = optane_2tier(SCALE)
+        eng = make_engine("hemem", "gups", scale=SCALE, topology=topo, seed=3)
+        result = eng.run(5)
+        assert set(result.tier_accesses().keys()) == {1, 2}
+
+    def test_speedup_over(self):
+        slow = engine_for("first-touch").run(6)
+        fast = engine_for("first-touch").run(6)
+        assert slow.speedup_over(fast) == pytest.approx(1.0, rel=0.01)
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self, tmp_path):
+        import csv
+
+        result = engine_for(collect_quality=True).run(3)
+        path = tmp_path / "run.csv"
+        result.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert float(rows[0]["app_time"]) > 0
+        assert rows[0]["recall"] != ""

@@ -1,0 +1,93 @@
+"""Unit tests for access batches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.trace import AccessBatch
+
+
+class TestConstruction:
+    def test_from_accesses_histograms(self):
+        batch = AccessBatch.from_accesses(np.array([5, 3, 5, 5, 3]))
+        assert batch.pages.tolist() == [3, 5]
+        assert batch.counts.tolist() == [2, 3]
+        assert batch.total_accesses == 5
+
+    def test_from_accesses_with_writes(self):
+        batch = AccessBatch.from_accesses(
+            np.array([1, 1, 2]), is_write=np.array([True, False, True])
+        )
+        assert batch.writes.tolist() == [1, 1]
+        assert batch.total_writes == 2
+
+    def test_empty(self):
+        batch = AccessBatch.empty()
+        assert batch.total_accesses == 0
+        assert batch.write_ratio() == 0.0
+
+    def test_validation_unsorted_rejected(self):
+        with pytest.raises(WorkloadError):
+            AccessBatch(
+                pages=np.array([5, 3]), counts=np.array([1, 1]), writes=np.array([0, 0])
+            )
+
+    def test_validation_writes_bounded(self):
+        with pytest.raises(WorkloadError):
+            AccessBatch(
+                pages=np.array([1]), counts=np.array([1]), writes=np.array([2])
+            )
+
+    def test_validation_zero_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            AccessBatch(
+                pages=np.array([1]), counts=np.array([0]), writes=np.array([0])
+            )
+
+
+class TestMerge:
+    def test_merge_sums_counts(self):
+        a = AccessBatch.from_accesses(np.array([1, 2]), socket=0)
+        b = AccessBatch.from_accesses(np.array([2, 3]), socket=0)
+        merged = AccessBatch.merge([a, b])
+        assert merged.pages.tolist() == [1, 2, 3]
+        assert merged.counts.tolist() == [1, 2, 1]
+
+    def test_merge_picks_dominant_socket(self):
+        a = AccessBatch.from_accesses(np.array([7, 7, 7]), socket=0)
+        b = AccessBatch.from_accesses(np.array([7]), socket=1)
+        merged = AccessBatch.merge([a, b])
+        assert merged.sockets[0] == 0
+        c = AccessBatch.from_accesses(np.array([7] * 5), socket=1)
+        merged2 = AccessBatch.merge([a, c])
+        assert merged2.sockets[0] == 1
+
+    def test_merge_empty_list(self):
+        assert AccessBatch.merge([]).total_accesses == 0
+
+
+class TestQueries:
+    def test_write_ratio(self):
+        batch = AccessBatch.from_accesses(
+            np.array([1, 2]), is_write=np.array([True, False])
+        )
+        assert batch.write_ratio() == pytest.approx(0.5)
+
+    def test_restrict(self):
+        batch = AccessBatch.from_accesses(np.array([1, 5, 9]))
+        sub = batch.restrict(2, 8)
+        assert sub.pages.tolist() == [5]
+
+    def test_hot_pages_top_fraction(self):
+        batch = AccessBatch.from_accesses(np.array([1, 1, 1, 2, 3]))
+        hot = batch.hot_pages(0.4)
+        assert 1 in hot.tolist()
+
+    def test_hot_pages_invalid_fraction(self):
+        batch = AccessBatch.from_accesses(np.array([1]))
+        with pytest.raises(WorkloadError):
+            batch.hot_pages(0.0)
+
+    def test_touched_bytes(self):
+        batch = AccessBatch.from_accesses(np.array([1, 2, 3]))
+        assert batch.touched_bytes == 3 * 4096

@@ -1,0 +1,82 @@
+"""Tests for trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import make_engine
+from repro.errors import WorkloadError
+from repro.hw.placement import Placer
+from repro.mm.hugepage import ThpManager
+from repro.mm.vma import AddressSpace
+from repro.sim.tracefile import TraceRecorder, TraceWorkload
+from repro.workloads.registry import build_workload
+
+SCALE = 1.0 / 512.0
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    workload = build_workload("gups", SCALE, seed=4)
+    space = AddressSpace(2_000_000)
+    workload.build(space, ThpManager(), Placer(0))
+    recorder = TraceRecorder.capture(workload, 5, np.random.default_rng(1))
+    path = tmp_path / "gups.npz"
+    recorder.save(path)
+    return path
+
+
+class TestRecorder:
+    def test_capture_counts_intervals(self, trace_path):
+        trace = TraceWorkload(trace_path)
+        assert trace.num_intervals == 5
+
+    def test_empty_save_rejected(self):
+        recorder = TraceRecorder(spans=[(0, 100)])
+        with pytest.raises(WorkloadError):
+            recorder.save("/tmp/never.npz")
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceRecorder(spans=[])
+        with pytest.raises(WorkloadError):
+            TraceRecorder(spans=[(0, 1)], names=["a", "b"])
+
+
+class TestReplay:
+    def test_replay_matches_original_stream(self, trace_path):
+        original = build_workload("gups", SCALE, seed=4)
+        space = AddressSpace(2_000_000)
+        original.build(space, ThpManager(), Placer(0))
+        rng = np.random.default_rng(1)
+        first_batch = original.next_batch(rng)
+
+        trace = TraceWorkload(trace_path)
+        space2 = AddressSpace(2_000_000)
+        trace.build(space2, ThpManager(), Placer(0))
+        replayed = trace.next_batch(np.random.default_rng(999))  # rng ignored
+        assert np.array_equal(first_batch.pages, replayed.pages)
+        assert np.array_equal(first_batch.counts, replayed.counts)
+
+    def test_replay_loops(self, trace_path):
+        trace = TraceWorkload(trace_path)
+        space = AddressSpace(2_000_000)
+        trace.build(space, ThpManager(), Placer(0))
+        rng = np.random.default_rng(0)
+        batches = [trace.next_batch(rng) for _ in range(7)]
+        assert np.array_equal(batches[0].pages, batches[5].pages)
+
+    def test_hot_pages_replayed(self, trace_path):
+        trace = TraceWorkload(trace_path)
+        space = AddressSpace(2_000_000)
+        trace.build(space, ThpManager(), Placer(0))
+        with pytest.raises(WorkloadError):
+            trace.hot_pages()
+        trace.next_batch(np.random.default_rng(0))
+        assert trace.hot_pages().size > 0
+
+    def test_replay_through_engine(self, trace_path):
+        trace = TraceWorkload(trace_path)
+        engine = make_engine("mtm", trace, SCALE, seed=2)
+        result = engine.run(5)
+        assert result.total_time > 0
+        assert result.workload == "trace"

@@ -1,0 +1,73 @@
+"""Unit tests for size/time helpers."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    HUGE_PAGE_SIZE,
+    KiB,
+    MiB,
+    PAGES_PER_HUGE_PAGE,
+    PAGE_SIZE,
+    bytes_to_pages,
+    format_bytes,
+    format_time,
+    gb_per_s,
+    ms,
+    ns,
+    pages_to_bytes,
+    us,
+)
+
+
+class TestConstants:
+    def test_size_ladder(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_page_constants(self):
+        assert PAGE_SIZE == 4096
+        assert HUGE_PAGE_SIZE == 2 * MiB
+        assert PAGES_PER_HUGE_PAGE == 512
+
+
+class TestConversions:
+    def test_time_units(self):
+        assert ns(90) == pytest.approx(90e-9)
+        assert us(40) == pytest.approx(40e-6)
+        assert ms(5) == pytest.approx(5e-3)
+
+    def test_bandwidth_is_decimal(self):
+        assert gb_per_s(1) == 1e9
+        assert gb_per_s(95) == 95e9
+
+    def test_bytes_to_pages_rounds_up(self):
+        assert bytes_to_pages(0) == 0
+        assert bytes_to_pages(1) == 1
+        assert bytes_to_pages(PAGE_SIZE) == 1
+        assert bytes_to_pages(PAGE_SIZE + 1) == 2
+
+    def test_bytes_to_pages_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bytes_to_pages(-1)
+
+    def test_pages_to_bytes_roundtrip(self):
+        assert pages_to_bytes(bytes_to_pages(10 * MiB)) == 10 * MiB
+
+    def test_pages_to_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pages_to_bytes(-5)
+
+
+class TestFormatting:
+    def test_format_bytes_picks_unit(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(3 * MiB) == "3.0MiB"
+        assert format_bytes(2 * GiB) == "2.0GiB"
+
+    def test_format_time_picks_unit(self):
+        assert format_time(2.5) == "2.50s"
+        assert format_time(5e-3) == "5.0ms"
+        assert format_time(25e-6) == "25.0us"
+        assert format_time(90e-9) == "90ns"
