@@ -14,7 +14,6 @@ from repro.bench.scaling import BenchProfile, profile_from_env
 from repro.core.baselines import make_engine
 from repro.hw.topology import optane_2tier
 from repro.metrics.report import Table
-from repro.units import GiB
 from repro.workloads.registry import build_workload
 
 RATIOS = (0.5, 0.75, 1.0, 1.25, 1.5)

@@ -12,7 +12,7 @@ from repro.bench.scaling import BenchProfile, profile_from_env
 from repro.core.baselines import make_engine
 from repro.metrics.report import Table
 from repro.units import PAGE_SIZE, format_bytes
-from repro.workloads.registry import WORKLOAD_SPECS, workload_names
+from repro.workloads.registry import workload_names
 
 
 def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) -> str:

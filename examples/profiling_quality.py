@@ -16,9 +16,7 @@ import sys
 import numpy as np
 
 from repro.core import make_engine
-from repro.hw.topology import optane_4tier
 from repro.metrics.report import Table
-from repro.mm.mmu import Mmu
 from repro.perf.pebs import PebsSampler
 from repro.profile import (
     DamonConfig,

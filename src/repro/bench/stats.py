@@ -10,7 +10,7 @@ handful-of-repeats regime these sweeps use).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_solution

@@ -42,6 +42,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         metavar="N", help="machine capacity scale 1/N (default: 256)",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--faults", type=float, default=0.0, metavar="RATE",
+        help="uniform fault-injection rate in [0, 1] across all fault "
+             "models (default: 0 = no injector)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault injector's private RNG (default: 0)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="disable retry/backoff recovery: transient faults abort the "
+             "interval (the resilience baseline)",
+    )
+
+
+def _make_injector(args: argparse.Namespace):
+    """Injector from ``--faults``/``--fault-seed``, or ``None`` at rate 0."""
+    if args.faults == 0:
+        return None
+    from repro.faults.injector import FaultConfig, FaultInjector
+
+    return FaultInjector(FaultConfig.uniform(args.faults), seed=args.fault_seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,7 +98,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     """``run``: simulate one solution and print its summary."""
     scale = 1.0 / args.scale_denominator
     engine = make_engine(
-        args.solution, args.workload, scale=scale, seed=args.seed
+        args.solution, args.workload, scale=scale, seed=args.seed,
+        injector=_make_injector(args), recovery=not args.fail_fast,
     )
     result = engine.run(args.intervals)
     b = TimeBreakdown.from_result(result)
@@ -90,6 +114,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     log = result.migration_log
     print(f"  migrated    : {format_bytes(log.promoted_bytes)} up / "
           f"{format_bytes(log.demoted_bytes)} down")
+    if result.fault_log is not None:
+        from repro.metrics.robustness import robustness_summary
+
+        rob = robustness_summary(result)
+        print(f"  faults      : {rob.fault_events} injected "
+              f"({rob.busy_events} EBUSY, {rob.enomem_events} ENOMEM, "
+              f"{rob.sample_loss_events} sample-loss, "
+              f"{rob.truncated_scans} truncated scans, "
+              f"{rob.helper_stalls} stalls)")
+        print(f"  recovery    : {rob.retries_scheduled} retries scheduled, "
+              f"{rob.retries_succeeded} succeeded, "
+              f"{rob.retries_exhausted} exhausted, "
+              f"{rob.fallback_moves} fallback moves")
+        print(f"  degraded    : {rob.degraded_intervals} intervals "
+              f"({result.degraded_share:.1%})")
     return 0
 
 
@@ -103,7 +142,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     times: dict[str, float] = {}
     for solution in solutions:
         result = make_engine(
-            solution, args.workload, scale=scale, seed=args.seed
+            solution, args.workload, scale=scale, seed=args.seed,
+            injector=_make_injector(args), recovery=not args.fail_fast,
         ).run(args.intervals)
         times[solution] = result.total_time
     norm = normalize(times, solutions[0])

@@ -9,10 +9,10 @@ policy quirks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
 from repro.hw.topology import TierTopology, optane_4tier
 from repro.migrate.mechanism import Mechanism
 from repro.migrate.move_pages import MovePagesMechanism
@@ -131,6 +131,8 @@ def make_engine(
     cost_params: CostParams | None = None,
     mtm_profiler_config: MtmProfilerConfig | None = None,
     mtm_policy_config: MtmPolicyConfig | None = None,
+    injector: FaultInjector | None = None,
+    recovery: bool = True,
 ) -> SimulationEngine:
     """Build a ready-to-run engine for ``solution`` on ``workload``.
 
@@ -147,6 +149,9 @@ def make_engine(
         overhead_constraint: profiling overhead target (paper default 5%).
         mtm_profiler_config / mtm_policy_config: overrides for sensitivity
             studies (tau/alpha sweeps); ignored by non-MTM solutions.
+        injector: optional fault injector threaded through the engine.
+        recovery: ``False`` disables the planner's retry/backoff queue
+            (fail-fast; transient faults surface as degraded intervals).
     """
     if solution not in SOLUTIONS:
         raise ConfigError(f"unknown solution {solution!r}; choose from {solution_names()}")
@@ -261,4 +266,6 @@ def make_engine(
         collect_quality=collect_quality,
         hmc=spec.hmc,
         label=solution,
+        injector=injector,
+        recovery=recovery,
     )

@@ -16,9 +16,10 @@ Example:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.faults.injector import FaultConfig, FaultInjector
 from repro.hw.topology import TierTopology, optane_4tier
 from repro.profile.mtm import MtmProfilerConfig
 from repro.policy.mtm_policy import MtmPolicyConfig
@@ -42,6 +43,12 @@ class MtmSystemConfig:
         policy: MTM policy overrides (alpha is on the profiler; budget,
             buckets here).
         collect_quality: score profiling against workload ground truth.
+        faults: fault-model rates, or a single uniform rate as a float;
+            ``None`` / all-zero rates attach no injector (bit-identical
+            to a fault-free deployment).
+        fault_seed: seed for the injector's private RNG stream.
+        recovery: ``False`` runs the daemon fail-fast — transient faults
+            abort the interval instead of entering the retry queue.
     """
 
     scale: float = 1.0 / 128.0
@@ -52,12 +59,23 @@ class MtmSystemConfig:
     profiler: MtmProfilerConfig | None = None
     policy: MtmPolicyConfig | None = None
     collect_quality: bool = False
+    faults: FaultConfig | float | None = None
+    fault_seed: int = 0
+    recovery: bool = True
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ConfigError(f"scale must be positive, got {self.scale}")
         if self.interval is not None and self.interval <= 0:
             raise ConfigError(f"interval must be positive, got {self.interval}")
+        if isinstance(self.faults, (int, float)) and not isinstance(self.faults, bool):
+            self.faults = FaultConfig.uniform(float(self.faults))
+
+    def make_injector(self) -> FaultInjector | None:
+        """Build the configured injector, or ``None`` when fault-free."""
+        if self.faults is None or not self.faults.enabled:
+            return None
+        return FaultInjector(self.faults, seed=self.fault_seed)
 
 
 class MtmManager:
@@ -110,6 +128,8 @@ class MtmManager:
             cost_params=CostParams().with_scale(cfg.scale),
             mtm_profiler_config=prof_cfg,
             mtm_policy_config=pol_cfg,
+            injector=cfg.make_injector(),
+            recovery=cfg.recovery,
         )
         return self._engine
 

@@ -1,0 +1,208 @@
+"""Seeded fault models for the kernel behaviors the simulator hides.
+
+Each fault model stands in for one documented failure mode of the real
+system (docs/paper_mapping.md maps them one by one):
+
+* **migration busy** — ``move_pages()`` returning EBUSY for a subset of a
+  request's pages (pinned, under writeback, raced by reclaim): a chunk
+  move succeeds only partially and the pinned pages must be retried.
+* **tier pressure** — destination allocation failing with ENOMEM even
+  though the accountant shows room (fragmentation, kernel reserves,
+  concurrent allocations): the daemon must demote before re-promoting.
+* **sample loss** — the PEBS ring buffer overflowing mid-window, dropping
+  a slab of samples beyond the modeled steady-state thinning.
+* **scan truncation** — a profiling pass preempted before covering its
+  sampled pages, so only a prefix of the scan's PTEs was visited.
+* **helper stall** — MTM's async copy threads descheduled under CPU
+  pressure, inflating the background copy window.
+
+All draws come from the injector's own generator, seeded independently of
+the simulation streams, and every model short-circuits *before* drawing
+when its rate is zero — a zero-rate injector is bit-identical to no
+injector at all (the determinism guard in tests/test_property_faults.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-model fault rates (all default off).
+
+    Attributes:
+        migration_busy_rate: probability a migration chunk hits EBUSY on
+            a subset of its pages.
+        tier_pressure_rate: probability a destination allocation fails
+            with ENOMEM despite accounted-for capacity.
+        sample_loss_rate: probability a PEBS activation window overflows
+            its ring buffer and loses a slab of samples.
+        scan_truncation_rate: probability a region's scan pass is
+            preempted and covers only a prefix of its sampled pages.
+        stall_rate: probability the async helper threads stall during a
+            region copy.
+        busy_fraction_max: upper bound on the fraction of a chunk's pages
+            that pin on one EBUSY event.
+        stall_factor: background-time inflation when helpers stall.
+    """
+
+    migration_busy_rate: float = 0.0
+    tier_pressure_rate: float = 0.0
+    sample_loss_rate: float = 0.0
+    scan_truncation_rate: float = 0.0
+    stall_rate: float = 0.0
+    busy_fraction_max: float = 0.5
+    stall_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name.endswith("_rate"):
+                value = getattr(self, f.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ConfigError(f"{f.name} must be in [0, 1], got {value}")
+        if not 0.0 < self.busy_fraction_max <= 1.0:
+            raise ConfigError(
+                f"busy_fraction_max must be in (0, 1], got {self.busy_fraction_max}"
+            )
+        if self.stall_factor < 1.0:
+            raise ConfigError(f"stall_factor must be >= 1, got {self.stall_factor}")
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides) -> "FaultConfig":
+        """Every fault model at the same ``rate`` (the CLI's ``--faults``)."""
+        return cls(
+            migration_busy_rate=rate,
+            tier_pressure_rate=rate,
+            sample_loss_rate=rate,
+            scan_truncation_rate=rate,
+            stall_rate=rate,
+            **overrides,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            getattr(self, f.name) > 0.0 for f in fields(self) if f.name.endswith("_rate")
+        )
+
+
+@dataclass
+class FaultLog:
+    """Counts of every injected fault, by model."""
+
+    busy_events: int = 0
+    busy_pages: int = 0
+    enomem_events: int = 0
+    sample_loss_events: int = 0
+    samples_dropped: int = 0
+    truncated_scans: int = 0
+    scan_samples_lost: int = 0
+    helper_stalls: int = 0
+
+    @property
+    def total_events(self) -> int:
+        return (
+            self.busy_events
+            + self.enomem_events
+            + self.sample_loss_events
+            + self.truncated_scans
+            + self.helper_stalls
+        )
+
+
+class FaultInjector:
+    """Deterministic, seeded source of injected kernel faults.
+
+    One injector serves a whole run; each subsystem consults the model
+    relevant to it (the planner asks :meth:`migration_busy_mask` and
+    :meth:`tier_pressure`, the PEBS sampler :meth:`apply_sample_loss`,
+    the profiler :meth:`truncated_scan_keep`, the mechanisms
+    :meth:`helper_stall`).  All injected events accumulate in
+    :attr:`log` for the run report.
+
+    Args:
+        config: per-model fault rates (default: everything off).
+        seed: seed for the injector's private generator — independent of
+            the simulation's RNG streams, so attaching an injector never
+            perturbs workload/profiler randomness.
+    """
+
+    def __init__(self, config: FaultConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else FaultConfig()
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.log = FaultLog()
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def reset(self) -> None:
+        """Rewind the generator and clear the log (fresh run, same faults)."""
+        self.rng = np.random.default_rng(self.seed)
+        self.log = FaultLog()
+
+    # -- fault models -----------------------------------------------------------
+
+    def migration_busy_mask(self, npages: int) -> np.ndarray | None:
+        """EBUSY: which of a chunk's pages fail to move (None = no fault)."""
+        cfg = self.config
+        if cfg.migration_busy_rate <= 0.0 or npages <= 0:
+            return None
+        if self.rng.random() >= cfg.migration_busy_rate:
+            return None
+        fraction = self.rng.uniform(0.0, cfg.busy_fraction_max)
+        n_busy = min(npages, max(1, int(round(npages * fraction))))
+        mask = np.zeros(npages, dtype=bool)
+        mask[self.rng.choice(npages, size=n_busy, replace=False)] = True
+        self.log.busy_events += 1
+        self.log.busy_pages += n_busy
+        return mask
+
+    def tier_pressure(self, node_id: int) -> bool:
+        """ENOMEM: does the allocation on ``node_id`` fail under pressure?"""
+        if self.config.tier_pressure_rate <= 0.0:
+            return False
+        if self.rng.random() >= self.config.tier_pressure_rate:
+            return False
+        self.log.enomem_events += 1
+        return True
+
+    def apply_sample_loss(self, draws: np.ndarray) -> tuple[np.ndarray, int]:
+        """Ring-buffer overflow: thin per-page sample counts, return loss."""
+        if self.config.sample_loss_rate <= 0.0 or draws.size == 0:
+            return draws, 0
+        total = int(draws.sum())
+        if total == 0 or self.rng.random() >= self.config.sample_loss_rate:
+            return draws, 0
+        keep_p = self.rng.uniform(0.1, 0.9)
+        kept = self.rng.binomial(draws, keep_p)
+        lost = total - int(kept.sum())
+        self.log.sample_loss_events += 1
+        self.log.samples_dropped += lost
+        return kept, lost
+
+    def truncated_scan_keep(self, n_samples: int) -> int:
+        """Preempted scan pass: how many of ``n_samples`` were covered."""
+        if self.config.scan_truncation_rate <= 0.0 or n_samples <= 1:
+            return n_samples
+        if self.rng.random() >= self.config.scan_truncation_rate:
+            return n_samples
+        keep = int(self.rng.integers(1, n_samples))
+        self.log.truncated_scans += 1
+        self.log.scan_samples_lost += n_samples - keep
+        return keep
+
+    def helper_stall(self) -> float:
+        """Async copy-thread stall: background-time factor (1.0 = none)."""
+        if self.config.stall_rate <= 0.0:
+            return 1.0
+        if self.rng.random() >= self.config.stall_rate:
+            return 1.0
+        self.log.helper_stalls += 1
+        return self.config.stall_factor

@@ -1,0 +1,85 @@
+"""Interval watchdog: degraded-mode control for the daemon loop.
+
+The paper's daemon must hold its overhead target even when the machine
+misbehaves — a profiling pass that blows the budget or a burst of
+migration faults must lead to *load shedding*, not a crash or an
+ever-growing backlog.  The watchdog watches each interval's management
+share (profiling + migration time over application time) and injected
+fault activity; after ``patience`` consecutive bad intervals it arms
+``shed_intervals`` degraded intervals, during which the engine skips the
+profiling scan and sheds new migration work (pending retries still
+drain, so the backlog empties while the daemon backs off).
+
+The watchdog is purely deterministic — its decisions depend only on
+observed interval records — so an idle watchdog never perturbs a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Degraded-mode trigger thresholds.
+
+    Attributes:
+        overhead_limit: management share of application time above which
+            an interval counts as over budget (well above the 5% target;
+            this is the "blown budget" tripwire, not the steady target).
+        fault_burst: injected fault events in one interval that mark it
+            as fault-hot even when timing looks fine.
+        patience: consecutive bad intervals before shedding starts.
+        shed_intervals: degraded intervals armed per trigger.
+    """
+
+    overhead_limit: float = 0.5
+    fault_burst: int = 2
+    patience: int = 2
+    shed_intervals: int = 1
+
+    def __post_init__(self) -> None:
+        if self.overhead_limit <= 0.0:
+            raise ConfigError(f"overhead_limit must be positive, got {self.overhead_limit}")
+        if self.fault_burst < 1:
+            raise ConfigError(f"fault_burst must be >= 1, got {self.fault_burst}")
+        if self.patience < 1:
+            raise ConfigError(f"patience must be >= 1, got {self.patience}")
+        if self.shed_intervals < 1:
+            raise ConfigError(f"shed_intervals must be >= 1, got {self.shed_intervals}")
+
+
+class IntervalWatchdog:
+    """Arms degraded intervals when the daemon loop runs hot."""
+
+    def __init__(self, config: WatchdogConfig | None = None) -> None:
+        self.config = config if config is not None else WatchdogConfig()
+        self.degraded_intervals = 0
+        self.triggers = 0
+        self._streak = 0
+        self._shed_pending = 0
+
+    def should_shed(self) -> bool:
+        """Is a degraded interval armed for the upcoming step?"""
+        return self._shed_pending > 0
+
+    def begin_shed(self) -> None:
+        """Consume one armed degraded interval (the engine is shedding)."""
+        if self._shed_pending > 0:
+            self._shed_pending -= 1
+        self.degraded_intervals += 1
+
+    def observe(self, app_time: float, management_time: float, fault_events: int) -> None:
+        """Fold one finished interval into the trigger state."""
+        over_budget = app_time > 0 and management_time / app_time > self.config.overhead_limit
+        fault_hot = fault_events >= self.config.fault_burst
+        if over_budget or fault_hot:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.config.patience:
+            self._shed_pending = self.config.shed_intervals
+            self.triggers += 1
+            self._streak = 0

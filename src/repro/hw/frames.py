@@ -8,7 +8,7 @@ for this 200 MB promotion?").
 
 from __future__ import annotations
 
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, TierPressureError
 from repro.hw.topology import TierTopology
 from repro.units import PAGE_SIZE, format_bytes
 
@@ -72,14 +72,17 @@ class FrameAccountant:
         """Claim ``npages`` on ``node_id``.
 
         Raises:
-            CapacityError: if the component does not have enough free pages.
+            TierPressureError: if the component does not have enough free
+                pages (a :class:`~repro.errors.CapacityError` carrying the
+                pressured tier as structured context).
         """
         if npages < 0:
             raise ConfigError(f"negative page count: {npages}")
         if not self.can_fit(node_id, npages):
-            raise CapacityError(
+            raise TierPressureError(
                 f"node {node_id}: cannot allocate {npages} pages "
-                f"({self.free_pages(node_id)} free of {self._capacity[node_id]})"
+                f"({self.free_pages(node_id)} free of {self._capacity[node_id]})",
+                tier=node_id,
             )
         self._used[node_id] += npages
 

@@ -15,6 +15,11 @@ from repro.metrics.report import (
     format_series,
     normalize,
 )
+from repro.metrics.robustness import (
+    RobustnessReport,
+    robustness_summary,
+    robustness_table,
+)
 
 __all__ = [
     "ascii_plot",
@@ -23,6 +28,9 @@ __all__ = [
     "AccessHeatmap",
     "HotVolumeTracker",
     "migration_summary",
+    "RobustnessReport",
+    "robustness_summary",
+    "robustness_table",
     "Table",
     "format_series",
     "normalize",

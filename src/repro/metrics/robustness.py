@@ -1,0 +1,117 @@
+"""Robustness accounting: faults absorbed, recovery work, degraded time.
+
+Companion to :func:`~repro.metrics.counters.migration_summary` for runs
+with a fault injector attached.  Collapses the engine's
+:class:`~repro.faults.injector.FaultLog`, the planner's retry counters,
+and the degraded-interval record into one report-friendly dataclass, so
+the resilience benchmark and the CLI print the same numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.report import Table
+from repro.sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Fault and recovery behaviour of one run.
+
+    Attributes:
+        label: the run's label.
+        fault_events: total injected fault events across all models.
+        busy_events: partial-migration EBUSY events.
+        busy_pages: pages bounced by EBUSY (retried later).
+        enomem_events: destination-allocation ENOMEM events.
+        sample_loss_events: PEBS buffer-overflow events.
+        samples_dropped: PEBS samples lost to injected overflows.
+        truncated_scans: profiling scans cut short.
+        helper_stalls: async helper-thread stall events.
+        retries_scheduled: transient failures queued for backoff retry.
+        retries_succeeded: queued retries that eventually committed.
+        retries_exhausted: orders dropped after the attempt budget.
+        fallback_moves: orders that committed through the fallback
+            (sync ``move_pages()``) mechanism.
+        demoted_for_room_pages: cold pages demoted to make promotion room.
+        degraded_intervals: intervals run in degraded mode (watchdog shed
+            or transient abort).
+        intervals: total intervals simulated.
+    """
+
+    label: str
+    fault_events: int
+    busy_events: int
+    busy_pages: int
+    enomem_events: int
+    sample_loss_events: int
+    samples_dropped: int
+    truncated_scans: int
+    helper_stalls: int
+    retries_scheduled: int
+    retries_succeeded: int
+    retries_exhausted: int
+    fallback_moves: int
+    demoted_for_room_pages: int
+    degraded_intervals: int
+    intervals: int
+
+    @property
+    def degraded_share(self) -> float:
+        if self.intervals == 0:
+            return 0.0
+        return self.degraded_intervals / self.intervals
+
+    @property
+    def retry_success_rate(self) -> float:
+        if self.retries_scheduled == 0:
+            return 1.0
+        return self.retries_succeeded / self.retries_scheduled
+
+
+def robustness_summary(result: SimulationResult) -> RobustnessReport:
+    """Extract one run's fault/recovery counters.
+
+    Works for fault-free runs too (all fault counters zero), so callers
+    can tabulate mixed sweeps without special-casing rate 0.
+    """
+    faults = result.fault_log
+    log = result.migration_log
+    return RobustnessReport(
+        label=result.label,
+        fault_events=faults.total_events if faults is not None else 0,
+        busy_events=faults.busy_events if faults is not None else 0,
+        busy_pages=faults.busy_pages if faults is not None else 0,
+        enomem_events=faults.enomem_events if faults is not None else 0,
+        sample_loss_events=faults.sample_loss_events if faults is not None else 0,
+        samples_dropped=faults.samples_dropped if faults is not None else 0,
+        truncated_scans=faults.truncated_scans if faults is not None else 0,
+        helper_stalls=faults.helper_stalls if faults is not None else 0,
+        retries_scheduled=log.retries_scheduled,
+        retries_succeeded=log.retries_succeeded,
+        retries_exhausted=log.retries_exhausted,
+        fallback_moves=log.fallback_moves,
+        demoted_for_room_pages=log.demoted_for_room_pages,
+        degraded_intervals=result.degraded_intervals,
+        intervals=len(result.records),
+    )
+
+
+def robustness_table(reports: list[RobustnessReport], title: str = "Robustness") -> Table:
+    """Tabulate a fault-rate sweep (one report per run)."""
+    table = Table(
+        title,
+        ["run", "faults", "retries", "ok", "exhausted", "fallback", "degraded"],
+    )
+    for r in reports:
+        table.add_row(
+            r.label,
+            str(r.fault_events),
+            str(r.retries_scheduled),
+            str(r.retries_succeeded),
+            str(r.retries_exhausted),
+            str(r.fallback_moves),
+            f"{r.degraded_intervals} ({r.degraded_share:.0%})",
+        )
+    return table

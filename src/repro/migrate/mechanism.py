@@ -10,9 +10,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.sim.costmodel import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -71,6 +75,17 @@ class Mechanism(abc.ABC):
 
     def __init__(self, cost_model: CostModel) -> None:
         self.cost_model = cost_model
+        self.injector: FaultInjector | None = None
+
+    def attach_injector(self, injector: "FaultInjector | None") -> None:
+        """Wire a fault injector in (helper-thread / copy-loop stalls)."""
+        self.injector = injector
+
+    def _stall_factor(self) -> float:
+        """Injected copy-stall inflation (1.0 when no injector/fault)."""
+        if self.injector is None:
+            return 1.0
+        return self.injector.helper_stall()
 
     @abc.abstractmethod
     def timing(

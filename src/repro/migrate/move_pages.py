@@ -26,9 +26,11 @@ class MovePagesMechanism(Mechanism):
     ) -> MigrationTiming:
         self._check(npages, write_rate)
         cm = self.cost_model
+        # An injected stall preempts the single-threaded kernel copy loop,
+        # stretching the fully-critical copy step.
         critical = StepTimes(
             allocate=cm.alloc_time(npages),
             unmap_remap=cm.unmap_time(npages) + cm.map_time(npages),
-            copy=cm.copy_time(npages, src_node, dst_node, parallelism=1),
+            copy=cm.copy_time(npages, src_node, dst_node, parallelism=1) * self._stall_factor(),
         )
         return MigrationTiming(critical=critical)

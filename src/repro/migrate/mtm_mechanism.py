@@ -94,18 +94,23 @@ class MoveMemoryRegionsMechanism(Mechanism):
 
         if self.force_sync:
             # "w/o async migration": the plain synchronous scheme — no
-            # background staging, hence no batched remap either.
+            # background staging, hence no batched remap either.  A stall
+            # preempts the main-thread copy loop.
             critical = StepTimes(
                 allocate=alloc_time,
                 unmap_remap=cm.unmap_time(npages) + cm.map_time(npages),
-                copy=copy_time,
+                copy=copy_time * self._stall_factor(),
                 migrate_page_table=pte_migrate,
             )
             return MigrationTiming(critical=critical)
 
         # Async attempt: arm write tracking (reserved bit + one flush).
+        # An injected stall deschedules the helper threads, stretching the
+        # overlapped allocate/copy window (and with it the exposure to
+        # mid-copy writes).
         tracking = cfg.tlb_flush_cost
-        write_hits = self._write_lands_mid_copy(write_rate, copy_time + alloc_time)
+        stall = self._stall_factor()
+        write_hits = self._write_lands_mid_copy(write_rate, (copy_time + alloc_time) * stall)
 
         if not write_hits:
             critical = StepTimes(
@@ -113,7 +118,7 @@ class MoveMemoryRegionsMechanism(Mechanism):
                 migrate_page_table=pte_migrate,
                 dirtiness_tracking=tracking,
             )
-            background = StepTimes(allocate=alloc_time, copy=copy_time)
+            background = StepTimes(allocate=alloc_time * stall, copy=copy_time * stall)
             return MigrationTiming(critical=critical, background=background)
 
         # A write landed: one write-protect fault, abandon the async copy

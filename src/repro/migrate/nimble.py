@@ -48,6 +48,7 @@ class NimbleMechanism(Mechanism):
         critical = StepTimes(
             allocate=alloc,
             unmap_remap=cm.unmap_time(npages) + cm.map_time(npages),
-            copy=cm.copy_time(npages, src_node, dst_node, parallelism=self.copy_threads),
+            copy=cm.copy_time(npages, src_node, dst_node, parallelism=self.copy_threads)
+            * self._stall_factor(),
         )
         return MigrationTiming(critical=critical)

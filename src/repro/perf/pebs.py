@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SampleLossError
+from repro.faults.injector import FaultInjector
 from repro.hw.topology import TierTopology
 from repro.mm.pagetable import PageTable
 from repro.perf.events import PebsEvent, PEBS_SLOW_MEMORY_EVENTS
@@ -61,6 +62,12 @@ class PebsSampler:
         events: programmed events (default: slow-memory loads — PM on the
             Optane machine, CXL on expander machines).
         rng: random source.
+        injector: optional fault injector (ring-buffer overflow events
+            beyond the modeled steady-state thinning).
+        strict: raise :class:`~repro.errors.SampleLossError` whenever a
+            window drops samples instead of returning the thinned set
+            (callers that cannot tolerate loss; default off — real PEBS
+            drops silently).
     """
 
     def __init__(
@@ -70,6 +77,8 @@ class PebsSampler:
         buffer_capacity: int = 1 << 16,
         events: tuple[PebsEvent, ...] = PEBS_SLOW_MEMORY_EVENTS,
         rng: np.random.Generator | None = None,
+        injector: FaultInjector | None = None,
+        strict: bool = False,
     ) -> None:
         if period < 1:
             raise ConfigError(f"period must be >= 1, got {period}")
@@ -82,6 +91,8 @@ class PebsSampler:
         self.buffer_capacity = buffer_capacity
         self.events = events
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.injector = injector
+        self.strict = strict
         self.total_samples_taken = 0
         self.total_dropped = 0
 
@@ -160,8 +171,22 @@ class PebsSampler:
             kept = draws > 0
             pages, draws, node_of = pages[kept], draws[kept], node_of[kept]
 
+        # Injected ring-buffer overflow: an activation window that loses a
+        # slab of samples beyond the steady-state thinning above.
+        if self.injector is not None:
+            draws, lost = self.injector.apply_sample_loss(draws)
+            if lost:
+                dropped += lost
+                kept = draws > 0
+                pages, draws, node_of = pages[kept], draws[kept], node_of[kept]
+
         self.total_samples_taken += int(draws.sum())
         self.total_dropped += dropped
+        if self.strict and dropped:
+            raise SampleLossError(
+                f"PEBS buffer overflow: {dropped} samples dropped this window",
+                interval=-1,
+            )
         return PebsSampleSet(
             pages=pages,
             samples=draws.astype(np.int64),

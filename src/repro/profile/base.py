@@ -10,7 +10,7 @@ quality metrics) only ever sees snapshots, so profilers are interchangeable.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -105,6 +105,10 @@ class Profiler(abc.ABC):
 
     #: Short name used in reports ("mtm", "damon", ...).
     name: str = "base"
+
+    #: Optional fault injector (scan truncation); the engine wires it in.
+    #: Profilers that model preemptible scan passes consult it.
+    injector = None
 
     @abc.abstractmethod
     def setup(self, page_table: PageTable, spans: list[tuple[int, int]]) -> None:

@@ -25,11 +25,11 @@ Ablation flags reproduce the "w/o AMR / APS / OC / PEBS" variants of Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SampleLossError
 from repro.mm.mmu import Mmu
 from repro.mm.pagetable import PageTable
 from repro.perf.pebs import PebsSampler
@@ -222,12 +222,20 @@ class MtmProfiler(Profiler):
         pebs_hot_entries: np.ndarray | None = None
         pebs_samples = 0
         if cfg.use_pebs and pebs is not None:
-            sample_set = pebs.sample(
-                mmu.current_batch, page_table, socket=socket, duty_cycle=cfg.pebs_duty_cycle
-            )
-            pebs_samples = sample_set.total_samples
-            if sample_set.pages.size:
-                pebs_hot_entries = np.unique(page_table.entry_index(sample_set.pages))
+            try:
+                sample_set = pebs.sample(
+                    mmu.current_batch, page_table, socket=socket, duty_cycle=cfg.pebs_duty_cycle
+                )
+            except SampleLossError:
+                # Ring-buffer overflow lost the window: profile this
+                # interval without the counter filter (every slow-tier
+                # region looks idle, decays, and is rediscovered once the
+                # counters are back) rather than aborting the pass.
+                sample_set = None
+            if sample_set is not None:
+                pebs_samples = sample_set.total_samples
+                if sample_set.pages.size:
+                    pebs_hot_entries = np.unique(page_table.entry_index(sample_set.pages))
 
         # -- choose which regions to profile -------------------------------
         # Three outcomes per region: scanned (gets fresh hi), observed-idle
@@ -298,6 +306,20 @@ class MtmProfiler(Profiler):
                 kept.append((region, chosen))
                 samples += int(chosen.size)
             to_profile = kept
+
+        # -- injected scan truncation ----------------------------------------
+        # A preempted profiling pass covers only a prefix of the pages it
+        # sampled; the region still gets a (noisier) hotness estimate from
+        # whatever was visited before the preemption.
+        if self.injector is not None:
+            truncated: list[tuple[MemoryRegion, np.ndarray]] = []
+            for region, chosen in to_profile:
+                keep = self.injector.truncated_scan_keep(int(chosen.size))
+                if keep < chosen.size:
+                    chosen = chosen[:keep]
+                if chosen.size:
+                    truncated.append((region, chosen))
+            to_profile = truncated
 
         scans_used = sum(int(c.size) for _, c in to_profile) * cfg.num_scans
 

@@ -20,11 +20,13 @@ per-interval records, the Fig. 5 time breakdown, per-tier access counters
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransientError
+from repro.faults.injector import FaultInjector, FaultLog
+from repro.faults.watchdog import IntervalWatchdog
 from repro.hw.dram_cache import DramCache
 from repro.hw.frames import FrameAccountant
 from repro.hw.placement import (
@@ -35,7 +37,8 @@ from repro.hw.placement import (
 from repro.hw.tier import MemoryKind
 from repro.hw.topology import TierTopology
 from repro.migrate.mechanism import Mechanism
-from repro.migrate.planner import MigrationLog, MigrationPlanner
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.planner import MigrationLog, MigrationPlanner, RetryPolicy
 from repro.mm.hugepage import ThpManager
 from repro.mm.mmu import Mmu
 from repro.mm.vma import AddressSpace
@@ -72,6 +75,8 @@ class IntervalRecord:
     total_accesses: int = 0
     region_count: int = 0
     quality: ProfilingQuality | None = None
+    degraded: bool = False
+    fault_events: int = 0
 
     @property
     def total_time(self) -> float:
@@ -91,10 +96,19 @@ class SimulationResult:
     migration_log: MigrationLog
     memory_overhead_bytes: int = 0
     footprint_pages: int = 0
+    fault_log: FaultLog | None = None
+    degraded_intervals: int = 0
 
     @property
     def total_time(self) -> float:
         return self.clock.now
+
+    @property
+    def degraded_share(self) -> float:
+        """Fraction of intervals that ran in degraded mode."""
+        if not self.records:
+            return 0.0
+        return self.degraded_intervals / len(self.records)
 
     def breakdown(self) -> dict[str, float]:
         """Fig. 5's app/profiling/migration split."""
@@ -129,7 +143,7 @@ class SimulationResult:
             "index", "app_time", "profiling_time", "migration_time",
             "background_time", "promoted_pages", "demoted_pages",
             "fast_tier_accesses", "total_accesses", "region_count",
-            "recall", "accuracy",
+            "recall", "accuracy", "degraded", "fault_events",
         ]
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
@@ -141,6 +155,7 @@ class SimulationResult:
                     r.fast_tier_accesses, r.total_accesses, r.region_count,
                     r.quality.recall if r.quality else "",
                     r.quality.accuracy if r.quality else "",
+                    int(r.degraded), r.fault_events,
                 ])
 
 
@@ -171,6 +186,18 @@ class SimulationEngine:
         collect_quality: score every snapshot against ground truth (Fig. 1).
         hmc: hardware-managed DRAM cache mode (Memory Mode baseline).
         label: name shown in reports.
+        injector: optional fault injector, wired through the planner
+            (EBUSY/ENOMEM), the PEBS sampler (buffer overflow), the
+            profiler (scan truncation), and the mechanisms (copy stalls).
+            A zero-rate injector is bit-identical to no injector.
+        watchdog: degraded-mode controller; ``None`` builds the default.
+            When an interval blows the overhead budget or absorbs a fault
+            burst repeatedly, the next interval sheds — the scan is
+            skipped and no new migration work starts (pending retries
+            still drain) — and is recorded as degraded.
+        recovery: ``False`` runs the planner fail-fast (no retry queue,
+            transient faults raise and the interval is recorded degraded)
+            — the baseline the resilience benchmark compares against.
     """
 
     def __init__(
@@ -190,6 +217,9 @@ class SimulationEngine:
         hmc: bool = False,
         label: str = "",
         thp: ThpManager | None = None,
+        injector: FaultInjector | None = None,
+        watchdog: IntervalWatchdog | None = None,
+        recovery: bool = True,
     ) -> None:
         if policy.wants_profiling() and profiler is None:
             raise ConfigError(f"policy {policy.name!r} needs a profiler")
@@ -219,24 +249,46 @@ class SimulationEngine:
         placer = self._make_placer(placement)
         self.workload.build(self.space, self.thp, placer)
 
+        self.injector = injector
+        self.watchdog = watchdog if watchdog is not None else IntervalWatchdog()
+        self.recovery = recovery
+        self._transient_aborts = 0
+
         self.mmu = Mmu(self.space.page_table, num_sockets=topology.num_sockets)
         self.pcm = PcmCounters(topology)
         self.pebs = PebsSampler(
-            topology, period=self.cost_model.params.pebs_period, rng=self.rngs["pebs"]
+            topology,
+            period=self.cost_model.params.pebs_period,
+            rng=self.rngs["pebs"],
+            injector=injector,
         )
         self.clock = Clock()
         self.dram_cache = self._make_dram_cache() if hmc else None
 
         if self.profiler is not None:
             self.profiler.setup(self.space.page_table, self.workload.spans())
+            self.profiler.injector = injector
         self.planner: MigrationPlanner | None = None
         if self.mechanism is not None:
+            self.mechanism.attach_injector(injector)
+            fallback: Mechanism | None = None
+            if not isinstance(self.mechanism, MovePagesMechanism):
+                # The daemon's fallback chain: orders that keep failing
+                # through the fancy mechanism retry via plain sync
+                # move_pages().
+                fallback = MovePagesMechanism(self.cost_model)
+                fallback.attach_injector(injector)
             self.planner = MigrationPlanner(
                 self.space.page_table,
                 self.frames,
                 self.mechanism,
                 interval=self.interval,
                 time_scale=self._migration_time_scale(),
+                injector=injector,
+                retry_policy=RetryPolicy() if recovery else None,
+                fallback_mechanism=fallback,
+                topology=self.topology,
+                socket=self.socket,
             )
         self._records: list[IntervalRecord] = []
 
@@ -327,6 +379,12 @@ class SimulationEngine:
             total_accesses=batch.total_accesses,
         )
 
+        faults_before = self.injector.log.total_events if self.injector is not None else 0
+        shed = self.watchdog.should_shed()
+        if shed:
+            self.watchdog.begin_shed()
+            record.degraded = True
+
         # Eq. 1's t_mi is wall-clock application time: as placement improves
         # and the same work quantum takes less time, the profiling budget
         # shrinks with it so the overhead constraint keeps holding against
@@ -337,33 +395,66 @@ class SimulationEngine:
                 config.interval = app_time
 
         if self.policy.wants_profiling() and self.profiler is not None:
-            snapshot = self.profiler.profile(self.mmu, pebs=self.pebs, socket=self.socket)
-            self.clock.advance(snapshot.profiling_time, CATEGORY_PROFILING)
-            record.profiling_time = snapshot.profiling_time
-            record.region_count = len(snapshot.reports)
-            if self.collect_quality:
-                truth = self.workload.hot_pages()
-                if truth.size:
-                    record.quality = evaluate_quality(snapshot, truth)
-            if self.planner is not None:
-                state = PlacementState(
-                    page_table=self.space.page_table,
-                    frames=self.frames,
-                    topology=self.topology,
-                )
-                orders = self.policy.decide(snapshot, state)
-                before = (self.planner.log.promoted_pages, self.planner.log.demoted_pages)
-                timing = self.planner.execute(orders, self.mmu)
-                self.clock.advance(timing.critical_time, CATEGORY_MIGRATION)
-                self.clock.record_background(timing.background_time)
-                record.migration_time = timing.critical_time
-                record.background_time = timing.background_time
-                record.promoted_pages = self.planner.log.promoted_pages - before[0]
-                record.demoted_pages = self.planner.log.demoted_pages - before[1]
+            if shed:
+                # Degraded interval: the watchdog shed this interval's
+                # scan and migration budget; only the retry backlog
+                # drains, so the daemon catches up instead of piling on.
+                if self.planner is not None:
+                    timing = self.planner.drain_retries(self.mmu)
+                    self.clock.advance(timing.critical_time, CATEGORY_MIGRATION)
+                    self.clock.record_background(timing.background_time)
+                    record.migration_time = timing.critical_time
+                    record.background_time = timing.background_time
+            else:
+                try:
+                    self._profile_and_migrate(record)
+                except TransientError:
+                    # Fail-fast planner (or an unrecovered fault path):
+                    # the interval's remaining management work is lost,
+                    # the run continues in degraded mode.
+                    record.degraded = True
+                    self._transient_aborts += 1
+
+        if self.injector is not None:
+            record.fault_events = self.injector.log.total_events - faults_before
+        self.watchdog.observe(
+            record.app_time,
+            record.profiling_time + record.migration_time,
+            record.fault_events,
+        )
 
         record.fast_tier_accesses = self._fast_tier_count() - fast_before
         self._records.append(record)
         return record
+
+    def _profile_and_migrate(self, record: IntervalRecord) -> None:
+        """One interval of daemon work: scan, decide, migrate."""
+        assert self.profiler is not None
+        snapshot = self.profiler.profile(self.mmu, pebs=self.pebs, socket=self.socket)
+        self.clock.advance(snapshot.profiling_time, CATEGORY_PROFILING)
+        record.profiling_time = snapshot.profiling_time
+        record.region_count = len(snapshot.reports)
+        if self.collect_quality:
+            truth = self.workload.hot_pages()
+            if truth.size:
+                record.quality = evaluate_quality(snapshot, truth)
+        if self.planner is not None:
+            state = PlacementState(
+                page_table=self.space.page_table,
+                frames=self.frames,
+                topology=self.topology,
+            )
+            orders = self.policy.decide(snapshot, state)
+            before = (self.planner.log.promoted_pages, self.planner.log.demoted_pages)
+            try:
+                timing = self.planner.execute(orders, self.mmu)
+            finally:
+                record.promoted_pages = self.planner.log.promoted_pages - before[0]
+                record.demoted_pages = self.planner.log.demoted_pages - before[1]
+            self.clock.advance(timing.critical_time, CATEGORY_MIGRATION)
+            self.clock.record_background(timing.background_time)
+            record.migration_time = timing.critical_time
+            record.background_time = timing.background_time
 
     def result(self) -> SimulationResult:
         return SimulationResult(
@@ -377,6 +468,8 @@ class SimulationEngine:
                 self.profiler.memory_overhead_bytes() if self.profiler else 0
             ),
             footprint_pages=self.workload.footprint_pages(),
+            fault_log=self.injector.log if self.injector is not None else None,
+            degraded_intervals=sum(1 for r in self._records if r.degraded),
         )
 
     # -- internals --------------------------------------------------------------

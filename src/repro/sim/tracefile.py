@@ -13,7 +13,6 @@ drop-in :class:`~repro.workloads.base.Workload`.  Useful for
 
 from __future__ import annotations
 
-import io
 import pathlib
 
 import numpy as np
@@ -108,7 +107,6 @@ class TraceWorkload(Workload):
         self._cursor = -1
 
     def build(self, space: AddressSpace, thp: ThpManager, placer: Placer) -> None:
-        from repro.workloads.base import SegmentedWorkload, populate
 
         for (start, npages), name in zip(self._spans, self._names):
             vma = space.allocate_vma(npages, name)

@@ -31,7 +31,7 @@ from repro.hw.placement import Placer
 from repro.mm.hugepage import ThpManager
 from repro.mm.vma import AddressSpace, Vma
 from repro.sim.trace import AccessBatch
-from repro.units import PAGE_SIZE, bytes_to_pages
+from repro.units import bytes_to_pages
 
 #: Default calibrated rates (accesses per 4 KB page per interval).
 HOT_RATE = 0.2

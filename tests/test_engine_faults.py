@@ -1,0 +1,157 @@
+"""Engine-level fault injection: degraded loop, acceptance criteria, CLI."""
+
+import pytest
+
+from repro.core.baselines import make_engine
+from repro.core.manager import MtmManager, MtmSystemConfig
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.metrics.robustness import robustness_summary, robustness_table
+from repro.workloads.registry import build_workload
+
+SCALE = 1.0 / 512.0
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return make_engine("mtm", "gups", scale=SCALE, seed=0).run(50)
+
+
+@pytest.fixture(scope="module")
+def faulty_run():
+    injector = FaultInjector(FaultConfig.uniform(0.1), seed=1)
+    return make_engine("mtm", "gups", scale=SCALE, seed=0, injector=injector).run(50)
+
+
+class TestAcceptance:
+    """The PR's headline criteria: 10% faults, 50 intervals, no crash."""
+
+    def test_run_completes_without_exceptions(self, faulty_run):
+        assert len(faulty_run.records) == 50
+
+    def test_fast_tier_share_holds_up(self, clean_run, faulty_run):
+        assert faulty_run.fast_tier_share() >= 0.8 * clean_run.fast_tier_share()
+
+    def test_recovery_counters_nonzero(self, faulty_run):
+        log = faulty_run.migration_log
+        assert log.retries_scheduled > 0
+        assert faulty_run.degraded_intervals > 0
+        assert faulty_run.fault_log is not None
+        assert faulty_run.fault_log.total_events > 0
+
+    def test_degraded_records_marked(self, faulty_run):
+        assert sum(1 for r in faulty_run.records if r.degraded) == (
+            faulty_run.degraded_intervals
+        )
+        assert sum(r.fault_events for r in faulty_run.records) == (
+            faulty_run.fault_log.total_events
+        )
+
+    def test_clean_run_reports_no_faults(self, clean_run):
+        assert clean_run.fault_log is None
+        assert clean_run.degraded_intervals == 0
+        assert clean_run.degraded_share == 0.0
+
+
+class TestFailFast:
+    def test_fail_fast_survives_as_degraded_intervals(self):
+        injector = FaultInjector(FaultConfig.uniform(0.1), seed=1)
+        result = make_engine(
+            "mtm", "gups", scale=SCALE, seed=0, injector=injector, recovery=False
+        ).run(30)
+        assert len(result.records) == 30
+        assert result.degraded_intervals > 0
+        assert result.migration_log.retries_scheduled == 0
+
+
+class TestRobustnessReport:
+    def test_summary_of_faulty_run(self, faulty_run):
+        rob = robustness_summary(faulty_run)
+        assert rob.fault_events == faulty_run.fault_log.total_events
+        assert rob.retries_scheduled == faulty_run.migration_log.retries_scheduled
+        assert rob.intervals == 50
+        assert 0.0 < rob.degraded_share < 1.0
+        assert 0.0 <= rob.retry_success_rate <= 1.0
+
+    def test_summary_of_clean_run(self, clean_run):
+        rob = robustness_summary(clean_run)
+        assert rob.fault_events == 0
+        assert rob.retries_scheduled == 0
+        assert rob.degraded_intervals == 0
+        assert rob.retry_success_rate == 1.0
+
+    def test_table_renders(self, clean_run, faulty_run):
+        out = robustness_table(
+            [robustness_summary(clean_run), robustness_summary(faulty_run)]
+        ).render()
+        assert "degraded" in out
+
+
+class TestCsvColumns:
+    def test_csv_includes_fault_columns(self, faulty_run, tmp_path):
+        import csv
+
+        path = tmp_path / "records.csv"
+        faulty_run.to_csv(path)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 50
+        assert sum(int(r["degraded"]) for r in rows) == faulty_run.degraded_intervals
+        assert sum(int(r["fault_events"]) for r in rows) == (
+            faulty_run.fault_log.total_events
+        )
+
+
+class TestManagerConfig:
+    def test_float_faults_coerced(self):
+        cfg = MtmSystemConfig(faults=0.2, fault_seed=9)
+        assert isinstance(cfg.faults, FaultConfig)
+        injector = cfg.make_injector()
+        assert injector is not None and injector.seed == 9
+
+    def test_zero_rate_builds_no_injector(self):
+        assert MtmSystemConfig(faults=0.0).make_injector() is None
+        assert MtmSystemConfig().make_injector() is None
+
+    def test_manager_runs_with_faults(self):
+        mgr = MtmManager(
+            scale=SCALE, config=MtmSystemConfig(scale=SCALE, faults=0.1, fault_seed=1)
+        )
+        result = mgr.run(build_workload("gups", SCALE), num_intervals=10)
+        assert result.fault_log is not None
+        assert result.fault_log.total_events > 0
+
+
+class TestCli:
+    def test_run_prints_fault_report(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "run", "--solution", "mtm", "--workload", "gups",
+            "--intervals", "10", "--scale-denominator", "512",
+            "--faults", "0.1", "--fault-seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "faults" in out and "recovery" in out and "degraded" in out
+
+    def test_run_without_faults_omits_report(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "run", "--solution", "mtm", "--workload", "gups",
+            "--intervals", "5", "--scale-denominator", "512",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "recovery" not in out
+
+    def test_fail_fast_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "run", "--solution", "mtm", "--workload", "gups",
+            "--intervals", "10", "--scale-denominator", "512",
+            "--faults", "0.1", "--fail-fast",
+        ])
+        assert rc == 0
+        assert "0 retries scheduled" in capsys.readouterr().out

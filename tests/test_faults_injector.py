@@ -1,0 +1,133 @@
+"""Unit tests for the fault injector's models and determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.injector import FaultConfig, FaultInjector
+
+
+class TestFaultConfig:
+    def test_defaults_disabled(self):
+        assert not FaultConfig().enabled
+
+    def test_uniform_sets_every_rate(self):
+        cfg = FaultConfig.uniform(0.25)
+        assert cfg.migration_busy_rate == 0.25
+        assert cfg.tier_pressure_rate == 0.25
+        assert cfg.sample_loss_rate == 0.25
+        assert cfg.scan_truncation_rate == 0.25
+        assert cfg.stall_rate == 0.25
+        assert cfg.enabled
+
+    def test_uniform_zero_is_disabled(self):
+        assert not FaultConfig.uniform(0.0).enabled
+
+    @pytest.mark.parametrize("field", [
+        "migration_busy_rate", "tier_pressure_rate", "sample_loss_rate",
+        "scan_truncation_rate", "stall_rate",
+    ])
+    def test_rate_bounds(self, field):
+        with pytest.raises(ConfigError):
+            FaultConfig(**{field: 1.5})
+        with pytest.raises(ConfigError):
+            FaultConfig(**{field: -0.1})
+
+    def test_busy_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(busy_fraction_max=0.0)
+        with pytest.raises(ConfigError):
+            FaultConfig(busy_fraction_max=1.5)
+
+    def test_stall_factor_bound(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(stall_factor=0.5)
+
+
+class TestZeroRateShortCircuit:
+    """Rate 0 must not consume a single draw — the bit-identity guard."""
+
+    def test_no_rng_consumption(self):
+        inj = FaultInjector(FaultConfig(), seed=7)
+        state = inj.rng.bit_generator.state
+        assert inj.migration_busy_mask(512) is None
+        assert inj.tier_pressure(0) is False
+        draws = np.array([3, 1, 4], dtype=np.int64)
+        kept, lost = inj.apply_sample_loss(draws)
+        assert lost == 0 and kept is draws
+        assert inj.truncated_scan_keep(100) == 100
+        assert inj.helper_stall() == 1.0
+        assert inj.rng.bit_generator.state == state
+        assert inj.log.total_events == 0
+
+
+class TestModels:
+    def test_busy_mask_bounds(self):
+        cfg = FaultConfig(migration_busy_rate=1.0, busy_fraction_max=0.5)
+        inj = FaultInjector(cfg, seed=3)
+        for npages in (1, 7, 512):
+            mask = inj.migration_busy_mask(npages)
+            assert mask is not None and mask.size == npages
+            n_busy = int(mask.sum())
+            assert 1 <= n_busy <= max(1, int(round(npages * 0.5)))
+        assert inj.log.busy_events == 3
+        assert inj.log.busy_pages >= 3
+
+    def test_sample_loss_conserves_counts(self):
+        inj = FaultInjector(FaultConfig(sample_loss_rate=1.0), seed=5)
+        draws = np.array([10, 20, 30], dtype=np.int64)
+        kept, lost = inj.apply_sample_loss(draws)
+        assert int(kept.sum()) + lost == 60
+        assert np.all(kept <= draws)
+        assert inj.log.sample_loss_events == 1
+        assert inj.log.samples_dropped == lost
+
+    def test_truncated_scan_keep_is_proper_prefix(self):
+        inj = FaultInjector(FaultConfig(scan_truncation_rate=1.0), seed=5)
+        for n in (2, 10, 1000):
+            keep = inj.truncated_scan_keep(n)
+            assert 1 <= keep < n
+        # A single-sample scan cannot be truncated further.
+        assert inj.truncated_scan_keep(1) == 1
+        assert inj.log.truncated_scans == 3
+
+    def test_helper_stall_factor(self):
+        inj = FaultInjector(FaultConfig(stall_rate=1.0, stall_factor=3.0), seed=5)
+        assert inj.helper_stall() == 3.0
+        assert inj.log.helper_stalls == 1
+
+    def test_tier_pressure_logs(self):
+        inj = FaultInjector(FaultConfig(tier_pressure_rate=1.0), seed=5)
+        assert inj.tier_pressure(0)
+        assert inj.log.enomem_events == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = FaultInjector(FaultConfig.uniform(0.5), seed=11)
+        b = FaultInjector(FaultConfig.uniform(0.5), seed=11)
+        for _ in range(50):
+            ma, mb = a.migration_busy_mask(64), b.migration_busy_mask(64)
+            if ma is None:
+                assert mb is None
+            else:
+                assert mb is not None and np.array_equal(ma, mb)
+            assert a.tier_pressure(1) == b.tier_pressure(1)
+            assert a.helper_stall() == b.helper_stall()
+        assert a.log == b.log
+
+    def test_reset_rewinds(self):
+        inj = FaultInjector(FaultConfig.uniform(0.5), seed=11)
+        first = [inj.helper_stall() for _ in range(20)]
+        inj.reset()
+        assert [inj.helper_stall() for _ in range(20)] == first
+        assert inj.log.helper_stalls == sum(1 for s in first if s != 1.0)
+
+    def test_log_total_events(self):
+        inj = FaultInjector(FaultConfig.uniform(1.0), seed=0)
+        inj.migration_busy_mask(8)
+        inj.tier_pressure(0)
+        inj.helper_stall()
+        inj.truncated_scan_keep(10)
+        inj.apply_sample_loss(np.array([5, 5], dtype=np.int64))
+        assert inj.log.total_events == 5

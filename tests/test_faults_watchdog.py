@@ -1,0 +1,65 @@
+"""Unit tests for the degraded-mode interval watchdog."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.watchdog import IntervalWatchdog, WatchdogConfig
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(overhead_limit=0.0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(fault_burst=0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(patience=0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(shed_intervals=0)
+
+
+class TestTriggers:
+    def test_idle_never_sheds(self):
+        wd = IntervalWatchdog()
+        for _ in range(100):
+            assert not wd.should_shed()
+            wd.observe(app_time=1.0, management_time=0.01, fault_events=0)
+        assert wd.degraded_intervals == 0
+        assert wd.triggers == 0
+
+    def test_overhead_streak_arms_shedding(self):
+        wd = IntervalWatchdog(WatchdogConfig(overhead_limit=0.5, patience=2))
+        wd.observe(app_time=1.0, management_time=0.8, fault_events=0)
+        assert not wd.should_shed()
+        wd.observe(app_time=1.0, management_time=0.8, fault_events=0)
+        assert wd.should_shed()
+        assert wd.triggers == 1
+
+    def test_fault_burst_arms_shedding(self):
+        wd = IntervalWatchdog(WatchdogConfig(fault_burst=3, patience=2))
+        wd.observe(app_time=1.0, management_time=0.0, fault_events=3)
+        wd.observe(app_time=1.0, management_time=0.0, fault_events=5)
+        assert wd.should_shed()
+
+    def test_good_interval_resets_streak(self):
+        wd = IntervalWatchdog(WatchdogConfig(overhead_limit=0.5, patience=2))
+        wd.observe(app_time=1.0, management_time=0.8, fault_events=0)
+        wd.observe(app_time=1.0, management_time=0.01, fault_events=0)
+        wd.observe(app_time=1.0, management_time=0.8, fault_events=0)
+        assert not wd.should_shed()
+
+    def test_shed_lifecycle(self):
+        wd = IntervalWatchdog(WatchdogConfig(patience=1, shed_intervals=2))
+        wd.observe(app_time=1.0, management_time=9.0, fault_events=0)
+        assert wd.should_shed()
+        wd.begin_shed()
+        assert wd.should_shed()  # two intervals armed
+        wd.begin_shed()
+        assert not wd.should_shed()
+        assert wd.degraded_intervals == 2
+        assert wd.triggers == 1
+
+    def test_zero_app_time_is_not_over_budget(self):
+        wd = IntervalWatchdog(WatchdogConfig(patience=1))
+        wd.observe(app_time=0.0, management_time=1.0, fault_events=0)
+        assert not wd.should_shed()

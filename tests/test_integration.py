@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.baselines import make_engine
-from repro.hw.topology import optane_2tier, optane_4tier
+from repro.hw.topology import optane_2tier
 from repro.workloads.registry import build_workload
 
 SCALE = 1.0 / 512.0

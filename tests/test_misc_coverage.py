@@ -1,10 +1,8 @@
 """Assorted edge-case coverage across small modules."""
 
-import numpy as np
 import pytest
 
-from repro.errors import ConfigError, ProfilingError, WorkloadError
-from repro.hw.tier import AccessCost, MemoryKind
+from repro.errors import ConfigError, ProfilingError
 from repro.metrics.breakdown import TimeBreakdown
 from repro.mm.pte import PteFlag
 from repro.profile.base import ProfileSnapshot, RegionReport

@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.mm.hugepage import ThpManager
 from repro.mm.mmu import Mmu
-from repro.mm.vma import AddressSpace
 from repro.sim.trace import AccessBatch
 from repro.units import PAGES_PER_HUGE_PAGE
 

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import ConfigError
 from repro.hw.tier import MemoryKind
 from repro.hw.topology import optane_4tier
-from repro.mm.hugepage import ThpManager
 from repro.mm.vma import AddressSpace
 from repro.perf.events import (
     MEM_LOAD_RETIRED_DRAM,

@@ -1,0 +1,207 @@
+"""Planner recovery: retry/backoff, demote-for-room, fallback, fail-fast."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, MigrationError, TierPressureError
+from repro.faults.injector import FaultConfig, FaultInjector
+from repro.hw.frames import FrameAccountant
+from repro.hw.topology import optane_4tier
+from repro.migrate.move_pages import MovePagesMechanism
+from repro.migrate.planner import MigrationPlanner, RetryPolicy
+from repro.mm.pagetable import PageTable
+from repro.policy.base import MigrationOrder
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+
+R = PAGES_PER_HUGE_PAGE
+SCALE = 1.0 / 512.0
+
+
+def order(start, npages, src, dst, reason="promotion"):
+    return MigrationOrder(
+        pages=np.arange(start, start + npages, dtype=np.int64),
+        src_node=src,
+        dst_node=dst,
+        reason=reason,
+    )
+
+
+def make_env(injector=None, retry_policy=RetryPolicy(), topology=False, fallback=False):
+    topo = optane_4tier(SCALE)
+    cm = CostModel(topo, CostParams())
+    frames = FrameAccountant(topo)
+    pt = PageTable(topo.total_capacity() // PAGE_SIZE)
+    planner = MigrationPlanner(
+        pt,
+        frames,
+        MovePagesMechanism(cm),
+        injector=injector,
+        retry_policy=retry_policy,
+        fallback_mechanism=MovePagesMechanism(cm) if fallback else None,
+        topology=topo if topology else None,
+    )
+    return pt, frames, planner
+
+
+class TestRetryPolicy:
+    def test_default_backoff_schedule(self):
+        policy = RetryPolicy()
+        assert [policy.delay_intervals(f) for f in (1, 2, 3, 4, 5)] == [1, 2, 4, 8, 8]
+
+    def test_custom_schedule_respects_cap(self):
+        policy = RetryPolicy(backoff_base=2.0, backoff_factor=3.0, backoff_cap=10.0)
+        assert [policy.delay_intervals(f) for f in (1, 2, 3)] == [2, 6, 10]
+
+    def test_validation(self):
+        with pytest.raises(MigrationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(MigrationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(MigrationError):
+            RetryPolicy(backoff_cap=0.5)
+        with pytest.raises(MigrationError):
+            RetryPolicy(fallback_after=0)
+        with pytest.raises(MigrationError):
+            RetryPolicy().delay_intervals(0)
+
+
+class TestBusyRetry:
+    def test_partial_move_queues_remainder(self):
+        inj = FaultInjector(
+            FaultConfig(migration_busy_rate=1.0, busy_fraction_max=0.5), seed=3
+        )
+        pt, frames, planner = make_env(injector=inj)
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(0, R, 2, 0)])
+        moved = frames.used_pages(0)
+        assert 0 < moved < R  # the non-busy remainder moved now
+        assert planner.pending_retries == 1
+        assert planner.log.partial_orders == 1
+        assert planner.log.busy_pages == R - moved
+        assert planner.log.retries_scheduled == 1
+
+    def test_retry_completes_after_backoff(self):
+        inj = FaultInjector(
+            FaultConfig(migration_busy_rate=1.0, busy_fraction_max=0.5), seed=3
+        )
+        pt, frames, planner = make_env(injector=inj)
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(0, R, 2, 0)])
+        planner.injector = None  # fault clears; next attempt is clean
+        planner.drain_retries()  # backoff delay is 1 interval: due now
+        assert frames.used_pages(0) == R
+        assert planner.pending_retries == 0
+        assert planner.log.retries_succeeded == 1
+        planner.sanity_check()
+
+    def test_backoff_delay_is_respected(self):
+        inj = FaultInjector(
+            FaultConfig(migration_busy_rate=1.0, busy_fraction_max=0.5), seed=3
+        )
+        pt, frames, planner = make_env(
+            injector=inj, retry_policy=RetryPolicy(backoff_base=2.0)
+        )
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(0, R, 2, 0)])
+        planner.injector = None
+        planner.drain_retries()  # only 1 interval elapsed; not due yet
+        assert planner.pending_retries == 1
+        planner.drain_retries()
+        assert planner.pending_retries == 0
+        assert frames.used_pages(0) == R
+
+
+class TestExhaustion:
+    def test_retries_exhaust_after_max_attempts(self):
+        pt, frames, planner = make_env(retry_policy=RetryPolicy(max_attempts=2))
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        frames.allocate(0, frames.free_pages(0))  # destination stays full
+        planner.execute([order(0, R, 2, 0)])
+        assert planner.pending_retries == 1
+        planner.drain_retries()  # attempt 2 fails too: budget spent
+        assert planner.pending_retries == 0
+        assert planner.log.retries_exhausted == 1
+        assert pt.node_of(0) == 2
+        assert planner.log.retry_histogram == {1: 1, 2: 1}
+
+
+class TestDemoteForRoom:
+    def test_full_destination_demotes_then_promotes(self):
+        pt, frames, planner = make_env(topology=True)
+        filler = frames.free_pages(0)
+        pt.map_range(0, filler, node=0)
+        frames.allocate(0, filler)
+        start = filler
+        pt.map_range(start, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(start, R, 2, 0)])
+        assert pt.node_of(start) == 0  # the promotion went through
+        assert planner.log.promoted_pages == R
+        assert planner.log.demoted_for_room_pages == R
+        assert frames.used_pages(1) == R  # victims landed one tier down
+        planner.sanity_check()
+
+    def test_injected_enomem_demotes_first(self):
+        inj = FaultInjector(FaultConfig(tier_pressure_rate=1.0), seed=5)
+        pt, frames, planner = make_env(injector=inj, topology=True)
+        pt.map_range(0, 4 * R, node=0)
+        frames.allocate(0, 4 * R)
+        start = 4 * R
+        pt.map_range(start, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(start, R, 2, 0)])
+        assert planner.log.enomem_events == 1
+        assert planner.log.demoted_for_room_pages == R
+        assert pt.node_of(start) == 0
+        planner.sanity_check()
+
+    def test_without_topology_backs_off(self):
+        pt, frames, planner = make_env()
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        frames.allocate(0, frames.free_pages(0))
+        planner.execute([order(0, R, 2, 0)])
+        assert planner.log.demoted_for_room_pages == 0
+        assert planner.pending_retries == 1
+
+
+class TestFallbackChain:
+    def test_fallback_mechanism_used_after_threshold(self):
+        inj = FaultInjector(
+            FaultConfig(migration_busy_rate=1.0, busy_fraction_max=0.5), seed=3
+        )
+        pt, frames, planner = make_env(
+            injector=inj, retry_policy=RetryPolicy(fallback_after=1), fallback=True
+        )
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(0, R, 2, 0)])
+        planner.injector = None
+        planner.drain_retries()  # failures=1 >= fallback_after: fallback path
+        assert planner.log.fallback_moves == 1
+        assert frames.used_pages(0) == R
+
+
+class TestFailFast:
+    def test_transient_fault_raises(self):
+        inj = FaultInjector(FaultConfig(tier_pressure_rate=1.0), seed=5)
+        pt, frames, planner = make_env(injector=inj, retry_policy=None)
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        with pytest.raises(TierPressureError) as exc:
+            planner.execute([order(0, R, 2, 0)])
+        assert isinstance(exc.value, CapacityError)
+        assert exc.value.tier == 0
+        assert exc.value.interval == 0
+
+    def test_no_faults_no_raise(self):
+        pt, frames, planner = make_env(retry_policy=None)
+        pt.map_range(0, R, node=2)
+        frames.allocate(2, R)
+        planner.execute([order(0, R, 2, 0)])
+        assert pt.node_of(0) == 0

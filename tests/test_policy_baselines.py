@@ -1,7 +1,6 @@
 """Unit tests for the baseline policies: tiered-AutoNUMA, AutoTiering,
 HeMem, Thermostat, first-touch."""
 
-import numpy as np
 import pytest
 
 from repro.hw.frames import FrameAccountant

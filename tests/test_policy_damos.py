@@ -1,6 +1,5 @@
 """Tests for the DAMOS extension policy."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import make_engine

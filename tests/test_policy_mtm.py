@@ -1,6 +1,5 @@
 """Unit tests for MTM's fast-promotion / slow-demotion policy."""
 
-import numpy as np
 import pytest
 
 from repro.hw.frames import FrameAccountant

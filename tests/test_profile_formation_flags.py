@@ -1,7 +1,6 @@
 """Tests for the formation-model ablation switches (reproduction-specific)."""
 
 import numpy as np
-import pytest
 
 from repro.hw.topology import optane_4tier
 from repro.mm.hugepage import ThpManager

@@ -1,0 +1,60 @@
+"""Determinism guard: a zero-rate injector is bit-identical to none.
+
+The injector draws from its own generator and short-circuits before
+drawing when a model's rate is zero, so attaching a rate-0 injector (or
+running with ``--faults 0``) must reproduce a fault-free run *bitwise* —
+same interval timings, same migrations, same fast-tier share.  Any code
+path that consults the shared simulation RNGs or perturbs a float on the
+injected path breaks this property.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines import make_engine
+from repro.faults.injector import FaultConfig, FaultInjector
+
+SCALE = 1.0 / 512.0
+INTERVALS = 12
+
+
+def run_pair(workload: str, seed: int):
+    plain = make_engine("mtm", workload, scale=SCALE, seed=seed).run(INTERVALS)
+    zero = make_engine(
+        "mtm", workload, scale=SCALE, seed=seed,
+        injector=FaultInjector(FaultConfig.uniform(0.0), seed=seed + 99),
+    ).run(INTERVALS)
+    return plain, zero
+
+
+def assert_bit_identical(plain, zero):
+    assert len(plain.records) == len(zero.records)
+    for a, b in zip(plain.records, zero.records):
+        assert a.app_time == b.app_time
+        assert a.profiling_time == b.profiling_time
+        assert a.migration_time == b.migration_time
+        assert a.background_time == b.background_time
+        assert a.promoted_pages == b.promoted_pages
+        assert a.demoted_pages == b.demoted_pages
+        assert a.fast_tier_accesses == b.fast_tier_accesses
+        assert not b.degraded and b.fault_events == 0
+    assert plain.total_time == zero.total_time
+    assert plain.fast_tier_share() == zero.fast_tier_share()
+    log_a, log_b = plain.migration_log, zero.migration_log
+    assert log_a.promoted_pages == log_b.promoted_pages
+    assert log_a.demoted_pages == log_b.demoted_pages
+    assert log_a.critical_time == log_b.critical_time
+    assert log_a.background_time == log_b.background_time
+    assert zero.fault_log is not None and zero.fault_log.total_events == 0
+    assert zero.degraded_intervals == 0
+
+
+class TestZeroRateIdentity:
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=4, deadline=None)
+    def test_gups_identical(self, seed):
+        assert_bit_identical(*run_pair("gups", seed))
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=3, deadline=None)
+    def test_voltdb_identical(self, seed):
+        assert_bit_identical(*run_pair("voltdb", seed))

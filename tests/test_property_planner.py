@@ -15,7 +15,7 @@ from repro.migrate.planner import MigrationPlanner
 from repro.mm.pagetable import PageTable
 from repro.policy.base import MigrationOrder
 from repro.sim.costmodel import CostModel, CostParams
-from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+from repro.units import PAGES_PER_HUGE_PAGE
 
 SCALE = 1.0 / 512.0
 R = PAGES_PER_HUGE_PAGE

@@ -1,7 +1,6 @@
 """Property-based tests for the MTM policy's safety invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hw.frames import FrameAccountant

@@ -1,6 +1,5 @@
 """Property-based tests for region formation invariants (hypothesis)."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.profile.regions import MemoryRegion, RegionSet

@@ -1,6 +1,5 @@
 """Unit tests for the clock and RNG management."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError
