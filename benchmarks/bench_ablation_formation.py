@@ -19,7 +19,7 @@ these, fragments dissolve into large cold regions and never re-emerge.
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_solution
 from repro.metrics.report import Table
 from repro.profile.mtm import MtmProfilerConfig
@@ -67,4 +67,6 @@ def test_ablation_formation(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

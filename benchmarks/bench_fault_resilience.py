@@ -15,7 +15,7 @@ forfeits migration work every faulty interval.
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 from repro.faults.injector import FaultConfig, FaultInjector
 from repro.metrics.report import Table
@@ -72,4 +72,6 @@ def test_fault_resilience(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

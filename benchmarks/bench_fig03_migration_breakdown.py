@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.hw.topology import optane_4tier
 from repro.metrics.report import Table
 from repro.migrate.move_pages import MovePagesMechanism
@@ -62,4 +62,6 @@ def test_fig03_migration_breakdown(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -8,7 +8,7 @@ tiered-AutoNUMA by up to 37%/35%, and AutoTiering by up to 42% (avg 17%).
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_matrix
 from repro.workloads.registry import workload_names
 
@@ -43,4 +43,6 @@ def test_fig04_overall(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

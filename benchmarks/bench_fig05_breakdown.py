@@ -8,7 +8,7 @@ and 25% faster migration; profiling always fits the 5% constraint.
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_solution
 from repro.metrics.breakdown import TimeBreakdown, breakdown_table
 from repro.workloads.registry import workload_names
@@ -41,4 +41,6 @@ def test_fig05_breakdown(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

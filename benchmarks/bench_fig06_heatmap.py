@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 from repro.metrics.heatmap import AccessHeatmap
 from repro.perf.pebs import PebsSampler
@@ -71,4 +71,6 @@ def test_fig06_heatmap(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

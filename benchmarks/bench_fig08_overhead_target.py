@@ -9,7 +9,7 @@ universal default.
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_solution
 from repro.metrics.report import Table
 
@@ -40,4 +40,6 @@ def test_fig08_overhead_target(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -9,7 +9,7 @@ trend holds at num_scans=6 with (2, 4).
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_solution
 from repro.metrics.report import Table
 from repro.profile.mtm import MtmProfilerConfig
@@ -57,4 +57,6 @@ def test_fig09_tau_sensitivity(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -9,7 +9,7 @@ Results are normalized to alpha = 1/2.
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_solution
 from repro.metrics.report import Table
 from repro.profile.mtm import MtmProfilerConfig
@@ -45,4 +45,6 @@ def test_fig10_alpha(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.hw.topology import optane_4tier
 from repro.metrics.report import Table
 from repro.migrate.mechanism import Mechanism
@@ -87,4 +87,6 @@ def test_fig11_mechanisms(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

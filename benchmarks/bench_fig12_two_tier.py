@@ -10,7 +10,7 @@ faster and finds more hot pages.
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 from repro.hw.topology import optane_2tier
 from repro.metrics.report import Table
@@ -71,4 +71,6 @@ def test_fig12_two_tier(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Perf smoke: wall-clock speedup of the optimized matrix runner.
+
+Runs the 4-workload x 4-solution benchmark matrix twice:
+
+* **baseline** — the pre-optimization serial path: vectorized hot paths
+  off (:mod:`repro.perfflags` legacy mode), no trace cache, one process;
+* **optimized** — vectorized + shared :class:`~repro.sim.tracecache.
+  TraceCache` + ``workers=min(4, cpu_count)`` (fanning a 1-core host out
+  over processes only adds fork overhead, so the worker count adapts to
+  the host; results are bit-identical at any worker count).
+
+Both arms produce bit-identical simulation results (asserted here on a
+summary statistic, and in full by ``tests/test_perf_opt.py``); only the
+wall clock may differ.  The measurements land in ``BENCH_perf.json`` for
+CI to archive and regression-gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import perfflags
+from repro.bench.runner import run_matrix
+from repro.bench.scaling import BenchProfile
+
+WORKLOADS = ["gups", "voltdb", "cassandra", "bfs"]
+SOLUTIONS = ["first-touch", "hmc", "tiered-autonuma", "mtm"]
+REQUESTED_WORKERS = 4
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _matrix_summary(matrix) -> dict:
+    """A compact, order-stable digest used to assert arm equivalence."""
+    return {
+        workload: {
+            solution: result.total_time
+            for solution, result in row.items()
+        }
+        for workload, row in matrix.results.items()
+    }
+
+
+def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) -> str:
+    workloads = workloads if workloads is not None else WORKLOADS
+    workers = min(REQUESTED_WORKERS, os.cpu_count() or 1)
+
+    t0 = time.perf_counter()
+    with perfflags.legacy_mode():
+        baseline = run_matrix(workloads, SOLUTIONS, profile, use_cache=False)
+    baseline_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    optimized = run_matrix(workloads, SOLUTIONS, profile, workers=workers)
+    optimized_seconds = time.perf_counter() - t0
+
+    if _matrix_summary(baseline) != _matrix_summary(optimized):
+        raise AssertionError(
+            "optimized arm changed simulated results; the accelerations "
+            "must be bit-identical"
+        )
+
+    speedup = baseline_seconds / optimized_seconds
+    payload = {
+        "profile": profile.name,
+        "workloads": workloads,
+        "solutions": SOLUTIONS,
+        "workers_requested": REQUESTED_WORKERS,
+        "workers_effective": workers,
+        "cpu_count": os.cpu_count(),
+        "baseline_seconds": round(baseline_seconds, 3),
+        "optimized_seconds": round(optimized_seconds, 3),
+        "speedup": round(speedup, 3),
+        "results_identical": True,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    return (
+        f"perf smoke ({profile.name} profile, {len(workloads)}x{len(SOLUTIONS)} matrix)\n"
+        f"  baseline (legacy serial, uncached): {baseline_seconds:6.2f}s\n"
+        f"  optimized (vectorized + cache + workers={workers}): "
+        f"{optimized_seconds:6.2f}s\n"
+        f"  speedup: {speedup:.2f}x\n"
+        f"  wrote {OUTPUT.name}"
+    )
+
+
+def test_perf_smoke(benchmark, profile):
+    out = benchmark.pedantic(
+        run_experiment, args=(profile, ["gups", "voltdb"]), rounds=1, iterations=1
+    )
+    print(out)
+
+
+if __name__ == "__main__":
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment, default_profile="quick")

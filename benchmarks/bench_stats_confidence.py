@@ -9,7 +9,7 @@ so the Fig. 4 conclusions can be read with error bars.
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.stats import repeated_comparison, stats_table
 
 SOLUTIONS = ["first-touch", "hmc", "tiered-autonuma", "mtm"]
@@ -35,4 +35,6 @@ def test_stats_confidence(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 from repro.metrics.report import Table
 from repro.units import PAGE_SIZE, format_bytes
@@ -56,4 +56,6 @@ def test_tab3_hot_pages(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

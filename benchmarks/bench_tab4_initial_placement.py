@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.hw.topology import optane_4tier
 from repro.metrics.report import Table
 from repro.migrate.mtm_mechanism import MoveMemoryRegionsMechanism
@@ -83,4 +83,6 @@ def test_tab4_initial_placement(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

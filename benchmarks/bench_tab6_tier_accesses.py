@@ -10,7 +10,7 @@ batches).
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.bench.runner import run_solution
 from repro.metrics.report import Table
 
@@ -43,4 +43,6 @@ def test_tab6_tier_accesses(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -8,7 +8,7 @@ multi-hundred-GB footprint (i.e., average regions of ~hundreds of MB).
 
 from __future__ import annotations
 
-from repro.bench.scaling import BenchProfile, profile_from_env
+from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 from repro.metrics.report import Table
 from repro.units import PAGE_SIZE, format_bytes
@@ -53,4 +53,6 @@ def test_tab7_region_stats(benchmark, profile):
 
 
 if __name__ == "__main__":
-    print(run_experiment(profile_from_env(default="full")))
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

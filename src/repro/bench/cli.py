@@ -1,0 +1,78 @@
+"""Shared command line for the ``benchmarks/bench_*.py`` drivers.
+
+Every driver exposes ``run_experiment(profile, ...)`` and ends with::
+
+    if __name__ == "__main__":
+        from repro.bench.cli import bench_main
+        bench_main(run_experiment)
+
+which gives all of them a uniform flag set:
+
+* ``--profile quick|full`` — bench sizing profile (overrides the
+  ``REPRO_BENCH_PROFILE`` environment variable);
+* ``--workers K`` — processes for matrix fan-out; installed as the
+  process default so every ``run_matrix`` call in the experiment picks
+  it up (results are bit-identical at any K);
+* ``--workloads a,b,c`` — restrict the experiment's workload set, mapped
+  onto the driver's ``workloads``/``workload`` parameter when it has one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+from typing import Callable
+
+from repro.bench.runner import set_default_workers
+from repro.bench.scaling import profile_by_name, profile_from_env, profile_names
+from repro.errors import ConfigError
+
+
+def bench_main(
+    run_experiment: Callable[..., str],
+    default_profile: str = "full",
+    argv: list[str] | None = None,
+) -> None:
+    """Parse the shared bench flags, run the experiment, print its report."""
+    parser = argparse.ArgumentParser(
+        description=(run_experiment.__doc__ or "").strip() or None
+    )
+    parser.add_argument(
+        "--profile", choices=profile_names(), default=None,
+        help="bench sizing profile (default: REPRO_BENCH_PROFILE or "
+             f"{default_profile!r})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="K",
+        help="worker processes for matrix fan-out (default: 1; results "
+             "are identical for any K)",
+    )
+    parser.add_argument(
+        "--workloads", default=None, metavar="A,B,...",
+        help="comma-separated workload subset (drivers with a fixed "
+             "workload accept exactly one name)",
+    )
+    args = parser.parse_args(argv)
+
+    set_default_workers(args.workers)
+    profile = (
+        profile_by_name(args.profile)
+        if args.profile is not None
+        else profile_from_env(default=default_profile)
+    )
+
+    kwargs = {}
+    if args.workloads:
+        names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        params = inspect.signature(run_experiment).parameters
+        if "workloads" in params:
+            kwargs["workloads"] = names
+        elif "workload" in params:
+            if len(names) != 1:
+                raise ConfigError(
+                    "this experiment runs one workload; pass a single name"
+                )
+            kwargs["workload"] = names[0]
+        else:
+            raise ConfigError("this experiment has a fixed workload set")
+    print(run_experiment(profile, **kwargs))

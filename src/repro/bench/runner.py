@@ -1,14 +1,61 @@
-"""Experiment runners: one solution, or a workload x solution matrix."""
+"""Experiment runners: one solution, or a workload x solution matrix.
+
+The matrix runner supports three independent accelerations, all
+result-preserving:
+
+* a shared :class:`~repro.sim.tracecache.TraceCache` so each workload's
+  batch stream is synthesized once instead of once per solution;
+* ``workers=K`` — a ``ProcessPoolExecutor`` fans the matrix cells out
+  across processes.  Every cell builds its own engine from
+  ``(solution, workload, profile)`` with fully deterministic seeding, and
+  cells are keyed (not ordered) on collection, so ``workers=4`` is
+  bit-identical to ``workers=1`` (asserted by tests);
+* the vectorized hot paths (see :mod:`repro.perfflags`), inherited by
+  forked workers.
+
+Fault injection composes with all three: each cell constructs a *fresh*
+injector from ``(fault_rate, fault_seed)``, so runs never share mutable
+injector state across processes or cells.
+"""
 
 from __future__ import annotations
 
+import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 from repro.errors import ConfigError
+from repro.faults.injector import FaultConfig, FaultInjector
 from repro.metrics.report import Table, normalize
 from repro.sim.engine import SimulationResult
+
+if TYPE_CHECKING:
+    from repro.sim.tracecache import TraceCache
+
+#: Process-wide default for ``run_matrix(workers=None)``; set by the
+#: benchmark CLI's ``--workers`` flag (see :mod:`repro.bench.cli`).
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the worker count ``run_matrix`` uses when not told explicitly."""
+    global _DEFAULT_WORKERS
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    _DEFAULT_WORKERS = int(workers)
+
+
+def default_workers() -> int:
+    return _DEFAULT_WORKERS
+
+
+def _make_injector(fault_rate: float, fault_seed: int) -> FaultInjector | None:
+    if fault_rate <= 0.0:
+        return None
+    return FaultInjector(FaultConfig.uniform(fault_rate), seed=fault_seed)
 
 
 def run_solution(
@@ -17,15 +64,29 @@ def run_solution(
     profile: BenchProfile,
     intervals: int | None = None,
     collect_quality: bool = False,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    trace_cache: "TraceCache | None" = None,
     **engine_kwargs,
 ) -> SimulationResult:
-    """Run one solution on one workload under a bench profile."""
+    """Run one solution on one workload under a bench profile.
+
+    Args:
+        fault_rate: uniform injected-fault rate; 0 disables injection
+            (and is bit-identical to no injector at all).
+        fault_seed: seed of the per-run injector — every run builds a
+            fresh injector, so fault sequences are reproducible and
+            never shared between runs.
+        trace_cache: optional shared batch-stream cache.
+    """
     engine = make_engine(
         solution,
         workload,
         scale=profile.scale,
         seed=profile.seed,
         collect_quality=collect_quality,
+        injector=_make_injector(fault_rate, fault_seed),
+        trace_cache=trace_cache,
         **engine_kwargs,
     )
     return engine.run(intervals if intervals is not None else profile.intervals_for(workload))
@@ -63,16 +124,50 @@ class MatrixResult:
         return table
 
     def geomean_speedup(self, solution: str) -> float:
-        """Geometric-mean speedup of ``solution`` over the baseline."""
-        product = 1.0
-        n = 0
+        """Geometric-mean speedup of ``solution`` over the baseline.
+
+        Computed as ``exp(mean(log(speedup)))`` — the running-product
+        form underflows to zero once enough per-workload speedups sit
+        below one (e.g. 0.5 ** 400 == 0.0), whereas log-space stays
+        exact to float precision at any matrix size.
+        """
+        logs = []
         for workload in self.results:
             norm = self.normalized(workload)
             if norm[solution] <= 0:
                 raise ConfigError(f"non-positive normalized time for {solution}")
-            product *= 1.0 / norm[solution]
-            n += 1
-        return product ** (1.0 / n) if n else 1.0
+            logs.append(math.log(1.0 / norm[solution]))
+        if not logs:
+            return 1.0
+        return math.exp(math.fsum(logs) / len(logs))
+
+
+# -- parallel execution ----------------------------------------------------
+
+#: Per-worker-process trace cache, created lazily inside the worker so
+#: sibling cells in the same process share synthesized streams.
+_worker_cache: "TraceCache | None" = None
+
+
+def _run_cell(args: tuple) -> tuple[str, str, SimulationResult]:
+    """Executes one matrix cell in a worker process (must be picklable)."""
+    global _worker_cache
+    workload, solution, profile, intervals, fault_rate, fault_seed, use_cache, recovery = args
+    if use_cache and _worker_cache is None:
+        from repro.sim.tracecache import TraceCache
+
+        _worker_cache = TraceCache()
+    result = run_solution(
+        solution,
+        workload,
+        profile,
+        intervals=intervals,
+        fault_rate=fault_rate,
+        fault_seed=fault_seed,
+        trace_cache=_worker_cache if use_cache else None,
+        recovery=recovery,
+    )
+    return workload, solution, result
 
 
 def run_matrix(
@@ -81,15 +176,75 @@ def run_matrix(
     profile: BenchProfile,
     baseline: str = "first-touch",
     intervals: int | None = None,
+    workers: int | None = None,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    trace_cache: "TraceCache | None" = None,
+    use_cache: bool = True,
+    recovery: bool = True,
 ) -> MatrixResult:
-    """Run every solution on every workload (Fig. 4 / Fig. 5 driver)."""
+    """Run every solution on every workload (Fig. 4 / Fig. 5 driver).
+
+    Args:
+        workers: processes to fan cells out over; ``None`` uses the CLI
+            default (see :func:`set_default_workers`), 1 runs serial in
+            this process.  Parallel results are keyed on
+            ``(workload, solution)``, never on completion order, and each
+            cell seeds deterministically — ``workers=K`` is bit-identical
+            to serial for any K.
+        fault_rate / fault_seed: per-cell fault injection (each cell gets
+            a fresh injector with exactly this seed).
+        trace_cache: cache for the serial path; ``None`` builds a private
+            one.  Parallel workers always use a per-process cache.
+        use_cache: ``False`` disables batch-stream memoization entirely
+            (the pre-optimization behaviour; the perf-smoke benchmark's
+            baseline arm).
+    """
     if baseline not in solutions:
         raise ConfigError(f"baseline {baseline!r} must be one of the solutions")
+    if workers is None:
+        workers = _DEFAULT_WORKERS
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+
+    cells = [
+        (workload, solution, profile, intervals, fault_rate, fault_seed, use_cache, recovery)
+        for workload in workloads
+        for solution in solutions
+    ]
+    collected: dict[tuple[str, str], SimulationResult] = {}
+    if workers == 1:
+        if not use_cache:
+            trace_cache = None
+        elif trace_cache is None:
+            from repro.sim.tracecache import TraceCache
+
+            trace_cache = TraceCache()
+        for workload, solution, *_ in cells:
+            collected[(workload, solution)] = run_solution(
+                solution,
+                workload,
+                profile,
+                intervals=intervals,
+                fault_rate=fault_rate,
+                fault_seed=fault_seed,
+                trace_cache=trace_cache,
+                recovery=recovery,
+            )
+    else:
+        import multiprocessing as mp
+
+        # fork (where available) keeps startup cheap and inherits the
+        # process-global perfflags switch; spawn re-imports with defaults.
+        method = "fork" if "fork" in mp.get_all_start_methods() else None
+        ctx = mp.get_context(method) if method else mp.get_context()
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            for workload, solution, result in pool.map(_run_cell, cells):
+                collected[(workload, solution)] = result
+
     results: dict[str, dict[str, SimulationResult]] = {}
     for workload in workloads:
         results[workload] = {}
         for solution in solutions:
-            results[workload][solution] = run_solution(
-                solution, workload, profile, intervals=intervals
-            )
+            results[workload][solution] = collected[(workload, solution)]
     return MatrixResult(results=results, baseline=baseline)

@@ -70,11 +70,21 @@ QUICK = BenchProfile(
 _PROFILES = {"full": FULL, "quick": QUICK}
 
 
-def profile_from_env(default: str = "quick") -> BenchProfile:
-    """Pick the profile named by ``REPRO_BENCH_PROFILE`` (or ``default``)."""
-    name = os.environ.get("REPRO_BENCH_PROFILE", default).lower()
-    if name not in _PROFILES:
+def profile_names() -> list[str]:
+    """The selectable bench profile names."""
+    return sorted(_PROFILES)
+
+
+def profile_by_name(name: str) -> BenchProfile:
+    """The profile registered under ``name`` (``quick``/``full``)."""
+    key = name.lower()
+    if key not in _PROFILES:
         raise ConfigError(
             f"unknown bench profile {name!r}; choose from {sorted(_PROFILES)}"
         )
-    return _PROFILES[name]
+    return _PROFILES[key]
+
+
+def profile_from_env(default: str = "quick") -> BenchProfile:
+    """Pick the profile named by ``REPRO_BENCH_PROFILE`` (or ``default``)."""
+    return profile_by_name(os.environ.get("REPRO_BENCH_PROFILE", default))

@@ -88,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="first-touch,tiered-autonuma,mtm",
         help="comma-separated solution names (first is the baseline)",
     )
+    compare.add_argument(
+        "--workers", type=int, default=1, metavar="K",
+        help="worker processes to run solutions in parallel (default: 1; "
+             "results are identical for any K)",
+    )
     _add_common(compare)
 
     sub.add_parser("list", help="list solutions and workloads")
@@ -138,14 +143,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if len(solutions) < 2:
         print("compare needs at least two solutions", file=sys.stderr)
         return 2
-    scale = 1.0 / args.scale_denominator
-    times: dict[str, float] = {}
-    for solution in solutions:
-        result = make_engine(
-            solution, args.workload, scale=scale, seed=args.seed,
-            injector=_make_injector(args), recovery=not args.fail_fast,
-        ).run(args.intervals)
-        times[solution] = result.total_time
+    from repro.bench.runner import run_matrix
+    from repro.bench.scaling import BenchProfile
+
+    profile = BenchProfile(
+        name="cli", scale=1.0 / args.scale_denominator, seed=args.seed
+    )
+    matrix = run_matrix(
+        [args.workload],
+        solutions,
+        profile,
+        baseline=solutions[0],
+        intervals=args.intervals,
+        workers=args.workers,
+        fault_rate=args.faults,
+        fault_seed=args.fault_seed,
+        recovery=not args.fail_fast,
+    )
+    times = matrix.total_times(args.workload)
     norm = normalize(times, solutions[0])
     table = Table(
         f"{args.workload}: execution time normalized to {solutions[0]}",

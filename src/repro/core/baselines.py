@@ -10,6 +10,7 @@ policy quirks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.faults.injector import FaultInjector
@@ -40,6 +41,9 @@ from repro.sim.engine import (
 from repro.sim.rng import make_rng
 from repro.workloads.base import Workload
 from repro.workloads.registry import build_workload
+
+if TYPE_CHECKING:
+    from repro.sim.tracecache import TraceCache
 
 
 @dataclass(frozen=True)
@@ -133,6 +137,7 @@ def make_engine(
     mtm_policy_config: MtmPolicyConfig | None = None,
     injector: FaultInjector | None = None,
     recovery: bool = True,
+    trace_cache: "TraceCache | None" = None,
 ) -> SimulationEngine:
     """Build a ready-to-run engine for ``solution`` on ``workload``.
 
@@ -152,14 +157,23 @@ def make_engine(
         injector: optional fault injector threaded through the engine.
         recovery: ``False`` disables the planner's retry/backoff queue
             (fail-fast; transient faults surface as degraded intervals).
+        trace_cache: optional shared batch-stream cache.  Only consumed
+            when ``workload`` is a registry *name* (the cache key needs
+            the exact ``(name, scale, seed)`` the stream derives from);
+            a pre-built workload object runs uncached.
     """
     if solution not in SOLUTIONS:
         raise ConfigError(f"unknown solution {solution!r}; choose from {solution_names()}")
     spec = SOLUTIONS[solution]
     if topology is None:
         topology = optane_4tier(scale)
+    trace_key: tuple[str, float, int] | None = None
     if isinstance(workload, str):
+        if trace_cache is not None:
+            trace_key = (workload, float(scale), int(seed))
         workload = build_workload(workload, scale, seed=seed)
+    else:
+        trace_cache = None
     params = cost_params if cost_params is not None else CostParams().with_scale(scale)
     if interval is None:
         interval = effective_interval(params.scale)
@@ -268,4 +282,6 @@ def make_engine(
         label=solution,
         injector=injector,
         recovery=recovery,
+        trace_cache=trace_cache,
+        trace_key=trace_key,
     )

@@ -9,9 +9,12 @@ Sec. 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.sim.engine import SimulationResult
 from repro.units import format_time
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimulationResult
 
 
 @dataclass(frozen=True)

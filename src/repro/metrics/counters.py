@@ -14,8 +14,12 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.profile.base import ProfileSnapshot
-from repro.sim.engine import SimulationResult
 from repro.units import PAGE_SIZE, format_bytes
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimulationResult
 
 
 class HotVolumeTracker:

@@ -1,0 +1,109 @@
+"""Host-side performance instrumentation for simulator runs.
+
+:class:`PerfStats` records *real* (host wall-clock) seconds spent in each
+engine phase, as opposed to the simulated seconds the
+:class:`~repro.sim.clock.Clock` accounts.  It exists so the performance
+work — vectorized hot paths, the trace cache, the parallel matrix runner
+— can be measured and regression-gated (``benchmarks/bench_perf_smoke.py``)
+without touching simulated timing, which must stay bit-identical across
+all of those switches.
+
+The measurements never feed back into the simulation, so the
+instrumentation itself cannot perturb results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters snapshot from a :class:`~repro.sim.tracecache.TraceCache`.
+
+    Attributes:
+        hits: batch requests served from memoized streams.
+        misses: batch requests that had to synthesize the batch.
+        evictions: whole streams dropped to fit the byte budget.
+        cached_bytes: bytes currently held across all cached streams.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    cached_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of batch requests served from cache (0 when unused)."""
+        total = self.requests
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "cached_bytes": self.cached_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class PerfStats:
+    """Per-phase host wall-time of one engine run.
+
+    Attributes:
+        workload_seconds: batch synthesis (or cache lookup) time.
+        profile_seconds: profiler passes.
+        migrate_seconds: policy decisions plus planner execution.
+        total_seconds: whole ``run()`` call, including phases not broken
+            out above (MMU application, PCM counting, bookkeeping).
+        intervals: intervals simulated.
+        cache: trace-cache counters, when a cache served this run.
+    """
+
+    workload_seconds: float = 0.0
+    profile_seconds: float = 0.0
+    migrate_seconds: float = 0.0
+    total_seconds: float = 0.0
+    intervals: int = 0
+    cache: CacheStats | None = field(default=None)
+
+    @property
+    def other_seconds(self) -> float:
+        """Wall time not attributed to a named phase."""
+        accounted = self.workload_seconds + self.profile_seconds + self.migrate_seconds
+        return max(0.0, self.total_seconds - accounted)
+
+    def merge(self, other: "PerfStats") -> "PerfStats":
+        """Aggregate two runs' stats (cache counters are not summed —
+        the caller snapshots the shared cache once instead)."""
+        return PerfStats(
+            workload_seconds=self.workload_seconds + other.workload_seconds,
+            profile_seconds=self.profile_seconds + other.profile_seconds,
+            migrate_seconds=self.migrate_seconds + other.migrate_seconds,
+            total_seconds=self.total_seconds + other.total_seconds,
+            intervals=self.intervals + other.intervals,
+            cache=self.cache if self.cache is not None else other.cache,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (used by the perf-smoke benchmark)."""
+        out = {
+            "workload_seconds": self.workload_seconds,
+            "profile_seconds": self.profile_seconds,
+            "migrate_seconds": self.migrate_seconds,
+            "other_seconds": self.other_seconds,
+            "total_seconds": self.total_seconds,
+            "intervals": self.intervals,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.as_dict()
+        return out

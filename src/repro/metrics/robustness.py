@@ -11,8 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.metrics.report import Table
-from repro.sim.engine import SimulationResult
+
+if TYPE_CHECKING:
+    from repro.sim.engine import SimulationResult
 
 
 @dataclass(frozen=True)

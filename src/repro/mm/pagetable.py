@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perfflags
 from repro.errors import ConfigError, TranslationError
 from repro.mm.layout import PageTableGeometry, X86_64_GEOMETRY
 from repro.mm.pte import PteFlag
@@ -38,6 +39,13 @@ class PageTable:
         self.geometry = geometry
         self.flags = np.zeros(n_pages, dtype=np.uint16)
         self.node = np.full(n_pages, _UNMAPPED_NODE, dtype=np.int16)
+        # Placement-change generation + cached run-length encoding of
+        # ``node``; see _node_runs().
+        self._node_version = 0
+        self._node_rle: tuple[int, np.ndarray, np.ndarray] | None = None
+        # Page -> leaf-entry map, maintained on huge collapse/split so
+        # entry_index() is a single gather instead of flag arithmetic.
+        self._entry = np.arange(n_pages, dtype=np.int64)
 
     # -- mapping ---------------------------------------------------------------
 
@@ -66,6 +74,10 @@ class PageTable:
             base |= np.uint16(PteFlag.HUGE)
         self.flags[sl] = base
         self.node[sl] = node
+        self._node_version += 1
+        if huge:
+            span = np.arange(start, start + npages, dtype=np.int64)
+            self._entry[sl] = span - (span % PAGES_PER_HUGE_PAGE)
 
     def unmap_range(self, start: int, npages: int) -> None:
         """Remove the mapping for ``npages`` pages starting at ``start``."""
@@ -80,6 +92,8 @@ class PageTable:
             )
         self.flags[sl] = 0
         self.node[sl] = _UNMAPPED_NODE
+        self._node_version += 1
+        self._entry[sl] = np.arange(start, start + npages, dtype=np.int64)
 
     def is_mapped(self, pages: np.ndarray | int) -> np.ndarray | bool:
         """Presence test for one page or an array of pages."""
@@ -103,6 +117,7 @@ class PageTable:
         if not np.all((self.flags[pages] & PteFlag.PRESENT) != 0):
             raise TranslationError("move_pages on unmapped page(s)")
         self.node[pages] = dst_node
+        self._node_version += 1
 
     # -- huge pages --------------------------------------------------------------
 
@@ -136,6 +151,7 @@ class PageTable:
             folded |= np.uint16(PteFlag.DIRTY)
         self.flags[sl] &= ~np.uint16(PteFlag.ACCESSED | PteFlag.DIRTY)
         self.flags[head] |= folded
+        self._entry[sl] = head
 
     def split_huge(self, head: int) -> None:
         """Split the huge mapping at ``head`` back into base PTEs.
@@ -152,6 +168,7 @@ class PageTable:
         inherited = self.flags[head] & np.uint16(PteFlag.ACCESSED | PteFlag.DIRTY)
         self.flags[sl] &= ~np.uint16(PteFlag.HUGE)
         self.flags[sl] |= inherited
+        self._entry[sl] = np.arange(head, head + PAGES_PER_HUGE_PAGE, dtype=np.int64)
 
     def entry_index(self, pages: np.ndarray) -> np.ndarray:
         """The leaf entry holding each page's access/dirty bits.
@@ -160,10 +177,104 @@ class PageTable:
         mapping it is the huge head (the single PMD entry).
         """
         pages = np.asarray(pages, dtype=np.int64)
+        if perfflags.vectorized():
+            # The maintained page->entry map: one gather, no flag math.
+            return self._entry[pages]
         huge = (self.flags[pages] & PteFlag.HUGE) != 0
         entries = pages.copy()
         entries[huge] = pages[huge] - (pages[huge] % PAGES_PER_HUGE_PAGE)
         return entries
+
+    def span_entries(self, starts: np.ndarray, npages: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Unique leaf entries of many ``[start, start+npages)`` spans at once.
+
+        Returns ``(entries, offsets)`` where span ``i``'s unique entries are
+        ``entries[offsets[i]:offsets[i+1]]``, ascending — element-wise equal
+        to ``np.unique(entry_index(arange(start, end)))`` per span, computed
+        with one gather over the concatenated spans.  (Within an ascending
+        page range ``entry_index`` is non-decreasing because huge mappings
+        are aligned spans, so first occurrences *are* the sorted uniques.)
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        npages = np.asarray(npages, dtype=np.int64)
+        if starts.size == 0:
+            return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+        bounds = np.concatenate(([0], np.cumsum(npages)))
+        total = int(bounds[-1])
+        span_id = np.repeat(np.arange(starts.size), npages)
+        pages = np.arange(total, dtype=np.int64) - np.repeat(bounds[:-1], npages) + np.repeat(starts, npages)
+        entries = self.entry_index(pages)
+        first = np.empty(total, dtype=bool)
+        first[0] = True
+        np.logical_or(
+            entries[1:] != entries[:-1], span_id[1:] != span_id[:-1], out=first[1:]
+        )
+        offsets = np.concatenate(
+            ([0], np.cumsum(np.bincount(span_id[first], minlength=starts.size)))
+        )
+        return entries[first], offsets
+
+    def _node_runs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Run-length encoding of ``node``: ``(bounds, values)``.
+
+        Run ``i`` covers pages ``[bounds[i], bounds[i+1])`` and sits on
+        ``values[i]``.  Placement is piecewise constant (migration moves
+        whole regions), so the encoding is tiny and is rebuilt only when
+        a mapping or migration bumped ``_node_version``.
+        """
+        if self._node_rle is None or self._node_rle[0] != self._node_version:
+            change = np.flatnonzero(self.node[1:] != self.node[:-1])
+            bounds = np.empty(change.size + 2, dtype=np.int64)
+            bounds[0] = 0
+            bounds[1:-1] = change + 1
+            bounds[-1] = self.n_pages
+            values = self.node[bounds[:-1]].astype(np.int64)
+            self._node_rle = (self._node_version, bounds, values)
+        return self._node_rle[1], self._node_rle[2]
+
+    def span_majority_nodes(self, starts: np.ndarray, npages: np.ndarray) -> np.ndarray:
+        """Majority resident node of many spans at once (-1 when unmapped).
+
+        Per-span equal to ``np.unique(node[start:end][mapped], return_counts
+        =True)`` followed by ``argmax`` (ties break toward the lowest node,
+        matching ``np.unique``'s ascending order + first-max ``argmax``).
+        Computed from the cached node RLE: each span's per-node page counts
+        are the lengths of its overlaps with the runs, so the work scales
+        with placement fragmentation, not footprint.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        npages = np.asarray(npages, dtype=np.int64)
+        if starts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        ends = starts + npages
+        bounds, values = self._node_runs()
+        lo = np.searchsorted(bounds, starts, side="right") - 1
+        hi = np.searchsorted(bounds, ends, side="left")  # runs [lo, hi) overlap
+        nruns = np.maximum(hi - lo, 0)
+        offs = np.concatenate(([0], np.cumsum(nruns)))
+        span_id = np.repeat(np.arange(starts.size), nruns)
+        ridx = (
+            np.arange(int(offs[-1]), dtype=np.int64)
+            - np.repeat(offs[:-1], nruns)
+            + np.repeat(lo, nruns)
+        )
+        weights = np.minimum(bounds[ridx + 1], np.repeat(ends, nruns)) - np.maximum(
+            bounds[ridx], np.repeat(starts, nruns)
+        )
+        nodes = values[ridx]
+        mapped = (nodes >= 0) & (weights > 0)
+        result = np.full(starts.size, -1, dtype=np.int64)
+        if not np.any(mapped):
+            return result
+        n_nodes = int(nodes[mapped].max()) + 1
+        counts = np.bincount(
+            span_id[mapped] * n_nodes + nodes[mapped],
+            weights=weights[mapped],
+            minlength=starts.size * n_nodes,
+        ).reshape(starts.size, n_nodes)
+        has_mapped = counts.sum(axis=1) > 0
+        result[has_mapped] = np.argmax(counts[has_mapped], axis=1)
+        return result
 
     def huge_heads(self) -> np.ndarray:
         """Heads of all current huge mappings, ascending."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perfflags
 from repro.hw.topology import TierTopology
 from repro.mm.pagetable import PageTable
 from repro.sim.trace import AccessBatch
@@ -33,6 +34,19 @@ class PcmCounters:
         if batch.pages.size == 0:
             return
         nodes = page_table.node_of(batch.pages)
+        if perfflags.vectorized():
+            # One weighted histogram instead of a mask + two sums per node.
+            # Unmapped pages (node -1) are shifted into bin 0 and dropped,
+            # matching the per-node masks below.
+            shifted = nodes.astype(np.int64) + 1
+            length = max(self.topology.node_ids) + 2
+            acc = np.bincount(shifted, weights=batch.counts, minlength=length)
+            wr = np.bincount(shifted, weights=batch.writes, minlength=length)
+            for node in self.topology.node_ids:
+                if acc[node + 1] or wr[node + 1]:
+                    self.node_accesses[node] += int(acc[node + 1])
+                    self.node_writes[node] += int(wr[node + 1])
+            return
         for node in self.topology.node_ids:
             mask = nodes == node
             if np.any(mask):

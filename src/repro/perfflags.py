@@ -1,0 +1,42 @@
+"""Process-wide switch between the vectorized and legacy hot paths.
+
+The vectorized implementations (struct-of-arrays region bookkeeping,
+bulk entry/node resolution, scatter-reset MMU state, fused batch
+assembly) are bit-identical to the original per-region Python loops by
+construction — every RNG draw happens in the same order with the same
+arguments.  The legacy paths are kept behind this switch for two
+reasons: differential tests assert the equivalence, and
+``benchmarks/bench_perf_smoke.py`` uses the legacy mode as the
+pre-optimization baseline it reports its speedup against.
+
+The flag is process-global (workers forked by the parallel matrix
+runner inherit it), defaulting to vectorized.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_VECTORIZED = True
+
+
+def vectorized() -> bool:
+    """Whether the vectorized hot paths are active (the default)."""
+    return _VECTORIZED
+
+
+def set_vectorized(enabled: bool) -> None:
+    """Switch every flagged hot path between vectorized and legacy."""
+    global _VECTORIZED
+    _VECTORIZED = bool(enabled)
+
+
+@contextmanager
+def legacy_mode():
+    """Run a block on the legacy (pre-vectorization) code paths."""
+    previous = _VECTORIZED
+    set_vectorized(False)
+    try:
+        yield
+    finally:
+        set_vectorized(previous)

@@ -32,6 +32,8 @@ class WhiHistogram:
         if scores.size == 0:
             self._edges = np.linspace(0.0, 1.0, num_buckets + 1)
             self._bucket_of = np.empty(0, dtype=np.int64)
+            self._scores = scores
+            self._hottest = None
             return
         lo, hi = float(scores.min()), float(scores.max())
         if hi <= lo:
@@ -41,6 +43,8 @@ class WhiHistogram:
         self._bucket_of = np.clip(
             np.searchsorted(self._edges, scores, side="right") - 1, 0, num_buckets - 1
         )
+        self._scores = scores
+        self._hottest: list[RegionReport] | None = None
 
     def bucket(self, idx: int) -> list[RegionReport]:
         """Regions in bucket ``idx`` (0 = coldest)."""
@@ -49,14 +53,16 @@ class WhiHistogram:
         return [r for r, b in zip(self.reports, self._bucket_of) if b == idx]
 
     def hottest_first(self) -> list[RegionReport]:
-        """All regions, hottest bucket first, score-descending within."""
-        order = np.lexsort(
-            (
-                [-r.score for r in self.reports],
-                [-b for b in self._bucket_of],
-            )
-        )
-        return [self.reports[i] for i in order]
+        """All regions, hottest bucket first, score-descending within.
+
+        The histogram is immutable after construction, so the ranking is
+        computed once and memoized — promotion planning asks for it per
+        candidate region.
+        """
+        if self._hottest is None:
+            order = np.lexsort((-self._scores, -self._bucket_of))
+            self._hottest = [self.reports[i] for i in order]
+        return list(self._hottest)
 
     def coldest_first(self) -> list[RegionReport]:
         """All regions, coldest bucket first, score-ascending within."""
@@ -64,10 +70,7 @@ class WhiHistogram:
 
     def bucket_counts(self) -> np.ndarray:
         """Regions per bucket, index 0 = coldest."""
-        counts = np.zeros(self.num_buckets, dtype=np.int64)
-        for b in self._bucket_of:
-            counts[b] += 1
-        return counts
+        return np.bincount(self._bucket_of, minlength=self.num_buckets).astype(np.int64)
 
     def bucket_index(self, report_idx: int) -> int:
         """Bucket of the ``report_idx``-th report."""

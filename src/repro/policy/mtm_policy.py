@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil
+
 from repro.errors import ConfigError
 from repro.policy.base import MigrationOrder, PlacementState, Policy
 from repro.policy.histogram import WhiHistogram
@@ -113,7 +115,7 @@ class MtmPolicy(Policy):
             # placement); promote its pages from every slower component.
             region_pages = np.arange(report.start, report.end, dtype=np.int64)
             region_nodes = state.page_table.node[region_pages]
-            for src_node in [int(n) for n in np.unique(region_nodes) if n >= 0]:
+            for src_node in [int(n) for n in nputil.unique(region_nodes) if n >= 0]:
                 if promoted_pages >= budget_pages:
                     break
                 if view.tier_of(src_node) <= target_tier:

@@ -18,6 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil
+
+from repro import perfflags
 from repro.errors import ConfigError
 from repro.mm.mmu import Mmu
 from repro.mm.pagetable import PageTable
@@ -136,7 +139,7 @@ class RandomWindowProfiler(Profiler):
         # any hint fault; patched kernels grade by fault latency, which
         # behaves like a short detection window (only fast-faulting = hot
         # entries score).
-        entries = np.unique(page_table.entry_index(window_pages))
+        entries = nputil.unique(page_table.entry_index(window_pages))
         if cfg.mfu:
             detected = mmu.scan_detect(entries, 1, self.rng, exposure=cfg.hot_fault_exposure)
             faults = int(mmu.fault_detect(entries).sum())  # all faults cost time
@@ -154,13 +157,23 @@ class RandomWindowProfiler(Profiler):
         # hint fault per detected access.
         time = self.cost_model.scan_time(int(entries.size)) + self.cost_model.hint_fault_time(faults)
 
+        if perfflags.vectorized():
+            chunk_nodes = page_table.span_majority_nodes(
+                self._chunk_starts, self._chunk_sizes
+            )
+        else:
+            chunk_nodes = np.fromiter(
+                (self._majority_node(i) for i in range(self._chunk_starts.size)),
+                dtype=np.int64,
+                count=self._chunk_starts.size,
+            )
         reports = [
             RegionReport(
                 start=int(self._chunk_starts[i]),
                 npages=int(self._chunk_sizes[i]),
                 score=float(self._scores[i]),
                 whi=float(self._scores[i]),
-                node=int(self._majority_node(i)),
+                node=int(chunk_nodes[i]),
             )
             for i in range(self._chunk_starts.size)
         ]
@@ -201,5 +214,5 @@ class RandomWindowProfiler(Profiler):
         mapped = nodes[nodes >= 0]
         if mapped.size == 0:
             return -1
-        values, counts = np.unique(mapped, return_counts=True)
+        values, counts = nputil.unique_counts(mapped)
         return int(values[np.argmax(counts)])

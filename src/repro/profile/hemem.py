@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil
+
 from repro.errors import ConfigError
 from repro.mm.mmu import Mmu
 from repro.mm.pagetable import PageTable
@@ -140,5 +142,5 @@ class PebsOnlyProfiler(Profiler):
         mapped = nodes[nodes >= 0]
         if mapped.size == 0:
             return -1
-        values, counts = np.unique(mapped, return_counts=True)
+        values, counts = nputil.unique_counts(mapped)
         return int(values[np.argmax(counts)])

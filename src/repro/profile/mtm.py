@@ -29,6 +29,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil
+
+from repro import perfflags
 from repro.errors import ConfigError, SampleLossError
 from repro.mm.mmu import Mmu
 from repro.mm.pagetable import PageTable
@@ -73,6 +76,11 @@ class MtmProfilerConfig:
             hot region into cold neighbours (formation-model ablation).
         heterogeneity_guard: False lets internally mixed regions merge
             (formation-model ablation).
+        vectorized: resolve region entries and resident nodes for all
+            regions in bulk array operations instead of per-region loops.
+            Bit-identical to the loop path (the differential tests assert
+            it); False forces the legacy path regardless of the global
+            :mod:`repro.perfflags` switch.
     """
 
     interval: float = 10.0
@@ -95,6 +103,7 @@ class MtmProfilerConfig:
     guided_splits: bool = True
     ema_merge_guard: bool = True
     heterogeneity_guard: bool = True
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.num_scans < 1:
@@ -235,7 +244,7 @@ class MtmProfiler(Profiler):
             if sample_set is not None:
                 pebs_samples = sample_set.total_samples
                 if sample_set.pages.size:
-                    pebs_hot_entries = np.unique(page_table.entry_index(sample_set.pages))
+                    pebs_hot_entries = nputil.unique(page_table.entry_index(sample_set.pages))
 
         # -- choose which regions to profile -------------------------------
         # Three outcomes per region: scanned (gets fresh hi), observed-idle
@@ -246,11 +255,30 @@ class MtmProfiler(Profiler):
         to_profile: list[tuple[MemoryRegion, np.ndarray]] = []
         idle: list[MemoryRegion] = []
         pebs_active = cfg.use_pebs and pebs is not None
-        for region in regions:
-            entries = region.entries(page_table)
+        use_vec = cfg.vectorized and perfflags.vectorized()
+        if use_vec:
+            # Bulk-resolve every region's entries (and, when the PEBS filter
+            # needs them, resident nodes) in one pass over the page table.
+            # The per-region loop below then only slices precomputed arrays;
+            # all RNG draws keep their exact legacy order and arguments.
+            starts_arr, npages_arr, _ = self.regions.as_arrays()
+            ents_all, ents_offs = page_table.span_entries(starts_arr, npages_arr)
+            nodes_all = (
+                page_table.span_majority_nodes(starts_arr, npages_arr)
+                if pebs_active
+                else None
+            )
+        for idx, region in enumerate(regions):
+            if use_vec:
+                entries = ents_all[ents_offs[idx] : ents_offs[idx + 1]]
+            else:
+                entries = region.entries(page_table)
             if entries.size == 0:
                 continue
-            node = region.node(page_table)
+            if pebs_active:
+                node = int(nodes_all[idx]) if use_vec else region.node(page_table)
+            else:
+                node = -1
             if pebs_active and node in self.slowest_nodes:
                 # Slow tiers are event-driven (Sec. 5.5): regions with no
                 # counter-observed traffic are skipped (and decay); active
@@ -280,7 +308,7 @@ class MtmProfiler(Profiler):
                     pad = entries[
                         self.rng.choice(entries.size, size=k - int(chosen.size), replace=False)
                     ]
-                    chosen = np.unique(np.concatenate([chosen, pad]))
+                    chosen = nputil.unique(np.concatenate([chosen, pad]))
             else:
                 k = min(region.n_samples, int(entries.size))
                 if k >= entries.size:
@@ -378,17 +406,34 @@ class MtmProfiler(Profiler):
             self._last_pebs_time = self.cost_model.pebs_time(pebs_samples)
             time += self._last_pebs_time
 
-        reports = [
-            RegionReport(
-                start=r.start,
-                npages=r.npages,
-                score=r.whi,
-                whi=r.whi,
-                node=r.node(page_table),
-                dominant_socket=r.dominant_socket,
-            )
-            for r in self.regions
-        ]
+        if use_vec:
+            # Formation may have changed the region list; resolve resident
+            # nodes for the final layout in one bulk pass.
+            starts2, npages2, _ = self.regions.as_arrays()
+            nodes2 = page_table.span_majority_nodes(starts2, npages2)
+            reports = [
+                RegionReport(
+                    start=r.start,
+                    npages=r.npages,
+                    score=r.whi,
+                    whi=r.whi,
+                    node=int(nodes2[j]),
+                    dominant_socket=r.dominant_socket,
+                )
+                for j, r in enumerate(self.regions)
+            ]
+        else:
+            reports = [
+                RegionReport(
+                    start=r.start,
+                    npages=r.npages,
+                    score=r.whi,
+                    whi=r.whi,
+                    node=r.node(page_table),
+                    dominant_socket=r.dominant_socket,
+                )
+                for r in self.regions
+            ]
         return ProfileSnapshot(
             interval=self._interval,
             reports=reports,

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil
+
 from repro.errors import ConfigError, ProfilingError
 from repro.mm.pagetable import PageTable
 from repro.units import PAGES_PER_HUGE_PAGE, PAGE_SIZE, format_bytes
@@ -65,6 +67,21 @@ class MemoryRegion:
         if self.n_samples < 1:
             raise ConfigError(f"region needs >= 1 sample, got {self.n_samples}")
 
+    def __setattr__(self, name: str, value) -> None:
+        # Owner-notify hook: the containing RegionSet keeps O(1) running
+        # totals of quota and coverage, and regions are mutated directly
+        # all over the profiler (quota redistribution, ablations, tests).
+        # Routing the two aggregated fields through the owner keeps the
+        # cached totals correct no matter who mutates the region.
+        if name in ("n_samples", "npages"):
+            owner = self.__dict__.get("_owner")
+            old = self.__dict__.get(name)
+            self.__dict__[name] = value
+            if owner is not None and old is not None and value != old:
+                owner._region_field_changed(name, value - old)
+        else:
+            self.__dict__[name] = value
+
     @property
     def end(self) -> int:
         return self.start + self.npages
@@ -96,7 +113,7 @@ class MemoryRegion:
     def entries(self, page_table: PageTable) -> np.ndarray:
         """Unique leaf entries (PTEs / PMD heads) covering this region."""
         pages = np.arange(self.start, self.end, dtype=np.int64)
-        return np.unique(page_table.entry_index(pages))
+        return nputil.unique(page_table.entry_index(pages))
 
     def max_samples(self, page_table: PageTable) -> int:
         """Upper bound on useful samples: distinct entries in the region."""
@@ -108,7 +125,7 @@ class MemoryRegion:
         mapped = nodes[nodes >= 0]
         if mapped.size == 0:
             return -1
-        values, counts = np.unique(mapped, return_counts=True)
+        values, counts = nputil.unique_counts(mapped)
         return int(values[np.argmax(counts)])
 
     def pages(self) -> np.ndarray:
@@ -150,6 +167,8 @@ class RegionSet:
 
     def __init__(self, regions: list[MemoryRegion] | None = None) -> None:
         self._regions: list[MemoryRegion] = []
+        self._total_samples = 0
+        self._total_pages = 0
         self.stats = RegionStats()
         if regions:
             for region in sorted(regions, key=lambda r: r.start):
@@ -165,6 +184,24 @@ class RegionSet:
         if idx < len(self._regions) and region.end > self._regions[idx].start:
             raise ProfilingError(f"{region} overlaps {self._regions[idx]}")
         self._regions.insert(idx, region)
+        self._adopt(region)
+
+    def _adopt(self, region: MemoryRegion) -> None:
+        region.__dict__["_owner"] = self
+        self._total_samples += region.n_samples
+        self._total_pages += region.npages
+
+    def _orphan(self, region: MemoryRegion) -> None:
+        region.__dict__["_owner"] = None
+        self._total_samples -= region.n_samples
+        self._total_pages -= region.npages
+
+    def _region_field_changed(self, name: str, delta: int) -> None:
+        """Owner-notify callback from :class:`MemoryRegion.__setattr__`."""
+        if name == "n_samples":
+            self._total_samples += delta
+        else:
+            self._total_pages += delta
 
     def __len__(self) -> int:
         return len(self._regions)
@@ -180,10 +217,12 @@ class RegionSet:
         return tuple(self._regions)
 
     def total_samples(self) -> int:
-        return sum(r.n_samples for r in self._regions)
+        """Total sample quota, from the cached running total (O(1))."""
+        return self._total_samples
 
     def total_pages(self) -> int:
-        return sum(r.npages for r in self._regions)
+        """Pages covered by all regions, from the cached total (O(1))."""
+        return self._total_pages
 
     def region_of(self, page: int) -> MemoryRegion:
         """The region containing ``page``."""
@@ -259,7 +298,10 @@ class RegionSet:
                 combined = a.n_samples + b.n_samples
                 merged.n_samples = max(1, combined // 2)
                 saved_quota += combined - merged.n_samples
+                self._orphan(a)
+                self._orphan(b)
                 self._regions[i : i + 2] = [merged]
+                self._adopt(merged)
                 merges += 1
                 # Stay at i: the merged region may merge again leftward of
                 # the next neighbour.
@@ -309,7 +351,10 @@ class RegionSet:
                 if right is None:
                     out.append(region)
                 else:
+                    self._orphan(region)
                     out.extend((left, right))
+                    self._adopt(left)
+                    self._adopt(right)
                     splits += 1
             else:
                 out.append(region)
@@ -387,13 +432,15 @@ class RegionSet:
             raise ConfigError(f"negative quota: {quota}")
         if quota == 0 or not self._regions:
             return
-        ranked = sorted(self._regions, key=lambda r: r.variance_signal, reverse=True)
-        targets = ranked[: max(1, top_k)]
-        i = 0
-        while quota > 0:
-            targets[i % len(targets)].n_samples += 1
-            quota -= 1
-            i += 1
+        # Stable descending argsort over the gathered signal array: same
+        # ordering (ties keep insertion order) as the old per-region
+        # ``sorted(key=..., reverse=True)`` without building key tuples.
+        order = np.argsort(-self._variance_signals(), kind="stable")
+        targets = [self._regions[int(i)] for i in order[: max(1, top_k)]]
+        # Round-robin from the first target, in closed form.
+        base, rem = divmod(quota, len(targets))
+        for i, target in enumerate(targets):
+            target.n_samples += base + (1 if i < rem else 0)
 
     def rebalance_to_budget(self, budget: int) -> None:
         """Force the total sample quota to exactly ``budget``.
@@ -412,7 +459,9 @@ class RegionSet:
             self.redistribute_quota(budget - total)
         elif total > budget:
             excess = total - budget
-            for region in sorted(self._regions, key=lambda r: r.variance_signal):
+            order = np.argsort(self._variance_signals(), kind="stable")
+            for i in order:
+                region = self._regions[int(i)]
                 take = min(excess, region.n_samples - 1)
                 region.n_samples -= take
                 excess -= take
@@ -453,6 +502,28 @@ class RegionSet:
 
     # -- internals --------------------------------------------------------------
 
+    def _variance_signals(self) -> np.ndarray:
+        """Per-region hotness swings, gathered into one array."""
+        return np.fromiter(
+            (abs(r.hi - r.prev_hi) for r in self._regions),
+            dtype=np.float64,
+            count=len(self._regions),
+        )
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Struct-of-arrays snapshot ``(starts, npages, n_samples)``.
+
+        Bulk per-interval operations (the vectorized profiler) gather the
+        region list once and operate on arrays; the list of
+        :class:`MemoryRegion` objects stays canonical so held references
+        and direct mutation keep working.
+        """
+        n = len(self._regions)
+        starts = np.fromiter((r.start for r in self._regions), dtype=np.int64, count=n)
+        npages = np.fromiter((r.npages for r in self._regions), dtype=np.int64, count=n)
+        samples = np.fromiter((r.n_samples for r in self._regions), dtype=np.int64, count=n)
+        return starts, npages, samples
+
     def _insertion_index(self, start: int) -> int:
         lo, hi = 0, len(self._regions)
         while lo < hi:
@@ -464,9 +535,16 @@ class RegionSet:
         return lo
 
     def check_invariants(self) -> None:
-        """Assert ordering/disjointness; used by property tests."""
+        """Assert ordering/disjointness and cached totals; used by tests."""
         for a, b in zip(self._regions, self._regions[1:]):
             if a.end > b.start:
                 raise ProfilingError(f"regions overlap: {a} / {b}")
             if a.start >= b.start:
                 raise ProfilingError(f"regions out of order: {a} / {b}")
+        samples = sum(r.n_samples for r in self._regions)
+        pages = sum(r.npages for r in self._regions)
+        if samples != self._total_samples or pages != self._total_pages:
+            raise ProfilingError(
+                f"cached totals drifted: samples {self._total_samples} vs {samples}, "
+                f"pages {self._total_pages} vs {pages}"
+            )

@@ -24,6 +24,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import time as _time
+from typing import TYPE_CHECKING
+
 from repro.errors import ConfigError, TransientError
 from repro.faults.injector import FaultInjector, FaultLog
 from repro.faults.watchdog import IntervalWatchdog
@@ -38,6 +41,7 @@ from repro.hw.tier import MemoryKind
 from repro.hw.topology import TierTopology
 from repro.migrate.mechanism import Mechanism
 from repro.migrate.move_pages import MovePagesMechanism
+from repro.metrics.perfstats import PerfStats
 from repro.migrate.planner import MigrationLog, MigrationPlanner, RetryPolicy
 from repro.mm.hugepage import ThpManager
 from repro.mm.mmu import Mmu
@@ -53,6 +57,9 @@ from repro.sim.rng import named_rngs
 from repro.sim.trace import AccessBatch
 from repro.units import PAGE_SIZE
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:
+    from repro.sim.tracecache import TraceCache
 
 #: Initial placement strategies.
 PLACEMENT_FIRST_TOUCH = "first_touch"
@@ -98,6 +105,7 @@ class SimulationResult:
     footprint_pages: int = 0
     fault_log: FaultLog | None = None
     degraded_intervals: int = 0
+    perf: PerfStats | None = None
 
     @property
     def total_time(self) -> float:
@@ -198,6 +206,17 @@ class SimulationEngine:
         recovery: ``False`` runs the planner fail-fast (no retry queue,
             transient faults raise and the interval is recorded degraded)
             — the baseline the resilience benchmark compares against.
+        trace_cache: optional shared :class:`~repro.sim.tracecache.TraceCache`.
+            When provided together with ``trace_key``, each interval's
+            batch is replayed from the memoized stream instead of being
+            synthesized; the workload only advances its segment plan
+            (:meth:`~repro.workloads.base.SegmentedWorkload.advance_interval`).
+            Bit-identical to synthesis: the cache draws from the same
+            named RNG stream, and nothing else consumes the engine's
+            ``"workload"`` generator.
+        trace_key: ``(workload_name, scale, seed)`` identifying the
+            stream in ``trace_cache``.  Ignored when ``trace_cache`` is
+            None; requires a workload exposing ``advance_interval``.
     """
 
     def __init__(
@@ -220,6 +239,8 @@ class SimulationEngine:
         injector: FaultInjector | None = None,
         watchdog: IntervalWatchdog | None = None,
         recovery: bool = True,
+        trace_cache: "TraceCache | None" = None,
+        trace_key: tuple[str, float, int] | None = None,
     ) -> None:
         if policy.wants_profiling() and profiler is None:
             raise ConfigError(f"policy {policy.name!r} needs a profiler")
@@ -253,6 +274,17 @@ class SimulationEngine:
         self.watchdog = watchdog if watchdog is not None else IntervalWatchdog()
         self.recovery = recovery
         self._transient_aborts = 0
+        self.trace_cache = trace_cache
+        self.trace_key = trace_key
+        if (
+            trace_cache is not None
+            and trace_key is not None
+            and not hasattr(workload, "advance_interval")
+        ):
+            raise ConfigError(
+                "trace_cache requires a workload with advance_interval()"
+            )
+        self.perfstats = PerfStats()
 
         self.mmu = Mmu(self.space.page_table, num_sockets=topology.num_sockets)
         self.pcm = PcmCounters(topology)
@@ -361,7 +393,16 @@ class SimulationEngine:
 
     def step(self) -> IntervalRecord:
         """Simulate one profiling interval."""
-        batch = self.workload.next_batch(self.rngs["workload"])
+        t_step = _time.perf_counter()
+        if self.trace_cache is not None and self.trace_key is not None:
+            batch = self.trace_cache.get_batch(*self.trace_key, len(self._records))
+            # The stream already drew this interval's randomness on the
+            # cache's clone; only advance the local segment plan so
+            # hot_pages() ground truth matches the replayed batch.
+            self.workload.advance_interval()
+        else:
+            batch = self.workload.next_batch(self.rngs["workload"])
+        self.perfstats.workload_seconds += _time.perf_counter() - t_step
         self.mmu.begin_interval(batch)
         fast_before = self._fast_tier_count()
         self.pcm.count(batch, self.space.page_table)
@@ -425,12 +466,16 @@ class SimulationEngine:
 
         record.fast_tier_accesses = self._fast_tier_count() - fast_before
         self._records.append(record)
+        self.perfstats.total_seconds += _time.perf_counter() - t_step
+        self.perfstats.intervals += 1
         return record
 
     def _profile_and_migrate(self, record: IntervalRecord) -> None:
         """One interval of daemon work: scan, decide, migrate."""
         assert self.profiler is not None
+        t0 = _time.perf_counter()
         snapshot = self.profiler.profile(self.mmu, pebs=self.pebs, socket=self.socket)
+        self.perfstats.profile_seconds += _time.perf_counter() - t0
         self.clock.advance(snapshot.profiling_time, CATEGORY_PROFILING)
         record.profiling_time = snapshot.profiling_time
         record.region_count = len(snapshot.reports)
@@ -439,6 +484,7 @@ class SimulationEngine:
             if truth.size:
                 record.quality = evaluate_quality(snapshot, truth)
         if self.planner is not None:
+            t0 = _time.perf_counter()
             state = PlacementState(
                 page_table=self.space.page_table,
                 frames=self.frames,
@@ -451,12 +497,15 @@ class SimulationEngine:
             finally:
                 record.promoted_pages = self.planner.log.promoted_pages - before[0]
                 record.demoted_pages = self.planner.log.demoted_pages - before[1]
+                self.perfstats.migrate_seconds += _time.perf_counter() - t0
             self.clock.advance(timing.critical_time, CATEGORY_MIGRATION)
             self.clock.record_background(timing.background_time)
             record.migration_time = timing.critical_time
             record.background_time = timing.background_time
 
     def result(self) -> SimulationResult:
+        if self.trace_cache is not None:
+            self.perfstats.cache = self.trace_cache.stats()
         return SimulationResult(
             label=self.label,
             workload=self.workload.name,
@@ -470,6 +519,7 @@ class SimulationEngine:
             footprint_pages=self.workload.footprint_pages(),
             fault_log=self.injector.log if self.injector is not None else None,
             degraded_intervals=sum(1 for r in self._records if r.degraded),
+            perf=self.perfstats,
         )
 
     # -- internals --------------------------------------------------------------

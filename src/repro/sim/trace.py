@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import nputil
+
 from repro.errors import WorkloadError
 from repro.units import PAGE_SIZE
 
@@ -85,7 +87,7 @@ class AccessBatch:
         is_write = np.asarray(is_write, dtype=bool)
         if is_write.shape != accessed_pages.shape:
             raise WorkloadError("is_write shape mismatch")
-        pages, inverse = np.unique(accessed_pages, return_inverse=True)
+        pages, inverse = nputil.unique_inverse(accessed_pages)
         counts = np.bincount(inverse, minlength=pages.size).astype(np.int64)
         writes = np.bincount(inverse, weights=is_write.astype(np.float64), minlength=pages.size)
         return cls(
@@ -110,7 +112,7 @@ class AccessBatch:
         all_writes = np.concatenate([b.writes for b in batches])
         all_sockets = np.concatenate([b.sockets for b in batches])
 
-        pages, inverse = np.unique(all_pages, return_inverse=True)
+        pages, inverse = nputil.unique_inverse(all_pages)
         counts = np.zeros(pages.size, dtype=np.int64)
         writes = np.zeros(pages.size, dtype=np.int64)
         np.add.at(counts, inverse, all_counts)
@@ -118,7 +120,7 @@ class AccessBatch:
 
         sockets = np.zeros(pages.size, dtype=np.int8)
         best = np.zeros(pages.size, dtype=np.int64)
-        for socket in np.unique(all_sockets):
+        for socket in nputil.unique(all_sockets):
             contrib = np.zeros(pages.size, dtype=np.int64)
             mask = all_sockets == socket
             np.add.at(contrib, inverse[mask], all_counts[mask])

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import nputil
+
 from repro.errors import WorkloadError
 from repro.mm.vma import Vma
 from repro.units import PAGES_PER_HUGE_PAGE
@@ -34,7 +36,7 @@ def edge_chunks_for_vertices(graph: CsrGraph, vertices: np.ndarray, vma: Vma) ->
     wide = np.nonzero(chunk_hi > chunk_lo + 1)[0]
     for i in wide:
         chunks.append(np.arange(chunk_lo[i] + 1, chunk_hi[i], dtype=np.int64))
-    return np.unique(np.concatenate(chunks))
+    return nputil.unique(np.concatenate(chunks))
 
 
 def meta_chunks_for_vertices(graph: CsrGraph, vertices: np.ndarray, vma: Vma) -> np.ndarray:
@@ -43,7 +45,7 @@ def meta_chunks_for_vertices(graph: CsrGraph, vertices: np.ndarray, vma: Vma) ->
         return np.empty(0, dtype=np.int64)
     n = max(1, graph.num_vertices)
     pages = (vertices * vma.npages // n).astype(np.int64)
-    return np.unique(pages // PAGES_PER_HUGE_PAGE)
+    return nputil.unique(pages // PAGES_PER_HUGE_PAGE)
 
 
 def chunks_to_segments(

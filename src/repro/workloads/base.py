@@ -26,6 +26,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil
+
+from repro import perfflags
 from repro.errors import WorkloadError
 from repro.hw.placement import Placer
 from repro.mm.hugepage import ThpManager
@@ -118,6 +121,7 @@ class SegmentedWorkload(Workload):
         self._vmas: list[Vma] = []
         self._interval = -1
         self._current_segments: list[RateSegment] = []
+        self._segments_pending = 0
 
     # -- subclass API --------------------------------------------------------
 
@@ -144,8 +148,11 @@ class SegmentedWorkload(Workload):
     def next_batch(self, rng: np.random.Generator) -> AccessBatch:
         if not self._vmas:
             raise WorkloadError("next_batch() before build()")
+        self._catch_up_segments()
         self._interval += 1
         self._current_segments = self.segments(self._interval)
+        if perfflags.vectorized():
+            return self._next_batch_fast(rng)
         batches = []
         for segment in self._current_segments:
             if segment.rate <= 0:
@@ -167,9 +174,82 @@ class SegmentedWorkload(Workload):
             )
         return AccessBatch.merge(batches)
 
+    def _next_batch_fast(self, rng: np.random.Generator) -> AccessBatch:
+        """Batch assembly without intermediate per-segment ``AccessBatch``
+        objects.
+
+        RNG draws are identical to the legacy loop (same order, same
+        arguments), so the result is bit-identical; segment lists are
+        normally disjoint and ascending, letting the concatenated arrays
+        skip the unique/scatter-add merge entirely.
+        """
+        pages_l: list[np.ndarray] = []
+        counts_l: list[np.ndarray] = []
+        writes_l: list[np.ndarray] = []
+        sockets_l: list[np.ndarray] = []
+        for segment in self._current_segments:
+            if segment.rate <= 0:
+                continue
+            counts = rng.poisson(segment.rate, segment.npages)
+            touched = np.nonzero(counts)[0]
+            if touched.size == 0:
+                continue
+            pages_l.append(segment.start + touched.astype(np.int64))
+            counts_l.append(counts[touched].astype(np.int64))
+            writes_l.append(
+                rng.binomial(counts_l[-1], segment.write_ratio).astype(np.int64)
+            )
+            sockets_l.append(np.full(pages_l[-1].shape, segment.socket, dtype=np.int8))
+        if not pages_l:
+            return AccessBatch.empty()
+        all_pages = np.concatenate(pages_l)
+        if np.all(np.diff(all_pages) > 0):
+            # Disjoint ascending segments: every page appears once, so the
+            # merged histogram IS the concatenation (each page's dominant
+            # socket is its only contributor).
+            return AccessBatch(
+                pages=all_pages,
+                counts=np.concatenate(counts_l),
+                writes=np.concatenate(writes_l),
+                sockets=np.concatenate(sockets_l),
+            )
+        return AccessBatch.merge(
+            [
+                AccessBatch(pages=p, counts=c, writes=w, sockets=s)
+                for p, c, w, s in zip(pages_l, counts_l, writes_l, sockets_l)
+            ]
+        )
+
+    def advance_interval(self) -> None:
+        """Advance interval state without synthesizing a batch.
+
+        The engine calls this when a cached trace stream supplies the
+        interval's activity, so :meth:`hot_pages` and
+        :meth:`expected_accesses` stay in sync with the batch being
+        replayed.  Draws no randomness.
+
+        Segment plans are computed lazily: stateful workloads (BFS's
+        traversal cursor) still see one ``segments()`` call per interval,
+        in order, but only once something actually reads the plan — a run
+        that never asks for ground truth skips the whole computation.
+        """
+        if not self._vmas:
+            raise WorkloadError("advance_interval() before build()")
+        self._interval += 1
+        self._segments_pending += 1
+
+    def _catch_up_segments(self) -> None:
+        """Replay deferred ``segments()`` calls, one per skipped interval."""
+        while self._segments_pending:
+            self._segments_pending -= 1
+            self._current_segments = self.segments(
+                self._interval - self._segments_pending
+            )
+
     def hot_pages(self) -> np.ndarray:
         if self._interval < 0:
             raise WorkloadError("hot_pages() before the first next_batch()")
+        self._catch_up_segments()
         ranges = [
             np.arange(s.start, s.end, dtype=np.int64)
             for s in self._current_segments
@@ -177,10 +257,11 @@ class SegmentedWorkload(Workload):
         ]
         if not ranges:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(ranges))
+        return nputil.unique(np.concatenate(ranges))
 
     def expected_accesses(self) -> float:
         """Expected accesses in the current interval's segment plan."""
+        self._catch_up_segments()
         return sum(s.rate * s.npages for s in self._current_segments)
 
 

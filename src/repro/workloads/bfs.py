@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil
+
 from repro.errors import ConfigError
 from repro.mm.hugepage import ThpManager
 from repro.mm.vma import AddressSpace
@@ -147,7 +149,7 @@ class BfsWorkload(SegmentedWorkload):
             self._start_traversal()
         take = self._levels[self._cursor : self._cursor + cfg.levels_per_interval]
         self._cursor += cfg.levels_per_interval
-        active = np.unique(np.concatenate(take)) if take else np.empty(0, dtype=np.int64)
+        active = nputil.unique(np.concatenate(take)) if take else np.empty(0, dtype=np.int64)
 
         segs: list[RateSegment] = [
             # Frontier queues and the visited bitmap: small, always hot.

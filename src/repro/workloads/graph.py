@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import nputil, perfflags
 from repro.errors import ConfigError
 
 
@@ -73,8 +74,19 @@ class CsrGraph:
         """Level-synchronous BFS; returns the frontier of each level.
 
         Unreachable vertices never appear.  This is the real traversal the
-        BFS workload replays interval by interval.
+        BFS workload replays interval by interval.  Traversals are pure
+        functions of ``(graph, root)``, so repeated roots (every engine on
+        the same seeded workload cycles the same root sequence) replay
+        from a per-graph memo instead of re-traversing.
         """
+        if perfflags.vectorized():
+            cache = self.__dict__.setdefault("_bfs_cache", {})
+            if root not in cache:
+                cache[root] = self._bfs_levels_uncached(root)
+            return list(cache[root])
+        return self._bfs_levels_uncached(root)
+
+    def _bfs_levels_uncached(self, root: int) -> list[np.ndarray]:
         if not 0 <= root < self.num_vertices:
             raise ConfigError(f"root {root} out of range")
         visited = np.zeros(self.num_vertices, dtype=bool)
@@ -91,7 +103,7 @@ class CsrGraph:
             gather = np.concatenate(
                 [self.targets[s:e] for s, e in zip(starts, ends) if e > s]
             )
-            gather = np.unique(gather)
+            gather = nputil.unique(gather)
             fresh = gather[~visited[gather]]
             if fresh.size == 0:
                 break
@@ -105,7 +117,17 @@ class CsrGraph:
 
         Vertices reappear across rounds when shorter paths keep arriving —
         the revisiting that makes SSSP's hot set stickier than BFS's.
+        Memoized per ``(root, max_rounds)`` like :meth:`bfs_levels`.
         """
+        if perfflags.vectorized():
+            cache = self.__dict__.setdefault("_sssp_cache", {})
+            key = (root, max_rounds)
+            if key not in cache:
+                cache[key] = self._sssp_rounds_uncached(root, max_rounds)
+            return list(cache[key])
+        return self._sssp_rounds_uncached(root, max_rounds)
+
+    def _sssp_rounds_uncached(self, root: int, max_rounds: int) -> list[np.ndarray]:
         if self.weights is None:
             raise ConfigError("graph has no weights; cannot run SSSP")
         if not 0 <= root < self.num_vertices:
@@ -134,6 +156,14 @@ class CsrGraph:
         return rounds
 
 
+#: Memo for generated graphs: generation is deterministic in its
+#: arguments and the CSR is treated as immutable, so every engine built
+#: for the same seeded workload can share one instance (and with it the
+#: per-graph traversal memos above).
+_GRAPH_CACHE: dict[tuple, CsrGraph] = {}
+_GRAPH_CACHE_MAX = 8
+
+
 def generate_power_law_graph(
     num_vertices: int,
     avg_degree: float = 14.0,
@@ -154,6 +184,30 @@ def generate_power_law_graph(
         weighted: attach positive edge weights (for SSSP).
         seed: RNG seed.
     """
+    if perfflags.vectorized():
+        key = (num_vertices, avg_degree, zipf_a, locality, weighted, seed)
+        hit = _GRAPH_CACHE.get(key)
+        if hit is None:
+            if len(_GRAPH_CACHE) >= _GRAPH_CACHE_MAX:
+                _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+            hit = _generate_power_law_graph(
+                num_vertices, avg_degree, zipf_a, locality, weighted, seed
+            )
+            _GRAPH_CACHE[key] = hit
+        return hit
+    return _generate_power_law_graph(
+        num_vertices, avg_degree, zipf_a, locality, weighted, seed
+    )
+
+
+def _generate_power_law_graph(
+    num_vertices: int,
+    avg_degree: float,
+    zipf_a: float,
+    locality: float,
+    weighted: bool,
+    seed: int,
+) -> CsrGraph:
     if num_vertices < 2:
         raise ConfigError("need at least 2 vertices")
     if avg_degree <= 0:

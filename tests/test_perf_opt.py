@@ -1,0 +1,248 @@
+"""Tests for the performance work: vectorized hot paths, the trace
+cache, the parallel matrix runner, and the geomean fix.
+
+The load-bearing property throughout is *bit-identity*: every
+acceleration switch (``repro.perfflags``, ``TraceCache``, ``workers=K``)
+must change wall-clock time only, never a single simulated number.
+"""
+
+import numpy as np
+import pytest
+
+from repro import perfflags
+from repro.bench.runner import MatrixResult, run_matrix, run_solution
+from repro.bench.scaling import BenchProfile
+from repro.errors import ConfigError
+from repro.metrics.perfstats import CacheStats, PerfStats
+from repro.sim.tracecache import TraceCache
+
+SCALE = 1 / 512
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return BenchProfile(
+        name="tiny",
+        scale=SCALE,
+        intervals={name: 4 for name in
+                   ("gups", "voltdb", "cassandra", "bfs", "sssp", "spark")},
+        seed=3,
+    )
+
+
+def fingerprint(result):
+    """Every simulated quantity of a run, as a comparable value."""
+    return {
+        "total_time": result.total_time,
+        "records": [
+            (r.index, r.app_time, r.profiling_time, r.migration_time,
+             r.background_time, r.total_accesses, r.fast_tier_accesses,
+             r.region_count, r.promoted_pages, r.demoted_pages,
+             r.degraded, r.fault_events)
+            for r in result.records
+        ],
+        "pcm_accesses": dict(result.pcm.node_accesses),
+        "pcm_writes": dict(result.pcm.node_writes),
+        "migration": (result.migration_log.promoted_pages,
+                      result.migration_log.demoted_pages,
+                      result.migration_log.promoted_bytes,
+                      result.migration_log.demoted_bytes),
+        "overhead": result.memory_overhead_bytes,
+        "degraded": result.degraded_intervals,
+    }
+
+
+def matrix_fingerprint(matrix):
+    return {
+        wl: {sol: fingerprint(r) for sol, r in row.items()}
+        for wl, row in matrix.results.items()
+    }
+
+
+class TestVectorizedBitIdentity:
+    @pytest.mark.parametrize("solution", ["mtm", "tiered-autonuma", "thermostat"])
+    @pytest.mark.parametrize("workload", ["gups", "bfs"])
+    def test_vectorized_equals_legacy(self, tiny_profile, workload, solution):
+        with perfflags.legacy_mode():
+            legacy = fingerprint(run_solution(solution, workload, tiny_profile))
+        assert perfflags.vectorized()
+        fast = fingerprint(run_solution(solution, workload, tiny_profile))
+        assert legacy == fast
+
+    def test_legacy_mode_restores_flag(self):
+        assert perfflags.vectorized()
+        with perfflags.legacy_mode():
+            assert not perfflags.vectorized()
+        assert perfflags.vectorized()
+
+
+class TestTraceCache:
+    def test_hit_and_miss_accounting(self):
+        cache = TraceCache()
+        cache.get_batch("gups", SCALE, 3, 0)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.get_batch("gups", SCALE, 3, 0)
+        assert (cache.hits, cache.misses) == (1, 1)
+        # A cold jump to interval 2 synthesizes intervals 1 and 2.
+        cache.get_batch("gups", SCALE, 3, 2)
+        assert (cache.hits, cache.misses) == (1, 3)
+        stats = cache.stats()
+        assert stats.requests == 4
+        assert stats.hit_rate == pytest.approx(1 / 4)
+        assert stats.cached_bytes == cache.cached_bytes > 0
+
+    def test_cached_batches_are_immutable(self):
+        cache = TraceCache()
+        first = cache.get_batch("gups", SCALE, 3, 0)
+        vandalized = first.pages.copy()
+        first.pages += 17
+        first.counts[:] = -5
+        again = cache.get_batch("gups", SCALE, 3, 0)
+        assert not np.array_equal(again.pages, first.pages)
+        assert np.array_equal(again.pages, vandalized - 0)
+        assert again.counts.min() >= 0
+
+    def test_replay_equals_fresh_synthesis(self):
+        cached = TraceCache().get_batch("voltdb", SCALE, 3, 1)
+        fresh_stream = TraceCache()
+        fresh_stream.get_batch("voltdb", SCALE, 3, 0)
+        fresh = fresh_stream.get_batch("voltdb", SCALE, 3, 1)
+        assert np.array_equal(cached.pages, fresh.pages)
+        assert np.array_equal(cached.counts, fresh.counts)
+        assert np.array_equal(cached.writes, fresh.writes)
+        assert np.array_equal(cached.sockets, fresh.sockets)
+
+    def test_lru_eviction_at_byte_budget(self):
+        probe = TraceCache()
+        probe.get_batch("gups", SCALE, 3, 1)
+        one_stream = probe.cached_bytes
+        # Budget fits one stream, not two: caching a second workload must
+        # evict the least-recently-used stream whole.
+        cache = TraceCache(max_bytes=int(one_stream))
+        cache.get_batch("gups", SCALE, 3, 1)
+        cache.get_batch("voltdb", SCALE, 3, 1)
+        assert cache.evictions >= 1
+        assert len(cache._streams) == 1
+        # The evicted stream regenerates deterministically: all misses.
+        hits_before = cache.hits
+        cache.get_batch("gups", SCALE, 3, 1)
+        assert cache.hits == hits_before
+
+    def test_active_stream_never_evicted_by_own_growth(self):
+        cache = TraceCache(max_bytes=1)
+        for interval in range(3):
+            batch = cache.get_batch("gups", SCALE, 3, interval)
+            assert batch.pages.size > 0
+        assert len(cache._streams) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            TraceCache(max_bytes=0)
+        with pytest.raises(ConfigError):
+            TraceCache().get_batch("gups", SCALE, 3, -1)
+
+    def test_cached_run_equals_uncached_run(self, tiny_profile):
+        plain = fingerprint(run_solution("mtm", "gups", tiny_profile))
+        cached = fingerprint(
+            run_solution("mtm", "gups", tiny_profile, trace_cache=TraceCache())
+        )
+        assert plain == cached
+
+
+class TestParallelDeterminism:
+    WORKLOADS = ["gups", "voltdb"]
+    SOLUTIONS = ["first-touch", "mtm"]
+
+    def test_workers4_bit_identical_to_serial(self, tiny_profile):
+        serial = run_matrix(self.WORKLOADS, self.SOLUTIONS, tiny_profile, workers=1)
+        parallel = run_matrix(self.WORKLOADS, self.SOLUTIONS, tiny_profile, workers=4)
+        assert matrix_fingerprint(serial) == matrix_fingerprint(parallel)
+
+    def test_workers4_bit_identical_under_fault_injection(self, tiny_profile):
+        kwargs = dict(fault_rate=0.05, fault_seed=123)
+        serial = run_matrix(
+            self.WORKLOADS, self.SOLUTIONS, tiny_profile, workers=1, **kwargs
+        )
+        parallel = run_matrix(
+            self.WORKLOADS, self.SOLUTIONS, tiny_profile, workers=4, **kwargs
+        )
+        assert matrix_fingerprint(serial) == matrix_fingerprint(parallel)
+        # Faults actually fired, so the equality is not vacuous.
+        some_run = serial.results["gups"]["mtm"]
+        assert some_run.fault_log is not None
+
+    def test_workers_validation(self, tiny_profile):
+        with pytest.raises(ConfigError):
+            run_matrix(["gups"], ["first-touch", "mtm"], tiny_profile, workers=0)
+
+
+class TestGeomean:
+    @staticmethod
+    def _matrix(times_by_workload, baseline="base"):
+        class Stub:
+            def __init__(self, t):
+                self.total_time = t
+
+        return MatrixResult(
+            results={
+                wl: {sol: Stub(t) for sol, t in row.items()}
+                for wl, row in times_by_workload.items()
+            },
+            baseline=baseline,
+        )
+
+    def test_exact_value(self):
+        matrix = self._matrix({
+            "w1": {"base": 2.0, "s": 1.0},   # 2x speedup
+            "w2": {"base": 8.0, "s": 1.0},   # 8x speedup
+        })
+        assert matrix.geomean_speedup("s") == pytest.approx(4.0)
+
+    def test_no_underflow_with_many_slowdowns(self):
+        # The old running-product form underflowed to exactly 0.0 here:
+        # 0.5 ** 400 == 0.0.  exp(mean(log)) stays exact.
+        matrix = self._matrix(
+            {f"w{i}": {"base": 1.0, "s": 2.0} for i in range(400)}
+        )
+        assert matrix.geomean_speedup("s") == pytest.approx(0.5)
+
+    def test_empty_matrix_is_identity(self):
+        assert self._matrix({}).geomean_speedup("s") == 1.0
+
+    def test_non_positive_time_rejected(self):
+        matrix = self._matrix({"w1": {"base": 1.0, "s": 0.0}})
+        with pytest.raises(ConfigError):
+            matrix.geomean_speedup("s")
+
+
+class TestPerfStats:
+    def test_engine_reports_phase_times(self, tiny_profile):
+        result = run_solution("mtm", "gups", tiny_profile)
+        perf = result.perf
+        assert perf is not None
+        assert perf.intervals == 4
+        assert perf.total_seconds > 0
+        assert perf.other_seconds >= 0
+        assert perf.cache is None
+        d = perf.as_dict()
+        assert set(d) >= {"workload_seconds", "profile_seconds",
+                          "migrate_seconds", "total_seconds", "intervals"}
+
+    def test_cache_stats_attached_when_cached(self, tiny_profile):
+        result = run_solution(
+            "mtm", "gups", tiny_profile, trace_cache=TraceCache()
+        )
+        assert isinstance(result.perf.cache, CacheStats)
+        assert result.perf.cache.requests == 4
+        assert "cache" in result.perf.as_dict()
+
+    def test_merge_accumulates(self):
+        a = PerfStats(workload_seconds=1.0, total_seconds=3.0, intervals=2)
+        b = PerfStats(profile_seconds=0.5, total_seconds=1.0, intervals=1,
+                      cache=CacheStats(hits=3))
+        merged = a.merge(b)
+        assert merged.workload_seconds == 1.0
+        assert merged.profile_seconds == 0.5
+        assert merged.total_seconds == 4.0
+        assert merged.intervals == 3
+        assert merged.cache.hits == 3
