@@ -5,12 +5,23 @@ Paper (VoltDB): with num_scans=3, (tau_m, tau_s) = (1, 2) performs best by
 at least 7%; aggressive merging (large tau_m) degrades profiling quality,
 aggressive splitting (small tau_s) inflates profiling time.  The same
 trend holds at num_scans=6 with (2, 4).
+
+Two modes:
+
+* default — every sweep point is a full independent run with its
+  thresholds set from interval 0 (the paper's experiment, unchanged);
+* ``shared_warmup=K`` — points sharing a ``num_scans`` run as one
+  :func:`~repro.bench.runner.run_sweep`: K common warmup intervals with
+  default thresholds, then each point's (tau_m, tau_s) applied at the
+  branch.  This measures threshold sensitivity *of a warmed system* and
+  exercises the snapshot/fork engine (one warmup simulated per
+  num_scans group instead of one per point).
 """
 
 from __future__ import annotations
 
 from repro.bench.scaling import BenchProfile
-from repro.bench.runner import run_solution
+from repro.bench.runner import SweepVariant, run_solution, run_sweep
 from repro.metrics.report import Table
 from repro.profile.mtm import MtmProfilerConfig
 from repro.sim.costmodel import effective_interval
@@ -22,29 +33,66 @@ SWEEP = [
 ]
 
 
+def _apply_tau(engine, params: dict) -> None:
+    """Install one sweep point's thresholds at the branch interval."""
+    cfg = engine.profiler.config
+    cfg.tau_m = params["tau_m"]
+    cfg.tau_s = params["tau_s"]
+    engine.profiler._tau_m_current = params["tau_m"]
+
+
 def run_experiment(profile: BenchProfile, workload: str = "voltdb",
-                   sweep: list[tuple[int, int, int]] | None = None) -> str:
+                   sweep: list[tuple[int, int, int]] | None = None,
+                   shared_warmup: int | None = None) -> str:
     sweep = sweep if sweep is not None else SWEEP
     table = Table(
         f"Fig.9: {workload} vs (tau_m, tau_s)",
         ["num_scans", "(tau_m,tau_s)", "total (s)", "profiling (s)", "migration (s)"],
     )
     interval = effective_interval(profile.scale)
-    for num_scans, tau_m, tau_s in sweep:
-        config = MtmProfilerConfig(
-            interval=interval,
-            num_scans=num_scans,
-            tau_m=float(tau_m),
-            tau_s=float(tau_s),
-        )
-        result = run_solution(
-            "mtm", workload, profile, mtm_profiler_config=config
-        )
+
+    def add_row(num_scans: int, tau_m: int, tau_s: int, result) -> None:
         b = result.breakdown()
         table.add_row(
             num_scans, f"({tau_m},{tau_s})", f"{result.total_time:.3f}",
             f"{b['profiling']:.4f}", f"{b['migration']:.4f}",
         )
+
+    if shared_warmup is None:
+        for num_scans, tau_m, tau_s in sweep:
+            config = MtmProfilerConfig(
+                interval=interval,
+                num_scans=num_scans,
+                tau_m=float(tau_m),
+                tau_s=float(tau_s),
+            )
+            result = run_solution(
+                "mtm", workload, profile, mtm_profiler_config=config
+            )
+            add_row(num_scans, tau_m, tau_s, result)
+        return table.render()
+
+    # Shared-warmup mode: one warmed engine per num_scans group, forked
+    # per threshold point (thresholds only act from the branch on).
+    groups: dict[int, list[tuple[int, int]]] = {}
+    for num_scans, tau_m, tau_s in sweep:
+        groups.setdefault(num_scans, []).append((tau_m, tau_s))
+    for num_scans, points in groups.items():
+        variants = [
+            SweepVariant(
+                label=f"({tau_m},{tau_s})",
+                params={"tau_m": float(tau_m), "tau_s": float(tau_s)},
+            )
+            for tau_m, tau_s in points
+        ]
+        config = MtmProfilerConfig(interval=interval, num_scans=num_scans)
+        result = run_sweep(
+            "mtm", workload, profile, variants, _apply_tau,
+            warmup_intervals=shared_warmup,
+            mtm_profiler_config=config,
+        )
+        for (tau_m, tau_s), variant in zip(points, variants):
+            add_row(num_scans, tau_m, tau_s, result.results[variant.label])
     return table.render()
 
 

@@ -1,19 +1,22 @@
 #!/usr/bin/env python
-"""Perf smoke: wall-clock speedup of the optimized matrix runner.
+"""Perf smoke: wall-clock speedup of the optimized matrix and sweep runners.
 
-Runs the 4-workload x 4-solution benchmark matrix twice:
+Two measurements, both regression-gated by CI via ``BENCH_perf.json``:
 
-* **baseline** — the pre-optimization serial path: vectorized hot paths
-  off (:mod:`repro.perfflags` legacy mode), no trace cache, one process;
-* **optimized** — vectorized + shared :class:`~repro.sim.tracecache.
-  TraceCache` + ``workers=min(4, cpu_count)`` (fanning a 1-core host out
-  over processes only adds fork overhead, so the worker count adapts to
-  the host; results are bit-identical at any worker count).
+* **matrix** — the 4-workload x 4-solution benchmark matrix, run twice:
+  the pre-optimization serial path (vectorized + incremental hot paths
+  off via :mod:`repro.perfflags` legacy mode, no trace cache, one
+  process) versus the optimized path (vectorized + incremental + shared
+  :class:`~repro.sim.tracecache.TraceCache` + adaptive worker count);
+* **tau sweep** — a 6-point τ sensitivity sweep whose cells share a long
+  warmup prefix, run cold (every cell from interval 0, on the already
+  optimized paths) versus forked from one warmed
+  :class:`~repro.sim.snapshot.EngineSnapshot`.  The fork arm's gain is
+  therefore *additional* to the matrix optimizations.
 
-Both arms produce bit-identical simulation results (asserted here on a
-summary statistic, and in full by ``tests/test_perf_opt.py``); only the
-wall clock may differ.  The measurements land in ``BENCH_perf.json`` for
-CI to archive and regression-gate.
+Every arm produces bit-identical simulation results (asserted here on
+summary statistics, and in full by ``tests/test_perf_opt.py`` and
+``tests/test_snapshot.py``); only the wall clock may differ.
 """
 
 from __future__ import annotations
@@ -24,13 +27,37 @@ import time
 from pathlib import Path
 
 from repro import perfflags
-from repro.bench.runner import run_matrix
+from repro.bench.runner import SweepVariant, run_matrix, run_sweep
 from repro.bench.scaling import BenchProfile
+from repro.core.baselines import make_engine
 
 WORKLOADS = ["gups", "voltdb", "cassandra", "bfs"]
 SOLUTIONS = ["first-touch", "hmc", "tiered-autonuma", "mtm"]
 REQUESTED_WORKERS = 4
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: τ sweep: 6 merge/split-threshold settings diverging after a shared
+#: warmup covering most of the run (sensitivity studies perturb a warmed
+#: system, so the shared prefix is long by nature).
+TAU_POINTS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
+SWEEP_WORKLOAD = "gups"
+SWEEP_INTERVALS = 48
+SWEEP_WARMUP = 42
+
+
+def apply_tau(engine, params: dict) -> None:
+    """Install one sweep point's thresholds at the branch interval."""
+    cfg = engine.profiler.config
+    cfg.tau_m = params["tau_m"]
+    cfg.tau_s = params["tau_s"]
+    engine.profiler._tau_m_current = params["tau_m"]
+
+
+def tau_variants() -> list[SweepVariant]:
+    return [
+        SweepVariant(label=f"tau_m={t:g}", params={"tau_m": t, "tau_s": 2.0 * t})
+        for t in TAU_POINTS
+    ]
 
 
 def _matrix_summary(matrix) -> dict:
@@ -44,10 +71,31 @@ def _matrix_summary(matrix) -> dict:
     }
 
 
+def _sweep_summary(sweep) -> dict:
+    return {label: result.total_time for label, result in sweep.results.items()}
+
+
+def _assert_batch_released(profile: BenchProfile) -> None:
+    """Peak-RSS guard: the engine must drop each interval's batch.
+
+    A leaked ``AccessBatch`` reference would make peak memory grow with
+    run length; after a run the MMU must hold no batch (the arrays were
+    released at the end of the last interval).
+    """
+    engine = make_engine("mtm", "gups", scale=profile.scale, seed=profile.seed)
+    engine.run(4)
+    if engine.mmu._current_batch is not None:
+        raise AssertionError(
+            "engine kept the last interval's AccessBatch alive; "
+            "peak RSS would scale with run length"
+        )
+
+
 def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) -> str:
     workloads = workloads if workloads is not None else WORKLOADS
     workers = min(REQUESTED_WORKERS, os.cpu_count() or 1)
 
+    # -- matrix arm ------------------------------------------------------
     t0 = time.perf_counter()
     with perfflags.legacy_mode():
         baseline = run_matrix(workloads, SOLUTIONS, profile, use_cache=False)
@@ -63,7 +111,46 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
             "must be bit-identical"
         )
 
-    speedup = baseline_seconds / optimized_seconds
+    # -- tau-sweep arm ---------------------------------------------------
+    # Cold runs on the fully optimized paths, so the fork arm's speedup
+    # is what snapshots add *on top of* the matrix optimizations.
+    variants = tau_variants()
+    t0 = time.perf_counter()
+    sweep_cold = run_sweep(
+        "mtm", SWEEP_WORKLOAD, profile, variants, apply_tau,
+        warmup_intervals=SWEEP_WARMUP, intervals=SWEEP_INTERVALS,
+        use_snapshots=False,
+    )
+    sweep_cold_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sweep_fork = run_sweep(
+        "mtm", SWEEP_WORKLOAD, profile, variants, apply_tau,
+        warmup_intervals=SWEEP_WARMUP, intervals=SWEEP_INTERVALS,
+        use_snapshots=True,
+    )
+    sweep_fork_seconds = time.perf_counter() - t0
+
+    if _sweep_summary(sweep_cold) != _sweep_summary(sweep_fork):
+        raise AssertionError(
+            "snapshot-fork sweep changed simulated results; forks must be "
+            "bit-identical to cold runs"
+        )
+
+    _assert_batch_released(profile)
+
+    matrix_speedup = baseline_seconds / optimized_seconds
+    sweep_speedup = sweep_cold_seconds / sweep_fork_seconds
+    snap_stats = (
+        sweep_fork.perf.snapshots.as_dict()
+        if sweep_fork.perf is not None and sweep_fork.perf.snapshots is not None
+        else None
+    )
+    cache_stats = (
+        optimized.perf.cache.as_dict()
+        if optimized.perf is not None and optimized.perf.cache is not None
+        else None
+    )
     payload = {
         "profile": profile.name,
         "workloads": workloads,
@@ -73,7 +160,18 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
         "cpu_count": os.cpu_count(),
         "baseline_seconds": round(baseline_seconds, 3),
         "optimized_seconds": round(optimized_seconds, 3),
-        "speedup": round(speedup, 3),
+        "speedup": round(matrix_speedup, 3),
+        "matrix_cache": cache_stats,
+        "tau_sweep": {
+            "workload": SWEEP_WORKLOAD,
+            "points": list(TAU_POINTS),
+            "intervals": SWEEP_INTERVALS,
+            "warmup_intervals": SWEEP_WARMUP,
+            "cold_seconds": round(sweep_cold_seconds, 3),
+            "fork_seconds": round(sweep_fork_seconds, 3),
+            "speedup": round(sweep_speedup, 3),
+            "snapshots": snap_stats,
+        },
         "results_identical": True,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -83,7 +181,11 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
         f"  baseline (legacy serial, uncached): {baseline_seconds:6.2f}s\n"
         f"  optimized (vectorized + cache + workers={workers}): "
         f"{optimized_seconds:6.2f}s\n"
-        f"  speedup: {speedup:.2f}x\n"
+        f"  speedup: {matrix_speedup:.2f}x\n"
+        f"  tau sweep ({len(TAU_POINTS)} points, warmup {SWEEP_WARMUP}/{SWEEP_INTERVALS}):\n"
+        f"    cold-start: {sweep_cold_seconds:6.2f}s\n"
+        f"    snapshot-fork: {sweep_fork_seconds:6.2f}s\n"
+        f"    speedup: {sweep_speedup:.2f}x\n"
         f"  wrote {OUTPUT.name}"
     )
 

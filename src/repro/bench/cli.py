@@ -14,7 +14,11 @@ which gives all of them a uniform flag set:
   process default so every ``run_matrix`` call in the experiment picks
   it up (results are bit-identical at any K);
 * ``--workloads a,b,c`` — restrict the experiment's workload set, mapped
-  onto the driver's ``workloads``/``workload`` parameter when it has one.
+  onto the driver's ``workloads``/``workload`` parameter when it has one;
+* ``--snapshots/--no-snapshots`` — whether shared-warmup sweeps fork
+  from one warmed engine snapshot (the default) or simulate every cell
+  from interval 0; installed as the process default every ``run_sweep``
+  call picks up (results are bit-identical either way).
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import argparse
 import inspect
 from typing import Callable
 
-from repro.bench.runner import set_default_workers
+from repro.bench.runner import set_default_snapshots, set_default_workers
 from repro.bench.scaling import profile_by_name, profile_from_env, profile_names
 from repro.errors import ConfigError
 
@@ -52,9 +56,15 @@ def bench_main(
         help="comma-separated workload subset (drivers with a fixed "
              "workload accept exactly one name)",
     )
+    parser.add_argument(
+        "--snapshots", action=argparse.BooleanOptionalAction, default=True,
+        help="fork shared-warmup sweep cells from one warmed engine "
+             "snapshot (default on; results are identical either way)",
+    )
     args = parser.parse_args(argv)
 
     set_default_workers(args.workers)
+    set_default_snapshots(args.snapshots)
     profile = (
         profile_by_name(args.profile)
         if args.profile is not None

@@ -20,17 +20,24 @@ injector state across processes or cells.
 
 from __future__ import annotations
 
+import copy
 import math
+import os
+import pickle
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 from repro.errors import ConfigError
 from repro.faults.injector import FaultConfig, FaultInjector
+from repro.metrics.perfstats import CacheStats, PerfStats
 from repro.metrics.report import Table, normalize
-from repro.sim.engine import SimulationResult
+from repro.sim.engine import SimulationEngine, SimulationResult
+from repro.sim.snapshot import SnapshotCache, capture_engine
 
 if TYPE_CHECKING:
     from repro.sim.tracecache import TraceCache
@@ -38,6 +45,10 @@ if TYPE_CHECKING:
 #: Process-wide default for ``run_matrix(workers=None)``; set by the
 #: benchmark CLI's ``--workers`` flag (see :mod:`repro.bench.cli`).
 _DEFAULT_WORKERS = 1
+
+#: Process-wide default for ``run_sweep(use_snapshots=None)``; set by the
+#: benchmark CLI's ``--snapshots/--no-snapshots`` flag.
+_DEFAULT_SNAPSHOTS = True
 
 
 def set_default_workers(workers: int) -> None:
@@ -50,6 +61,16 @@ def set_default_workers(workers: int) -> None:
 
 def default_workers() -> int:
     return _DEFAULT_WORKERS
+
+
+def set_default_snapshots(enabled: bool) -> None:
+    """Set whether ``run_sweep`` forks shared warmups by default."""
+    global _DEFAULT_SNAPSHOTS
+    _DEFAULT_SNAPSHOTS = bool(enabled)
+
+
+def default_snapshots() -> bool:
+    return _DEFAULT_SNAPSHOTS
 
 
 def _make_injector(fault_rate: float, fault_seed: int) -> FaultInjector | None:
@@ -99,10 +120,17 @@ class MatrixResult:
     Attributes:
         results: ``results[workload][solution]`` -> SimulationResult.
         baseline: solution used for normalization.
+        perf: host-side stats merged across every cell — phase times and
+            samples summed, and each cell's trace-cache counters recorded
+            as the *delta* its run contributed (so a cache shared by
+            sibling cells in one process is not double-counted).  With
+            ``workers=K`` this is how worker-side counters survive the
+            process boundary instead of being dropped.
     """
 
     results: dict[str, dict[str, SimulationResult]]
     baseline: str = "first-touch"
+    perf: PerfStats | None = None
 
     def total_times(self, workload: str) -> dict[str, float]:
         return {s: r.total_time for s, r in self.results[workload].items()}
@@ -157,6 +185,7 @@ def _run_cell(args: tuple) -> tuple[str, str, SimulationResult]:
         from repro.sim.tracecache import TraceCache
 
         _worker_cache = TraceCache()
+    before = _worker_cache.stats() if use_cache else None
     result = run_solution(
         solution,
         workload,
@@ -167,6 +196,11 @@ def _run_cell(args: tuple) -> tuple[str, str, SimulationResult]:
         trace_cache=_worker_cache if use_cache else None,
         recovery=recovery,
     )
+    if use_cache and result.perf is not None:
+        # The per-process cache is shared by every cell this worker runs;
+        # report this cell's *contribution* so the parent can sum cells
+        # without double counting.
+        result.perf.cache = _worker_cache.stats().delta(before)
     return workload, solution, result
 
 
@@ -221,7 +255,8 @@ def run_matrix(
 
             trace_cache = TraceCache()
         for workload, solution, *_ in cells:
-            collected[(workload, solution)] = run_solution(
+            before = trace_cache.stats() if trace_cache is not None else None
+            result = run_solution(
                 solution,
                 workload,
                 profile,
@@ -231,6 +266,9 @@ def run_matrix(
                 trace_cache=trace_cache,
                 recovery=recovery,
             )
+            if trace_cache is not None and result.perf is not None:
+                result.perf.cache = trace_cache.stats().delta(before)
+            collected[(workload, solution)] = result
     else:
         import multiprocessing as mp
 
@@ -247,4 +285,300 @@ def run_matrix(
         results[workload] = {}
         for solution in solutions:
             results[workload][solution] = collected[(workload, solution)]
-    return MatrixResult(results=results, baseline=baseline)
+    return MatrixResult(
+        results=results, baseline=baseline, perf=_aggregate_perf(collected.values())
+    )
+
+
+def _aggregate_perf(results) -> PerfStats | None:
+    """Merge per-cell perf stats (cache counters are per-cell deltas)."""
+    merged: PerfStats | None = None
+    for result in results:
+        if result.perf is None:
+            continue
+        merged = result.perf if merged is None else merged.merge(result.perf)
+    return merged
+
+
+# -- shared-warmup sweeps ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepVariant:
+    """One cell of a parameter sweep.
+
+    Attributes:
+        label: unique name of the cell (e.g. ``"tau_m=0.5"``).
+        params: knob values handed to the sweep's apply function at the
+            branch point.  Must be picklable (plain dicts of scalars).
+    """
+
+    label: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """Results of one shared-warmup parameter sweep.
+
+    Attributes:
+        results: ``results[label]`` -> SimulationResult (full runs: the
+            records cover warmup + divergent intervals alike).
+        warmup_intervals: length of the shared prefix.
+        perf: host-side stats merged across variants; ``perf.snapshots``
+            carries the snapshot-cache counters this sweep contributed.
+    """
+
+    results: dict[str, SimulationResult]
+    warmup_intervals: int
+    perf: PerfStats | None = None
+
+
+def _run_variant_cold(
+    solution: str,
+    workload: str,
+    profile: BenchProfile,
+    params: dict,
+    apply_fn: Callable,
+    warmup_intervals: int,
+    rest: int,
+    fault_rate: float,
+    fault_seed: int,
+    collect_quality: bool,
+    trace_cache: "TraceCache | None",
+    engine_kwargs: dict,
+) -> SimulationResult:
+    """One sweep cell from scratch: warm up, branch, finish."""
+    # Engines mutate config objects (interval tracking, branch knobs); a
+    # shared kwargs value must not leak one cell's mutations into the next.
+    engine_kwargs = copy.deepcopy(engine_kwargs)
+    engine = make_engine(
+        solution,
+        workload,
+        scale=profile.scale,
+        seed=profile.seed,
+        collect_quality=collect_quality,
+        injector=_make_injector(fault_rate, fault_seed),
+        trace_cache=trace_cache,
+        **engine_kwargs,
+    )
+    for _ in range(warmup_intervals):
+        engine.step()
+    apply_fn(engine, params)
+    return engine.run(rest)
+
+
+def _run_cold_cell(args: tuple) -> tuple[str, SimulationResult]:
+    """Cold sweep cell in a worker process (must be picklable)."""
+    global _worker_cache
+    (solution, workload, profile, label, params, apply_fn, warmup, rest,
+     fault_rate, fault_seed, collect_quality, engine_kwargs) = args
+    if _worker_cache is None:
+        from repro.sim.tracecache import TraceCache
+
+        _worker_cache = TraceCache()
+    before = _worker_cache.stats()
+    result = _run_variant_cold(
+        solution, workload, profile, params, apply_fn, warmup, rest,
+        fault_rate, fault_seed, collect_quality, _worker_cache, engine_kwargs,
+    )
+    if result.perf is not None:
+        result.perf.cache = _worker_cache.stats().delta(before)
+    return label, result
+
+
+#: Per-worker-process snapshot store, keyed by spill-file path, so every
+#: variant a worker runs unpickles the shared warmup payload only once.
+_worker_snapshots: dict = {}
+
+
+def _run_fork_cell(args: tuple) -> tuple[str, SimulationResult]:
+    """Forked sweep cell in a worker process (must be picklable)."""
+    global _worker_cache, _worker_snapshots
+    path, label, params, apply_fn, rest = args
+    snap = _worker_snapshots.get(path)
+    if snap is None:
+        with open(path, "rb") as fh:
+            snap = pickle.load(fh)
+        _worker_snapshots[path] = snap
+    if _worker_cache is None:
+        from repro.sim.tracecache import TraceCache
+
+        _worker_cache = TraceCache()
+    before = _worker_cache.stats()
+    engine = SimulationEngine.fork(snap, trace_cache=_worker_cache)
+    apply_fn(engine, params)
+    result = engine.run(rest)
+    if result.perf is not None:
+        result.perf.cache = _worker_cache.stats().delta(before)
+    return label, result
+
+
+def run_sweep(
+    solution: str,
+    workload: str,
+    profile: BenchProfile,
+    variants: list[SweepVariant],
+    apply_fn: Callable,
+    warmup_intervals: int,
+    intervals: int | None = None,
+    use_snapshots: bool | None = None,
+    workers: int | None = None,
+    snapshot_cache: SnapshotCache | None = None,
+    trace_cache: "TraceCache | None" = None,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    collect_quality: bool = False,
+    **engine_kwargs,
+) -> SweepResult:
+    """Run a parameter sweep whose cells share a warmup prefix.
+
+    Every variant simulates the same first ``warmup_intervals`` intervals
+    — same solution, same workload, same seeds, variant knobs not yet
+    applied — then ``apply_fn(engine, variant.params)`` runs at the
+    branch point and the remaining intervals diverge.  Because the knobs
+    only take effect *after* the prefix in both modes, the snapshot path
+    (warm up once, :meth:`~repro.sim.engine.SimulationEngine.fork` per
+    variant) is bit-identical to the cold path (every variant simulated
+    from interval 0), which the differential tests assert.
+
+    Args:
+        apply_fn: ``(engine, params) -> None``, applies one variant's
+            knobs.  Must be a module-level function (workers pickle it).
+        warmup_intervals: shared-prefix length; must leave at least one
+            divergent interval.
+        use_snapshots: fork from one warmed snapshot instead of cold
+            runs; ``None`` uses the CLI default
+            (:func:`set_default_snapshots`).
+        workers: processes to fan variants over, as in :func:`run_matrix`.
+            With snapshots the parent warms up once, spills the snapshot
+            to disk, and workers fork from the spilled payload.
+        snapshot_cache: share warmed snapshots across sweeps keyed by
+            ``(workload, scale, seed, solution, fault, warmup)``; ``None``
+            builds a private one.
+    """
+    total = intervals if intervals is not None else profile.intervals_for(workload)
+    if not 0 < warmup_intervals < total:
+        raise ConfigError(
+            f"warmup_intervals must be in (0, {total}), got {warmup_intervals}"
+        )
+    rest = total - warmup_intervals
+    labels = [v.label for v in variants]
+    if len(set(labels)) != len(labels):
+        raise ConfigError("sweep variant labels must be unique")
+    if use_snapshots is None:
+        use_snapshots = _DEFAULT_SNAPSHOTS
+    if workers is None:
+        workers = _DEFAULT_WORKERS
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+
+    collected: dict[str, SimulationResult] = {}
+    snap_stats_before: CacheStats | None = None
+    tmpdir: str | None = None
+
+    if not use_snapshots:
+        if workers == 1:
+            if trace_cache is None:
+                from repro.sim.tracecache import TraceCache
+
+                trace_cache = TraceCache()
+            for v in variants:
+                before = trace_cache.stats()
+                result = _run_variant_cold(
+                    solution, workload, profile, v.params, apply_fn,
+                    warmup_intervals, rest, fault_rate, fault_seed,
+                    collect_quality, trace_cache, engine_kwargs,
+                )
+                if result.perf is not None:
+                    result.perf.cache = trace_cache.stats().delta(before)
+                collected[v.label] = result
+        else:
+            cells = [
+                (solution, workload, profile, v.label, v.params, apply_fn,
+                 warmup_intervals, rest, fault_rate, fault_seed,
+                 collect_quality, engine_kwargs)
+                for v in variants
+            ]
+            for label, result in _pool_map(_run_cold_cell, cells, workers):
+                collected[label] = result
+    else:
+        if snapshot_cache is None:
+            if workers > 1:
+                tmpdir = tempfile.mkdtemp(prefix="repro-snap-")
+                snapshot_cache = SnapshotCache(spill_dir=tmpdir)
+            else:
+                snapshot_cache = SnapshotCache()
+        snap_stats_before = snapshot_cache.stats()
+        if trace_cache is None:
+            from repro.sim.tracecache import TraceCache
+
+            trace_cache = TraceCache()
+        key = (
+            workload, float(profile.scale), int(profile.seed), solution,
+            float(fault_rate), int(fault_seed), int(warmup_intervals),
+        )
+
+        def _warmup() -> "EngineSnapshot":
+            engine = make_engine(
+                solution,
+                workload,
+                scale=profile.scale,
+                seed=profile.seed,
+                collect_quality=collect_quality,
+                injector=_make_injector(fault_rate, fault_seed),
+                trace_cache=trace_cache,
+                **copy.deepcopy(engine_kwargs),
+            )
+            for _ in range(warmup_intervals):
+                engine.step()
+            return capture_engine(engine, key=key)
+
+        snap = snapshot_cache.get_or_create(key, _warmup)
+        try:
+            if workers == 1:
+                for v in variants:
+                    before = trace_cache.stats()
+                    engine = SimulationEngine.fork(snap, trace_cache=trace_cache)
+                    apply_fn(engine, v.params)
+                    result = engine.run(rest)
+                    if result.perf is not None:
+                        result.perf.cache = trace_cache.stats().delta(before)
+                    collected[v.label] = result
+            else:
+                if snapshot_cache.spill_dir is not None:
+                    path = snapshot_cache.spill_path(key)
+                    if not os.path.exists(path):
+                        snapshot_cache.put(key, snap)
+                else:
+                    # Caller's cache is memory-only; mirror the payload to a
+                    # temp file so workers can reach it.
+                    tmpdir = tempfile.mkdtemp(prefix="repro-snap-")
+                    path = os.path.join(tmpdir, "snapshot.pkl")
+                    with open(path, "wb") as fh:
+                        pickle.dump(snap, fh, protocol=5)
+                cells = [(path, v.label, v.params, apply_fn, rest) for v in variants]
+                for label, result in _pool_map(_run_fork_cell, cells, workers):
+                    collected[label] = result
+        finally:
+            if tmpdir is not None:
+                shutil.rmtree(tmpdir, ignore_errors=True)
+
+    perf = _aggregate_perf([collected[label] for label in labels])
+    if perf is not None and snapshot_cache is not None and snap_stats_before is not None:
+        perf.snapshots = snapshot_cache.stats().delta(snap_stats_before)
+    return SweepResult(
+        results={label: collected[label] for label in labels},
+        warmup_intervals=warmup_intervals,
+        perf=perf,
+    )
+
+
+def _pool_map(fn, cells, workers: int):
+    """Fan ``cells`` over a fork-based process pool (as in run_matrix)."""
+    import multiprocessing as mp
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else None
+    ctx = mp.get_context(method) if method else mp.get_context()
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        yield from pool.map(fn, cells)

@@ -3,10 +3,15 @@
 :class:`PerfStats` records *real* (host wall-clock) seconds spent in each
 engine phase, as opposed to the simulated seconds the
 :class:`~repro.sim.clock.Clock` accounts.  It exists so the performance
-work — vectorized hot paths, the trace cache, the parallel matrix runner
-— can be measured and regression-gated (``benchmarks/bench_perf_smoke.py``)
-without touching simulated timing, which must stay bit-identical across
-all of those switches.
+work — vectorized hot paths, the trace cache, the snapshot/fork engine,
+the parallel matrix runner — can be measured and regression-gated
+(``benchmarks/bench_perf_smoke.py``) without touching simulated timing,
+which must stay bit-identical across all of those switches.
+
+Besides per-phase totals, each phase keeps its per-interval duration
+samples so tail behaviour is visible: :meth:`PerfStats.percentiles`
+reports p50/p95 per phase, which is how a rare O(footprint) slip in an
+otherwise O(touched) pipeline shows up.
 
 The measurements never feed back into the simulation, so the
 instrumentation itself cannot perturb results.
@@ -19,13 +24,14 @@ from dataclasses import dataclass, field
 
 @dataclass
 class CacheStats:
-    """Counters snapshot from a :class:`~repro.sim.tracecache.TraceCache`.
+    """Counters snapshot from a :class:`~repro.sim.tracecache.TraceCache`
+    or :class:`~repro.sim.snapshot.SnapshotCache`.
 
     Attributes:
-        hits: batch requests served from memoized streams.
-        misses: batch requests that had to synthesize the batch.
-        evictions: whole streams dropped to fit the byte budget.
-        cached_bytes: bytes currently held across all cached streams.
+        hits: requests served from cached state.
+        misses: requests that had to compute the state.
+        evictions: whole entries dropped to fit the byte budget.
+        cached_bytes: bytes currently held by the cache.
     """
 
     hits: int = 0
@@ -39,11 +45,40 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of batch requests served from cache (0 when unused)."""
+        """Fraction of requests served from cache (0 when unused)."""
         total = self.requests
         if total == 0:
             return 0.0
         return self.hits / total
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum; ``cached_bytes`` takes the max (the byte
+        figure is a point-in-time gauge, not a counter)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            cached_bytes=max(self.cached_bytes, other.cached_bytes),
+        )
+
+    def delta(self, before: "CacheStats | None") -> "CacheStats":
+        """Counters accumulated since the ``before`` snapshot.
+
+        Used by the matrix runner to attribute a shared (per-process)
+        cache's activity to individual cells, so worker-side counters
+        can be summed in the parent without double counting.
+        """
+        if before is None:
+            return CacheStats(
+                hits=self.hits, misses=self.misses,
+                evictions=self.evictions, cached_bytes=self.cached_bytes,
+            )
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            evictions=self.evictions - before.evictions,
+            cached_bytes=self.cached_bytes,
+        )
 
     def as_dict(self) -> dict:
         return {
@@ -53,6 +88,21 @@ class CacheStats:
             "cached_bytes": self.cached_bytes,
             "hit_rate": self.hit_rate,
         }
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
 
 
 @dataclass
@@ -67,6 +117,11 @@ class PerfStats:
             out above (MMU application, PCM counting, bookkeeping).
         intervals: intervals simulated.
         cache: trace-cache counters, when a cache served this run.
+        snapshots: snapshot-cache counters, when a sweep forked this run
+            (attached by the sweep runner, not the engine).
+        phase_samples: per-interval duration samples keyed by phase name
+            (``workload``/``profile``/``migrate``/``interval``) feeding
+            the p50/p95 percentiles.
     """
 
     workload_seconds: float = 0.0
@@ -75,6 +130,8 @@ class PerfStats:
     total_seconds: float = 0.0
     intervals: int = 0
     cache: CacheStats | None = field(default=None)
+    snapshots: CacheStats | None = field(default=None)
+    phase_samples: dict[str, list[float]] = field(default_factory=dict)
 
     @property
     def other_seconds(self) -> float:
@@ -82,16 +139,37 @@ class PerfStats:
         accounted = self.workload_seconds + self.profile_seconds + self.migrate_seconds
         return max(0.0, self.total_seconds - accounted)
 
+    def record_sample(self, phase: str, seconds: float) -> None:
+        """Append one per-interval duration sample for ``phase``."""
+        self.phase_samples.setdefault(phase, []).append(seconds)
+
+    def percentiles(self, qs: tuple[float, ...] = (50.0, 95.0)) -> dict[str, dict[str, float]]:
+        """Per-phase wall-time percentiles, e.g. ``{"profile": {"p50": ..}}``."""
+        return {
+            phase: {f"p{q:g}": _percentile(samples, q) for q in qs}
+            for phase, samples in self.phase_samples.items()
+        }
+
     def merge(self, other: "PerfStats") -> "PerfStats":
-        """Aggregate two runs' stats (cache counters are not summed —
-        the caller snapshots the shared cache once instead)."""
+        """Aggregate two runs' stats.
+
+        Cache counters sum when both sides carry *deltas* (the matrix
+        runner's aggregation path); when either side is ``None`` the
+        other is kept as-is.
+        """
+        samples: dict[str, list[float]] = {}
+        for src in (self.phase_samples, other.phase_samples):
+            for phase, values in src.items():
+                samples.setdefault(phase, []).extend(values)
         return PerfStats(
             workload_seconds=self.workload_seconds + other.workload_seconds,
             profile_seconds=self.profile_seconds + other.profile_seconds,
             migrate_seconds=self.migrate_seconds + other.migrate_seconds,
             total_seconds=self.total_seconds + other.total_seconds,
             intervals=self.intervals + other.intervals,
-            cache=self.cache if self.cache is not None else other.cache,
+            cache=_merge_cache(self.cache, other.cache),
+            snapshots=_merge_cache(self.snapshots, other.snapshots),
+            phase_samples=samples,
         )
 
     def as_dict(self) -> dict:
@@ -104,6 +182,18 @@ class PerfStats:
             "total_seconds": self.total_seconds,
             "intervals": self.intervals,
         }
+        if self.phase_samples:
+            out["percentiles"] = self.percentiles()
         if self.cache is not None:
             out["cache"] = self.cache.as_dict()
+        if self.snapshots is not None:
+            out["snapshots"] = self.snapshots.as_dict()
         return out
+
+
+def _merge_cache(a: CacheStats | None, b: CacheStats | None) -> CacheStats | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + b

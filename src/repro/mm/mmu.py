@@ -135,6 +135,18 @@ class Mmu:
             raise ConfigError("no interval has begun")
         return self._current_batch
 
+    def release_batch(self) -> None:
+        """Drop the reference to the current interval's batch.
+
+        The engine calls this once every consumer of the interval's
+        activity (cost model, PCM, profilers, PEBS) has run, so the
+        arrays can be reclaimed and peak RSS stays O(one interval's
+        touched pages) regardless of run length or footprint.  The
+        touched-entry set survives — the next :meth:`begin_interval`
+        still needs it for the scatter-reset.
+        """
+        self._current_batch = None
+
     # -- profiler primitives --------------------------------------------------
 
     def entry_count(self, entries: np.ndarray) -> np.ndarray:

@@ -46,6 +46,14 @@ class PageTable:
         # Page -> leaf-entry map, maintained on huge collapse/split so
         # entry_index() is a single gather instead of flag arithmetic.
         self._entry = np.arange(n_pages, dtype=np.int64)
+        # Entry-map change tracking: every mutation of ``_entry`` (huge
+        # map/unmap/collapse/split) bumps the version and records the
+        # dirtied span, so incremental consumers (the MTM profiler's
+        # per-region entry cache) invalidate exactly the regions whose
+        # page->entry resolution may have changed instead of recomputing
+        # the whole footprint every interval.
+        self._entry_change_version = 0
+        self._entry_dirty: list[tuple[int, int, int]] = []  # (version, start, end)
 
     # -- mapping ---------------------------------------------------------------
 
@@ -78,6 +86,7 @@ class PageTable:
         if huge:
             span = np.arange(start, start + npages, dtype=np.int64)
             self._entry[sl] = span - (span % PAGES_PER_HUGE_PAGE)
+            self._mark_entries_dirty(start, start + npages)
 
     def unmap_range(self, start: int, npages: int) -> None:
         """Remove the mapping for ``npages`` pages starting at ``start``."""
@@ -94,6 +103,7 @@ class PageTable:
         self.node[sl] = _UNMAPPED_NODE
         self._node_version += 1
         self._entry[sl] = np.arange(start, start + npages, dtype=np.int64)
+        self._mark_entries_dirty(start, start + npages)
 
     def is_mapped(self, pages: np.ndarray | int) -> np.ndarray | bool:
         """Presence test for one page or an array of pages."""
@@ -152,6 +162,7 @@ class PageTable:
         self.flags[sl] &= ~np.uint16(PteFlag.ACCESSED | PteFlag.DIRTY)
         self.flags[head] |= folded
         self._entry[sl] = head
+        self._mark_entries_dirty(head, head + PAGES_PER_HUGE_PAGE)
 
     def split_huge(self, head: int) -> None:
         """Split the huge mapping at ``head`` back into base PTEs.
@@ -169,6 +180,32 @@ class PageTable:
         self.flags[sl] &= ~np.uint16(PteFlag.HUGE)
         self.flags[sl] |= inherited
         self._entry[sl] = np.arange(head, head + PAGES_PER_HUGE_PAGE, dtype=np.int64)
+        self._mark_entries_dirty(head, head + PAGES_PER_HUGE_PAGE)
+
+    @property
+    def entry_version(self) -> int:
+        """Monotonic counter bumped whenever the page->entry map changes."""
+        return self._entry_change_version
+
+    def entry_dirty_since(self, version: int) -> list[tuple[int, int]]:
+        """Page spans whose entry resolution changed after ``version``.
+
+        Consumers caching :meth:`entry_index` results record the
+        :attr:`entry_version` they computed against and invalidate any
+        cached span overlapping one of the returned ``(start, end)``
+        ranges.  The log self-compacts: once it grows past a bound it is
+        folded into one whole-space span (callers then do one full
+        recompute, which is what they would have done pre-cache anyway).
+        """
+        if version >= self._entry_change_version:
+            return []
+        return [(s, e) for v, s, e in self._entry_dirty if v > version]
+
+    def _mark_entries_dirty(self, start: int, end: int) -> None:
+        self._entry_change_version += 1
+        self._entry_dirty.append((self._entry_change_version, start, end))
+        if len(self._entry_dirty) > 4096:
+            self._entry_dirty = [(self._entry_change_version, 0, self.n_pages)]
 
     def entry_index(self, pages: np.ndarray) -> np.ndarray:
         """The leaf entry holding each page's access/dirty bits.

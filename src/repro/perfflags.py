@@ -1,16 +1,28 @@
-"""Process-wide switch between the vectorized and legacy hot paths.
+"""Process-wide switches between optimized and legacy hot paths.
 
-The vectorized implementations (struct-of-arrays region bookkeeping,
-bulk entry/node resolution, scatter-reset MMU state, fused batch
-assembly) are bit-identical to the original per-region Python loops by
-construction — every RNG draw happens in the same order with the same
-arguments.  The legacy paths are kept behind this switch for two
-reasons: differential tests assert the equivalence, and
-``benchmarks/bench_perf_smoke.py`` uses the legacy mode as the
-pre-optimization baseline it reports its speedup against.
+Two independent switches:
 
-The flag is process-global (workers forked by the parallel matrix
-runner inherit it), defaulting to vectorized.
+* **vectorized** — the PR-2 optimizations (struct-of-arrays region
+  bookkeeping, bulk entry/node resolution, scatter-reset MMU state,
+  fused batch assembly);
+* **incremental** — the delta-driven interval pipeline: per-interval
+  work (entry resolution, region node lookup, PTE bookkeeping) scales
+  with the pages *touched this interval* plus dirty-region
+  invalidations, instead of with the total footprint.  Incremental
+  paths build on the vectorized ones, so they only activate when both
+  switches are on.
+
+All optimized implementations are bit-identical to the original
+per-region Python loops by construction — every RNG draw happens in
+the same order with the same arguments, and cached values are
+invalidated whenever the state they derive from changes.  The legacy
+paths are kept behind these switches for two reasons: differential
+tests assert the equivalence, and ``benchmarks/bench_perf_smoke.py``
+uses the legacy mode as the pre-optimization baseline it reports its
+speedup against.
+
+The flags are process-global (workers forked by the parallel matrix
+runner inherit them), defaulting to fully optimized.
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 _VECTORIZED = True
+_INCREMENTAL = True
 
 
 def vectorized() -> bool:
@@ -31,12 +44,29 @@ def set_vectorized(enabled: bool) -> None:
     _VECTORIZED = bool(enabled)
 
 
+def incremental() -> bool:
+    """Whether the O(touched) incremental interval paths are active."""
+    return _INCREMENTAL
+
+
+def set_incremental(enabled: bool) -> None:
+    """Switch the delta-driven interval pipeline on or off."""
+    global _INCREMENTAL
+    _INCREMENTAL = bool(enabled)
+
+
 @contextmanager
 def legacy_mode():
-    """Run a block on the legacy (pre-vectorization) code paths."""
-    previous = _VECTORIZED
+    """Run a block on the legacy (pre-optimization) code paths.
+
+    Disables both the vectorized and the incremental switches and
+    restores their previous values on exit.
+    """
+    prev_vec, prev_inc = _VECTORIZED, _INCREMENTAL
     set_vectorized(False)
+    set_incremental(False)
     try:
         yield
     finally:
-        set_vectorized(previous)
+        set_vectorized(prev_vec)
+        set_incremental(prev_inc)

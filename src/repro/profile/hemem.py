@@ -17,6 +17,7 @@ import numpy as np
 
 from repro import nputil
 
+from repro import perfflags
 from repro.errors import ConfigError
 from repro.mm.mmu import Mmu
 from repro.mm.pagetable import PageTable
@@ -114,16 +115,32 @@ class PebsOnlyProfiler(Profiler):
             valid = idx >= 0
             np.add.at(self._scores, idx[valid], sample_set.samples[valid].astype(np.float64))
 
-        reports = [
-            RegionReport(
-                start=int(self._chunk_starts[i]),
-                npages=int(self._chunk_sizes[i]),
-                score=float(self._scores[i]),
-                whi=float(self._scores[i]),
-                node=int(self._majority_node(i)),
-            )
-            for i in range(self._chunk_starts.size)
-        ]
+        if perfflags.incremental():
+            # One bulk pass over the placement RLE instead of a per-chunk
+            # O(chunk_pages) slice+count; bit-identical node resolution
+            # (both tie-break toward the lowest node id).
+            nodes = page_table.span_majority_nodes(self._chunk_starts, self._chunk_sizes)
+            reports = [
+                RegionReport(
+                    start=int(self._chunk_starts[i]),
+                    npages=int(self._chunk_sizes[i]),
+                    score=float(self._scores[i]),
+                    whi=float(self._scores[i]),
+                    node=int(nodes[i]),
+                )
+                for i in range(self._chunk_starts.size)
+            ]
+        else:
+            reports = [
+                RegionReport(
+                    start=int(self._chunk_starts[i]),
+                    npages=int(self._chunk_sizes[i]),
+                    score=float(self._scores[i]),
+                    whi=float(self._scores[i]),
+                    node=int(self._majority_node(i)),
+                )
+                for i in range(self._chunk_starts.size)
+            ]
         return ProfileSnapshot(
             interval=self._interval,
             reports=reports,

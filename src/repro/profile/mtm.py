@@ -180,6 +180,13 @@ class MtmProfiler(Profiler):
         self._scan_counter = 0  # drives the 1-hint-fault-per-12-scans cadence
         self._footprint_pages = 0
         self._last_pebs_time = 0.0
+        # (start, npages) -> unique leaf entries, valid as of the page
+        # table's entry_version below.  Lets the incremental path resolve
+        # only regions whose span changed (formation) or whose page->entry
+        # map was dirtied (huge collapse/split), instead of re-gathering
+        # the whole footprint every interval.
+        self._entry_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._entry_cache_version = -1
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -189,6 +196,8 @@ class MtmProfiler(Profiler):
         self._footprint_pages = sum(n for _, n in spans)
         self._tau_m_current = self.config.tau_m
         self._interval = -1
+        self._entry_cache = {}
+        self._entry_cache_version = -1
 
     @property
     def budget(self) -> int:
@@ -256,20 +265,32 @@ class MtmProfiler(Profiler):
         idle: list[MemoryRegion] = []
         pebs_active = cfg.use_pebs and pebs is not None
         use_vec = cfg.vectorized and perfflags.vectorized()
+        use_inc = use_vec and perfflags.incremental()
+        region_entries: list[np.ndarray] | None = None
         if use_vec:
             # Bulk-resolve every region's entries (and, when the PEBS filter
             # needs them, resident nodes) in one pass over the page table.
             # The per-region loop below then only slices precomputed arrays;
             # all RNG draws keep their exact legacy order and arguments.
             starts_arr, npages_arr, _ = self.regions.as_arrays()
-            ents_all, ents_offs = page_table.span_entries(starts_arr, npages_arr)
+            if use_inc:
+                # O(touched): serve unchanged regions from the entry cache
+                # and gather only spans invalidated by formation or by
+                # huge-page transitions since last interval.
+                region_entries = self._resolve_entries_cached(
+                    page_table, starts_arr, npages_arr
+                )
+            else:
+                ents_all, ents_offs = page_table.span_entries(starts_arr, npages_arr)
             nodes_all = (
                 page_table.span_majority_nodes(starts_arr, npages_arr)
                 if pebs_active
                 else None
             )
         for idx, region in enumerate(regions):
-            if use_vec:
+            if region_entries is not None:
+                entries = region_entries[idx]
+            elif use_vec:
                 entries = ents_all[ents_offs[idx] : ents_offs[idx + 1]]
             else:
                 entries = region.entries(page_table)
@@ -411,6 +432,13 @@ class MtmProfiler(Profiler):
             # nodes for the final layout in one bulk pass.
             starts2, npages2, _ = self.regions.as_arrays()
             nodes2 = page_table.span_majority_nodes(starts2, npages2)
+            if use_inc:
+                # Drop cache entries for spans no longer in the layout so
+                # the cache stays bounded by the live region count.
+                live = set(zip(starts2.tolist(), npages2.tolist()))
+                self._entry_cache = {
+                    k: v for k, v in self._entry_cache.items() if k in live
+                }
             reports = [
                 RegionReport(
                     start=r.start,
@@ -441,6 +469,38 @@ class MtmProfiler(Profiler):
             scans_performed=scans_used,
             pebs_samples=pebs_samples,
         )
+
+    # -- incremental entry resolution ------------------------------------------
+
+    def _resolve_entries_cached(
+        self,
+        page_table: PageTable,
+        starts: np.ndarray,
+        npages: np.ndarray,
+    ) -> list[np.ndarray]:
+        """Per-region unique leaf entries, served from the span cache.
+
+        Invalidates cached spans overlapping the page table's dirty log
+        since the cache's version, then bulk-resolves only the missing
+        spans.  Each cached array is element-wise identical to what
+        :meth:`PageTable.span_entries` returns for the span, so the result
+        is bit-identical to the uncached bulk gather.
+        """
+        cache = self._entry_cache
+        version = page_table.entry_version
+        if version != self._entry_cache_version:
+            for s, e in page_table.entry_dirty_since(self._entry_cache_version):
+                stale = [k for k in cache if k[0] < e and k[0] + k[1] > s]
+                for k in stale:
+                    del cache[k]
+            self._entry_cache_version = version
+        keys = list(zip(starts.tolist(), npages.tolist()))
+        missing = [i for i, k in enumerate(keys) if k not in cache]
+        if missing:
+            ents, offs = page_table.span_entries(starts[missing], npages[missing])
+            for j, i in enumerate(missing):
+                cache[keys[i]] = ents[offs[j] : offs[j + 1]]
+        return [cache[k] for k in keys]
 
     # -- ablation helper --------------------------------------------------------
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro import nputil
 
+from repro import perfflags
 from repro.errors import ConfigError, ProfilingError
 from repro.mm.pagetable import PageTable
 from repro.units import PAGES_PER_HUGE_PAGE, PAGE_SIZE, format_bytes
@@ -121,6 +122,14 @@ class MemoryRegion:
 
     def node(self, page_table: PageTable) -> int:
         """Component holding the majority of this region's pages (-1 if unmapped)."""
+        if perfflags.incremental():
+            # Run-length resolution over the page table's placement runs:
+            # O(runs overlapping the region) instead of O(npages), and
+            # bit-identical — both paths break majority ties toward the
+            # lowest node id.
+            starts = np.asarray([self.start], dtype=np.int64)
+            sizes = np.asarray([self.npages], dtype=np.int64)
+            return int(page_table.span_majority_nodes(starts, sizes)[0])
         nodes = page_table.node[self.start : self.end]
         mapped = nodes[nodes >= 0]
         if mapped.size == 0:

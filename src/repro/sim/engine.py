@@ -59,6 +59,7 @@ from repro.units import PAGE_SIZE
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:
+    from repro.sim.snapshot import EngineSnapshot
     from repro.sim.tracecache import TraceCache
 
 #: Initial placement strategies.
@@ -402,7 +403,9 @@ class SimulationEngine:
             self.workload.advance_interval()
         else:
             batch = self.workload.next_batch(self.rngs["workload"])
-        self.perfstats.workload_seconds += _time.perf_counter() - t_step
+        dt = _time.perf_counter() - t_step
+        self.perfstats.workload_seconds += dt
+        self.perfstats.record_sample("workload", dt)
         self.mmu.begin_interval(batch)
         fast_before = self._fast_tier_count()
         self.pcm.count(batch, self.space.page_table)
@@ -466,7 +469,12 @@ class SimulationEngine:
 
         record.fast_tier_accesses = self._fast_tier_count() - fast_before
         self._records.append(record)
-        self.perfstats.total_seconds += _time.perf_counter() - t_step
+        # Every consumer of the interval's activity has run; drop the
+        # batch so peak RSS stays O(one interval), not O(run length).
+        self.mmu.release_batch()
+        dt = _time.perf_counter() - t_step
+        self.perfstats.total_seconds += dt
+        self.perfstats.record_sample("interval", dt)
         self.perfstats.intervals += 1
         return record
 
@@ -475,7 +483,9 @@ class SimulationEngine:
         assert self.profiler is not None
         t0 = _time.perf_counter()
         snapshot = self.profiler.profile(self.mmu, pebs=self.pebs, socket=self.socket)
-        self.perfstats.profile_seconds += _time.perf_counter() - t0
+        dt = _time.perf_counter() - t0
+        self.perfstats.profile_seconds += dt
+        self.perfstats.record_sample("profile", dt)
         self.clock.advance(snapshot.profiling_time, CATEGORY_PROFILING)
         record.profiling_time = snapshot.profiling_time
         record.region_count = len(snapshot.reports)
@@ -497,11 +507,47 @@ class SimulationEngine:
             finally:
                 record.promoted_pages = self.planner.log.promoted_pages - before[0]
                 record.demoted_pages = self.planner.log.demoted_pages - before[1]
-                self.perfstats.migrate_seconds += _time.perf_counter() - t0
+                dt = _time.perf_counter() - t0
+                self.perfstats.migrate_seconds += dt
+                self.perfstats.record_sample("migrate", dt)
             self.clock.advance(timing.critical_time, CATEGORY_MIGRATION)
             self.clock.record_background(timing.background_time)
             record.migration_time = timing.critical_time
             record.background_time = timing.background_time
+
+    # -- checkpoint / fork -----------------------------------------------------
+
+    def snapshot(self, key: tuple | None = None) -> "EngineSnapshot":
+        """Serialize the engine's complete state after the current interval.
+
+        The snapshot captures everything a continued run depends on —
+        simulated clock, MMU arrays, page table, profiler/policy state,
+        planner backlog, RNG streams, fault-injector state — so
+        ``SimulationEngine.fork(snapshot).run(m)`` is bit-identical to
+        running ``m`` more intervals on this engine (test-enforced).
+        The shared :class:`~repro.sim.tracecache.TraceCache` is *not*
+        captured; :meth:`fork` reattaches one (or builds a private
+        replacement that regenerates the stream deterministically).
+        """
+        from repro.sim.snapshot import capture_engine
+
+        return capture_engine(self, key=key)
+
+    @classmethod
+    def fork(
+        cls,
+        snapshot: "EngineSnapshot",
+        trace_cache: "TraceCache | None" = None,
+    ) -> "SimulationEngine":
+        """Rebuild an independent engine from ``snapshot``.
+
+        The fork shares nothing mutable with the engine that produced
+        the snapshot (or with sibling forks); running it is bit-identical
+        to continuing the original run from the snapshot point.
+        """
+        from repro.sim.snapshot import fork_engine
+
+        return fork_engine(snapshot, trace_cache=trace_cache)
 
     def result(self) -> SimulationResult:
         if self.trace_cache is not None:

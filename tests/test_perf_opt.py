@@ -15,6 +15,7 @@ from repro.bench.scaling import BenchProfile
 from repro.errors import ConfigError
 from repro.metrics.perfstats import CacheStats, PerfStats
 from repro.sim.tracecache import TraceCache
+from tests.support import fingerprint, matrix_fingerprint
 
 SCALE = 1 / 512
 
@@ -28,35 +29,6 @@ def tiny_profile():
                    ("gups", "voltdb", "cassandra", "bfs", "sssp", "spark")},
         seed=3,
     )
-
-
-def fingerprint(result):
-    """Every simulated quantity of a run, as a comparable value."""
-    return {
-        "total_time": result.total_time,
-        "records": [
-            (r.index, r.app_time, r.profiling_time, r.migration_time,
-             r.background_time, r.total_accesses, r.fast_tier_accesses,
-             r.region_count, r.promoted_pages, r.demoted_pages,
-             r.degraded, r.fault_events)
-            for r in result.records
-        ],
-        "pcm_accesses": dict(result.pcm.node_accesses),
-        "pcm_writes": dict(result.pcm.node_writes),
-        "migration": (result.migration_log.promoted_pages,
-                      result.migration_log.demoted_pages,
-                      result.migration_log.promoted_bytes,
-                      result.migration_log.demoted_bytes),
-        "overhead": result.memory_overhead_bytes,
-        "degraded": result.degraded_intervals,
-    }
-
-
-def matrix_fingerprint(matrix):
-    return {
-        wl: {sol: fingerprint(r) for sol, r in row.items()}
-        for wl, row in matrix.results.items()
-    }
 
 
 class TestVectorizedBitIdentity:
