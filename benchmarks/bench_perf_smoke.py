@@ -12,7 +12,12 @@ Two measurements, both regression-gated by CI via ``BENCH_perf.json``:
   warmup prefix, run cold (every cell from interval 0, on the already
   optimized paths) versus forked from one warmed
   :class:`~repro.sim.snapshot.EngineSnapshot`.  The fork arm's gain is
-  therefore *additional* to the matrix optimizations.
+  therefore *additional* to the matrix optimizations;
+* **obs overhead** — a serial matrix run with observability off
+  (``obs=None``) versus on (a fresh
+  :class:`~repro.obs.context.ObsContext`), asserting identical results
+  and recording the relative wall-clock overhead the tracing plane adds
+  (budget: <5%).
 
 Every arm produces bit-identical simulation results (asserted here on
 summary statistics, and in full by ``tests/test_perf_opt.py`` and
@@ -43,6 +48,9 @@ TAU_POINTS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5)
 SWEEP_WORKLOAD = "gups"
 SWEEP_INTERVALS = 48
 SWEEP_WARMUP = 42
+
+#: Rounds per observability-overhead arm (alternating order, min kept).
+OBS_ROUNDS = 3
 
 
 def apply_tau(engine, params: dict) -> None:
@@ -137,6 +145,38 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
             "bit-identical to cold runs"
         )
 
+    # -- observability-overhead arm --------------------------------------
+    # Explicit obs=None keeps this arm clean even when the bench CLI's
+    # --obs flag installed a process-wide collector.  Both arms run
+    # ``OBS_ROUNDS`` times in alternating order and keep the minimum:
+    # single-shot wall clocks on shared CI machines drift more than the
+    # <5% budget being measured.
+    from repro.obs.context import ObsContext
+
+    obs_off_seconds = obs_on_seconds = float("inf")
+    obs_off = obs_on = None
+    collector = ObsContext(label="perf-smoke")
+    for round_idx in range(OBS_ROUNDS):
+        arms = ["off", "on"] if round_idx % 2 == 0 else ["on", "off"]
+        for arm in arms:
+            if arm == "off":
+                t0 = time.perf_counter()
+                obs_off = run_matrix(workloads, SOLUTIONS, profile, obs=None)
+                obs_off_seconds = min(obs_off_seconds, time.perf_counter() - t0)
+            else:
+                round_obs = ObsContext(label="perf-smoke")
+                t0 = time.perf_counter()
+                obs_on = run_matrix(workloads, SOLUTIONS, profile, obs=round_obs)
+                obs_on_seconds = min(obs_on_seconds, time.perf_counter() - t0)
+                collector = round_obs
+
+    if _matrix_summary(obs_off) != _matrix_summary(obs_on):
+        raise AssertionError(
+            "observability changed simulated results; tracing must be "
+            "bit-identity-neutral"
+        )
+    obs_overhead = obs_on_seconds / obs_off_seconds - 1.0
+
     _assert_batch_released(profile)
 
     matrix_speedup = baseline_seconds / optimized_seconds
@@ -172,6 +212,15 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
             "speedup": round(sweep_speedup, 3),
             "snapshots": snap_stats,
         },
+        "obs": {
+            "baseline_seconds": round(obs_off_seconds, 3),
+            "obs_seconds": round(obs_on_seconds, 3),
+            "overhead": round(obs_overhead, 4),
+            "events": sum(collector.event_counts().values()),
+            "spans": len(collector.tracer.spans)
+            + sum(len(t.spans) for t in collector.tracks),
+            "provenance_records": len(collector.provenance),
+        },
         "results_identical": True,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -186,6 +235,9 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
         f"    cold-start: {sweep_cold_seconds:6.2f}s\n"
         f"    snapshot-fork: {sweep_fork_seconds:6.2f}s\n"
         f"    speedup: {sweep_speedup:.2f}x\n"
+        f"  obs overhead (serial matrix, off vs on): "
+        f"{obs_off_seconds:6.2f}s -> {obs_on_seconds:6.2f}s "
+        f"({obs_overhead:+.1%}, budget <5%)\n"
         f"  wrote {OUTPUT.name}"
     )
 

@@ -18,7 +18,13 @@ which gives all of them a uniform flag set:
 * ``--snapshots/--no-snapshots`` — whether shared-warmup sweeps fork
   from one warmed engine snapshot (the default) or simulate every cell
   from interval 0; installed as the process default every ``run_sweep``
-  call picks up (results are bit-identical either way).
+  call picks up (results are bit-identical either way);
+* ``--obs [--obs-out DIR]`` — install a process-wide observability
+  collector (see :mod:`repro.obs`); every runner call records events,
+  spans, metrics, and migration provenance into it, and the collector is
+  exported (Chrome ``trace.json``, ``events.jsonl``, ``metrics.json``,
+  ``provenance.jsonl``) after the experiment finishes.  Observability
+  never changes results — runs are bit-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -61,10 +67,25 @@ def bench_main(
         help="fork shared-warmup sweep cells from one warmed engine "
              "snapshot (default on; results are identical either way)",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="collect observability data (events/spans/metrics/provenance) "
+             "and export it after the run (results are identical either way)",
+    )
+    parser.add_argument(
+        "--obs-out", default="obs-out", metavar="DIR",
+        help="directory for the observability export (default: obs-out)",
+    )
     args = parser.parse_args(argv)
 
     set_default_workers(args.workers)
     set_default_snapshots(args.snapshots)
+    collector = None
+    if args.obs:
+        from repro.obs.context import ObsContext, set_default_context
+
+        collector = ObsContext(label="bench")
+        set_default_context(collector)
     profile = (
         profile_by_name(args.profile)
         if args.profile is not None
@@ -86,3 +107,7 @@ def bench_main(
         else:
             raise ConfigError("this experiment has a fixed workload set")
     print(run_experiment(profile, **kwargs))
+    if collector is not None:
+        paths = collector.export(args.obs_out)
+        print(f"observability export written to {paths['trace']} "
+              f"(open in ui.perfetto.dev) and {args.obs_out}/")

@@ -40,6 +40,7 @@ from repro.sim.engine import SimulationEngine, SimulationResult
 from repro.sim.snapshot import SnapshotCache, capture_engine
 
 if TYPE_CHECKING:
+    from repro.obs.context import ObsConfig, ObsContext
     from repro.sim.tracecache import TraceCache
 
 #: Process-wide default for ``run_matrix(workers=None)``; set by the
@@ -79,6 +80,39 @@ def _make_injector(fault_rate: float, fault_seed: int) -> FaultInjector | None:
     return FaultInjector(FaultConfig.uniform(fault_rate), seed=fault_seed)
 
 
+def _resolve_collector(obs) -> "ObsContext | None":
+    """Resolve a runner's ``obs`` argument to a collector context.
+
+    ``"default"`` (the parameter default) means the process-wide context
+    installed by the CLI's ``--obs`` flag (``None`` when observability is
+    off); an explicit ``None`` disables collection even when a default
+    collector is installed (the perf-smoke baseline arm relies on this);
+    an :class:`~repro.obs.context.ObsContext` is used as-is.
+    """
+    if isinstance(obs, str):
+        if obs != "default":
+            raise ConfigError(f"obs must be 'default', None, or an ObsContext, got {obs!r}")
+        from repro.obs.context import default_context
+
+        return default_context()
+    return obs
+
+
+def _cell_obs(config: "ObsConfig | None", label: str) -> "ObsContext | None":
+    """Fresh private context for one run, or ``None`` when obs is off.
+
+    Every cell — serial or in a pool worker — records into its own
+    context; the engine snapshots it onto ``SimulationResult.obs`` and
+    the parent collector absorbs each snapshot exactly once, so worker
+    fan-out never double-counts and Perfetto keeps one track per run.
+    """
+    if config is None:
+        return None
+    from repro.obs.context import ObsContext
+
+    return ObsContext(config, label=label)
+
+
 def run_solution(
     solution: str,
     workload: str,
@@ -88,6 +122,7 @@ def run_solution(
     fault_rate: float = 0.0,
     fault_seed: int = 0,
     trace_cache: "TraceCache | None" = None,
+    obs="default",
     **engine_kwargs,
 ) -> SimulationResult:
     """Run one solution on one workload under a bench profile.
@@ -99,7 +134,22 @@ def run_solution(
             fresh injector, so fault sequences are reproducible and
             never shared between runs.
         trace_cache: optional shared batch-stream cache.
+        obs: observability: ``"default"`` uses the process-wide collector
+            (off unless the CLI installed one), ``None`` disables, an
+            :class:`~repro.obs.context.ObsContext` collects into that
+            context, an :class:`~repro.obs.context.ObsConfig` records
+            into a private context returned on ``result.obs`` only (the
+            pool workers' mode).  Observability never changes simulated
+            results (bit-identity is test-enforced).
     """
+    from_config = False
+    if obs is not None and not isinstance(obs, str):
+        from repro.obs.context import ObsConfig
+
+        from_config = isinstance(obs, ObsConfig)
+    collector = None if from_config else _resolve_collector(obs)
+    config = obs if from_config else (collector.config if collector is not None else None)
+    child = _cell_obs(config, label=f"{workload}/{solution}")
     engine = make_engine(
         solution,
         workload,
@@ -108,9 +158,13 @@ def run_solution(
         collect_quality=collect_quality,
         injector=_make_injector(fault_rate, fault_seed),
         trace_cache=trace_cache,
+        obs=child,
         **engine_kwargs,
     )
-    return engine.run(intervals if intervals is not None else profile.intervals_for(workload))
+    result = engine.run(intervals if intervals is not None else profile.intervals_for(workload))
+    if collector is not None and result.obs is not None:
+        collector.absorb(result.obs)
+    return result
 
 
 @dataclass
@@ -180,7 +234,8 @@ _worker_cache: "TraceCache | None" = None
 def _run_cell(args: tuple) -> tuple[str, str, SimulationResult]:
     """Executes one matrix cell in a worker process (must be picklable)."""
     global _worker_cache
-    workload, solution, profile, intervals, fault_rate, fault_seed, use_cache, recovery = args
+    (workload, solution, profile, intervals, fault_rate, fault_seed,
+     use_cache, recovery, obs_config) = args
     if use_cache and _worker_cache is None:
         from repro.sim.tracecache import TraceCache
 
@@ -195,6 +250,7 @@ def _run_cell(args: tuple) -> tuple[str, str, SimulationResult]:
         fault_seed=fault_seed,
         trace_cache=_worker_cache if use_cache else None,
         recovery=recovery,
+        obs=obs_config,
     )
     if use_cache and result.perf is not None:
         # The per-process cache is shared by every cell this worker runs;
@@ -216,6 +272,7 @@ def run_matrix(
     trace_cache: "TraceCache | None" = None,
     use_cache: bool = True,
     recovery: bool = True,
+    obs="default",
 ) -> MatrixResult:
     """Run every solution on every workload (Fig. 4 / Fig. 5 driver).
 
@@ -233,6 +290,9 @@ def run_matrix(
         use_cache: ``False`` disables batch-stream memoization entirely
             (the pre-optimization behaviour; the perf-smoke benchmark's
             baseline arm).
+        obs: as in :func:`run_solution`; every cell records into a fresh
+            private context and the collector absorbs each cell's data
+            exactly once, serial and pooled alike.
     """
     if baseline not in solutions:
         raise ConfigError(f"baseline {baseline!r} must be one of the solutions")
@@ -240,9 +300,12 @@ def run_matrix(
         workers = _DEFAULT_WORKERS
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    collector = _resolve_collector(obs)
+    obs_config = collector.config if collector is not None else None
 
     cells = [
-        (workload, solution, profile, intervals, fault_rate, fault_seed, use_cache, recovery)
+        (workload, solution, profile, intervals, fault_rate, fault_seed,
+         use_cache, recovery, obs_config)
         for workload in workloads
         for solution in solutions
     ]
@@ -265,6 +328,7 @@ def run_matrix(
                 fault_seed=fault_seed,
                 trace_cache=trace_cache,
                 recovery=recovery,
+                obs=obs_config,
             )
             if trace_cache is not None and result.perf is not None:
                 result.perf.cache = trace_cache.stats().delta(before)
@@ -279,6 +343,11 @@ def run_matrix(
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
             for workload, solution, result in pool.map(_run_cell, cells):
                 collected[(workload, solution)] = result
+
+    if collector is not None:
+        for result in collected.values():
+            if result.obs is not None:
+                collector.absorb(result.obs)
 
     results: dict[str, dict[str, SimulationResult]] = {}
     for workload in workloads:
@@ -347,6 +416,8 @@ def _run_variant_cold(
     collect_quality: bool,
     trace_cache: "TraceCache | None",
     engine_kwargs: dict,
+    obs_config: "ObsConfig | None" = None,
+    obs_label: str = "",
 ) -> SimulationResult:
     """One sweep cell from scratch: warm up, branch, finish."""
     # Engines mutate config objects (interval tracking, branch knobs); a
@@ -360,6 +431,7 @@ def _run_variant_cold(
         collect_quality=collect_quality,
         injector=_make_injector(fault_rate, fault_seed),
         trace_cache=trace_cache,
+        obs=_cell_obs(obs_config, label=obs_label),
         **engine_kwargs,
     )
     for _ in range(warmup_intervals):
@@ -372,7 +444,7 @@ def _run_cold_cell(args: tuple) -> tuple[str, SimulationResult]:
     """Cold sweep cell in a worker process (must be picklable)."""
     global _worker_cache
     (solution, workload, profile, label, params, apply_fn, warmup, rest,
-     fault_rate, fault_seed, collect_quality, engine_kwargs) = args
+     fault_rate, fault_seed, collect_quality, engine_kwargs, obs_config) = args
     if _worker_cache is None:
         from repro.sim.tracecache import TraceCache
 
@@ -381,6 +453,7 @@ def _run_cold_cell(args: tuple) -> tuple[str, SimulationResult]:
     result = _run_variant_cold(
         solution, workload, profile, params, apply_fn, warmup, rest,
         fault_rate, fault_seed, collect_quality, _worker_cache, engine_kwargs,
+        obs_config=obs_config, obs_label=f"{workload}/{solution}/{label}",
     )
     if result.perf is not None:
         result.perf.cache = _worker_cache.stats().delta(before)
@@ -395,7 +468,7 @@ _worker_snapshots: dict = {}
 def _run_fork_cell(args: tuple) -> tuple[str, SimulationResult]:
     """Forked sweep cell in a worker process (must be picklable)."""
     global _worker_cache, _worker_snapshots
-    path, label, params, apply_fn, rest = args
+    path, label, params, apply_fn, rest, obs_config, obs_label = args
     snap = _worker_snapshots.get(path)
     if snap is None:
         with open(path, "rb") as fh:
@@ -406,7 +479,9 @@ def _run_fork_cell(args: tuple) -> tuple[str, SimulationResult]:
 
         _worker_cache = TraceCache()
     before = _worker_cache.stats()
-    engine = SimulationEngine.fork(snap, trace_cache=_worker_cache)
+    engine = SimulationEngine.fork(
+        snap, trace_cache=_worker_cache, obs=_cell_obs(obs_config, label=obs_label)
+    )
     apply_fn(engine, params)
     result = engine.run(rest)
     if result.perf is not None:
@@ -429,6 +504,7 @@ def run_sweep(
     fault_rate: float = 0.0,
     fault_seed: int = 0,
     collect_quality: bool = False,
+    obs="default",
     **engine_kwargs,
 ) -> SweepResult:
     """Run a parameter sweep whose cells share a warmup prefix.
@@ -456,6 +532,9 @@ def run_sweep(
         snapshot_cache: share warmed snapshots across sweeps keyed by
             ``(workload, scale, seed, solution, fault, warmup)``; ``None``
             builds a private one.
+        obs: as in :func:`run_solution`.  Each variant records into its
+            own context; the shared warmup (when actually simulated, i.e.
+            on a snapshot-cache miss) appears as its own track.
     """
     total = intervals if intervals is not None else profile.intervals_for(workload)
     if not 0 < warmup_intervals < total:
@@ -472,10 +551,13 @@ def run_sweep(
         workers = _DEFAULT_WORKERS
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    collector = _resolve_collector(obs)
+    obs_config = collector.config if collector is not None else None
 
     collected: dict[str, SimulationResult] = {}
     snap_stats_before: CacheStats | None = None
     tmpdir: str | None = None
+    warmup_obs: "ObsContext | None" = None
 
     if not use_snapshots:
         if workers == 1:
@@ -489,6 +571,8 @@ def run_sweep(
                     solution, workload, profile, v.params, apply_fn,
                     warmup_intervals, rest, fault_rate, fault_seed,
                     collect_quality, trace_cache, engine_kwargs,
+                    obs_config=obs_config,
+                    obs_label=f"{workload}/{solution}/{v.label}",
                 )
                 if result.perf is not None:
                     result.perf.cache = trace_cache.stats().delta(before)
@@ -497,7 +581,7 @@ def run_sweep(
             cells = [
                 (solution, workload, profile, v.label, v.params, apply_fn,
                  warmup_intervals, rest, fault_rate, fault_seed,
-                 collect_quality, engine_kwargs)
+                 collect_quality, engine_kwargs, obs_config)
                 for v in variants
             ]
             for label, result in _pool_map(_run_cold_cell, cells, workers):
@@ -520,6 +604,12 @@ def run_sweep(
         )
 
         def _warmup() -> "EngineSnapshot":
+            # The warmup only simulates on a snapshot-cache miss, so its
+            # obs track exists exactly when warmup work actually happened.
+            nonlocal warmup_obs
+            warmup_obs = _cell_obs(
+                obs_config, label=f"{workload}/{solution}/warmup"
+            )
             engine = make_engine(
                 solution,
                 workload,
@@ -528,18 +618,25 @@ def run_sweep(
                 collect_quality=collect_quality,
                 injector=_make_injector(fault_rate, fault_seed),
                 trace_cache=trace_cache,
+                obs=warmup_obs,
                 **copy.deepcopy(engine_kwargs),
             )
             for _ in range(warmup_intervals):
                 engine.step()
             return capture_engine(engine, key=key)
 
-        snap = snapshot_cache.get_or_create(key, _warmup)
+        snap = snapshot_cache.get_or_create(key, _warmup, obs=collector)
         try:
             if workers == 1:
                 for v in variants:
                     before = trace_cache.stats()
-                    engine = SimulationEngine.fork(snap, trace_cache=trace_cache)
+                    engine = SimulationEngine.fork(
+                        snap,
+                        trace_cache=trace_cache,
+                        obs=_cell_obs(
+                            obs_config, label=f"{workload}/{solution}/{v.label}"
+                        ),
+                    )
                     apply_fn(engine, v.params)
                     result = engine.run(rest)
                     if result.perf is not None:
@@ -557,12 +654,23 @@ def run_sweep(
                     path = os.path.join(tmpdir, "snapshot.pkl")
                     with open(path, "wb") as fh:
                         pickle.dump(snap, fh, protocol=5)
-                cells = [(path, v.label, v.params, apply_fn, rest) for v in variants]
+                cells = [
+                    (path, v.label, v.params, apply_fn, rest, obs_config,
+                     f"{workload}/{solution}/{v.label}")
+                    for v in variants
+                ]
                 for label, result in _pool_map(_run_fork_cell, cells, workers):
                     collected[label] = result
         finally:
             if tmpdir is not None:
                 shutil.rmtree(tmpdir, ignore_errors=True)
+
+    if collector is not None:
+        if warmup_obs is not None:
+            collector.absorb(warmup_obs.snapshot())
+        for label in labels:
+            if collected[label].obs is not None:
+                collector.absorb(collected[label].obs)
 
     perf = _aggregate_perf([collected[label] for label in labels])
     if perf is not None and snapshot_cache is not None and snap_stats_before is not None:

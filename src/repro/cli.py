@@ -5,12 +5,22 @@ Commands:
 * ``run`` — simulate one solution on one workload, print the summary;
 * ``compare`` — run several solutions on one workload, print the
   normalized table (Fig. 4's presentation);
-* ``list`` — show the available solutions and workloads.
+* ``list`` — show the available solutions and workloads;
+* ``trace`` — query the migration-provenance log of a ``--obs`` run
+  ("why did page N move?");
+* ``report`` — summarize an observability export (event counts, metrics).
+
+``run`` and ``compare`` accept ``--obs [--obs-out DIR]`` to record
+structured events, phase spans, metrics, and migration provenance, and
+export them as a Perfetto-loadable ``trace.json`` plus JSONL sinks.
+Observability never changes simulated results.
 
 Example::
 
     python -m repro run --solution mtm --workload gups --intervals 80
     python -m repro compare --workload voltdb --solutions first-touch,mtm
+    python -m repro run --solution mtm --workload gups --obs --obs-out out
+    python -m repro trace --run out --page 4096
 """
 
 from __future__ import annotations
@@ -56,6 +66,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="disable retry/backoff recovery: transient faults abort the "
              "interval (the resilience baseline)",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="record observability data (events/spans/metrics/provenance) "
+             "and export it after the run (results are identical either way)",
+    )
+    parser.add_argument(
+        "--obs-out", default="obs-out", metavar="DIR",
+        help="directory for the observability export (default: obs-out)",
+    )
 
 
 def _make_injector(args: argparse.Namespace):
@@ -96,15 +115,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(compare)
 
     sub.add_parser("list", help="list solutions and workloads")
+
+    trace = sub.add_parser(
+        "trace", help="query the migration provenance of an --obs run"
+    )
+    trace.add_argument(
+        "--run", required=True, metavar="DIR",
+        help="observability export directory (an earlier run's --obs-out)",
+    )
+    trace.add_argument(
+        "--page", type=int, default=None, metavar="N",
+        help="page to explain (omit for a summary of all migrations)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=50,
+        help="max provenance rows to print (default: 50)",
+    )
+
+    report = sub.add_parser(
+        "report", help="summarize an observability export"
+    )
+    report.add_argument(
+        "--run", required=True, metavar="DIR",
+        help="observability export directory (an earlier run's --obs-out)",
+    )
+    report.add_argument(
+        "--obs", action="store_true", default=True,
+        help="include the observability summary (default; reserved for "
+             "future report sections)",
+    )
     return parser
+
+
+def _make_obs(args: argparse.Namespace):
+    """Collector from ``--obs``, or ``None`` when the flag is absent."""
+    if not getattr(args, "obs", False):
+        return None
+    from repro.obs.context import ObsContext
+
+    return ObsContext(label="cli")
+
+
+def _export_obs(ctx, args: argparse.Namespace) -> None:
+    if ctx is None:
+        return
+    paths = ctx.export(args.obs_out)
+    print(f"observability export written to {paths['trace']} "
+          f"(open in ui.perfetto.dev); query with "
+          f"`python -m repro trace --run {args.obs_out}`")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     """``run``: simulate one solution and print its summary."""
     scale = 1.0 / args.scale_denominator
+    obs = _make_obs(args)
     engine = make_engine(
         args.solution, args.workload, scale=scale, seed=args.seed,
         injector=_make_injector(args), recovery=not args.fail_fast,
+        obs=obs,
     )
     result = engine.run(args.intervals)
     b = TimeBreakdown.from_result(result)
@@ -134,6 +202,7 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"{rob.fallback_moves} fallback moves")
         print(f"  degraded    : {rob.degraded_intervals} intervals "
               f"({result.degraded_share:.1%})")
+    _export_obs(obs, args)
     return 0
 
 
@@ -149,6 +218,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     profile = BenchProfile(
         name="cli", scale=1.0 / args.scale_denominator, seed=args.seed
     )
+    obs = _make_obs(args)
     matrix = run_matrix(
         [args.workload],
         solutions,
@@ -159,6 +229,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         fault_rate=args.faults,
         fault_seed=args.fault_seed,
         recovery=not args.fail_fast,
+        obs=obs,
     )
     times = matrix.total_times(args.workload)
     norm = normalize(times, solutions[0])
@@ -169,6 +240,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for solution in solutions:
         table.add_row(solution, format_time(times[solution]), f"{norm[solution]:.3f}")
     print(table.render())
+    _export_obs(obs, args)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: answer a provenance query from an export directory."""
+    from repro.obs.cli import trace_report
+
+    print(trace_report(args.run, page=args.page, limit=args.limit))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: summarize an export directory."""
+    from repro.obs.cli import obs_report
+
+    print(obs_report(args.run))
     return 0
 
 
@@ -198,6 +286,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_run(args)
         if args.command == "compare":
             return cmd_compare(args)
+        if args.command == "trace":
+            return cmd_trace(args)
+        if args.command == "report":
+            return cmd_report(args)
         return cmd_list(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -43,6 +43,7 @@ from repro.workloads.base import Workload
 from repro.workloads.registry import build_workload
 
 if TYPE_CHECKING:
+    from repro.obs.context import ObsContext
     from repro.sim.tracecache import TraceCache
 
 
@@ -138,6 +139,7 @@ def make_engine(
     injector: FaultInjector | None = None,
     recovery: bool = True,
     trace_cache: "TraceCache | None" = None,
+    obs: "ObsContext | None" = None,
 ) -> SimulationEngine:
     """Build a ready-to-run engine for ``solution`` on ``workload``.
 
@@ -161,6 +163,8 @@ def make_engine(
             when ``workload`` is a registry *name* (the cache key needs
             the exact ``(name, scale, seed)`` the stream derives from);
             a pre-built workload object runs uncached.
+        obs: optional observability context; events, spans, metrics, and
+            migration provenance from this engine land there.
     """
     if solution not in SOLUTIONS:
         raise ConfigError(f"unknown solution {solution!r}; choose from {solution_names()}")
@@ -284,4 +288,5 @@ def make_engine(
         recovery=recovery,
         trace_cache=trace_cache,
         trace_key=trace_key,
+        obs=obs,
     )

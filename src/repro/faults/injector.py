@@ -137,6 +137,17 @@ class FaultInjector:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.log = FaultLog()
+        #: Optional ObsContext; the engine wires it in.  Every injected
+        #: fault is emitted as a structured event.  Purely observational:
+        #: the injector's RNG draws are identical with or without it.
+        self.obs = None
+
+    def _emit(self, model: str, **fields) -> None:
+        if self.obs is not None:
+            from repro.obs.events import EV_FAULT_INJECTED
+
+            self.obs.emit(EV_FAULT_INJECTED, model=model, **fields)
+            self.obs.inc("faults.injected", model=model)
 
     @property
     def enabled(self) -> bool:
@@ -162,6 +173,7 @@ class FaultInjector:
         mask[self.rng.choice(npages, size=n_busy, replace=False)] = True
         self.log.busy_events += 1
         self.log.busy_pages += n_busy
+        self._emit("migration_busy", npages=npages, busy_pages=n_busy)
         return mask
 
     def tier_pressure(self, node_id: int) -> bool:
@@ -171,6 +183,7 @@ class FaultInjector:
         if self.rng.random() >= self.config.tier_pressure_rate:
             return False
         self.log.enomem_events += 1
+        self._emit("tier_pressure", node=node_id)
         return True
 
     def apply_sample_loss(self, draws: np.ndarray) -> tuple[np.ndarray, int]:
@@ -185,6 +198,7 @@ class FaultInjector:
         lost = total - int(kept.sum())
         self.log.sample_loss_events += 1
         self.log.samples_dropped += lost
+        self._emit("sample_loss", samples_lost=lost)
         return kept, lost
 
     def truncated_scan_keep(self, n_samples: int) -> int:
@@ -196,6 +210,7 @@ class FaultInjector:
         keep = int(self.rng.integers(1, n_samples))
         self.log.truncated_scans += 1
         self.log.scan_samples_lost += n_samples - keep
+        self._emit("scan_truncation", samples_lost=n_samples - keep)
         return keep
 
     def helper_stall(self) -> float:
@@ -205,4 +220,5 @@ class FaultInjector:
         if self.rng.random() >= self.config.stall_rate:
             return 1.0
         self.log.helper_stalls += 1
+        self._emit("helper_stall", factor=self.config.stall_factor)
         return self.config.stall_factor

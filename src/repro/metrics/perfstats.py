@@ -21,6 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.registry import combine_fields, delta_fields, merge_sample_maps
+
+#: CacheStats merge semantics, shared with the obs registry primitives.
+_CACHE_SUM_FIELDS = ("hits", "misses", "evictions")
+_CACHE_MAX_FIELDS = ("cached_bytes",)
+
 
 @dataclass
 class CacheStats:
@@ -54,12 +60,8 @@ class CacheStats:
     def __add__(self, other: "CacheStats") -> "CacheStats":
         """Counter-wise sum; ``cached_bytes`` takes the max (the byte
         figure is a point-in-time gauge, not a counter)."""
-        return CacheStats(
-            hits=self.hits + other.hits,
-            misses=self.misses + other.misses,
-            evictions=self.evictions + other.evictions,
-            cached_bytes=max(self.cached_bytes, other.cached_bytes),
-        )
+        return combine_fields(self, other, sum_fields=_CACHE_SUM_FIELDS,
+                              max_fields=_CACHE_MAX_FIELDS)
 
     def delta(self, before: "CacheStats | None") -> "CacheStats":
         """Counters accumulated since the ``before`` snapshot.
@@ -68,17 +70,8 @@ class CacheStats:
         cache's activity to individual cells, so worker-side counters
         can be summed in the parent without double counting.
         """
-        if before is None:
-            return CacheStats(
-                hits=self.hits, misses=self.misses,
-                evictions=self.evictions, cached_bytes=self.cached_bytes,
-            )
-        return CacheStats(
-            hits=self.hits - before.hits,
-            misses=self.misses - before.misses,
-            evictions=self.evictions - before.evictions,
-            cached_bytes=self.cached_bytes,
-        )
+        return delta_fields(self, before, counter_fields=_CACHE_SUM_FIELDS,
+                            gauge_fields=_CACHE_MAX_FIELDS)
 
     def as_dict(self) -> dict:
         return {
@@ -157,20 +150,16 @@ class PerfStats:
         runner's aggregation path); when either side is ``None`` the
         other is kept as-is.
         """
-        samples: dict[str, list[float]] = {}
-        for src in (self.phase_samples, other.phase_samples):
-            for phase, values in src.items():
-                samples.setdefault(phase, []).extend(values)
-        return PerfStats(
-            workload_seconds=self.workload_seconds + other.workload_seconds,
-            profile_seconds=self.profile_seconds + other.profile_seconds,
-            migrate_seconds=self.migrate_seconds + other.migrate_seconds,
-            total_seconds=self.total_seconds + other.total_seconds,
-            intervals=self.intervals + other.intervals,
-            cache=_merge_cache(self.cache, other.cache),
-            snapshots=_merge_cache(self.snapshots, other.snapshots),
-            phase_samples=samples,
+        merged = combine_fields(
+            self, other,
+            sum_fields=("workload_seconds", "profile_seconds",
+                        "migrate_seconds", "total_seconds", "intervals"),
         )
+        merged.cache = _merge_cache(self.cache, other.cache)
+        merged.snapshots = _merge_cache(self.snapshots, other.snapshots)
+        merged.phase_samples = merge_sample_maps(self.phase_samples,
+                                                 other.phase_samples)
+        return merged
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot (used by the perf-smoke benchmark)."""

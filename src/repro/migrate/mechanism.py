@@ -30,7 +30,10 @@ class StepTimes:
     dirtiness_tracking: float = 0.0
 
     def total(self) -> float:
-        return sum(getattr(self, f.name) for f in fields(self))
+        # spelled out (not fields()-driven): this runs per timing() call,
+        # and dataclasses.fields() introspection dominates the loop cost
+        return (self.allocate + self.unmap_remap + self.copy
+                + self.migrate_page_table + self.dirtiness_tracking)
 
     def as_dict(self) -> dict[str, float]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -76,10 +79,78 @@ class Mechanism(abc.ABC):
     def __init__(self, cost_model: CostModel) -> None:
         self.cost_model = cost_model
         self.injector: FaultInjector | None = None
+        #: Optional ObsContext; the engine wires it in.
+        self.obs = None
+        # timing() is also the policy's planning estimator, so it runs
+        # thousands of times per run; bound registry handles keep the
+        # per-call telemetry cost to plain dict updates.
+        self._obs_bound = None
+        self._obs_handles = None
 
     def attach_injector(self, injector: "FaultInjector | None") -> None:
         """Wire a fault injector in (helper-thread / copy-loop stalls)."""
         self.injector = injector
+
+    def attach_obs(self, obs) -> None:
+        """(Re)wire an obs context, dropping handles bound to the old one.
+
+        Clearing the cached closures here keeps the mechanism picklable
+        when the snapshot engine detaches observability before capture.
+        """
+        self.obs = obs
+        self._obs_bound = None
+        self._obs_handles = None
+
+    def _record_timing(
+        self, timing: MigrationTiming, npages: int,
+        src_node: int, dst_node: int,
+    ) -> MigrationTiming:
+        """Telemetry tail every mechanism's ``timing()`` returns through.
+
+        Coarse per-call counters/histograms (not per-chunk events — the
+        planner owns per-order lifecycle events) plus the rare adaptive
+        sync-switch event.  Pass-through when no context is attached.
+        """
+        obs = self.obs
+        if obs is not None:
+            if self._obs_bound is not obs:
+                handles = self._bind_obs_handles(obs)
+            else:
+                handles = self._obs_handles
+            if handles is not None:
+                calls, pages, critical, background = handles
+                calls()
+                pages(npages)
+                critical(timing.critical_time)
+                background(timing.background_time)
+            if timing.switched_to_sync:
+                from repro.obs.events import EV_MECH_SYNC_SWITCH
+
+                obs.emit(EV_MECH_SYNC_SWITCH, npages=npages,
+                         src=src_node, dst=dst_node)
+                obs.inc("mechanism.sync_switches", mechanism=self.name)
+        return timing
+
+    def _bind_obs_handles(self, obs):
+        """Resolve registry handles once per attached context.
+
+        Returns ``None`` (and caches that) when the context has metrics
+        disabled, so the per-call cost stays a couple of attribute reads.
+        """
+        self._obs_bound = obs
+        if not obs.config.metrics:
+            self._obs_handles = None
+            return None
+        registry = obs.registry
+        self._obs_handles = (
+            registry.counter_handle("mechanism.calls", mechanism=self.name),
+            registry.counter_handle("mechanism.pages", mechanism=self.name),
+            registry.histogram_handle(
+                "mechanism.critical_seconds", mechanism=self.name),
+            registry.histogram_handle(
+                "mechanism.background_seconds", mechanism=self.name),
+        )
+        return self._obs_handles
 
     def _stall_factor(self) -> float:
         """Injected copy-stall inflation (1.0 when no injector/fault)."""

@@ -33,4 +33,6 @@ class MovePagesMechanism(Mechanism):
             unmap_remap=cm.unmap_time(npages) + cm.map_time(npages),
             copy=cm.copy_time(npages, src_node, dst_node, parallelism=1) * self._stall_factor(),
         )
-        return MigrationTiming(critical=critical)
+        return self._record_timing(
+            MigrationTiming(critical=critical), npages, src_node, dst_node
+        )

@@ -102,7 +102,9 @@ class MoveMemoryRegionsMechanism(Mechanism):
                 copy=copy_time * self._stall_factor(),
                 migrate_page_table=pte_migrate,
             )
-            return MigrationTiming(critical=critical)
+            return self._record_timing(
+                MigrationTiming(critical=critical), npages, src_node, dst_node
+            )
 
         # Async attempt: arm write tracking (reserved bit + one flush).
         # An injected stall deschedules the helper threads, stretching the
@@ -119,7 +121,10 @@ class MoveMemoryRegionsMechanism(Mechanism):
                 dirtiness_tracking=tracking,
             )
             background = StepTimes(allocate=alloc_time * stall, copy=copy_time * stall)
-            return MigrationTiming(critical=critical, background=background)
+            return self._record_timing(
+                MigrationTiming(critical=critical, background=background),
+                npages, src_node, dst_node,
+            )
 
         # A write landed: one write-protect fault, abandon the async copy
         # (recopy_fraction of it was wasted) and redo synchronously.  The
@@ -139,11 +144,14 @@ class MoveMemoryRegionsMechanism(Mechanism):
         background = StepTimes(
             copy=copy_time * cfg.recopy_fraction,  # the wasted async portion
         )
-        return MigrationTiming(
-            critical=critical,
-            background=background,
-            switched_to_sync=True,
-            extra_copied_pages=extra_pages,
+        return self._record_timing(
+            MigrationTiming(
+                critical=critical,
+                background=background,
+                switched_to_sync=True,
+                extra_copied_pages=extra_pages,
+            ),
+            npages, src_node, dst_node,
         )
 
     def _write_lands_mid_copy(self, write_rate: float, window: float) -> bool:

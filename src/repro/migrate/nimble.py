@@ -51,4 +51,6 @@ class NimbleMechanism(Mechanism):
             copy=cm.copy_time(npages, src_node, dst_node, parallelism=self.copy_threads)
             * self._stall_factor(),
         )
-        return MigrationTiming(critical=critical)
+        return self._record_timing(
+            MigrationTiming(critical=critical), npages, src_node, dst_node
+        )

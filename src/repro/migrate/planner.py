@@ -33,6 +33,22 @@ from repro.hw.topology import TierTopology
 from repro.migrate.mechanism import Mechanism, MigrationTiming, StepTimes
 from repro.mm.mmu import Mmu
 from repro.mm.pagetable import PageTable
+from repro.obs.events import (
+    EV_MIG_FAILED,
+    EV_MIG_ISSUED,
+    EV_MIG_PLANNED,
+    EV_MIG_RETRIED,
+)
+from repro.obs.provenance import (
+    STAGE_BUSY,
+    STAGE_COMMITTED,
+    STAGE_DEMOTE_FOR_ROOM,
+    STAGE_EXHAUSTED,
+    STAGE_FALLBACK,
+    STAGE_PLANNED,
+    STAGE_PRESSURE,
+    STAGE_RETRY,
+)
 from repro.policy.base import MigrationOrder
 from repro.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
 
@@ -173,6 +189,20 @@ class MigrationPlanner:
         self.log = MigrationLog()
         self._interval_index = -1
         self._retry_queue: list[_PendingRetry] = []
+        #: Optional ObsContext; the engine wires it in.  The planner emits
+        #: per-order lifecycle events and migration provenance records.
+        self.obs = None
+
+    def _prov(
+        self, stage: str, page_start: int, npages: int, src: int, dst: int,
+        reason: str = "", score: float = 0.0, attempt: int = 0,
+        detail: str = "",
+    ) -> None:
+        if self.obs is not None:
+            self.obs.record_provenance(
+                self._interval_index, stage, page_start, npages, src, dst,
+                reason=reason, score=score, attempt=attempt, detail=detail,
+            )
 
     @property
     def pending_retries(self) -> int:
@@ -196,6 +226,14 @@ class MigrationPlanner:
                 p for p in self._retry_queue if p.due_interval > self._interval_index
             ]
         for pending in due:
+            if self.obs is not None:
+                pages = np.asarray(pending.order.pages)
+                self.obs.emit(
+                    EV_MIG_RETRIED, interval=self._interval_index,
+                    disposition="executing", attempt=pending.failures,
+                    pages=int(pages.size), src=pending.order.src_node,
+                    dst=pending.order.dst_node,
+                )
             timing = self._attempt(pending.order, mmu, failures=pending.failures)
             if timing is None:
                 continue
@@ -229,6 +267,17 @@ class MigrationPlanner:
         if pages.size == 0:
             self.log.orders_skipped += 1
             return None
+
+        if self.obs is not None:
+            self.obs.emit(
+                EV_MIG_PLANNED, interval=self._interval_index,
+                pages=int(pages.size), src=order.src_node,
+                dst=order.dst_node, reason=order.reason,
+                score=float(order.score), attempt=failures,
+            )
+            self._prov(STAGE_PLANNED, int(pages[0]), int(pages.size),
+                       order.src_node, order.dst_node, order.reason,
+                       float(order.score), failures)
 
         total = MigrationTiming()
 
@@ -311,6 +360,10 @@ class MigrationPlanner:
         ):
             mechanism = self.fallback_mechanism
             self.log.fallback_moves += 1
+            self._prov(STAGE_FALLBACK, int(pages[0]), int(pages.size),
+                       order.src_node, order.dst_node, order.reason,
+                       float(order.score), failures,
+                       detail=mechanism.name)
 
         move_timing = self._commit_move(
             pages, order.src_node, order.dst_node, order.reason, mmu, mechanism
@@ -331,17 +384,53 @@ class MigrationPlanner:
         self, order: MigrationOrder, failures: int, error: Exception
     ) -> None:
         """Queue a failed order for backoff retry, or raise in fail-fast mode."""
+        if self.obs is not None:
+            pages = np.asarray(order.pages)
+            start = int(pages[0]) if pages.size else -1
+            stage = STAGE_BUSY if isinstance(error, MigrationBusyError) else STAGE_PRESSURE
+            self._prov(stage, start, int(pages.size), order.src_node,
+                       order.dst_node, order.reason, float(order.score),
+                       failures, detail=type(error).__name__)
         if self.retry_policy is None:
+            if self.obs is not None:
+                self.obs.emit(
+                    EV_MIG_FAILED, interval=self._interval_index,
+                    disposition="fail-fast", attempt=failures,
+                    error=type(error).__name__,
+                )
             raise error
         self.log.retry_histogram[failures] = self.log.retry_histogram.get(failures, 0) + 1
         if failures >= self.retry_policy.max_attempts:
             self.log.retries_exhausted += 1
+            if self.obs is not None:
+                pages = np.asarray(order.pages)
+                start = int(pages[0]) if pages.size else -1
+                self._prov(STAGE_EXHAUSTED, start, int(pages.size),
+                           order.src_node, order.dst_node, order.reason,
+                           float(order.score), failures)
+                self.obs.emit(
+                    EV_MIG_FAILED, interval=self._interval_index,
+                    disposition="exhausted", attempt=failures,
+                    pages=int(pages.size), src=order.src_node,
+                    dst=order.dst_node,
+                )
             return
         delay = self.retry_policy.delay_intervals(failures)
         self._retry_queue.append(
             _PendingRetry(order, failures, self._interval_index + delay)
         )
         self.log.retries_scheduled += 1
+        if self.obs is not None:
+            pages = np.asarray(order.pages)
+            start = int(pages[0]) if pages.size else -1
+            self._prov(STAGE_RETRY, start, int(pages.size), order.src_node,
+                       order.dst_node, order.reason, float(order.score),
+                       failures, detail=f"due interval {self._interval_index + delay}")
+            self.obs.emit(
+                EV_MIG_RETRIED, interval=self._interval_index,
+                disposition="scheduled", attempt=failures,
+                due=self._interval_index + delay, pages=int(pages.size),
+            )
 
     def _demote_for_room(
         self,
@@ -381,6 +470,8 @@ class MigrationPlanner:
             touched = np.isin(resident, batch.pages)
             resident = np.concatenate([resident[~touched], resident[touched]])
         victims = resident[:need_pages]
+        self._prov(STAGE_DEMOTE_FOR_ROOM, int(victims[0]), int(victims.size),
+                   dst_node, lower_node, "demotion")
         timing = self._commit_move(
             victims, dst_node, lower_node, "demotion", mmu, self.mechanism
         )
@@ -459,6 +550,16 @@ class MigrationPlanner:
         if timing.switched_to_sync:
             self.log.sync_switches += 1
         self.log.extra_copied_pages += timing.extra_copied_pages
+        if self.obs is not None:
+            self.obs.emit(
+                EV_MIG_ISSUED, interval=self._interval_index,
+                pages=int(pages.size), src=src_node, dst=dst_node,
+                reason=reason, mechanism=mechanism.name,
+                critical_time=timing.critical_time,
+                background_time=timing.background_time, torn=torn,
+            )
+            self._prov(STAGE_COMMITTED, int(pages[0]), int(pages.size),
+                       src_node, dst_node, reason, detail=mechanism.name)
         return timing
 
     def _tear_partial_huge_pages(self, pages: np.ndarray) -> int:

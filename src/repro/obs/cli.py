@@ -1,0 +1,111 @@
+"""Query CLIs over an exported observability directory.
+
+``python -m repro trace --run DIR --page N`` prints the migration
+provenance history of the region(s) covering a page — every lifecycle
+transition with interval, tiers, policy reason, score, attempt — plus
+the plan→commit queue latency.  ``python -m repro report --obs --run
+DIR`` prints the merged metrics table and event counts of a run.
+
+Both commands work purely from the files ``--obs-out`` wrote
+(``provenance.jsonl``, ``metrics.json``, ``events.jsonl``); no live
+simulation state is needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.metrics.report import Table
+from repro.obs.provenance import STAGE_COMMITTED, ProvenanceLog
+
+
+def _load_provenance(run_dir: Path) -> ProvenanceLog:
+    path = run_dir / "provenance.jsonl"
+    if not path.exists():
+        raise ConfigError(
+            f"no provenance log at {path} — was the run made with --obs?"
+        )
+    return ProvenanceLog.read_jsonl(path)
+
+
+def trace_report(run_dir, page: int | None = None, limit: int = 50) -> str:
+    """Human-readable provenance answer for one run directory."""
+    run_dir = Path(run_dir)
+    log = _load_provenance(run_dir)
+    lines: list[str] = []
+    if page is None:
+        table = Table(f"Migration provenance summary ({run_dir})",
+                      ["stage", "records"])
+        for stage, count in sorted(log.stage_counts().items()):
+            table.add_row(stage, count)
+        lines.append(table.render())
+        starts = log.region_starts()
+        lines.append(f"{len(log)} records across {len(starts)} regions; "
+                     f"query one with --page <page> "
+                     f"(e.g. --page {starts[0]})" if starts
+                     else f"{len(log)} records, no regions")
+        return "\n".join(lines)
+
+    history = log.for_page(page)
+    table = Table(f"Migration history for page {page} ({run_dir})",
+                  ["interval", "stage", "region", "pages", "src->dst",
+                   "reason", "score", "attempt"])
+    for r in history[:limit]:
+        table.add_row(r.interval, r.stage, r.page_start, r.npages,
+                      f"{r.src_node}->{r.dst_node}", r.reason or "-",
+                      f"{r.score:.3g}", r.attempt)
+    lines.append(table.render())
+    if len(history) > limit:
+        lines.append(f"... {len(history) - limit} more records (raise --limit)")
+    if not history:
+        lines.append("no migration provenance covers this page")
+    else:
+        latency = log.queue_latency(page)
+        commits = sum(1 for r in history if r.stage == STAGE_COMMITTED)
+        if latency is not None:
+            lines.append(f"{commits} commit(s); first plan->commit queue "
+                         f"latency: {latency} interval(s)")
+        else:
+            lines.append("planned but never committed")
+    return "\n".join(lines)
+
+
+def obs_report(run_dir) -> str:
+    """Metrics + event-count report for one run directory."""
+    run_dir = Path(run_dir)
+    path = run_dir / "metrics.json"
+    if not path.exists():
+        raise ConfigError(
+            f"no metrics at {path} — was the run made with --obs?"
+        )
+    with open(path) as fh:
+        data = json.load(fh)
+    lines: list[str] = []
+
+    counts = data.get("event_counts", {})
+    table = Table(f"Events ({data.get('label') or run_dir})",
+                  ["event", "count"])
+    for name, count in sorted(counts.items()):
+        table.add_row(name, count)
+    lines.append(table.render())
+    if data.get("dropped_events"):
+        lines.append(f"dropped events: {data['dropped_events']}")
+
+    table = Table("Metrics", ["metric", "kind", "value"])
+    for name, value in sorted(data.get("counters", {}).items()):
+        table.add_row(name, "counter", f"{value:g}")
+    for name, value in sorted(data.get("gauges", {}).items()):
+        table.add_row(name, "gauge", f"{value:g}")
+    for name, stat in sorted(data.get("histograms", {}).items()):
+        table.add_row(
+            name, "histogram",
+            f"n={stat['count']} mean={stat['mean']:.3g} "
+            f"min={stat['min']:.3g} max={stat['max']:.3g}",
+        )
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+__all__ = ["obs_report", "trace_report"]

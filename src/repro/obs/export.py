@@ -1,0 +1,134 @@
+"""Export sinks for a collected :class:`~repro.obs.context.ObsContext`.
+
+Writes four artifacts under ``--obs-out``:
+
+* ``trace.json`` — Chrome trace-event format; open in ``ui.perfetto.dev``
+  or ``chrome://tracing``.  The collector's own spans are the ``main``
+  track; every absorbed child run gets its own named track.
+* ``events.jsonl`` — one JSON line per structured event (track-tagged).
+* ``metrics.json`` — the merged metrics registry.
+* ``provenance.jsonl`` — the merged migration provenance log.
+
+Also hosts :func:`validate_chrome_trace`, a dependency-free structural
+validator for the Chrome trace-event schema, used by tests and by the
+CI observability job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.spans import events_to_trace_events, spans_to_trace_events
+
+#: Trace-event phases this exporter produces (subset of the full spec).
+_EMITTED_PHASES = {"X", "i", "M"}
+#: Phases the validator accepts (the common Chrome trace-event vocabulary).
+_VALID_PHASES = {"X", "B", "E", "i", "I", "M", "C", "b", "e", "n", "s", "t",
+                 "f", "P", "O", "N", "D"}
+
+
+def _thread_name_event(pid: int, tid: int, name: str) -> dict:
+    return {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def build_chrome_trace(ctx) -> dict:
+    """Chrome trace dict: collector spans on tid 0, one tid per track."""
+    pid = 1
+    trace_events = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": f"repro.obs:{ctx.label or 'run'}"}},
+        _thread_name_event(pid, 0, ctx.label or "main"),
+    ]
+    trace_events.extend(spans_to_trace_events(ctx.tracer.spans, pid, 0))
+    trace_events.extend(events_to_trace_events(ctx.bus.events, pid, 0))
+    for index, track in enumerate(ctx.tracks, start=1):
+        trace_events.append(
+            _thread_name_event(pid, index, track.label or f"track-{index}")
+        )
+        trace_events.extend(spans_to_trace_events(track.spans, pid, index))
+        trace_events.extend(events_to_trace_events(track.events, pid, index))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(trace) -> list[str]:
+    """Structural problems with a Chrome trace object ([] when valid)."""
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"{where}: missing name")
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], int):
+                problems.append(f"{where}: non-int {key}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: non-dict args")
+    return problems
+
+
+def write_events_jsonl(ctx, path) -> int:
+    """Track-tagged event lines; returns the number written."""
+    written = 0
+    with open(path, "w") as fh:
+        for event in ctx.bus.events:
+            fh.write(json.dumps(
+                {"track": ctx.label or "main", **event.as_dict()}) + "\n")
+            written += 1
+        for track in ctx.tracks:
+            for event in track.events:
+                fh.write(json.dumps(
+                    {"track": track.label, **event.as_dict()}) + "\n")
+                written += 1
+    return written
+
+
+def export_context(ctx, out_dir) -> dict:
+    """Write trace.json / events.jsonl / metrics.json / provenance.jsonl."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "trace": out / "trace.json",
+        "events": out / "events.jsonl",
+        "metrics": out / "metrics.json",
+        "provenance": out / "provenance.jsonl",
+    }
+    trace = build_chrome_trace(ctx)
+    with open(paths["trace"], "w") as fh:
+        json.dump(trace, fh)
+    write_events_jsonl(ctx, paths["events"])
+    with open(paths["metrics"], "w") as fh:
+        json.dump({
+            "label": ctx.label,
+            "dropped_events": ctx.dropped_events(),
+            "event_counts": ctx.event_counts(),
+            **ctx.registry.as_dict(),
+        }, fh, indent=2, sort_keys=True)
+    ctx.provenance.write_jsonl(paths["provenance"])
+    return {key: str(path) for key, path in paths.items()}
+
+
+__all__ = [
+    "build_chrome_trace", "export_context", "validate_chrome_trace",
+    "write_events_jsonl",
+]

@@ -1,0 +1,137 @@
+"""Migration provenance: per-region lifecycle records.
+
+Answers "why did this region move in interval 37?".  The planner records
+one :class:`ProvenanceRecord` per lifecycle transition of every
+migration order it touches — planned, committed, transient failures
+(busy/pressure), retry scheduling and outcomes, fallback-mechanism
+switches, demote-for-room evictions — each carrying the region span,
+tiers, policy reason, hotness score, and attempt number.
+
+The log is queryable by page (:meth:`ProvenanceLog.for_page`) and
+round-trips through JSONL so ``python -m repro trace`` can interrogate a
+finished run from its ``--obs-out`` directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+#: Lifecycle stages in causal order.
+STAGE_PLANNED = "planned"
+STAGE_COMMITTED = "committed"
+STAGE_BUSY = "busy"
+STAGE_PRESSURE = "pressure"
+STAGE_RETRY = "retry-scheduled"
+STAGE_EXHAUSTED = "exhausted"
+STAGE_FALLBACK = "fallback"
+STAGE_DEMOTE_FOR_ROOM = "demote-for-room"
+
+ALL_STAGES = frozenset({
+    STAGE_PLANNED, STAGE_COMMITTED, STAGE_BUSY, STAGE_PRESSURE,
+    STAGE_RETRY, STAGE_EXHAUSTED, STAGE_FALLBACK, STAGE_DEMOTE_FOR_ROOM,
+})
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One lifecycle transition of one migration order."""
+
+    interval: int
+    stage: str
+    page_start: int
+    npages: int
+    src_node: int
+    dst_node: int
+    reason: str = ""
+    score: float = 0.0
+    attempt: int = 0
+    detail: str = ""
+
+    def covers(self, page: int) -> bool:
+        return self.page_start <= page < self.page_start + self.npages
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ProvenanceLog:
+    """Append-only record list with page-level queries."""
+
+    records: list[ProvenanceRecord] = field(default_factory=list)
+
+    def record(self, interval: int, stage: str, page_start: int, npages: int,
+               src_node: int, dst_node: int, reason: str = "",
+               score: float = 0.0, attempt: int = 0,
+               detail: str = "") -> None:
+        self.records.append(ProvenanceRecord(
+            interval, stage, page_start, npages, src_node, dst_node,
+            reason, score, attempt, detail,
+        ))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def extend(self, records) -> None:
+        self.records.extend(records)
+
+    # -- queries -------------------------------------------------------------
+
+    def for_page(self, page: int) -> list[ProvenanceRecord]:
+        """Lifecycle history of every order covering ``page``, in order."""
+        return [r for r in self.records if r.covers(page)]
+
+    def region_starts(self) -> list[int]:
+        """Distinct region start pages that appear in the log."""
+        return sorted({r.page_start for r in self.records})
+
+    def stage_counts(self) -> dict[str, int]:
+        """Record counts by lifecycle stage."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.stage] = out.get(r.stage, 0) + 1
+        return out
+
+    def queue_latency(self, page: int) -> int | None:
+        """Intervals between first plan and first commit covering ``page``.
+
+        ``None`` when the page never committed (or never appeared).
+        """
+        planned = None
+        for r in self.for_page(page):
+            if r.stage == STAGE_PLANNED and planned is None:
+                planned = r.interval
+            if r.stage == STAGE_COMMITTED and planned is not None:
+                return r.interval - planned
+        return None
+
+    # -- JSONL round trip ----------------------------------------------------
+
+    def write_jsonl(self, path) -> None:
+        import json
+
+        with open(path, "w") as fh:
+            for r in self.records:
+                fh.write(json.dumps(r.as_dict()) + "\n")
+
+    @classmethod
+    def read_jsonl(cls, path) -> "ProvenanceLog":
+        """Load a log written by :meth:`write_jsonl`."""
+        import json
+
+        log = cls()
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                log.records.append(ProvenanceRecord(**json.loads(line)))
+        return log
+
+
+__all__ = [
+    "ALL_STAGES", "ProvenanceLog", "ProvenanceRecord",
+    "STAGE_BUSY", "STAGE_COMMITTED", "STAGE_DEMOTE_FOR_ROOM",
+    "STAGE_EXHAUSTED", "STAGE_FALLBACK", "STAGE_PLANNED",
+    "STAGE_PRESSURE", "STAGE_RETRY",
+]

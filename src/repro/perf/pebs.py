@@ -95,6 +95,8 @@ class PebsSampler:
         self.strict = strict
         self.total_samples_taken = 0
         self.total_dropped = 0
+        #: Optional ObsContext; the engine wires it in (batch telemetry).
+        self.obs = None
 
     def eligible_nodes(self, socket: int = 0) -> frozenset[int]:
         """Component nodes whose accesses match any programmed event."""
@@ -182,6 +184,15 @@ class PebsSampler:
 
         self.total_samples_taken += int(draws.sum())
         self.total_dropped += dropped
+        if self.obs is not None:
+            from repro.obs.events import EV_PEBS_BATCH
+
+            self.obs.emit(EV_PEBS_BATCH, samples=int(draws.sum()),
+                          pages=int(pages.size), dropped=dropped,
+                          duty_cycle=duty_cycle)
+            self.obs.inc("pebs.samples", int(draws.sum()))
+            if dropped:
+                self.obs.inc("pebs.dropped", dropped)
         if self.strict and dropped:
             raise SampleLossError(
                 f"PEBS buffer overflow: {dropped} samples dropped this window",

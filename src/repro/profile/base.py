@@ -110,6 +110,10 @@ class Profiler(abc.ABC):
     #: Profilers that model preemptible scan passes consult it.
     injector = None
 
+    #: Optional :class:`~repro.obs.context.ObsContext`; the engine wires
+    #: it in.  Profilers emit scan and region-formation events into it.
+    obs = None
+
     @abc.abstractmethod
     def setup(self, page_table: PageTable, spans: list[tuple[int, int]]) -> None:
         """Initialize over the workload's VMA spans ``(start, npages)``."""
@@ -126,3 +130,29 @@ class Profiler(abc.ABC):
     def memory_overhead_bytes(self) -> int:
         """Bookkeeping memory the profiler consumes (Table 5)."""
         return 0
+
+    # -- telemetry helpers (no-ops unless the engine attached a context) ----
+
+    def _emit_scan(self, obs, **fields) -> None:
+        """One ``profile.scan`` event + scan counters per interval."""
+        from repro.obs.events import EV_SCAN
+
+        obs.emit(EV_SCAN, profiler=self.name, **fields)
+        obs.inc("profile.scans", int(fields.get("scans_used", 0)),
+                profiler=self.name)
+        obs.inc("profile.intervals", profiler=self.name)
+        if fields.get("over_budget"):
+            obs.inc("profile.over_budget_intervals", profiler=self.name)
+        obs.set_gauge("profile.regions", int(fields.get("regions", 0)),
+                      profiler=self.name)
+
+    def _emit_formation(self, obs, merges: int, splits: int) -> None:
+        """Region split/merge deltas for the interval just formed."""
+        from repro.obs.events import EV_REGION_MERGE, EV_REGION_SPLIT
+
+        if merges:
+            obs.emit(EV_REGION_MERGE, profiler=self.name, count=merges)
+            obs.inc("profile.merges", merges, profiler=self.name)
+        if splits:
+            obs.emit(EV_REGION_SPLIT, profiler=self.name, count=splits)
+            obs.inc("profile.splits", splits, profiler=self.name)

@@ -142,7 +142,9 @@ class DamonProfiler(Profiler):
         cfg = self.config
         page_table = self._page_table
         self._interval += 1
+        obs = self.obs
         scans = 0
+        merges_before = self.regions.stats.merges
 
         # Per aggregation round DAMON samples a fresh random page of every
         # region and checks its bit checks_per_aggregation times with the
@@ -165,9 +167,11 @@ class DamonProfiler(Profiler):
         # Merge adjacent regions whose counts differ by less than the
         # threshold (strictly — a 0-vs-1 pair stays distinct).
         self.regions.merge_pass(cfg.merge_threshold, top_k_variance=1)
+        merges_delta = self.regions.stats.merges - merges_before
 
         # Split every region into two randomly sized halves when the count
         # has room — DAMON's ad-hoc split (no huge-page alignment).
+        splits_delta = 0
         if len(self.regions) < self.max_regions / 2:
             new_regions: list[MemoryRegion] = []
             splits = 0
@@ -188,7 +192,10 @@ class DamonProfiler(Profiler):
                     new_regions.append(region)
             self.regions = RegionSet(new_regions)
             self.regions.stats.splits += splits
+            splits_delta = splits
         self.regions.end_interval()
+        if obs is not None:
+            self._emit_formation(obs, merges=merges_delta, splits=splits_delta)
 
         if perfflags.incremental():
             # Resolve every region's resident node in one RLE pass rather
@@ -222,6 +229,18 @@ class DamonProfiler(Profiler):
         from repro.sim.costmodel import PAPER_INTERVAL
 
         time = self.cost_model.scan_time(scans) * (cfg.interval / PAPER_INTERVAL)
+        if obs is not None:
+            self._emit_scan(
+                obs,
+                interval=self._interval,
+                regions=len(self.regions),
+                scanned=len(self.regions),
+                scans_used=scans,
+                budget=self.max_regions,
+                over_budget=False,
+                pebs_samples=0,
+                profiling_time=time,
+            )
         return ProfileSnapshot(
             interval=self._interval,
             reports=reports,

@@ -141,10 +141,24 @@ class PebsOnlyProfiler(Profiler):
                 )
                 for i in range(self._chunk_starts.size)
             ]
+        time = self.cost_model.pebs_time(sample_set.total_samples)
+        obs = self.obs
+        if obs is not None:
+            self._emit_scan(
+                obs,
+                interval=self._interval,
+                regions=int(self._chunk_starts.size),
+                scanned=int(self._chunk_starts.size),
+                scans_used=0,
+                budget=0,
+                over_budget=False,
+                pebs_samples=sample_set.total_samples,
+                profiling_time=time,
+            )
         return ProfileSnapshot(
             interval=self._interval,
             reports=reports,
-            profiling_time=self.cost_model.pebs_time(sample_set.total_samples),
+            profiling_time=time,
             pebs_samples=sample_set.total_samples,
         )
 

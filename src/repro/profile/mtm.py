@@ -25,6 +25,7 @@ Ablation flags reproduce the "w/o AMR / APS / OC / PEBS" variants of Fig. 7.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -235,6 +236,7 @@ class MtmProfiler(Profiler):
         page_table = self._page_table
         self._interval += 1
         budget = self.budget
+        obs = self.obs
 
         # -- PEBS filter for the slowest tier (Sec. 5.5) ------------------
         pebs_hot_entries: np.ndarray | None = None
@@ -267,76 +269,77 @@ class MtmProfiler(Profiler):
         use_vec = cfg.vectorized and perfflags.vectorized()
         use_inc = use_vec and perfflags.incremental()
         region_entries: list[np.ndarray] | None = None
-        if use_vec:
-            # Bulk-resolve every region's entries (and, when the PEBS filter
-            # needs them, resident nodes) in one pass over the page table.
-            # The per-region loop below then only slices precomputed arrays;
-            # all RNG draws keep their exact legacy order and arguments.
-            starts_arr, npages_arr, _ = self.regions.as_arrays()
-            if use_inc:
-                # O(touched): serve unchanged regions from the entry cache
-                # and gather only spans invalidated by formation or by
-                # huge-page transitions since last interval.
-                region_entries = self._resolve_entries_cached(
-                    page_table, starts_arr, npages_arr
+        with obs.span("scan.resolve", cat="profile") if obs is not None else nullcontext():
+            if use_vec:
+                # Bulk-resolve every region's entries (and, when the PEBS filter
+                # needs them, resident nodes) in one pass over the page table.
+                # The per-region loop below then only slices precomputed arrays;
+                # all RNG draws keep their exact legacy order and arguments.
+                starts_arr, npages_arr, _ = self.regions.as_arrays()
+                if use_inc:
+                    # O(touched): serve unchanged regions from the entry cache
+                    # and gather only spans invalidated by formation or by
+                    # huge-page transitions since last interval.
+                    region_entries = self._resolve_entries_cached(
+                        page_table, starts_arr, npages_arr
+                    )
+                else:
+                    ents_all, ents_offs = page_table.span_entries(starts_arr, npages_arr)
+                nodes_all = (
+                    page_table.span_majority_nodes(starts_arr, npages_arr)
+                    if pebs_active
+                    else None
                 )
-            else:
-                ents_all, ents_offs = page_table.span_entries(starts_arr, npages_arr)
-            nodes_all = (
-                page_table.span_majority_nodes(starts_arr, npages_arr)
-                if pebs_active
-                else None
-            )
-        for idx, region in enumerate(regions):
-            if region_entries is not None:
-                entries = region_entries[idx]
-            elif use_vec:
-                entries = ents_all[ents_offs[idx] : ents_offs[idx + 1]]
-            else:
-                entries = region.entries(page_table)
-            if entries.size == 0:
-                continue
-            if pebs_active:
-                node = int(nodes_all[idx]) if use_vec else region.node(page_table)
-            else:
-                node = -1
-            if pebs_active and node in self.slowest_nodes:
-                # Slow tiers are event-driven (Sec. 5.5): regions with no
-                # counter-observed traffic are skipped (and decay); active
-                # regions are scanned starting from the captured pages —
-                # one page initially (Sec. 5.2), more as adaptive sampling
-                # grants them quota, padded with random picks so a large
-                # mixed region exposes its internal hotness spread (the
-                # split signal).
-                if pebs_hot_entries is None:
-                    idle.append(region)
-                    continue
-                lo = np.searchsorted(pebs_hot_entries, region.start)
-                hi_idx = np.searchsorted(pebs_hot_entries, region.end)
-                if hi_idx <= lo:
-                    idle.append(region)
-                    continue
-                captured = pebs_hot_entries[lo:hi_idx]
-                k = min(region.n_samples, int(entries.size))
-                take = min(k, int(captured.size))
-                if take >= captured.size:
-                    chosen = captured
+            for idx, region in enumerate(regions):
+                if region_entries is not None:
+                    entries = region_entries[idx]
+                elif use_vec:
+                    entries = ents_all[ents_offs[idx] : ents_offs[idx + 1]]
                 else:
-                    chosen = captured[
-                        self.rng.choice(captured.size, size=take, replace=False)
-                    ]
-                if k > chosen.size:
-                    pad = entries[
-                        self.rng.choice(entries.size, size=k - int(chosen.size), replace=False)
-                    ]
-                    chosen = nputil.unique(np.concatenate([chosen, pad]))
-            else:
-                k = min(region.n_samples, int(entries.size))
-                if k >= entries.size:
-                    chosen = entries
+                    entries = region.entries(page_table)
+                if entries.size == 0:
+                    continue
+                if pebs_active:
+                    node = int(nodes_all[idx]) if use_vec else region.node(page_table)
                 else:
-                    chosen = entries[self.rng.choice(entries.size, size=k, replace=False)]
-            to_profile.append((region, chosen))
+                    node = -1
+                if pebs_active and node in self.slowest_nodes:
+                    # Slow tiers are event-driven (Sec. 5.5): regions with no
+                    # counter-observed traffic are skipped (and decay); active
+                    # regions are scanned starting from the captured pages —
+                    # one page initially (Sec. 5.2), more as adaptive sampling
+                    # grants them quota, padded with random picks so a large
+                    # mixed region exposes its internal hotness spread (the
+                    # split signal).
+                    if pebs_hot_entries is None:
+                        idle.append(region)
+                        continue
+                    lo = np.searchsorted(pebs_hot_entries, region.start)
+                    hi_idx = np.searchsorted(pebs_hot_entries, region.end)
+                    if hi_idx <= lo:
+                        idle.append(region)
+                        continue
+                    captured = pebs_hot_entries[lo:hi_idx]
+                    k = min(region.n_samples, int(entries.size))
+                    take = min(k, int(captured.size))
+                    if take >= captured.size:
+                        chosen = captured
+                    else:
+                        chosen = captured[
+                            self.rng.choice(captured.size, size=take, replace=False)
+                        ]
+                    if k > chosen.size:
+                        pad = entries[
+                            self.rng.choice(entries.size, size=k - int(chosen.size), replace=False)
+                        ]
+                        chosen = nputil.unique(np.concatenate([chosen, pad]))
+                else:
+                    k = min(region.n_samples, int(entries.size))
+                    if k >= entries.size:
+                        chosen = entries
+                    else:
+                        chosen = entries[self.rng.choice(entries.size, size=k, replace=False)]
+                to_profile.append((region, chosen))
 
         # -- overhead control: fit the scan budget (Sec. 5.3) ----------------
         requested = sum(int(c.size) for _, c in to_profile)
@@ -373,53 +376,63 @@ class MtmProfiler(Profiler):
         scans_used = sum(int(c.size) for _, c in to_profile) * cfg.num_scans
 
         # -- scan and score --------------------------------------------------
-        for region, chosen in to_profile:
-            detected = mmu.scan_detect(
-                chosen, cfg.num_scans, self.rng, exposure=cfg.scan_exposure
-            )
-            hi = float(detected.mean())
-            max_diff = float(detected.max() - detected.min()) if detected.size > 1 else 0.0
-            region.record_interval(hi, max_diff, cfg.alpha)
-            if cfg.guided_splits:
-                region.hottest_entry = (
-                    int(chosen[int(np.argmax(detected))]) if detected.max() > 0 else -1
+        with obs.span("scan.classify", cat="profile") if obs is not None else nullcontext():
+            for region, chosen in to_profile:
+                detected = mmu.scan_detect(
+                    chosen, cfg.num_scans, self.rng, exposure=cfg.scan_exposure
                 )
-            else:
-                region.hottest_entry = -1
-            # Hint-fault attribution every hint_every_scans scans (Sec. 6.2).
-            self._scan_counter += int(chosen.size) * cfg.num_scans
-            if self._scan_counter >= cfg.hint_every_scans:
-                self._scan_counter %= cfg.hint_every_scans
-                accessor = int(mmu.accessor_socket(chosen[:1])[0])
-                if accessor >= 0:
-                    region.dominant_socket = accessor
-        # PEBS-observed-idle regions decay; budget-deferred ones stay stale.
-        profiled = {id(r) for r, _ in to_profile}
-        for region in idle:
-            if id(region) not in profiled:
-                region.record_interval(0.0, 0.0, cfg.alpha)
+                hi = float(detected.mean())
+                max_diff = float(detected.max() - detected.min()) if detected.size > 1 else 0.0
+                region.record_interval(hi, max_diff, cfg.alpha)
+                if cfg.guided_splits:
+                    region.hottest_entry = (
+                        int(chosen[int(np.argmax(detected))]) if detected.max() > 0 else -1
+                    )
+                else:
+                    region.hottest_entry = -1
+                # Hint-fault attribution every hint_every_scans scans (Sec. 6.2).
+                self._scan_counter += int(chosen.size) * cfg.num_scans
+                if self._scan_counter >= cfg.hint_every_scans:
+                    self._scan_counter %= cfg.hint_every_scans
+                    accessor = int(mmu.accessor_socket(chosen[:1])[0])
+                    if accessor >= 0:
+                        region.dominant_socket = accessor
+            # PEBS-observed-idle regions decay; budget-deferred ones stay stale.
+            profiled = {id(r) for r, _ in to_profile}
+            for region in idle:
+                if id(region) not in profiled:
+                    region.record_interval(0.0, 0.0, cfg.alpha)
 
         # -- region formation (Sec. 5.1 / 5.3) ------------------------------
-        if cfg.adaptive_regions:
-            if cfg.overhead_control and over_budget:
-                self._tau_m_current = min(
-                    float(cfg.num_scans), self._tau_m_current + cfg.tau_m_escalation_step
+        merges_before = self.regions.stats.merges
+        splits_before = self.regions.stats.splits
+        with obs.span("scan.formation", cat="profile") if obs is not None else nullcontext():
+            if cfg.adaptive_regions:
+                if cfg.overhead_control and over_budget:
+                    self._tau_m_current = min(
+                        float(cfg.num_scans), self._tau_m_current + cfg.tau_m_escalation_step
+                    )
+                else:
+                    self._tau_m_current = cfg.tau_m
+                self.regions.merge_pass(
+                    self._tau_m_current,
+                    top_k_variance=cfg.top_k_variance,
+                    max_pages=cfg.max_region_pages,
+                    heterogeneity_guard=cfg.tau_s if cfg.heterogeneity_guard else None,
+                    use_ema_guard=cfg.ema_merge_guard,
                 )
-            else:
-                self._tau_m_current = cfg.tau_m
-            self.regions.merge_pass(
-                self._tau_m_current,
-                top_k_variance=cfg.top_k_variance,
-                max_pages=cfg.max_region_pages,
-                heterogeneity_guard=cfg.tau_s if cfg.heterogeneity_guard else None,
-                use_ema_guard=cfg.ema_merge_guard,
-            )
-            self.regions.split_pass(cfg.tau_s, page_table=page_table)
-            if not cfg.adaptive_sampling:
-                self._randomize_quota()
-            if cfg.overhead_control and len(self.regions) <= budget:
-                self.regions.rebalance_to_budget(budget)
+                self.regions.split_pass(cfg.tau_s, page_table=page_table)
+                if not cfg.adaptive_sampling:
+                    self._randomize_quota()
+                if cfg.overhead_control and len(self.regions) <= budget:
+                    self.regions.rebalance_to_budget(budget)
         self.regions.end_interval()
+        if obs is not None:
+            self._emit_formation(
+                obs,
+                merges=self.regions.stats.merges - merges_before,
+                splits=self.regions.stats.splits - splits_before,
+            )
 
         # -- charge time -----------------------------------------------------
         time = self.cost_model.scan_time(scans_used, with_hint_amortization=True)
@@ -462,6 +475,18 @@ class MtmProfiler(Profiler):
                 )
                 for r in self.regions
             ]
+        if obs is not None:
+            self._emit_scan(
+                obs,
+                interval=self._interval,
+                regions=len(self.regions),
+                scanned=len(to_profile),
+                scans_used=scans_used,
+                budget=budget,
+                over_budget=over_budget,
+                pebs_samples=pebs_samples,
+                profiling_time=time,
+            )
         return ProfileSnapshot(
             interval=self._interval,
             reports=reports,

@@ -46,6 +46,7 @@ from repro.migrate.planner import MigrationLog, MigrationPlanner, RetryPolicy
 from repro.mm.hugepage import ThpManager
 from repro.mm.mmu import Mmu
 from repro.mm.vma import AddressSpace
+from repro.obs.events import EV_INTERVAL_END, EV_INTERVAL_START
 from repro.perf.pcm import PcmCounters
 from repro.perf.pebs import PebsSampler
 from repro.policy.base import PlacementState, Policy
@@ -59,6 +60,7 @@ from repro.units import PAGE_SIZE
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:
+    from repro.obs.context import ObsContext, ObsData
     from repro.sim.snapshot import EngineSnapshot
     from repro.sim.tracecache import TraceCache
 
@@ -107,6 +109,7 @@ class SimulationResult:
     fault_log: FaultLog | None = None
     degraded_intervals: int = 0
     perf: PerfStats | None = None
+    obs: "ObsData | None" = None
 
     @property
     def total_time(self) -> float:
@@ -218,6 +221,13 @@ class SimulationEngine:
         trace_key: ``(workload_name, scale, seed)`` identifying the
             stream in ``trace_cache``.  Ignored when ``trace_cache`` is
             None; requires a workload exposing ``advance_interval``.
+        obs: optional :class:`~repro.obs.context.ObsContext`.  When set,
+            the engine (and every attached component — profiler, PEBS
+            sampler, planner, mechanisms, injector) emits structured
+            events, spans, metrics, and migration provenance into it.
+            Purely observational: enabling it never changes simulated
+            results (bit-identity, test-enforced), and when ``None`` no
+            emission code runs at all.
     """
 
     def __init__(
@@ -242,6 +252,7 @@ class SimulationEngine:
         recovery: bool = True,
         trace_cache: "TraceCache | None" = None,
         trace_key: tuple[str, float, int] | None = None,
+        obs: "ObsContext | None" = None,
     ) -> None:
         if policy.wants_profiling() and profiler is None:
             raise ConfigError(f"policy {policy.name!r} needs a profiler")
@@ -324,6 +335,28 @@ class SimulationEngine:
                 socket=self.socket,
             )
         self._records: list[IntervalRecord] = []
+        self._obs_summarized = False
+        self._attach_obs(obs)
+
+    def _attach_obs(self, obs: "ObsContext | None") -> None:
+        """(Re)wire one obs context through every emitting component.
+
+        Mirrors the trace-cache detach discipline: ``capture_engine``
+        detaches the context before pickling and reattaches afterwards,
+        and ``fork_engine`` attaches a fresh one to the fork.
+        """
+        self.obs = obs
+        self.pebs.obs = obs
+        if self.profiler is not None:
+            self.profiler.obs = obs
+        if self.mechanism is not None:
+            self.mechanism.attach_obs(obs)
+        if self.injector is not None:
+            self.injector.obs = obs
+        if self.planner is not None:
+            self.planner.obs = obs
+            if self.planner.fallback_mechanism is not None:
+                self.planner.fallback_mechanism.attach_obs(obs)
 
     # -- construction helpers --------------------------------------------------
 
@@ -394,15 +427,33 @@ class SimulationEngine:
 
     def step(self) -> IntervalRecord:
         """Simulate one profiling interval."""
-        t_step = _time.perf_counter()
+        obs = self.obs
+        if obs is not None:
+            with obs.span("interval", cat="engine", index=len(self._records)):
+                return self._step_impl(obs)
+        return self._step_impl(None)
+
+    def _next_batch(self) -> AccessBatch:
         if self.trace_cache is not None and self.trace_key is not None:
-            batch = self.trace_cache.get_batch(*self.trace_key, len(self._records))
+            batch = self.trace_cache.get_batch(
+                *self.trace_key, len(self._records), obs=self.obs
+            )
             # The stream already drew this interval's randomness on the
             # cache's clone; only advance the local segment plan so
             # hot_pages() ground truth matches the replayed batch.
             self.workload.advance_interval()
+            return batch
+        return self.workload.next_batch(self.rngs["workload"])
+
+    def _step_impl(self, obs: "ObsContext | None") -> IntervalRecord:
+        t_step = _time.perf_counter()
+        if obs is not None:
+            obs.emit(EV_INTERVAL_START, sim_time=self.clock.now,
+                     interval=len(self._records))
+            with obs.span("workload", cat="engine", index=len(self._records)):
+                batch = self._next_batch()
         else:
-            batch = self.workload.next_batch(self.rngs["workload"])
+            batch = self._next_batch()
         dt = _time.perf_counter() - t_step
         self.perfstats.workload_seconds += dt
         self.perfstats.record_sample("workload", dt)
@@ -444,7 +495,12 @@ class SimulationEngine:
                 # scan and migration budget; only the retry backlog
                 # drains, so the daemon catches up instead of piling on.
                 if self.planner is not None:
-                    timing = self.planner.drain_retries(self.mmu)
+                    if obs is not None:
+                        with obs.span("migrate.drain", cat="migrate",
+                                      index=record.index):
+                            timing = self.planner.drain_retries(self.mmu)
+                    else:
+                        timing = self.planner.drain_retries(self.mmu)
                     self.clock.advance(timing.critical_time, CATEGORY_MIGRATION)
                     self.clock.record_background(timing.background_time)
                     record.migration_time = timing.critical_time
@@ -476,13 +532,38 @@ class SimulationEngine:
         self.perfstats.total_seconds += dt
         self.perfstats.record_sample("interval", dt)
         self.perfstats.intervals += 1
+        if obs is not None:
+            obs.emit(
+                EV_INTERVAL_END, sim_time=self.clock.now, interval=record.index,
+                app_time=record.app_time,
+                profiling_time=record.profiling_time,
+                migration_time=record.migration_time,
+                promoted_pages=record.promoted_pages,
+                demoted_pages=record.demoted_pages,
+                region_count=record.region_count,
+                degraded=record.degraded,
+                fault_events=record.fault_events,
+            )
+            obs.observe("engine.interval_host_seconds", dt)
+            obs.inc("engine.intervals")
+            if record.degraded:
+                obs.inc("engine.degraded_intervals")
         return record
 
     def _profile_and_migrate(self, record: IntervalRecord) -> None:
         """One interval of daemon work: scan, decide, migrate."""
         assert self.profiler is not None
+        obs = self.obs
         t0 = _time.perf_counter()
-        snapshot = self.profiler.profile(self.mmu, pebs=self.pebs, socket=self.socket)
+        if obs is not None:
+            with obs.span("profile", cat="profile", index=record.index):
+                snapshot = self.profiler.profile(
+                    self.mmu, pebs=self.pebs, socket=self.socket
+                )
+        else:
+            snapshot = self.profiler.profile(
+                self.mmu, pebs=self.pebs, socket=self.socket
+            )
         dt = _time.perf_counter() - t0
         self.perfstats.profile_seconds += dt
         self.perfstats.record_sample("profile", dt)
@@ -500,10 +581,19 @@ class SimulationEngine:
                 frames=self.frames,
                 topology=self.topology,
             )
-            orders = self.policy.decide(snapshot, state)
+            if obs is not None:
+                with obs.span("plan", cat="migrate", index=record.index):
+                    orders = self.policy.decide(snapshot, state)
+            else:
+                orders = self.policy.decide(snapshot, state)
             before = (self.planner.log.promoted_pages, self.planner.log.demoted_pages)
             try:
-                timing = self.planner.execute(orders, self.mmu)
+                if obs is not None:
+                    with obs.span("migrate", cat="migrate", index=record.index,
+                                  orders=len(orders)):
+                        timing = self.planner.execute(orders, self.mmu)
+                else:
+                    timing = self.planner.execute(orders, self.mmu)
             finally:
                 record.promoted_pages = self.planner.log.promoted_pages - before[0]
                 record.demoted_pages = self.planner.log.demoted_pages - before[1]
@@ -538,6 +628,7 @@ class SimulationEngine:
         cls,
         snapshot: "EngineSnapshot",
         trace_cache: "TraceCache | None" = None,
+        obs: "ObsContext | None" = None,
     ) -> "SimulationEngine":
         """Rebuild an independent engine from ``snapshot``.
 
@@ -547,11 +638,27 @@ class SimulationEngine:
         """
         from repro.sim.snapshot import fork_engine
 
-        return fork_engine(snapshot, trace_cache=trace_cache)
+        return fork_engine(snapshot, trace_cache=trace_cache, obs=obs)
 
     def result(self) -> SimulationResult:
+        """Assemble the run's result (and snapshot the obs context)."""
         if self.trace_cache is not None:
             self.perfstats.cache = self.trace_cache.stats()
+        obs_data: "ObsData | None" = None
+        if self.obs is not None:
+            # Run-level summaries (host perf, migration counters) land in
+            # the registry once, on the first result() call.
+            if not self._obs_summarized:
+                self._obs_summarized = True
+                run_label = self.obs.label or self.label
+                self.obs.record_perfstats(self.perfstats, label=run_label)
+                self.obs.record_migration_log(
+                    self.planner.log if self.planner else None,
+                    label=run_label,
+                )
+            # Runner-built contexts carry a "workload/solution" label;
+            # fall back to the engine label for bare contexts.
+            obs_data = self.obs.snapshot(label=self.obs.label or self.label)
         return SimulationResult(
             label=self.label,
             workload=self.workload.name,
@@ -566,6 +673,7 @@ class SimulationEngine:
             fault_log=self.injector.log if self.injector is not None else None,
             degraded_intervals=sum(1 for r in self._records if r.degraded),
             perf=self.perfstats,
+            obs=obs_data,
         )
 
     # -- internals --------------------------------------------------------------

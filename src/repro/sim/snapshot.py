@@ -83,14 +83,26 @@ def capture_engine(engine: "SimulationEngine", key: tuple | None = None) -> Engi
     """Serialize ``engine``'s complete state (see module docstring).
 
     The engine keeps running afterwards — capture only detaches the
-    shared trace cache for the duration of the dump and reattaches it.
+    shared trace cache (and the observability context, which is host-side
+    telemetry, not simulated state) for the duration of the dump and
+    reattaches both.
     """
     cache = engine.trace_cache
+    obs = engine.obs
     engine.trace_cache = None
+    engine._attach_obs(None)
     try:
         payload = pickle.dumps(engine, protocol=5)
     finally:
         engine.trace_cache = cache
+        engine._attach_obs(obs)
+    if obs is not None:
+        from repro.obs.events import EV_SNAPSHOT_CAPTURE
+
+        obs.emit(EV_SNAPSHOT_CAPTURE, sim_time=engine.clock.now,
+                 interval=len(engine._records), nbytes=len(payload))
+        obs.inc("snapshot.captures")
+        obs.observe("snapshot.payload_bytes", len(payload))
     return EngineSnapshot(
         key=key,
         interval=len(engine._records),
@@ -102,6 +114,7 @@ def capture_engine(engine: "SimulationEngine", key: tuple | None = None) -> Engi
 def fork_engine(
     snapshot: EngineSnapshot,
     trace_cache: "TraceCache | None" = None,
+    obs=None,
 ) -> "SimulationEngine":
     """Rebuild an independent engine from ``snapshot``.
 
@@ -110,6 +123,8 @@ def fork_engine(
             ``None`` builds a private cache (the stream regenerates
             deterministically from interval 0, so results are unchanged
             — only the first fork in a fresh process pays synthesis).
+        obs: optional :class:`~repro.obs.context.ObsContext` wired through
+            the fork (snapshots never carry one — telemetry is per-run).
     """
     engine: "SimulationEngine" = pickle.loads(snapshot.payload)
     if engine.trace_key is not None:
@@ -118,6 +133,13 @@ def fork_engine(
 
             trace_cache = TraceCache()
         engine.trace_cache = trace_cache
+    engine._attach_obs(obs)
+    if obs is not None:
+        from repro.obs.events import EV_SNAPSHOT_FORK
+
+        obs.emit(EV_SNAPSHOT_FORK, sim_time=engine.clock.now,
+                 interval=snapshot.interval, nbytes=snapshot.nbytes)
+        obs.inc("snapshot.forks")
     return engine
 
 
@@ -150,12 +172,13 @@ class SnapshotCache:
 
     # -- lookup/insert -------------------------------------------------------
 
-    def get(self, key: tuple) -> EngineSnapshot | None:
+    def get(self, key: tuple, obs=None) -> EngineSnapshot | None:
         """The snapshot under ``key``, from memory or the spill dir."""
         snap = self._snapshots.get(key)
         if snap is not None:
             self._snapshots.move_to_end(key)
             self.hits += 1
+            self._emit(obs, True)
             return snap
         if self.spill_dir is not None:
             path = self.spill_path(key)
@@ -165,9 +188,21 @@ class SnapshotCache:
                 self._snapshots[key] = snap
                 self._evict(keep=key)
                 self.hits += 1
+                self._emit(obs, True)
                 return snap
         self.misses += 1
+        self._emit(obs, False)
         return None
+
+    @staticmethod
+    def _emit(obs, hit: bool) -> None:
+        if obs is None:
+            return
+        from repro.obs.events import EV_CACHE_HIT, EV_CACHE_MISS
+
+        obs.emit(EV_CACHE_HIT if hit else EV_CACHE_MISS, cache="snapshot")
+        obs.inc("cache.requests", cache="snapshot",
+                outcome="hit" if hit else "miss")
 
     def put(self, key: tuple, snapshot: EngineSnapshot) -> None:
         """Insert (or refresh) ``snapshot`` under ``key``."""
@@ -183,10 +218,10 @@ class SnapshotCache:
         self._evict(keep=key)
 
     def get_or_create(
-        self, key: tuple, factory: Callable[[], EngineSnapshot]
+        self, key: tuple, factory: Callable[[], EngineSnapshot], obs=None
     ) -> EngineSnapshot:
         """Cached snapshot under ``key``, or ``factory()``'s, stored."""
-        snap = self.get(key)
+        snap = self.get(key, obs=obs)
         if snap is None:
             snap = factory()
             self.put(key, snap)

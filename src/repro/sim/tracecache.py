@@ -106,13 +106,17 @@ class TraceCache:
     # -- the one consumer-facing operation ---------------------------------
 
     def get_batch(
-        self, workload: str, scale: float, seed: int, interval: int
+        self, workload: str, scale: float, seed: int, interval: int,
+        obs=None,
     ) -> AccessBatch:
         """The ``interval``-th batch of the keyed stream (a private copy).
 
         A request counts as a hit when the batch is already materialized,
         as a miss when it has to be synthesized (first run through a
-        stream, or a re-run after eviction).
+        stream, or a re-run after eviction).  ``obs`` (an optional
+        :class:`~repro.obs.context.ObsContext`) receives per-request
+        hit/miss events attributed to the calling engine — the cache is
+        shared, so it carries no context of its own.
         """
         if interval < 0:
             raise ConfigError(f"interval must be >= 0, got {interval}")
@@ -125,10 +129,23 @@ class TraceCache:
             self._streams.move_to_end(key)
         if interval < len(stream.batches):
             self.hits += 1
+            if obs is not None:
+                self._emit(obs, True, workload, interval)
         else:
             self.misses += stream.materialize_through(interval)
             self._evict(keep=key)
+            if obs is not None:
+                self._emit(obs, False, workload, interval)
         return _copy(stream.batches[interval])
+
+    @staticmethod
+    def _emit(obs, hit: bool, workload: str, interval: int) -> None:
+        from repro.obs.events import EV_CACHE_HIT, EV_CACHE_MISS
+
+        obs.emit(EV_CACHE_HIT if hit else EV_CACHE_MISS, interval=interval,
+                 cache="trace", workload=workload)
+        obs.inc("cache.requests", cache="trace",
+                outcome="hit" if hit else "miss")
 
     # -- bookkeeping --------------------------------------------------------
 
