@@ -76,15 +76,40 @@ def bench_main(
         "--obs-out", default="obs-out", metavar="DIR",
         help="directory for the observability export (default: obs-out)",
     )
+    parser.add_argument(
+        "--obs-stream", action="store_true",
+        help="stream telemetry to OBS_OUT/stream.ndjson while cells run "
+             "(pool workers relay through the parent); implies --obs",
+    )
+    parser.add_argument(
+        "--obs-socket", default=None, metavar="ADDR",
+        help="also stream to a line-protocol socket (unix:PATH or "
+             "HOST:PORT) served by `repro watch --connect`; implies --obs",
+    )
     args = parser.parse_args(argv)
 
     set_default_workers(args.workers)
     set_default_snapshots(args.snapshots)
     collector = None
-    if args.obs:
-        from repro.obs.context import ObsContext, set_default_context
+    if args.obs or args.obs_stream or args.obs_socket:
+        import os
 
-        collector = ObsContext(label="bench")
+        from repro.obs.context import ObsConfig, ObsContext, set_default_context
+
+        collector = ObsContext(
+            ObsConfig(stream=bool(args.obs_stream or args.obs_socket)),
+            label="bench",
+        )
+        if args.obs_stream:
+            from repro.obs.sinks import NdjsonFileSink
+
+            collector.add_sink(
+                NdjsonFileSink(os.path.join(args.obs_out, "stream.ndjson"))
+            )
+        if args.obs_socket:
+            from repro.obs.sinks import SocketSink
+
+            collector.add_sink(SocketSink(args.obs_socket))
         set_default_context(collector)
     profile = (
         profile_by_name(args.profile)
@@ -106,8 +131,18 @@ def bench_main(
             kwargs["workload"] = names[0]
         else:
             raise ConfigError("this experiment has a fixed workload set")
-    print(run_experiment(profile, **kwargs))
+    try:
+        print(run_experiment(profile, **kwargs))
+    except BaseException:
+        if collector is not None:
+            collector.stream_abort()
+            for sink in collector.stream_sinks:
+                cleanup = getattr(sink, "cleanup_if_empty", None)
+                if cleanup is not None:
+                    cleanup()
+        raise
     if collector is not None:
         paths = collector.export(args.obs_out)
+        collector.stream_close()
         print(f"observability export written to {paths['trace']} "
               f"(open in ui.perfetto.dev) and {args.obs_out}/")

@@ -26,8 +26,10 @@ import os
 import pickle
 import shutil
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from queue import Empty
 from typing import TYPE_CHECKING, Callable
 
 from repro.bench.scaling import BenchProfile
@@ -74,6 +76,69 @@ def default_snapshots() -> bool:
     return _DEFAULT_SNAPSHOTS
 
 
+# -- live stream plumbing ----------------------------------------------------
+#
+# When the resolved collector has streaming sinks attached, cells feed
+# them *during* the run: serial cells borrow the collector's sinks
+# directly; pool workers attach a RelaySink onto a bounded mp queue the
+# parent drains between completions.  None of this touches the final
+# export path — results still travel back as ObsData and are absorbed
+# exactly once, so serial==pooled collector identity is preserved.
+
+#: Streaming collector of the innermost active runner (parent process).
+_STREAM_COLLECTOR: "ObsContext | None" = None
+
+#: Relay queue installed pre-fork so workers inherit it.
+_RELAY_QUEUE = None
+
+#: True inside pool worker processes (set by the pool initializer); a
+#: forked worker also inherits ``_STREAM_COLLECTOR``, and this flag is
+#: what stops it from writing to the parent's sink objects directly.
+_IN_POOL_WORKER = False
+
+#: Bounded relay depth (batches, one per worker interval-flush).  A full
+#: queue drops the batch and counts it — backpressure never blocks a
+#: worker's simulation.
+RELAY_QUEUE_MAXSIZE = 256
+
+
+def _pool_worker_init() -> None:
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+@contextmanager
+def _stream_collector(collector: "ObsContext | None"):
+    """Install ``collector`` as the streaming target for nested cells."""
+    global _STREAM_COLLECTOR
+    if collector is None or not collector.stream_sinks:
+        yield
+        return
+    prev = _STREAM_COLLECTOR
+    _STREAM_COLLECTOR = collector
+    try:
+        yield
+    finally:
+        _STREAM_COLLECTOR = prev
+
+
+def _drain_relay(queue, collector: "ObsContext") -> None:
+    """Forward every queued worker batch onto the collector's sinks."""
+    while True:
+        try:
+            batch = queue.get_nowait()
+        except (Empty, OSError, ValueError):
+            return
+        collector.relay_lines(batch)
+
+
+def _close_cell_stream(ctx: "ObsContext | None") -> None:
+    """Final flush for one cell's stream (no ``end`` — that is the
+    top-level publisher's to write, exactly once per stream)."""
+    if ctx is not None:
+        ctx.stream_close(end_record=False)
+
+
 def _make_injector(fault_rate: float, fault_seed: int) -> FaultInjector | None:
     if fault_rate <= 0.0:
         return None
@@ -110,7 +175,17 @@ def _cell_obs(config: "ObsConfig | None", label: str) -> "ObsContext | None":
         return None
     from repro.obs.context import ObsContext
 
-    return ObsContext(config, label=label)
+    ctx = ObsContext(config, label=label)
+    if getattr(config, "stream", False):
+        if _IN_POOL_WORKER:
+            if _RELAY_QUEUE is not None:
+                from repro.obs.sinks import RelaySink
+
+                ctx.add_sink(RelaySink(_RELAY_QUEUE), owned=True)
+        elif _STREAM_COLLECTOR is not None:
+            for sink in _STREAM_COLLECTOR.stream_sinks:
+                ctx.add_sink(sink, owned=False)
+    return ctx
 
 
 def run_solution(
@@ -149,19 +224,23 @@ def run_solution(
         from_config = isinstance(obs, ObsConfig)
     collector = None if from_config else _resolve_collector(obs)
     config = obs if from_config else (collector.config if collector is not None else None)
-    child = _cell_obs(config, label=f"{workload}/{solution}")
-    engine = make_engine(
-        solution,
-        workload,
-        scale=profile.scale,
-        seed=profile.seed,
-        collect_quality=collect_quality,
-        injector=_make_injector(fault_rate, fault_seed),
-        trace_cache=trace_cache,
-        obs=child,
-        **engine_kwargs,
-    )
-    result = engine.run(intervals if intervals is not None else profile.intervals_for(workload))
+    with _stream_collector(collector):
+        child = _cell_obs(config, label=f"{workload}/{solution}")
+        engine = make_engine(
+            solution,
+            workload,
+            scale=profile.scale,
+            seed=profile.seed,
+            collect_quality=collect_quality,
+            injector=_make_injector(fault_rate, fault_seed),
+            trace_cache=trace_cache,
+            obs=child,
+            **engine_kwargs,
+        )
+        result = engine.run(
+            intervals if intervals is not None else profile.intervals_for(workload)
+        )
+        _close_cell_stream(child)
     if collector is not None and result.obs is not None:
         collector.absorb(result.obs)
     return result
@@ -317,32 +396,28 @@ def run_matrix(
             from repro.sim.tracecache import TraceCache
 
             trace_cache = TraceCache()
-        for workload, solution, *_ in cells:
-            before = trace_cache.stats() if trace_cache is not None else None
-            result = run_solution(
-                solution,
-                workload,
-                profile,
-                intervals=intervals,
-                fault_rate=fault_rate,
-                fault_seed=fault_seed,
-                trace_cache=trace_cache,
-                recovery=recovery,
-                obs=obs_config,
-            )
-            if trace_cache is not None and result.perf is not None:
-                result.perf.cache = trace_cache.stats().delta(before)
-            collected[(workload, solution)] = result
-    else:
-        import multiprocessing as mp
-
-        # fork (where available) keeps startup cheap and inherits the
-        # process-global perfflags switch; spawn re-imports with defaults.
-        method = "fork" if "fork" in mp.get_all_start_methods() else None
-        ctx = mp.get_context(method) if method else mp.get_context()
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            for workload, solution, result in pool.map(_run_cell, cells):
+        with _stream_collector(collector):
+            for workload, solution, *_ in cells:
+                before = trace_cache.stats() if trace_cache is not None else None
+                result = run_solution(
+                    solution,
+                    workload,
+                    profile,
+                    intervals=intervals,
+                    fault_rate=fault_rate,
+                    fault_seed=fault_seed,
+                    trace_cache=trace_cache,
+                    recovery=recovery,
+                    obs=obs_config,
+                )
+                if trace_cache is not None and result.perf is not None:
+                    result.perf.cache = trace_cache.stats().delta(before)
                 collected[(workload, solution)] = result
+    else:
+        for workload, solution, result in _pool_map(
+            _run_cell, cells, workers, collector=collector
+        ):
+            collected[(workload, solution)] = result
 
     if collector is not None:
         for result in collected.values():
@@ -437,7 +512,9 @@ def _run_variant_cold(
     for _ in range(warmup_intervals):
         engine.step()
     apply_fn(engine, params)
-    return engine.run(rest)
+    result = engine.run(rest)
+    _close_cell_stream(engine.obs)
+    return result
 
 
 def _run_cold_cell(args: tuple) -> tuple[str, SimulationResult]:
@@ -484,6 +561,7 @@ def _run_fork_cell(args: tuple) -> tuple[str, SimulationResult]:
     )
     apply_fn(engine, params)
     result = engine.run(rest)
+    _close_cell_stream(engine.obs)
     if result.perf is not None:
         result.perf.cache = _worker_cache.stats().delta(before)
     return label, result
@@ -565,18 +643,19 @@ def run_sweep(
                 from repro.sim.tracecache import TraceCache
 
                 trace_cache = TraceCache()
-            for v in variants:
-                before = trace_cache.stats()
-                result = _run_variant_cold(
-                    solution, workload, profile, v.params, apply_fn,
-                    warmup_intervals, rest, fault_rate, fault_seed,
-                    collect_quality, trace_cache, engine_kwargs,
-                    obs_config=obs_config,
-                    obs_label=f"{workload}/{solution}/{v.label}",
-                )
-                if result.perf is not None:
-                    result.perf.cache = trace_cache.stats().delta(before)
-                collected[v.label] = result
+            with _stream_collector(collector):
+                for v in variants:
+                    before = trace_cache.stats()
+                    result = _run_variant_cold(
+                        solution, workload, profile, v.params, apply_fn,
+                        warmup_intervals, rest, fault_rate, fault_seed,
+                        collect_quality, trace_cache, engine_kwargs,
+                        obs_config=obs_config,
+                        obs_label=f"{workload}/{solution}/{v.label}",
+                    )
+                    if result.perf is not None:
+                        result.perf.cache = trace_cache.stats().delta(before)
+                    collected[v.label] = result
         else:
             cells = [
                 (solution, workload, profile, v.label, v.params, apply_fn,
@@ -584,7 +663,9 @@ def run_sweep(
                  collect_quality, engine_kwargs, obs_config)
                 for v in variants
             ]
-            for label, result in _pool_map(_run_cold_cell, cells, workers):
+            for label, result in _pool_map(
+                _run_cold_cell, cells, workers, collector=collector
+            ):
                 collected[label] = result
     else:
         if snapshot_cache is None:
@@ -625,23 +706,27 @@ def run_sweep(
                 engine.step()
             return capture_engine(engine, key=key)
 
-        snap = snapshot_cache.get_or_create(key, _warmup, obs=collector)
+        with _stream_collector(collector):
+            snap = snapshot_cache.get_or_create(key, _warmup, obs=collector)
+        _close_cell_stream(warmup_obs)
         try:
             if workers == 1:
-                for v in variants:
-                    before = trace_cache.stats()
-                    engine = SimulationEngine.fork(
-                        snap,
-                        trace_cache=trace_cache,
-                        obs=_cell_obs(
-                            obs_config, label=f"{workload}/{solution}/{v.label}"
-                        ),
-                    )
-                    apply_fn(engine, v.params)
-                    result = engine.run(rest)
-                    if result.perf is not None:
-                        result.perf.cache = trace_cache.stats().delta(before)
-                    collected[v.label] = result
+                with _stream_collector(collector):
+                    for v in variants:
+                        before = trace_cache.stats()
+                        engine = SimulationEngine.fork(
+                            snap,
+                            trace_cache=trace_cache,
+                            obs=_cell_obs(
+                                obs_config, label=f"{workload}/{solution}/{v.label}"
+                            ),
+                        )
+                        apply_fn(engine, v.params)
+                        result = engine.run(rest)
+                        _close_cell_stream(engine.obs)
+                        if result.perf is not None:
+                            result.perf.cache = trace_cache.stats().delta(before)
+                        collected[v.label] = result
             else:
                 if snapshot_cache.spill_dir is not None:
                     path = snapshot_cache.spill_path(key)
@@ -659,7 +744,9 @@ def run_sweep(
                      f"{workload}/{solution}/{v.label}")
                     for v in variants
                 ]
-                for label, result in _pool_map(_run_fork_cell, cells, workers):
+                for label, result in _pool_map(
+                    _run_fork_cell, cells, workers, collector=collector
+                ):
                     collected[label] = result
         finally:
             if tmpdir is not None:
@@ -682,11 +769,45 @@ def run_sweep(
     )
 
 
-def _pool_map(fn, cells, workers: int):
-    """Fan ``cells`` over a fork-based process pool (as in run_matrix)."""
+def _pool_map(fn, cells, workers: int, collector: "ObsContext | None" = None):
+    """Fan ``cells`` over a process pool, optionally relaying live streams.
+
+    fork (where available) keeps startup cheap and inherits the
+    process-global perfflags switch; spawn re-imports with defaults.
+    When ``collector`` has streaming sinks and the platform forks, a
+    bounded relay queue is installed *before* the pool starts (workers
+    inherit it) and drained onto the collector's sinks between
+    completions — the live view.  Final results still travel back as
+    ``ObsData``, untouched by the relay.  Without fork the relay is
+    skipped (no live view, identical final results).
+    """
+    global _RELAY_QUEUE
     import multiprocessing as mp
 
     method = "fork" if "fork" in mp.get_all_start_methods() else None
     ctx = mp.get_context(method) if method else mp.get_context()
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        yield from pool.map(fn, cells)
+    relay = (collector is not None and collector.stream_sinks
+             and method == "fork")
+    queue = ctx.Queue(RELAY_QUEUE_MAXSIZE) if relay else None
+    if queue is not None:
+        _RELAY_QUEUE = queue
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx,
+            initializer=_pool_worker_init,
+        ) as pool:
+            if queue is None:
+                yield from pool.map(fn, cells)
+            else:
+                pending = {pool.submit(fn, cell) for cell in cells}
+                while pending:
+                    done, pending = wait(pending, timeout=0.05)
+                    _drain_relay(queue, collector)
+                    for future in done:
+                        yield future.result()
+        if queue is not None:
+            _drain_relay(queue, collector)
+    finally:
+        if queue is not None:
+            _RELAY_QUEUE = None
+            queue.close()

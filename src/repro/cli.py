@@ -7,13 +7,17 @@ Commands:
   normalized table (Fig. 4's presentation);
 * ``list`` — show the available solutions and workloads;
 * ``trace`` — query the migration-provenance log of a ``--obs`` run
-  ("why did page N move?");
+  ("why did page N move?"), or tail a live stream with ``--follow``;
+* ``watch`` — live dashboard over a streaming (``--obs-stream``) run,
+  from its NDJSON file or as a listening socket server (``--connect``);
 * ``report`` — summarize an observability export (event counts, metrics).
 
 ``run`` and ``compare`` accept ``--obs [--obs-out DIR]`` to record
 structured events, phase spans, metrics, and migration provenance, and
-export them as a Perfetto-loadable ``trace.json`` plus JSONL sinks.
-Observability never changes simulated results.
+export them as a Perfetto-loadable ``trace.json`` plus JSONL sinks;
+``--obs-stream``/``--obs-socket`` additionally publish the telemetry
+incrementally while the run is live.  Observability never changes
+simulated results.
 
 Example::
 
@@ -21,6 +25,8 @@ Example::
     python -m repro compare --workload voltdb --solutions first-touch,mtm
     python -m repro run --solution mtm --workload gups --obs --obs-out out
     python -m repro trace --run out --page 4096
+    python -m repro run --solution mtm --workload gups --obs-stream --obs-out out &
+    python -m repro watch --run out
 """
 
 from __future__ import annotations
@@ -74,6 +80,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--obs-out", default="obs-out", metavar="DIR",
         help="directory for the observability export (default: obs-out)",
+    )
+    parser.add_argument(
+        "--obs-stream", action="store_true",
+        help="stream telemetry incrementally to OBS_OUT/stream.ndjson "
+             "while the run is live (tail it with `repro watch --run` or "
+             "`repro trace --run DIR --follow`); implies --obs",
+    )
+    parser.add_argument(
+        "--obs-socket", default=None, metavar="ADDR",
+        help="also stream to a line-protocol socket (unix:PATH or "
+             "HOST:PORT) served by `repro watch --connect ADDR`; "
+             "implies --obs",
     )
 
 
@@ -131,6 +149,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=50,
         help="max provenance rows to print (default: 50)",
     )
+    trace.add_argument(
+        "--follow", action="store_true",
+        help="tail the live NDJSON stream of a still-running --obs-stream "
+             "run instead of reading the final export (tolerates a "
+             "truncated final line)",
+    )
+    trace.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="with --follow: stop after this many seconds without new "
+             "stream data (default: wait for the end record)",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="live dashboard over a streaming (--obs-stream) run"
+    )
+    src = watch.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--run", metavar="DIR",
+        help="tail DIR/stream.ndjson (an --obs-stream run's --obs-out)",
+    )
+    src.add_argument(
+        "--connect", metavar="ADDR",
+        help="listen on ADDR (unix:PATH or HOST:PORT) for simulations "
+             "streaming with --obs-socket ADDR",
+    )
+    watch.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SEC",
+        help="dashboard refresh period (default: 1.0)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="print one frame from the currently-available stream and exit",
+    )
+    watch.add_argument(
+        "--wait", type=float, default=None, metavar="SEC",
+        help="with --once: wait up to SEC for the stream to appear",
+    )
+    watch.add_argument(
+        "--duration", type=float, default=None, metavar="SEC",
+        help="stop after SEC seconds even if the stream has not ended",
+    )
+    watch.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a static HTML dashboard to FILE each refresh",
+    )
+    watch.add_argument(
+        "--budget", type=float, default=0.05, metavar="FRAC",
+        help="profiling-overhead budget fraction to gauge against "
+             "(default: 0.05, the paper's constraint)",
+    )
 
     report = sub.add_parser(
         "report", help="summarize an observability export"
@@ -148,18 +216,51 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _make_obs(args: argparse.Namespace):
-    """Collector from ``--obs``, or ``None`` when the flag is absent."""
-    if not getattr(args, "obs", False):
-        return None
-    from repro.obs.context import ObsContext
+    """Collector from ``--obs``, or ``None`` when the flag is absent.
 
-    return ObsContext(label="cli")
+    ``--obs-stream``/``--obs-socket`` imply ``--obs`` and attach the
+    matching sinks; the NDJSON file sink creates ``--obs-out`` lazily at
+    its first flush, so a run that fails early leaves no directory.
+    """
+    stream = getattr(args, "obs_stream", False)
+    socket_addr = getattr(args, "obs_socket", None)
+    if not (getattr(args, "obs", False) or stream or socket_addr):
+        return None
+    from repro.obs.context import ObsConfig, ObsContext
+
+    ctx = ObsContext(ObsConfig(stream=bool(stream or socket_addr)),
+                     label="cli")
+    if stream:
+        import os
+
+        from repro.obs.sinks import NdjsonFileSink
+
+        ctx.add_sink(NdjsonFileSink(os.path.join(args.obs_out,
+                                                 "stream.ndjson")))
+    if socket_addr:
+        from repro.obs.sinks import SocketSink
+
+        ctx.add_sink(SocketSink(socket_addr))
+    return ctx
+
+
+def _abort_obs(ctx) -> None:
+    """Failure-path teardown: close the stream (no end record) and
+    remove an ``--obs-out`` directory the sink created but never used."""
+    if ctx is None:
+        return
+    ctx.stream_abort()
+    for sink in ctx.stream_sinks:
+        cleanup = getattr(sink, "cleanup_if_empty", None)
+        if cleanup is not None:
+            cleanup()
 
 
 def _export_obs(ctx, args: argparse.Namespace) -> None:
     if ctx is None:
         return
     paths = ctx.export(args.obs_out)
+    ctx.stream_close()
     print(f"observability export written to {paths['trace']} "
           f"(open in ui.perfetto.dev); query with "
           f"`python -m repro trace --run {args.obs_out}`")
@@ -169,12 +270,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     """``run``: simulate one solution and print its summary."""
     scale = 1.0 / args.scale_denominator
     obs = _make_obs(args)
-    engine = make_engine(
-        args.solution, args.workload, scale=scale, seed=args.seed,
-        injector=_make_injector(args), recovery=not args.fail_fast,
-        obs=obs,
-    )
-    result = engine.run(args.intervals)
+    try:
+        engine = make_engine(
+            args.solution, args.workload, scale=scale, seed=args.seed,
+            injector=_make_injector(args), recovery=not args.fail_fast,
+            obs=obs,
+        )
+        result = engine.run(args.intervals)
+    except BaseException:
+        _abort_obs(obs)
+        raise
     b = TimeBreakdown.from_result(result)
     print(f"{args.solution} on {args.workload} "
           f"(scale 1/{args.scale_denominator}, {args.intervals} intervals)")
@@ -219,18 +324,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
         name="cli", scale=1.0 / args.scale_denominator, seed=args.seed
     )
     obs = _make_obs(args)
-    matrix = run_matrix(
-        [args.workload],
-        solutions,
-        profile,
-        baseline=solutions[0],
-        intervals=args.intervals,
-        workers=args.workers,
-        fault_rate=args.faults,
-        fault_seed=args.fault_seed,
-        recovery=not args.fail_fast,
-        obs=obs,
-    )
+    try:
+        matrix = run_matrix(
+            [args.workload],
+            solutions,
+            profile,
+            baseline=solutions[0],
+            intervals=args.intervals,
+            workers=args.workers,
+            fault_rate=args.faults,
+            fault_seed=args.fault_seed,
+            recovery=not args.fail_fast,
+            obs=obs,
+        )
+    except BaseException:
+        _abort_obs(obs)
+        raise
     times = matrix.total_times(args.workload)
     norm = normalize(times, solutions[0])
     table = Table(
@@ -246,10 +355,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace``: answer a provenance query from an export directory."""
+    if args.follow:
+        from repro.obs.cli import trace_follow
+
+        trace_follow(args.run, page=args.page, timeout=args.timeout,
+                     limit=args.limit if args.limit > 0 else None)
+        return 0
     from repro.obs.cli import trace_report
 
     print(trace_report(args.run, page=args.page, limit=args.limit))
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """``watch``: live dashboard over a streaming run."""
+    from repro.obs.watch import run_watch
+
+    return run_watch(
+        run=args.run,
+        connect=args.connect,
+        refresh=args.refresh,
+        once=args.once,
+        duration=args.duration,
+        wait=args.wait,
+        html=args.html,
+        budget=args.budget,
+    )
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -288,6 +419,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_compare(args)
         if args.command == "trace":
             return cmd_trace(args)
+        if args.command == "watch":
+            return cmd_watch(args)
         if args.command == "report":
             return cmd_report(args)
         return cmd_list(args)

@@ -141,12 +141,16 @@ class FaultInjector:
         #: fault is emitted as a structured event.  Purely observational:
         #: the injector's RNG draws are identical with or without it.
         self.obs = None
+        #: Interval hint the engine refreshes each step (obs-only; the
+        #: injector itself never reads simulation progress).
+        self.current_interval = -1
 
     def _emit(self, model: str, **fields) -> None:
         if self.obs is not None:
             from repro.obs.events import EV_FAULT_INJECTED
 
-            self.obs.emit(EV_FAULT_INJECTED, model=model, **fields)
+            self.obs.emit(EV_FAULT_INJECTED, interval=self.current_interval,
+                          model=model, **fields)
             self.obs.inc("faults.injected", model=model)
 
     @property

@@ -8,6 +8,13 @@ Four cooperating pieces (see DESIGN.md "Observability architecture"):
   shared counter-arithmetic primitives ``PerfStats``/``CacheStats`` use;
 * :mod:`repro.obs.provenance` — per-region migration lifecycle records.
 
+Plus the streaming plane (DESIGN.md "Streaming observability"):
+
+* :mod:`repro.obs.stream` — NDJSON record schema + incremental publisher;
+* :mod:`repro.obs.sinks` — append-only file, socket, and mp-queue sinks;
+* :mod:`repro.obs.watch` — live aggregator and the ``repro watch``
+  dashboard.
+
 :class:`~repro.obs.context.ObsContext` bundles them; the stack is
 instrumented against ``obs: ObsContext | None`` and emits nothing when
 disabled.  Enabling observability never changes simulated results
@@ -44,6 +51,13 @@ from repro.obs.events import (
 )
 from repro.obs.export import build_chrome_trace, validate_chrome_trace
 from repro.obs.provenance import ProvenanceLog, ProvenanceRecord
+from repro.obs.sinks import NdjsonFileSink, RelaySink, Sink, SocketSink
+from repro.obs.stream import (
+    STREAM_SCHEMA_VERSION,
+    StreamPublisher,
+    iter_ndjson,
+    validate_stream_record,
+)
 from repro.obs.registry import (
     HistogramStat,
     MetricsRegistry,
@@ -75,17 +89,24 @@ __all__ = [
     "EventBus",
     "HistogramStat",
     "MetricsRegistry",
+    "NdjsonFileSink",
     "ObsConfig",
     "ObsContext",
     "ObsData",
     "ProvenanceLog",
     "ProvenanceRecord",
+    "RelaySink",
+    "STREAM_SCHEMA_VERSION",
+    "Sink",
+    "SocketSink",
     "Span",
     "SpanTracer",
+    "StreamPublisher",
     "build_chrome_trace",
     "combine_fields",
     "default_context",
     "delta_fields",
+    "iter_ndjson",
     "merge_sample_maps",
     "set_default_context",
     "validate_chrome_trace",

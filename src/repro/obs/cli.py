@@ -72,6 +72,42 @@ def trace_report(run_dir, page: int | None = None, limit: int = 50) -> str:
     return "\n".join(lines)
 
 
+def trace_follow(run_dir, page: int | None = None, timeout: float | None = None,
+                 poll: float = 0.2, limit: int | None = None,
+                 out=print) -> int:
+    """Tail the provenance stream of a still-running ``--obs-stream`` run.
+
+    Reads the NDJSON stream sink (``stream.ndjson``) rather than the
+    final export, so it works while the simulation is live and tolerates
+    a truncated final line.  Stops at the stream's ``end`` record, after
+    ``timeout`` seconds without new data, or after ``limit`` printed
+    records.  Returns the number of provenance records printed.
+    """
+    from repro.obs.stream import iter_ndjson
+
+    run_dir = Path(run_dir)
+    path = run_dir / "stream.ndjson" if run_dir.is_dir() else run_dir
+    printed = 0
+    for record in iter_ndjson(path, follow=True, poll_interval=poll,
+                              timeout=timeout):
+        if not isinstance(record, dict) or record.get("type") != "provenance":
+            continue
+        if page is not None:
+            start = record.get("page_start", 0)
+            if not (start <= page < start + record.get("npages", 0)):
+                continue
+        out(f"[{record.get('interval', -1):>5}] {record.get('stage', '?'):<16} "
+            f"region {record.get('page_start')}+{record.get('npages')} "
+            f"{record.get('src_node')}->{record.get('dst_node')} "
+            f"reason={record.get('reason') or '-'} "
+            f"score={record.get('score', 0.0):.3g} "
+            f"attempt={record.get('attempt', 0)}")
+        printed += 1
+        if limit is not None and printed >= limit:
+            break
+    return printed
+
+
 def obs_report(run_dir) -> str:
     """Metrics + event-count report for one run directory."""
     run_dir = Path(run_dir)
@@ -108,4 +144,4 @@ def obs_report(run_dir) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["obs_report", "trace_report"]
+__all__ = ["obs_report", "trace_follow", "trace_report"]

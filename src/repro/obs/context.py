@@ -38,13 +38,22 @@ from repro.obs.spans import SpanTracer
 
 @dataclass(frozen=True)
 class ObsConfig:
-    """Which planes are collected; picklable, travels to pool workers."""
+    """Which planes are collected; picklable, travels to pool workers.
+
+    ``stream`` arms the incremental publisher (:mod:`repro.obs.stream`):
+    contexts with sinks attached encode new telemetry every
+    ``stream_flush_every``-th interval flush.  The flag is picklable
+    config only — sinks themselves never travel to workers (forked
+    workers attach a relay instead; see ``bench.runner``).
+    """
 
     events: bool = True
     spans: bool = True
     metrics: bool = True
     provenance: bool = True
     max_events: int = DEFAULT_MAX_EVENTS
+    stream: bool = False
+    stream_flush_every: int = 1
 
 
 @dataclass
@@ -73,6 +82,8 @@ class ObsContext:
         self.provenance = ProvenanceLog()
         #: absorbed child-run snapshots, one Perfetto track each
         self.tracks: list[ObsData] = []
+        #: lazy streaming publisher; exists only once a sink is attached
+        self._publisher = None
 
     # -- instrumentation facade ---------------------------------------------
 
@@ -103,6 +114,48 @@ class ObsContext:
     def record_provenance(self, *args, **kwargs) -> None:
         if self.config.provenance:
             self.provenance.record(*args, **kwargs)
+
+    # -- streaming ------------------------------------------------------------
+
+    def add_sink(self, sink, owned: bool = True) -> None:
+        """Attach a streaming sink (creates the publisher on first use).
+
+        ``owned`` sinks are closed by :meth:`stream_close` and their
+        drop counters surface as ``obs.relay_backpressure``; shared
+        sinks (a collector's, borrowed by serial cells) are left alone.
+        """
+        if self._publisher is None:
+            from repro.obs.stream import StreamPublisher
+            self._publisher = StreamPublisher(self)
+        self._publisher.add_sink(sink, owned=owned)
+
+    @property
+    def stream_sinks(self) -> list:
+        """The attached sink objects (empty when not streaming)."""
+        if self._publisher is None:
+            return []
+        return [sink for sink, _ in self._publisher.sinks]
+
+    def stream_flush(self, force: bool = False) -> int:
+        """Push new telemetry to the sinks (no-op without a publisher)."""
+        if self._publisher is None:
+            return 0
+        return self._publisher.flush(force=force)
+
+    def stream_close(self, end_record: bool = True) -> None:
+        """Final flush + optional ``end`` marker; closes owned sinks."""
+        if self._publisher is not None:
+            self._publisher.close(end_record=end_record)
+
+    def stream_abort(self) -> None:
+        """Failure-path close: no end record, no dir-creating first write."""
+        if self._publisher is not None:
+            self._publisher.abort()
+
+    def relay_lines(self, lines: list) -> None:
+        """Forward already-encoded stream lines from a worker relay."""
+        if self._publisher is not None and lines:
+            self._publisher.write_raw(lines)
 
     # -- absorbing run-level summaries into the registry ---------------------
 
@@ -149,8 +202,26 @@ class ObsContext:
     # -- snapshot / absorb ----------------------------------------------------
 
     def snapshot(self, label: str | None = None) -> ObsData:
-        """Picklable copy of everything this context collected."""
+        """Picklable copy of everything this context collected.
+
+        Streaming loss counters are injected into the snapshot's
+        *copy* of the counter dict (never the live registry, so repeated
+        snapshots don't double-count): ``obs.dropped_events`` is
+        buffer+stream drops, ``obs.relay_backpressure`` is lines this
+        context's own relay/sinks failed to deliver.
+        """
         counters, gauges, histograms = self.registry.data()
+        if self.config.metrics:
+            dropped = self.bus.dropped
+            if self._publisher is not None:
+                dropped += self._publisher.dropped
+                backpressure = self._publisher.owned_sink_dropped()
+                if backpressure:
+                    key = ("obs.relay_backpressure", ())
+                    counters[key] = counters.get(key, 0) + backpressure
+            if dropped:
+                key = ("obs.dropped_events", ())
+                counters[key] = counters.get(key, 0) + dropped
         return ObsData(
             label=label if label is not None else self.label,
             events=list(self.bus.events),
@@ -169,6 +240,10 @@ class ObsContext:
         self.registry.merge_data(data.counters, data.gauges, data.histograms)
         self.provenance.extend(data.provenance)
         self.tracks.append(data)
+        if self._publisher is not None:
+            # The child's telemetry already streamed through its own
+            # publisher (shared sinks or relay); skip it in our deltas.
+            self._publisher.rebase()
 
     # -- aggregate views ------------------------------------------------------
 

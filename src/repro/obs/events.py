@@ -93,9 +93,21 @@ class EventBus:
 
     def emit(self, name: str, sim_time: float = 0.0, interval: int = -1,
              **fields) -> None:
-        """Record one event (drops, counting, once the buffer is full)."""
+        """Record one event (drops, counting, once the buffer is full).
+
+        Subscribers (e.g. a streaming publisher) are still notified of
+        events the bounded *buffer* drops — the stream has its own
+        bound — but the no-subscriber overflow path stays a bare
+        counter increment.
+        """
         if len(self.events) >= self.max_events:
             self.dropped += 1
+            if not self._subscribers:
+                return
+            event = Event(name, perf_counter() - self._origin, sim_time,
+                          interval, fields)
+            for callback in self._subscribers:
+                callback(event)
             return
         event = Event(name, perf_counter() - self._origin, sim_time,
                       interval, fields)

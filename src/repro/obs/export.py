@@ -117,12 +117,32 @@ def export_context(ctx, out_dir) -> dict:
     with open(paths["trace"], "w") as fh:
         json.dump(trace, fh)
     write_events_jsonl(ctx, paths["events"])
+    rendered = ctx.registry.as_dict()
+    # Child runs injected their stream-loss counters at snapshot time and
+    # absorb() merged them; the collector's *own* bus/publisher/sink drops
+    # are added here, into the rendered copy only (repeated exports must
+    # not compound them in the live registry).  Both counters are always
+    # materialized — a zero in metrics.json means "measured, no loss",
+    # which an absent key cannot say.
+    own_dropped = ctx.bus.dropped
+    backpressure = 0
+    publisher = getattr(ctx, "_publisher", None)
+    if publisher is not None:
+        own_dropped += publisher.dropped
+        backpressure = publisher.owned_sink_dropped()
+    counters = rendered["counters"]
+    counters["obs.dropped_events"] = (
+        counters.get("obs.dropped_events", 0) + own_dropped
+    )
+    counters["obs.relay_backpressure"] = (
+        counters.get("obs.relay_backpressure", 0) + backpressure
+    )
     with open(paths["metrics"], "w") as fh:
         json.dump({
             "label": ctx.label,
             "dropped_events": ctx.dropped_events(),
             "event_counts": ctx.event_counts(),
-            **ctx.registry.as_dict(),
+            **rendered,
         }, fh, indent=2, sort_keys=True)
     ctx.provenance.write_jsonl(paths["provenance"])
     return {key: str(path) for key, path in paths.items()}

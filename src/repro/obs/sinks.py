@@ -1,0 +1,257 @@
+"""Streaming sinks: where incremental telemetry lines go.
+
+A sink accepts batches of already-encoded NDJSON lines (see
+:mod:`repro.obs.stream` for the record schema) and must never raise into
+the simulation hot path: a sink that cannot deliver *drops and counts*.
+Three implementations:
+
+* :class:`NdjsonFileSink` — append-only file, opened lazily on the first
+  flush (so ``--obs-out`` is never created for a run that dies before
+  producing telemetry) and flushed every publisher flush, which makes the
+  file crash-tolerant: at worst the final line is truncated, and the tail
+  readers (:func:`repro.obs.stream.iter_ndjson`) hold a partial line back
+  until it completes.
+* :class:`SocketSink` — line protocol over a TCP or Unix stream socket
+  (``repro watch --connect`` is the matching listener).  Connects lazily,
+  reconnects with exponential backoff, and counts every line dropped
+  while disconnected.
+* :class:`RelaySink` — bounded ``multiprocessing`` queue bridge used by
+  pool workers to relay their stream to the parent collector during a
+  ``run_matrix``/``run_sweep``; a full queue is backpressure, so the
+  batch is dropped and counted (surfaced as ``obs.relay_backpressure``).
+
+Every sink exposes ``dropped`` so silent loss is always visible in the
+exported metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+
+class Sink:
+    """Protocol for streaming sinks (duck-typed; this base documents it).
+
+    Sinks receive *encoded* NDJSON lines (each ending in ``"\\n"``) in
+    batches.  They must be non-throwing: delivery failures increment
+    :attr:`dropped` instead of propagating into the simulation.
+    """
+
+    #: Lines this sink failed to deliver.
+    dropped: int = 0
+
+    def write_lines(self, lines: list[str]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered lines to the backing store (default: no-op)."""
+
+    def close(self) -> None:
+        """Release resources (default: no-op)."""
+
+
+def parse_address(address: str) -> tuple[str, object]:
+    """Parse a stream address into ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    Accepted forms: ``unix:/path/to.sock``, a bare path containing ``/``,
+    ``host:port``, or ``:port`` (binds/connects on 127.0.0.1).
+    """
+    if not address:
+        raise ConfigError("empty stream address")
+    if address.startswith("unix:"):
+        return ("unix", address[len("unix:"):])
+    if "/" in address or os.sep in address:
+        return ("unix", address)
+    host, _, port = address.rpartition(":")
+    if not port.isdigit():
+        raise ConfigError(
+            f"stream address must be unix:PATH, PATH, or HOST:PORT, got {address!r}"
+        )
+    return ("tcp", (host or "127.0.0.1", int(port)))
+
+
+class NdjsonFileSink(Sink):
+    """Append-only NDJSON file, lazily created at the first flush.
+
+    Laziness is load-bearing: attaching the sink must not touch the
+    filesystem, so a run that fails before its first interval leaves no
+    half-made ``--obs-out`` directory behind (and
+    :meth:`cleanup_if_empty` removes one this sink *did* create but never
+    wrote into).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.dropped = 0
+        self.lines_written = 0
+        self._fh = None
+        self._created_dir: Path | None = None
+
+    def write_lines(self, lines: list[str]) -> None:
+        """Append a batch, creating the file (and parent dir) on demand."""
+        if not lines:
+            return
+        if self._fh is None:
+            try:
+                parent = self.path.parent
+                if not parent.exists():
+                    parent.mkdir(parents=True, exist_ok=True)
+                    self._created_dir = parent
+                self._fh = open(self.path, "a", encoding="utf-8")
+            except OSError:
+                self.dropped += len(lines)
+                return
+        try:
+            self._fh.writelines(lines)
+            self.lines_written += len(lines)
+        except OSError:
+            self.dropped += len(lines)
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.flush()
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def cleanup_if_empty(self) -> bool:
+        """Remove the directory this sink created if nothing was written."""
+        if self.lines_written or self._created_dir is None:
+            return False
+        try:
+            os.rmdir(self._created_dir)
+        except OSError:
+            return False
+        self._created_dir = None
+        return True
+
+
+class SocketSink(Sink):
+    """Line-protocol client over a TCP or Unix stream socket.
+
+    Connects lazily on the first batch and reconnects with exponential
+    backoff after any send failure.  Lines offered while disconnected
+    (or while the backoff window is open) are dropped and counted —
+    live telemetry must never stall the simulation behind a dead
+    collector.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 0.5,
+        retry_backoff: float = 0.25,
+        max_backoff: float = 2.0,
+    ) -> None:
+        self.family, self.target = parse_address(address)
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.retry_backoff = retry_backoff
+        self.max_backoff = max_backoff
+        self.dropped = 0
+        self.lines_sent = 0
+        self.reconnects = 0
+        self._sock: socket.socket | None = None
+        self._backoff = retry_backoff
+        self._next_attempt = 0.0
+
+    def _connect(self) -> bool:
+        if self._sock is not None:
+            return True
+        now = time.monotonic()
+        if now < self._next_attempt:
+            return False
+        try:
+            if self.family == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            else:
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            sock.connect(self.target)
+            self._sock = sock
+            self._backoff = self.retry_backoff
+            self.reconnects += 1
+            return True
+        except OSError:
+            self._next_attempt = now + self._backoff
+            self._backoff = min(self._backoff * 2.0, self.max_backoff)
+            return False
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._next_attempt = time.monotonic() + self._backoff
+        self._backoff = min(self._backoff * 2.0, self.max_backoff)
+
+    def write_lines(self, lines: list[str]) -> None:
+        """Send a batch, dropping (counted) while disconnected."""
+        if not lines:
+            return
+        if not self._connect():
+            self.dropped += len(lines)
+            return
+        try:
+            self._sock.sendall("".join(lines).encode("utf-8"))
+            self.lines_sent += len(lines)
+        except OSError:
+            self.dropped += len(lines)
+            self._disconnect()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+
+class RelaySink(Sink):
+    """Bridges a worker's stream onto a bounded multiprocessing queue.
+
+    The parent collector drains the queue while the pool runs, so a
+    pooled matrix is watchable live.  ``put_nowait`` keeps the worker's
+    hot path wait-free: a full queue means the parent is not keeping up,
+    and the batch is dropped and counted rather than blocking simulation.
+    """
+
+    def __init__(self, queue) -> None:
+        self.queue = queue
+        self.dropped = 0
+        self.batches_sent = 0
+
+    def write_lines(self, lines: list[str]) -> None:
+        if not lines:
+            return
+        try:
+            self.queue.put_nowait(list(lines))
+            self.batches_sent += 1
+        except Exception:  # queue.Full, or a closed queue at teardown
+            self.dropped += len(lines)
+
+
+__all__ = [
+    "NdjsonFileSink",
+    "RelaySink",
+    "Sink",
+    "SocketSink",
+    "parse_address",
+]

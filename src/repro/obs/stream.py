@@ -1,0 +1,408 @@
+"""Incremental telemetry stream: NDJSON record schema + publisher.
+
+The obs plane of PR 4 buffers everything and exports once at the end.
+This module makes the same telemetry *streamable while the run is live*:
+a :class:`StreamPublisher` rides on an :class:`~repro.obs.context.ObsContext`
+and, on every ``stream_flush()`` (the engine calls it at interval
+boundaries), encodes what is *new since the last flush* — events, span
+completions, metric deltas, provenance records — as one NDJSON record
+per line and hands the batch to the attached sinks
+(:mod:`repro.obs.sinks`).
+
+Record schema (``v`` = :data:`STREAM_SCHEMA_VERSION`), one JSON object
+per line, discriminated by ``type``:
+
+=============  =============================================================
+``meta``       ``{type, v, track, pid}`` — first record of every track.
+``event``      ``{type, track, name, ts, sim_time, interval, **fields}``
+               (``name`` is one of the closed ``EV_*`` vocabulary).
+``span``       ``{type, track, name, cat, ts, dur, depth, args}``
+``metric``     ``{type, track, kind, name, labels}`` plus ``delta`` for
+               counters (increment since last flush), ``value`` for
+               gauges (current reading), and cumulative
+               ``count/total/min/max`` for histograms.
+``provenance`` ``{type, track, interval, stage, page_start, npages,
+               src_node, dst_node, reason, score, attempt, detail}``
+``end``        ``{type, track}`` — written exactly once, by the
+               *top-level* publisher's close; per-cell publishers in a
+               matrix close without it, so tail readers stop at the real
+               end of the stream.
+=============  =============================================================
+
+Counters stream as deltas so a reader can sum them without knowing flush
+boundaries; gauges stream as the current value; histograms stream their
+cumulative summary (idempotent for a late-joining reader).
+
+:func:`iter_ndjson` is the matching reader: it tolerates a truncated
+final line (a crash mid-``writelines`` loses at most that line — the
+partial tail is buffered until the newline arrives, or forever if it
+never does), skips unparseable complete lines, and in ``follow`` mode
+tails a still-growing file until an ``end`` record or a quiet-period
+timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.events import ALL_EVENTS, Event
+
+#: Bump when a record shape changes; readers check ``meta.v``.
+STREAM_SCHEMA_VERSION = 1
+
+#: Closed set of record discriminators.
+RECORD_TYPES = frozenset({
+    "meta", "event", "span", "metric", "provenance", "end",
+})
+
+#: Metric record kinds.
+METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+#: Cap on events held between flushes; beyond it events are counted and
+#: dropped from the *stream* (the bus buffer is bounded separately).
+DEFAULT_MAX_PENDING = 50_000
+
+_PROVENANCE_FIELDS = (
+    "interval", "stage", "page_start", "npages", "src_node", "dst_node",
+    "reason", "score", "attempt", "detail",
+)
+
+
+#: Shared compact encoder: skipping the per-call circular-reference memo
+#: measurably cheapens the per-interval hot path (records are flat).
+_ENCODE = json.JSONEncoder(
+    ensure_ascii=False, check_circular=False, separators=(",", ":")
+).encode
+
+
+def encode_record(record: dict) -> str:
+    """One compact NDJSON line (including the trailing newline)."""
+    return _ENCODE(record) + "\n"
+
+
+def validate_stream_record(record) -> list[str]:
+    """Schema check for one decoded record; returns a list of problems."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not an object"]
+    rtype = record.get("type")
+    if rtype not in RECORD_TYPES:
+        return [f"unknown record type {rtype!r}"]
+    if "track" not in record or not isinstance(record["track"], str):
+        errors.append(f"{rtype}: missing/non-string track")
+    if rtype == "meta":
+        if record.get("v") != STREAM_SCHEMA_VERSION:
+            errors.append(f"meta: schema version {record.get('v')!r} "
+                          f"!= {STREAM_SCHEMA_VERSION}")
+        if not isinstance(record.get("pid"), int):
+            errors.append("meta: missing/non-int pid")
+    elif rtype == "event":
+        if record.get("name") not in ALL_EVENTS:
+            errors.append(f"event: name {record.get('name')!r} not in "
+                          "the EV_* vocabulary")
+        for key in ("ts", "sim_time"):
+            if not isinstance(record.get(key), (int, float)):
+                errors.append(f"event: missing/non-numeric {key}")
+        if not isinstance(record.get("interval"), int):
+            errors.append("event: missing/non-int interval")
+    elif rtype == "span":
+        if not isinstance(record.get("name"), str):
+            errors.append("span: missing/non-string name")
+        for key in ("ts", "dur"):
+            if not isinstance(record.get(key), (int, float)):
+                errors.append(f"span: missing/non-numeric {key}")
+        if not isinstance(record.get("depth"), int):
+            errors.append("span: missing/non-int depth")
+    elif rtype == "metric":
+        kind = record.get("kind")
+        if kind not in METRIC_KINDS:
+            errors.append(f"metric: unknown kind {kind!r}")
+        if not isinstance(record.get("name"), str):
+            errors.append("metric: missing/non-string name")
+        labels = record.get("labels")
+        if not isinstance(labels, list) or any(
+            not (isinstance(p, list) and len(p) == 2) for p in labels or ()
+        ):
+            errors.append("metric: labels must be a list of [key, value] pairs")
+        if kind == "counter" and not isinstance(
+            record.get("delta"), (int, float)
+        ):
+            errors.append("metric: counter needs numeric delta")
+        elif kind == "gauge" and not isinstance(
+            record.get("value"), (int, float)
+        ):
+            errors.append("metric: gauge needs numeric value")
+        elif kind == "histogram":
+            for key in ("count", "total", "min", "max"):
+                if not isinstance(record.get(key), (int, float)):
+                    errors.append(f"metric: histogram needs numeric {key}")
+    elif rtype == "provenance":
+        for key in ("interval", "stage", "page_start", "npages",
+                    "src_node", "dst_node"):
+            if key not in record:
+                errors.append(f"provenance: missing {key}")
+    return errors
+
+
+class StreamPublisher:
+    """Incremental encoder from one ObsContext onto its sinks.
+
+    Keeps cursors into the context's span/provenance lists and baseline
+    snapshots of its metric series; each :meth:`flush` encodes only what
+    changed since the previous flush.  Events are captured via a bus
+    subscription into a bounded pending list, so the stream sees events
+    even after the bus buffer itself fills up.
+    """
+
+    def __init__(self, ctx, max_pending: int = DEFAULT_MAX_PENDING) -> None:
+        self.ctx = ctx
+        self.max_pending = max_pending
+        #: ``(sink, owned)`` pairs; only owned sinks are closed/counted here.
+        self.sinks: list[tuple[object, bool]] = []
+        #: events dropped from the stream because pending was full
+        self.dropped = 0
+        self._pending_events: list[Event] = []
+        self._span_cursor = 0
+        self._prov_cursor = 0
+        self._counter_base: dict = {}
+        self._gauge_last: dict = {}
+        self._hist_count: dict = {}
+        self._meta_sent = False
+        self._flush_calls = 0
+        self._closed = False
+        if ctx.config.events:
+            ctx.bus.subscribe(self._on_event)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_sink(self, sink, owned: bool = True) -> None:
+        self.sinks.append((sink, owned))
+
+    def owned_sink_dropped(self) -> int:
+        """Lines dropped by sinks this publisher owns (relay backpressure)."""
+        return sum(s.dropped for s, owned in self.sinks if owned)
+
+    def rebase(self) -> None:
+        """Advance baselines over the context's current state.
+
+        Called by a collector after ``absorb()``: the absorbed child data
+        already streamed from the child's own publisher (shared sinks or
+        relay), so the collector must not re-encode it as its own deltas.
+        """
+        registry = self.ctx.registry
+        self._counter_base = dict(registry.counters)
+        for key, stat in registry.histograms.items():
+            self._hist_count[key] = stat.count
+        for key, value in registry.gauges.items():
+            self._gauge_last[key] = value
+        self._prov_cursor = len(self.ctx.provenance.records)
+
+    def _on_event(self, event: Event) -> None:
+        if len(self._pending_events) >= self.max_pending:
+            self.dropped += 1
+            return
+        self._pending_events.append(event)
+
+    # -- encoding -------------------------------------------------------------
+
+    def _encode_new(self) -> list[str]:
+        track = self.ctx.label
+        lines: list[str] = []
+        if not self._meta_sent:
+            lines.append(encode_record({
+                "type": "meta", "v": STREAM_SCHEMA_VERSION,
+                "track": track, "pid": os.getpid(),
+            }))
+            self._meta_sent = True
+        if self._pending_events:
+            for event in self._pending_events:
+                lines.append(encode_record({
+                    "type": "event", "track": track, **event.as_dict(),
+                }))
+            self._pending_events.clear()
+        spans = self.ctx.tracer.spans
+        if self._span_cursor < len(spans):
+            for span in spans[self._span_cursor:]:
+                lines.append(encode_record({
+                    "type": "span", "track": track, "name": span.name,
+                    "cat": span.cat, "ts": span.ts, "dur": span.dur,
+                    "depth": span.depth, "args": span.args,
+                }))
+            self._span_cursor = len(spans)
+        records = self.ctx.provenance.records
+        if self._prov_cursor < len(records):
+            for rec in records[self._prov_cursor:]:
+                lines.append(encode_record({
+                    "type": "provenance", "track": track,
+                    **{f: getattr(rec, f) for f in _PROVENANCE_FIELDS},
+                }))
+            self._prov_cursor = len(records)
+        registry = self.ctx.registry
+        for key, value in registry.counters.items():
+            delta = value - self._counter_base.get(key, 0)
+            if delta:
+                name, labels = key
+                lines.append(encode_record({
+                    "type": "metric", "track": track, "kind": "counter",
+                    "name": name, "labels": [list(p) for p in labels],
+                    "delta": delta,
+                }))
+                self._counter_base[key] = value
+        for key, value in registry.gauges.items():
+            if self._gauge_last.get(key) != value:
+                name, labels = key
+                lines.append(encode_record({
+                    "type": "metric", "track": track, "kind": "gauge",
+                    "name": name, "labels": [list(p) for p in labels],
+                    "value": value,
+                }))
+                self._gauge_last[key] = value
+        for key, stat in registry.histograms.items():
+            if self._hist_count.get(key) != stat.count:
+                name, labels = key
+                lines.append(encode_record({
+                    "type": "metric", "track": track, "kind": "histogram",
+                    "name": name, "labels": [list(p) for p in labels],
+                    "count": stat.count, "total": stat.total,
+                    "min": stat.minimum if stat.count else 0.0,
+                    "max": stat.maximum if stat.count else 0.0,
+                }))
+                self._hist_count[key] = stat.count
+        return lines
+
+    # -- flushing -------------------------------------------------------------
+
+    def flush(self, force: bool = False) -> int:
+        """Encode-and-write everything new; returns lines written.
+
+        Honors ``config.stream_flush_every``: only every Nth non-forced
+        call actually writes, so high-frequency intervals can batch.
+        """
+        if self._closed or not self.sinks:
+            return 0
+        self._flush_calls += 1
+        every = getattr(self.ctx.config, "stream_flush_every", 1)
+        if not force and every > 1 and self._flush_calls % every:
+            return 0
+        lines = self._encode_new()
+        if lines:
+            self.write_raw(lines)
+        return len(lines)
+
+    def write_raw(self, lines: list[str]) -> None:
+        """Forward already-encoded lines (own flush, or a worker relay)."""
+        for sink, _ in self.sinks:
+            sink.write_lines(lines)
+        for sink, _ in self.sinks:
+            sink.flush()
+
+    def close(self, end_record: bool = True) -> None:
+        """Final flush, optional ``end`` marker, close owned sinks."""
+        if self._closed:
+            return
+        lines = self._encode_new()
+        if end_record:
+            lines.append(encode_record({
+                "type": "end", "track": self.ctx.label,
+            }))
+        if lines:
+            self.write_raw(lines)
+        for sink, owned in self.sinks:
+            if owned:
+                sink.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Failure-path close: no ``end`` record, and no first write.
+
+        If the stream already carried data, the pending tail is still
+        flushed (crash diagnostics); if nothing was ever written, the
+        sinks close untouched so a lazily-created ``--obs-out`` dir is
+        never materialised by the failure itself.
+        """
+        if self._closed:
+            return
+        if self._meta_sent:
+            lines = self._encode_new()
+            if lines:
+                self.write_raw(lines)
+        for sink, owned in self.sinks:
+            if owned:
+                sink.close()
+        self._closed = True
+
+
+def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
+                timeout: float | None = None):
+    """Yield decoded records from an NDJSON stream file.
+
+    Tolerant of a truncated final line: only complete (newline-terminated)
+    lines are decoded; a partial tail is buffered until it completes.
+    Complete-but-unparseable lines are skipped.  In ``follow`` mode the
+    file may not exist yet; the generator waits for it, keeps reading as
+    the file grows, and returns after yielding an ``end`` record or after
+    ``timeout`` seconds without new data.
+    """
+    import time as _time
+
+    deadline_clock = _time.monotonic
+    last_data = deadline_clock()
+    fh = None
+    buffer = ""
+    try:
+        while True:
+            if fh is None:
+                try:
+                    fh = open(path, "r", encoding="utf-8")
+                except OSError:
+                    if not follow:
+                        return
+                    if timeout is not None and (
+                        deadline_clock() - last_data > timeout
+                    ):
+                        return
+                    _time.sleep(poll_interval)
+                    continue
+            chunk = fh.read()
+            if chunk:
+                last_data = deadline_clock()
+                buffer += chunk
+                while True:
+                    newline = buffer.find("\n")
+                    if newline < 0:
+                        break
+                    line, buffer = buffer[:newline], buffer[newline + 1:]
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    yield record
+                    if isinstance(record, dict) and record.get("type") == "end":
+                        return
+            else:
+                if not follow:
+                    return
+                if timeout is not None and (
+                    deadline_clock() - last_data > timeout
+                ):
+                    return
+                _time.sleep(poll_interval)
+    finally:
+        if fh is not None:
+            fh.close()
+
+
+__all__ = [
+    "DEFAULT_MAX_PENDING",
+    "METRIC_KINDS",
+    "RECORD_TYPES",
+    "STREAM_SCHEMA_VERSION",
+    "StreamPublisher",
+    "encode_record",
+    "iter_ndjson",
+    "validate_stream_record",
+]

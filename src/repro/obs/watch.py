@@ -1,0 +1,638 @@
+"""Live telemetry aggregation + the ``repro watch`` dashboard.
+
+Consumes the NDJSON stream records of :mod:`repro.obs.stream` — from a
+growing ``stream.ndjson`` file (``--run DIR``) or a listening socket fed
+by :class:`~repro.obs.sinks.SocketSink` publishers (``--connect ADDR``;
+the watcher is the *server*, simulations push to it, so one dashboard
+can aggregate many runs) — and folds them into a :class:`LiveAggregate`
+rendered as a refresh-loop terminal dashboard or a static HTML page.
+
+The dashboard answers MTM's online questions: is the run making
+intervals, where do pages sit per tier, how much bandwidth is migration
+moving, and is profiling overhead holding under the paper's 5% budget
+(§4's constraint) — plus the reliability counters (faults, retries,
+cache hit ratio, stream drops).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.obs.events import (
+    EV_CACHE_HIT,
+    EV_CACHE_MISS,
+    EV_FAULT_INJECTED,
+    EV_INTERVAL_END,
+)
+from repro.obs.stream import STREAM_SCHEMA_VERSION, iter_ndjson
+from repro.units import PAGE_SIZE
+
+#: The paper's profiling-overhead constraint (§4): profiling may consume
+#: at most this fraction of application time.
+DEFAULT_BUDGET = 0.05
+
+
+class TrackState:
+    """Rolling state of one stream track (one engine run)."""
+
+    __slots__ = (
+        "intervals", "last_interval", "sim_time", "app_time", "prof_time",
+        "mig_time", "promoted_pages", "demoted_pages", "degraded",
+        "fault_events", "first_end_ts", "last_end_ts", "done",
+    )
+
+    def __init__(self) -> None:
+        self.intervals = 0
+        self.last_interval = -1
+        self.sim_time = 0.0
+        self.app_time = 0.0
+        self.prof_time = 0.0
+        self.mig_time = 0.0
+        self.promoted_pages = 0
+        self.demoted_pages = 0
+        self.degraded = 0
+        self.fault_events = 0
+        self.first_end_ts = None
+        self.last_end_ts = None
+        self.done = False
+
+
+class LiveAggregate:
+    """Folds stream records into the state the dashboard renders."""
+
+    def __init__(self) -> None:
+        self.tracks: dict[str, TrackState] = {}
+        self.counters: dict[tuple, float] = {}
+        self.gauges: dict[tuple, float] = {}
+        self.event_counts: dict[str, int] = {}
+        self.records = 0
+        self.invalid_records = 0
+        self.schema_mismatch = 0
+        self.done = False
+
+    def _track(self, name) -> TrackState:
+        track = self.tracks.get(name)
+        if track is None:
+            track = self.tracks[name] = TrackState()
+        return track
+
+    def feed(self, record) -> None:
+        """Fold one decoded record in (unknown shapes are counted, kept)."""
+        if not isinstance(record, dict):
+            self.invalid_records += 1
+            return
+        self.records += 1
+        rtype = record.get("type")
+        track_name = record.get("track", "")
+        if rtype == "meta":
+            self._track(track_name)
+            if record.get("v") != STREAM_SCHEMA_VERSION:
+                self.schema_mismatch += 1
+        elif rtype == "event":
+            name = record.get("name", "")
+            self.event_counts[name] = self.event_counts.get(name, 0) + 1
+            track = self._track(track_name)
+            if name == EV_INTERVAL_END:
+                track.intervals += 1
+                track.last_interval = record.get("interval", -1)
+                track.sim_time = record.get("sim_time", track.sim_time)
+                track.app_time += record.get("app_time", 0.0)
+                track.prof_time += record.get("profiling_time", 0.0)
+                track.mig_time += record.get("migration_time", 0.0)
+                track.promoted_pages += record.get("promoted_pages", 0)
+                track.demoted_pages += record.get("demoted_pages", 0)
+                if record.get("degraded"):
+                    track.degraded += 1
+                ts = record.get("ts")
+                if isinstance(ts, (int, float)):
+                    if track.first_end_ts is None:
+                        track.first_end_ts = ts
+                    track.last_end_ts = ts
+            elif name == EV_FAULT_INJECTED:
+                track.fault_events += 1
+        elif rtype == "metric":
+            name = record.get("name", "")
+            labels = tuple(tuple(p) for p in record.get("labels") or ())
+            key = (name, labels)
+            kind = record.get("kind")
+            if kind == "counter":
+                self.counters[key] = (
+                    self.counters.get(key, 0) + record.get("delta", 0)
+                )
+            elif kind == "gauge":
+                self.gauges[key] = record.get("value", 0)
+        elif rtype == "end":
+            self._track(track_name).done = True
+            self.done = True
+        elif rtype not in ("span", "provenance"):
+            self.invalid_records += 1
+
+    def feed_lines(self, records) -> None:
+        for record in records:
+            self.feed(record)
+
+    # -- derived views --------------------------------------------------------
+
+    def counter_total(self, name: str) -> float:
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    def interval_rate(self) -> float:
+        """Aggregate host-side intervals/second across tracks."""
+        rate = 0.0
+        for track in self.tracks.values():
+            if (track.intervals >= 2 and track.first_end_ts is not None
+                    and track.last_end_ts is not None
+                    and track.last_end_ts > track.first_end_ts):
+                rate += (track.intervals - 1) / (
+                    track.last_end_ts - track.first_end_ts
+                )
+        return rate
+
+    def tier_occupancy(self) -> list[tuple[int, float, float]]:
+        """``(node, used_pages, capacity_pages)`` per tier, latest values."""
+        used: dict[int, float] = {}
+        cap: dict[int, float] = {}
+        for (name, labels), value in self.gauges.items():
+            node = next(
+                (int(v) for k, v in labels if k == "node"), None
+            )
+            if node is None:
+                continue
+            if name == "tier.occupancy_pages":
+                used[node] = value
+            elif name == "tier.capacity_pages":
+                cap[node] = value
+        return [
+            (node, used[node], cap.get(node, 0.0)) for node in sorted(used)
+        ]
+
+    def summary(self) -> dict:
+        """Everything the renderers need, as plain values."""
+        intervals = sum(t.intervals for t in self.tracks.values())
+        app = sum(t.app_time for t in self.tracks.values())
+        prof = sum(t.prof_time for t in self.tracks.values())
+        mig = sum(t.mig_time for t in self.tracks.values())
+        sim_time = sum(t.sim_time for t in self.tracks.values())
+        promoted = sum(t.promoted_pages for t in self.tracks.values())
+        demoted = sum(t.demoted_pages for t in self.tracks.values())
+        moved_bytes = (promoted + demoted) * PAGE_SIZE
+        hits = self.counter_total("cache.hits") or self.event_counts.get(
+            EV_CACHE_HIT, 0
+        )
+        misses = self.counter_total("cache.misses") or self.event_counts.get(
+            EV_CACHE_MISS, 0
+        )
+        return {
+            "tracks": len(self.tracks),
+            "tracks_done": sum(1 for t in self.tracks.values() if t.done),
+            "records": self.records,
+            "intervals": intervals,
+            "interval_rate": self.interval_rate(),
+            "sim_time": sim_time,
+            "app_time": app,
+            "profile_time": prof,
+            "migrate_time": mig,
+            "profile_overhead": (prof / app) if app > 0 else 0.0,
+            "promoted_pages": promoted,
+            "demoted_pages": demoted,
+            "migration_bandwidth": (moved_bytes / sim_time) if sim_time > 0 else 0.0,
+            "degraded_intervals": sum(t.degraded for t in self.tracks.values()),
+            "faults": sum(t.fault_events for t in self.tracks.values()),
+            "retries_scheduled": self.counter_total("migrate.retries_scheduled"),
+            "retries_succeeded": self.counter_total("migrate.retries_succeeded"),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_ratio": (hits / (hits + misses)) if (hits + misses) else 0.0,
+            "dropped_events": self.counter_total("obs.dropped_events"),
+            "relay_backpressure": self.counter_total("obs.relay_backpressure"),
+            "tiers": self.tier_occupancy(),
+            "done": self.done,
+        }
+
+
+# -- terminal rendering -------------------------------------------------------
+
+
+def _bar(frac: float, width: int = 24, marker: float | None = None) -> str:
+    frac = min(max(frac, 0.0), 1.0)
+    filled = round(frac * width)
+    cells = ["#"] * filled + ["."] * (width - filled)
+    if marker is not None and 0.0 <= marker <= 1.0:
+        pos = min(int(marker * width), width - 1)
+        cells[pos] = "|"
+    return "".join(cells)
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} TiB"
+
+
+def render_text(agg: LiveAggregate, budget: float = DEFAULT_BUDGET) -> str:
+    """One dashboard frame as plain text."""
+    s = agg.summary()
+    lines = []
+    status = "done" if s["done"] else "running"
+    lines.append(
+        f"repro watch · {status} · tracks {s['tracks']} "
+        f"({s['tracks_done']} done) · records {s['records']}"
+    )
+    lines.append(
+        f"intervals {s['intervals']} @ {s['interval_rate']:.1f}/s host · "
+        f"sim time {s['sim_time']:.3f} s"
+    )
+    if s["tiers"]:
+        lines.append("tier occupancy:")
+        for node, used, cap in s["tiers"]:
+            frac = used / cap if cap else 0.0
+            lines.append(
+                f"  node {node}  [{_bar(frac)}] "
+                f"{int(used)}/{int(cap)} pages ({frac * 100:.1f}%)"
+            )
+    total_time = s["app_time"] + s["profile_time"] + s["migrate_time"]
+    if total_time > 0:
+        lines.append(
+            f"sim time split: app {s['app_time'] / total_time * 100:.1f}% · "
+            f"profile {s['profile_time'] / total_time * 100:.1f}% · "
+            f"migrate {s['migrate_time'] / total_time * 100:.1f}%"
+        )
+    overhead = s["profile_overhead"]
+    verdict = "OK" if overhead <= budget else "OVER BUDGET"
+    lines.append(
+        f"profiling overhead {overhead * 100:.2f}% of app time "
+        f"[{_bar(overhead / (2 * budget) if budget else 0.0, marker=0.5)}] "
+        f"budget {budget * 100:.0f}% {verdict}"
+    )
+    lines.append(
+        f"migration: {s['promoted_pages']} pages promoted, "
+        f"{s['demoted_pages']} demoted · "
+        f"{_fmt_bytes(s['migration_bandwidth'])}/s sim bandwidth"
+    )
+    lines.append(
+        f"faults {s['faults']} · degraded intervals {s['degraded_intervals']} · "
+        f"retries {s['retries_scheduled']:.0f} scheduled / "
+        f"{s['retries_succeeded']:.0f} succeeded"
+    )
+    lines.append(
+        f"trace cache: {s['cache_hit_ratio'] * 100:.1f}% hit "
+        f"({s['cache_hits']:.0f} hits / {s['cache_misses']:.0f} misses)"
+    )
+    lines.append(
+        f"stream drops: events {s['dropped_events']:.0f} · "
+        f"relay backpressure {s['relay_backpressure']:.0f}"
+    )
+    if agg.invalid_records or agg.schema_mismatch:
+        lines.append(
+            f"stream problems: {agg.invalid_records} invalid records, "
+            f"{agg.schema_mismatch} schema mismatches"
+        )
+    return "\n".join(lines)
+
+
+# -- HTML rendering -----------------------------------------------------------
+
+_HTML_STYLE = """
+:root { color-scheme: light dark; }
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --status-good: #0ca30c;
+  --status-critical: #d03b3b;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+.viz-root h1 { font-size: 18px; margin: 0 0 4px; }
+.viz-root .sub { color: var(--text-secondary); font-size: 13px; margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 16px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 150px;
+}
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.tile .value { font-size: 24px; margin-top: 2px; }
+.tile .detail { color: var(--muted); font-size: 12px; margin-top: 2px; }
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; margin-bottom: 12px;
+}
+.panel h2 { font-size: 13px; color: var(--text-secondary); margin: 0 0 8px; font-weight: 600; }
+.meter-row { display: flex; align-items: center; gap: 10px; margin: 6px 0; font-size: 13px; }
+.meter-row .name { width: 90px; color: var(--text-secondary); }
+.meter { position: relative; flex: 1; height: 10px; background: var(--grid); border-radius: 4px; }
+.meter .fill { position: absolute; inset: 0 auto 0 0; border-radius: 4px; background: var(--series-1); }
+.meter .budget { position: absolute; top: -3px; bottom: -3px; width: 2px; background: var(--text-secondary); }
+.meter-row .num { width: 200px; text-align: right; font-variant-numeric: tabular-nums; }
+.status-ok { color: var(--status-good); font-weight: 600; }
+.status-over { color: var(--status-critical); font-weight: 600; }
+"""
+
+
+def _esc(text) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def render_html(agg: LiveAggregate, budget: float = DEFAULT_BUDGET,
+                title: str = "repro watch") -> str:
+    """Self-contained static dashboard page (no external assets)."""
+    s = agg.summary()
+    overhead = s["profile_overhead"]
+    over = overhead > budget
+    tiles = [
+        ("Intervals", f"{s['intervals']}",
+         f"{s['interval_rate']:.1f}/s host rate"),
+        ("Sim time", f"{s['sim_time']:.3f} s",
+         f"{s['tracks']} tracks, {s['tracks_done']} done"),
+        ("Migration", f"{_esc(_fmt_bytes(s['migration_bandwidth']))}/s",
+         f"{s['promoted_pages']} promoted / {s['demoted_pages']} demoted pages"),
+        ("Cache hit", f"{s['cache_hit_ratio'] * 100:.1f}%",
+         f"{s['cache_hits']:.0f} hits / {s['cache_misses']:.0f} misses"),
+        ("Faults", f"{s['faults']}",
+         f"{s['degraded_intervals']} degraded intervals, "
+         f"{s['retries_succeeded']:.0f}/{s['retries_scheduled']:.0f} retries ok"),
+        ("Stream drops", f"{s['dropped_events'] + s['relay_backpressure']:.0f}",
+         f"events {s['dropped_events']:.0f} · relay "
+         f"{s['relay_backpressure']:.0f}"),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{value}</div>'
+        f'<div class="detail">{detail}</div></div>'
+        for label, value, detail in tiles
+    )
+    tier_rows = ""
+    for node, used, cap in s["tiers"]:
+        frac = used / cap if cap else 0.0
+        tier_rows += (
+            f'<div class="meter-row"><span class="name">node {node}</span>'
+            f'<span class="meter"><span class="fill" '
+            f'style="width:{min(frac, 1.0) * 100:.1f}%"></span></span>'
+            f'<span class="num">{int(used)}/{int(cap)} pages '
+            f"({frac * 100:.1f}%)</span></div>"
+        )
+    overhead_frac = min(overhead / (2 * budget), 1.0) if budget else 0.0
+    verdict_cls = "status-over" if over else "status-ok"
+    verdict = "✗ over budget" if over else "✓ within budget"
+    status = "done" if s["done"] else "running"
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_HTML_STYLE}</style></head>
+<body class="viz-root">
+<h1>{_esc(title)}</h1>
+<p class="sub">{status} · {s['records']} stream records · schema v{STREAM_SCHEMA_VERSION}</p>
+<div class="tiles">{tile_html}</div>
+<div class="panel"><h2>Tier occupancy</h2>{tier_rows or '<p class="sub">no occupancy gauges yet</p>'}</div>
+<div class="panel"><h2>Profiling overhead vs budget</h2>
+<div class="meter-row"><span class="name">profiling</span>
+<span class="meter"><span class="fill" style="width:{overhead_frac * 100:.1f}%"></span>
+<span class="budget" style="left:50%"></span></span>
+<span class="num">{overhead * 100:.2f}% of app time ·
+<span class="{verdict_cls}">{verdict}</span> ({budget * 100:.0f}%)</span></div>
+</div>
+</body></html>
+"""
+
+
+# -- sources ------------------------------------------------------------------
+
+
+def resolve_stream_path(run):
+    """``--run`` accepts the obs dir or the stream file itself."""
+    import os
+
+    if os.path.isdir(run):
+        return os.path.join(run, "stream.ndjson")
+    return run
+
+
+class SocketCollector:
+    """Listening endpoint for SocketSink publishers (``--connect``).
+
+    The watcher binds/listens; each connected simulation pushes its
+    NDJSON lines, decoded and fed to the aggregate under ``lock``.
+    """
+
+    def __init__(self, address: str, agg: LiveAggregate,
+                 lock: threading.Lock) -> None:
+        import json as _json
+        import socket as _socket
+
+        from repro.obs.sinks import parse_address
+
+        self._json = _json
+        self.agg = agg
+        self.lock = lock
+        family, target = parse_address(address)
+        if family == "unix":
+            import os as _os
+
+            try:
+                _os.unlink(target)
+            except OSError:
+                pass
+            self.sock = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+        else:
+            self.sock = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
+            self.sock.setsockopt(
+                _socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1
+            )
+        self.sock.bind(target)
+        self.sock.listen(8)
+        self.sock.settimeout(0.2)
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    def start(self) -> None:
+        """Begin accepting publisher connections on a background thread."""
+        thread = threading.Thread(target=self._accept_loop, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                continue
+            thread = threading.Thread(
+                target=self._reader, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _reader(self, conn) -> None:
+        conn.settimeout(0.2)
+        buffer = b""
+        while not self._stop.is_set():
+            try:
+                chunk = conn.recv(65536)
+            except TimeoutError:
+                continue
+            except OSError:
+                break
+            if not chunk:
+                break
+            buffer += chunk
+            while True:
+                newline = buffer.find(b"\n")
+                if newline < 0:
+                    break
+                line, buffer = buffer[:newline], buffer[newline + 1:]
+                try:
+                    record = self._json.loads(line)
+                except ValueError:
+                    continue
+                with self.lock:
+                    self.agg.feed(record)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# -- the watch loop -----------------------------------------------------------
+
+
+def run_watch(
+    run: str | None = None,
+    connect: str | None = None,
+    refresh: float = 1.0,
+    once: bool = False,
+    duration: float | None = None,
+    wait: float | None = None,
+    html: str | None = None,
+    budget: float = DEFAULT_BUDGET,
+    out=None,
+) -> int:
+    """Drive the dashboard until the stream ends (or forever).
+
+    Exactly one of ``run``/``connect``.  ``once`` drains what is
+    available and prints a single frame (CI's tail-while-running mode);
+    ``wait`` bounds how long ``--once`` waits for the stream to appear.
+    """
+    if out is None:
+        out = print
+    agg = LiveAggregate()
+    lock = threading.Lock()
+    stop = threading.Event()
+    collector = None
+
+    def write_html() -> None:
+        if html:
+            with lock:
+                page = render_html(agg, budget=budget)
+            with open(html, "w", encoding="utf-8") as fh:
+                fh.write(page)
+
+    if run is not None:
+        path = resolve_stream_path(run)
+        if once:
+            deadline = time.monotonic() + (wait or 0.0)
+            while True:
+                # Fresh aggregate per attempt: the file is re-read from
+                # the start, so feeding into the old one would double.
+                attempt = LiveAggregate()
+                for record in iter_ndjson(path):
+                    attempt.feed(record)
+                agg = attempt
+                if agg.records or time.monotonic() >= deadline:
+                    break
+                time.sleep(0.2)
+            write_html()
+            out(render_text(agg, budget=budget))
+            return 0 if agg.records else 1
+
+        def pump() -> None:
+            for record in iter_ndjson(
+                path, follow=True, timeout=duration
+            ):
+                with lock:
+                    agg.feed(record)
+                if stop.is_set():
+                    return
+
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+    else:
+        collector = SocketCollector(connect, agg, lock)
+        collector.start()
+        if once:
+            time.sleep(wait if wait is not None else refresh)
+            write_html()
+            out(render_text(agg, budget=budget))
+            collector.close()
+            return 0 if agg.records else 1
+
+    started = time.monotonic()
+    is_tty = hasattr(sys.stdout, "isatty") and sys.stdout.isatty()
+    try:
+        while True:
+            time.sleep(refresh)
+            with lock:
+                frame = render_text(agg, budget=budget)
+                done = agg.done
+            if is_tty:
+                out("\x1b[2J\x1b[H" + frame)
+            else:
+                out(frame)
+            write_html()
+            if done:
+                break
+            if duration is not None and time.monotonic() - started >= duration:
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        if collector is not None:
+            collector.close()
+        write_html()
+    return 0
+
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "LiveAggregate",
+    "SocketCollector",
+    "TrackState",
+    "render_html",
+    "render_text",
+    "resolve_stream_path",
+    "run_watch",
+]

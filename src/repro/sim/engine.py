@@ -450,6 +450,10 @@ class SimulationEngine:
         if obs is not None:
             obs.emit(EV_INTERVAL_START, sim_time=self.clock.now,
                      interval=len(self._records))
+            if self.injector is not None:
+                # Fault events carry the current interval in the stream;
+                # the injector has no other view of simulation progress.
+                self.injector.current_interval = len(self._records)
             with obs.span("workload", cat="engine", index=len(self._records)):
                 batch = self._next_batch()
         else:
@@ -548,6 +552,13 @@ class SimulationEngine:
             obs.inc("engine.intervals")
             if record.degraded:
                 obs.inc("engine.degraded_intervals")
+            for component in self.topology.components:
+                node = component.node_id
+                obs.set_gauge("tier.occupancy_pages",
+                              self.frames.used_pages(node), node=node)
+                obs.set_gauge("tier.capacity_pages",
+                              self.frames.capacity_pages(node), node=node)
+            obs.stream_flush()
         return record
 
     def _profile_and_migrate(self, record: IntervalRecord) -> None:

@@ -66,10 +66,15 @@ def sim_event_counts(ctx: ObsContext) -> dict[str, int]:
 
 
 def sim_counters(ctx: ObsContext) -> dict:
-    """Counters minus process-local cache hits and host wall-clock."""
+    """Counters minus process-local cache/wall-clock/stream-loss data.
+
+    ``obs.*`` counters (dropped events, relay backpressure) describe the
+    telemetry transport itself — a pooled run may report backpressure a
+    serial run cannot — so they are host-side, not simulated.
+    """
     return {
         key: value for key, value in ctx.registry.counters.items()
-        if not key[0].startswith(("cache.", "perf."))
+        if not key[0].startswith(("cache.", "perf.", "obs."))
     }
 
 

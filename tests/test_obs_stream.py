@@ -1,0 +1,622 @@
+"""Streaming-telemetry plane: sinks, publisher, relay, watch, identity.
+
+Covers the live-streaming contracts on top of the core obs plane:
+
+* NDJSON file sink: lazy directory creation, append-only round-trip,
+  crash-tolerant tailing (a truncated final line is never yielded);
+* publisher: every record validates against the stream schema, counters
+  reconstruct exactly from deltas, bounded buffering surfaces as the
+  ``obs.dropped_events`` metric;
+* relay: pool workers stream through the parent without perturbing the
+  serial==pooled collector identity, and queue backpressure surfaces as
+  ``obs.relay_backpressure``;
+* socket sink: connects lazily, survives the peer dying, reconnects;
+* bit-identity: streaming on (serial, pooled, faulty) never changes a
+  simulated number;
+* a second process can tail a live ``--obs-stream`` run (the headline
+  acceptance test for `repro watch`);
+* the watch aggregator/renderers and ``trace --follow``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import run_matrix
+from repro.bench.scaling import BenchProfile
+from repro.core.baselines import make_engine
+from repro.errors import ConfigError
+from repro.obs.context import ObsConfig, ObsContext
+from repro.obs.sinks import NdjsonFileSink, RelaySink, SocketSink, parse_address
+from repro.obs.stream import (
+    STREAM_SCHEMA_VERSION,
+    iter_ndjson,
+    validate_stream_record,
+)
+from repro.obs.watch import LiveAggregate, render_html, render_text, run_watch
+from tests.support import fingerprint, matrix_fingerprint
+
+SCALE = 1 / 512
+SEED = 3
+INTERVALS = 6
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def stream_engine(tmp_path, *, intervals=INTERVALS, name="stream.ndjson",
+                  flush_every=1, max_events=None, injector=None):
+    """Run one engine with a file-sink streaming context; return
+    (path, context, result)."""
+    kwargs = {"stream": True, "stream_flush_every": flush_every}
+    if max_events is not None:
+        kwargs["max_events"] = max_events
+    ctx = ObsContext(ObsConfig(**kwargs), label="t")
+    path = tmp_path / name
+    ctx.add_sink(NdjsonFileSink(path))
+    engine = make_engine("mtm", "gups", scale=SCALE, seed=SEED, obs=ctx,
+                         injector=injector)
+    result = engine.run(intervals)
+    ctx.stream_close()
+    return path, ctx, result
+
+
+def read_records(path):
+    return [json.loads(line) for line in open(path)]
+
+
+# -- sinks ---------------------------------------------------------------------
+
+
+class TestParseAddress:
+    def test_unix_prefix_and_bare_path(self):
+        assert parse_address("unix:/tmp/s.sock") == ("unix", "/tmp/s.sock")
+        assert parse_address("/tmp/s.sock") == ("unix", "/tmp/s.sock")
+
+    def test_tcp_forms(self):
+        assert parse_address("localhost:9000") == ("tcp", ("localhost", 9000))
+        assert parse_address(":9000") == ("tcp", ("127.0.0.1", 9000))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_address("not-an-address")
+        with pytest.raises(ConfigError):
+            parse_address("host:notaport")
+
+
+class TestNdjsonFileSink:
+    def test_directory_created_lazily_at_first_write(self, tmp_path):
+        out = tmp_path / "obs-out"
+        sink = NdjsonFileSink(out / "stream.ndjson")
+        assert not out.exists()
+        sink.write_lines(['{"type": "meta"}\n'])
+        sink.flush()
+        assert out.exists()
+        sink.close()
+        assert read_records(out / "stream.ndjson") == [{"type": "meta"}]
+
+    def test_cleanup_if_empty_removes_created_dir(self, tmp_path):
+        out = tmp_path / "never-used"
+        sink = NdjsonFileSink(out / "stream.ndjson")
+        sink.close()
+        sink.cleanup_if_empty()
+        assert not out.exists()
+
+    def test_cleanup_keeps_dir_it_did_not_create(self, tmp_path):
+        sink = NdjsonFileSink(tmp_path / "stream.ndjson")
+        sink.close()
+        sink.cleanup_if_empty()
+        assert tmp_path.exists()
+
+    def test_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "s.ndjson"
+        for i in range(2):
+            sink = NdjsonFileSink(path)
+            sink.write_lines([json.dumps({"i": i}) + "\n"])
+            sink.close()
+        assert [r["i"] for r in read_records(path)] == [0, 1]
+
+
+class TestIterNdjson:
+    def test_truncated_final_line_is_not_yielded(self, tmp_path):
+        path = tmp_path / "s.ndjson"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"trunc')
+        assert list(iter_ndjson(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_unparseable_complete_line_is_skipped(self, tmp_path):
+        path = tmp_path / "s.ndjson"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        assert list(iter_ndjson(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_follow_yields_appended_data_and_stops_at_end(self, tmp_path):
+        path = tmp_path / "s.ndjson"
+        path.write_text('{"type": "meta"}\n')
+
+        def append():
+            time.sleep(0.15)
+            with open(path, "a") as fh:
+                fh.write('{"type": "event"}\n{"type": "end"}\n')
+
+        writer = threading.Thread(target=append)
+        writer.start()
+        got = list(iter_ndjson(path, follow=True, poll_interval=0.02,
+                               timeout=5.0))
+        writer.join()
+        assert [r["type"] for r in got] == ["meta", "event", "end"]
+
+    def test_follow_times_out_without_data(self, tmp_path):
+        path = tmp_path / "s.ndjson"
+        path.write_text('{"type": "meta"}\n')
+        t0 = time.monotonic()
+        got = list(iter_ndjson(path, follow=True, poll_interval=0.02,
+                               timeout=0.2))
+        assert time.monotonic() - t0 < 2.0
+        assert [r["type"] for r in got] == ["meta"]
+
+
+# -- publisher -----------------------------------------------------------------
+
+
+class TestStreamPublisher:
+    def test_every_record_validates(self, tmp_path):
+        path, _, _ = stream_engine(tmp_path)
+        records = read_records(path)
+        assert records, "stream is empty"
+        for rec in records:
+            assert validate_stream_record(rec) == [], rec
+
+    def test_stream_shape(self, tmp_path):
+        path, ctx, _ = stream_engine(tmp_path)
+        records = read_records(path)
+        assert records[0]["type"] == "meta"
+        assert records[0]["v"] == STREAM_SCHEMA_VERSION
+        assert records[-1]["type"] == "end"
+        assert sum(1 for r in records if r["type"] == "end") == 1
+        by_type = {t: sum(1 for r in records if r["type"] == t)
+                   for t in ("event", "span", "provenance")}
+        assert by_type["event"] == len(ctx.bus.events)
+        assert by_type["span"] == len(ctx.tracer.spans)
+        assert by_type["provenance"] == len(ctx.provenance.records)
+
+    def test_counter_deltas_reconstruct_totals(self, tmp_path):
+        path, ctx, _ = stream_engine(tmp_path)
+        totals: dict = {}
+        for rec in read_records(path):
+            if rec["type"] == "metric" and rec["kind"] == "counter":
+                key = (rec["name"], tuple(tuple(kv) for kv in rec["labels"]))
+                totals[key] = totals.get(key, 0) + rec["delta"]
+        expected = {
+            (name, labels): value
+            for (name, labels), value in ctx.registry.counters.items()
+        }
+        assert totals == pytest.approx(expected)
+
+    def test_flush_every_n_reduces_writes_not_records(self, tmp_path):
+        p1, _, _ = stream_engine(tmp_path, name="every1.ndjson",
+                                 flush_every=1)
+        p4, _, _ = stream_engine(tmp_path, name="every4.ndjson",
+                                 flush_every=4)
+        # Same telemetry reaches the stream either way.
+        count = lambda p, t: sum(1 for r in read_records(p)
+                                 if r["type"] == t)
+        for kind in ("event", "span", "provenance"):
+            assert count(p1, kind) == count(p4, kind)
+
+    def test_bounded_pending_surfaces_as_dropped_metric(self):
+        ctx = ObsContext(ObsConfig(stream=True), label="t")
+        ctx.add_sink(RelaySink(_NullQueue()))
+        ctx._publisher.max_pending = 4
+        for i in range(32):
+            ctx.emit("interval.start", interval=i)
+        assert ctx._publisher.dropped == 32 - 4
+        snap = ctx.snapshot()
+        assert snap.counters[("obs.dropped_events", ())] == 32 - 4
+
+    def test_abort_without_flush_never_creates_the_dir(self, tmp_path):
+        out = tmp_path / "obs-out"
+        ctx = ObsContext(ObsConfig(stream=True), label="t")
+        ctx.add_sink(NdjsonFileSink(out / "stream.ndjson"))
+        ctx.emit("interval.start", interval=0)  # pending but never flushed
+        ctx.stream_abort()
+        assert not out.exists()
+
+
+class _NullQueue:
+    """Queue stand-in that accepts everything (RelaySink happy path)."""
+
+    def __init__(self):
+        self.batches = []
+
+    def put_nowait(self, item):
+        self.batches.append(item)
+
+
+class _FullQueue:
+    def put_nowait(self, item):
+        raise OSError("queue full")
+
+
+class TestRelaySink:
+    def test_delivers_batches(self):
+        q = _NullQueue()
+        sink = RelaySink(q)
+        sink.write_lines(["a", "b"])
+        assert q.batches == [["a", "b"]]
+        assert sink.dropped == 0
+
+    def test_full_queue_counts_drops(self):
+        sink = RelaySink(_FullQueue())
+        sink.write_lines(["a", "b", "c"])
+        assert sink.dropped == 3
+
+    def test_relay_backpressure_metric(self):
+        ctx = ObsContext(ObsConfig(stream=True), label="t")
+        ctx.add_sink(RelaySink(_FullQueue()), owned=True)
+        ctx.emit("interval.start", interval=0)
+        ctx.stream_flush(force=True)
+        snap = ctx.snapshot()
+        assert snap.counters[("obs.relay_backpressure", ())] > 0
+
+
+# -- socket sink ---------------------------------------------------------------
+
+
+class _LineServer:
+    """Minimal line-protocol listener for socket-sink tests."""
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(1)
+        self.port = self.sock.getsockname()[1]
+        self.lines: list[str] = []
+        self._stop = False
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        self.sock.settimeout(0.1)
+        buf = b""
+        conn = None
+        while not self._stop:
+            if conn is None:
+                try:
+                    conn, _ = self.sock.accept()
+                    conn.settimeout(0.1)
+                except TimeoutError:
+                    continue
+            try:
+                data = conn.recv(65536)
+            except TimeoutError:
+                continue
+            except OSError:
+                conn = None
+                continue
+            if not data:
+                conn.close()
+                conn = None
+                continue
+            buf += data
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                self.lines.append(line.decode())
+        if conn is not None:
+            conn.close()
+
+    def close(self):
+        self._stop = True
+        self.thread.join(timeout=2)
+        self.sock.close()
+
+
+class TestSocketSink:
+    def test_streams_lines_to_listener(self):
+        server = _LineServer()
+        try:
+            sink = SocketSink(f"127.0.0.1:{server.port}")
+            sink.write_lines(['{"a": 1}\n', '{"b": 2}\n'])
+            sink.flush()
+            deadline = time.monotonic() + 2
+            while len(server.lines) < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.lines == ['{"a": 1}', '{"b": 2}']
+            sink.close()
+        finally:
+            server.close()
+
+    def test_drops_while_peer_down_then_reconnects(self):
+        server = _LineServer()
+        port = server.port
+        sink = SocketSink(f"127.0.0.1:{port}", retry_backoff=0.05,
+                          max_backoff=0.05)
+        sink.write_lines(["one\n"])
+        deadline = time.monotonic() + 2
+        while not server.lines and time.monotonic() < deadline:
+            time.sleep(0.02)
+        server.close()
+
+        # Peer gone: writes drop (counted), nothing raises.
+        dropped_some = False
+        for _ in range(20):
+            sink.write_lines(["lost\n"])
+            time.sleep(0.05)
+            if sink.dropped:
+                dropped_some = True
+                break
+        assert dropped_some
+
+        # Peer back on the same port: the sink reconnects and delivers.
+        server2 = _LineServer.__new__(_LineServer)
+        server2.sock = socket.socket()
+        server2.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server2.sock.bind(("127.0.0.1", port))
+        server2.sock.listen(1)
+        server2.port = port
+        server2.lines = []
+        server2._stop = False
+        server2.thread = threading.Thread(target=server2._serve, daemon=True)
+        server2.thread.start()
+        try:
+            delivered = False
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                sink.write_lines(["back\n"])
+                if "back" in server2.lines:
+                    delivered = True
+                    break
+                time.sleep(0.05)
+            assert delivered
+            assert sink.reconnects >= 1
+            sink.close()
+        finally:
+            server2.close()
+
+    def test_unreachable_peer_only_drops(self, tmp_path):
+        sink = SocketSink(f"unix:{tmp_path}/nobody.sock",
+                          retry_backoff=0.01, max_backoff=0.01)
+        sink.write_lines(["a\n"])
+        assert sink.dropped == 1
+        sink.close()
+
+
+# -- bit-identity with streaming on --------------------------------------------
+
+
+class TestStreamingIdentity:
+    def test_engine_identical_with_streaming(self, tmp_path):
+        reference = fingerprint(
+            make_engine("mtm", "gups", scale=SCALE, seed=SEED).run(INTERVALS)
+        )
+        _, _, result = stream_engine(tmp_path)
+        assert fingerprint(result) == reference
+
+    def test_engine_identical_with_streaming_under_faults(self, tmp_path):
+        from repro.faults.injector import FaultConfig, FaultInjector
+
+        def injector():
+            return FaultInjector(FaultConfig.uniform(0.3), seed=7)
+
+        reference = fingerprint(
+            make_engine("mtm", "gups", scale=SCALE, seed=SEED,
+                        injector=injector()).run(INTERVALS)
+        )
+        path, _, result = stream_engine(tmp_path, injector=injector())
+        assert fingerprint(result) == reference
+        assert any(r["type"] == "event" and r["name"] == "fault.injected"
+                   for r in read_records(path))
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_matrix_identical_with_streaming(self, tmp_path, workers):
+        profile = BenchProfile(
+            name="tiny", scale=SCALE,
+            intervals={name: INTERVALS for name in
+                       ("gups", "voltdb", "cassandra", "bfs", "sssp",
+                        "spark")},
+            seed=SEED,
+        )
+        plain = run_matrix(["gups"], ["first-touch", "mtm"], profile,
+                           workers=1, obs=None)
+        collector = ObsContext(ObsConfig(stream=True), label="collector")
+        collector.add_sink(NdjsonFileSink(tmp_path / f"w{workers}.ndjson"))
+        streamed = run_matrix(["gups"], ["first-touch", "mtm"], profile,
+                              workers=workers, obs=collector)
+        collector.stream_close()
+        assert matrix_fingerprint(plain) == matrix_fingerprint(streamed)
+        records = read_records(tmp_path / f"w{workers}.ndjson")
+        for rec in records:
+            assert validate_stream_record(rec) == [], rec
+        tracks = {r["track"] for r in records if r["type"] == "meta"}
+        # Worker relays (fork platforms) and serial cells both put every
+        # cell's track on the stream.
+        if workers == 1 or sys.platform.startswith("linux"):
+            assert {"gups/first-touch", "gups/mtm"} <= tracks
+        assert sum(1 for r in records if r["type"] == "end") == 1
+
+
+# -- two-process live tail (the acceptance test) -------------------------------
+
+
+class TestLiveTail:
+    def test_second_process_tails_a_running_stream(self, tmp_path):
+        out = tmp_path / "live"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "run", "--solution", "mtm",
+             "--workload", "gups", "--intervals", "160",
+             "--scale-denominator", "256", "--obs-stream",
+             "--obs-out", str(out)],
+            env=env, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            live_records = 0
+            saw_live = False
+            for rec in iter_ndjson(out / "stream.ndjson", follow=True,
+                                   poll_interval=0.05, timeout=120):
+                live_records += 1
+                if proc.poll() is None:
+                    saw_live = True
+                if rec.get("type") == "end":
+                    break
+            assert live_records > 0
+            assert saw_live, "no record was observed while the run was live"
+            assert rec["type"] == "end"
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+# -- watch ---------------------------------------------------------------------
+
+
+class TestWatch:
+    def _stream(self, tmp_path):
+        path, ctx, _ = stream_engine(tmp_path, intervals=8)
+        return path, ctx
+
+    def test_aggregator_folds_the_stream(self, tmp_path):
+        path, ctx = self._stream(tmp_path)
+        agg = LiveAggregate()
+        for rec in read_records(path):
+            agg.feed(rec)
+        assert agg.invalid_records == 0
+        track = agg.tracks["t"]
+        assert track.intervals == 8
+        assert agg.done  # the stream-level end arrived
+        occ = agg.tier_occupancy()
+        assert occ, "no tier occupancy gauges seen"
+        summary = agg.summary()
+        assert summary["records"] == len(read_records(path))
+
+    def test_render_text_mentions_the_key_panels(self, tmp_path):
+        path, _ = self._stream(tmp_path)
+        agg = LiveAggregate()
+        for rec in read_records(path):
+            agg.feed(rec)
+        frame = render_text(agg, budget=0.05)
+        for needle in ("tier occupancy", "profiling overhead", "budget",
+                       "migration", "stream drops"):
+            assert needle in frame
+
+    def test_render_html_is_self_contained(self, tmp_path):
+        path, _ = self._stream(tmp_path)
+        agg = LiveAggregate()
+        for rec in read_records(path):
+            agg.feed(rec)
+        page = render_html(agg, budget=0.05)
+        assert page.lstrip().startswith("<!DOCTYPE html>")
+        assert "prefers-color-scheme" in page
+        assert "tier occupancy" in page.lower()
+
+    def test_run_watch_once_renders_and_writes_html(self, tmp_path, capsys):
+        path, _ = self._stream(tmp_path)
+        html = tmp_path / "dash.html"
+        lines: list[str] = []
+        rc = run_watch(run=str(path.parent), connect=None, once=True,
+                       html=str(html), out=lines.append)
+        assert rc == 0
+        assert lines and "tier occupancy" in lines[0]
+        assert html.exists()
+
+    def test_run_watch_once_missing_stream_fails(self, tmp_path):
+        rc = run_watch(run=str(tmp_path), connect=None, once=True,
+                       wait=0.1, out=lambda _line: None)
+        assert rc == 1
+
+    def test_watch_cli_once(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path, _ = self._stream(tmp_path)
+        assert main(["watch", "--run", str(path.parent), "--once"]) == 0
+        assert "tier occupancy" in capsys.readouterr().out
+
+    def test_socket_collector_receives_a_streaming_run(self, tmp_path):
+        addr = f"unix:{tmp_path}/watch.sock"
+        agg = LiveAggregate()
+        lock = threading.Lock()
+        from repro.obs.watch import SocketCollector
+
+        collector = SocketCollector(addr, agg, lock)
+        collector.start()
+        try:
+            ctx = ObsContext(ObsConfig(stream=True), label="sock")
+            ctx.add_sink(SocketSink(addr))
+            engine = make_engine("mtm", "gups", scale=SCALE, seed=SEED,
+                                 obs=ctx)
+            engine.run(INTERVALS)
+            ctx.stream_close()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                with lock:
+                    if agg.done:
+                        break
+                time.sleep(0.05)
+            with lock:
+                assert agg.done
+                assert agg.tracks["sock"].intervals == INTERVALS
+        finally:
+            collector.close()
+
+
+# -- trace --follow ------------------------------------------------------------
+
+
+class TestTraceFollow:
+    def test_follow_prints_provenance(self, tmp_path):
+        from repro.obs.cli import trace_follow
+
+        path, _, _ = stream_engine(tmp_path)
+        lines: list[str] = []
+        shown = trace_follow(str(tmp_path), timeout=1.0, limit=5,
+                             out=lines.append)
+        assert shown == 5
+        assert len(lines) == 5
+
+    def test_trace_cli_follow(self, tmp_path, capsys):
+        from repro.cli import main
+
+        stream_engine(tmp_path)
+        rc = main(["trace", "--run", str(tmp_path), "--follow",
+                   "--timeout", "1", "--limit", "3"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+
+# -- CLI failure path ----------------------------------------------------------
+
+
+class TestCliLazyDir:
+    def test_failed_run_leaves_no_obs_dir(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "never"
+        rc = main(["run", "--solution", "mtm", "--workload", "gups",
+                   "--intervals", "-3", "--obs-stream",
+                   "--obs-out", str(out)])
+        assert rc == 1  # ConfigError surfaced as exit code 1
+        assert not out.exists()
+
+    def test_successful_run_writes_stream_and_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "ok"
+        rc = main(["run", "--solution", "mtm", "--workload", "gups",
+                   "--intervals", "4", "--scale-denominator", "512",
+                   "--obs-stream", "--obs-out", str(out)])
+        assert rc == 0
+        records = read_records(out / "stream.ndjson")
+        assert records[-1]["type"] == "end"
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["counters"]
