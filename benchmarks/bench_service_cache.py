@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Crash-safe result cache — cold sweep vs warm (all cells from disk).
+
+Extension beyond the paper: the sweep service's content-addressed
+result cache (:mod:`repro.service.cache`) persists every finished
+matrix cell under a key derived from the cell's full simulation config.
+A resubmitted sweep — or the same matrix re-run through
+``run_matrix(..., result_cache=...)`` — is then served from disk
+without simulating, and a corrupted entry is quarantined and
+transparently recomputed.
+
+Three arms over the same workload x solution matrix:
+
+* **cold** — empty cache: every cell simulates, then publishes;
+* **warm** — same cache: every cell is a hit, nothing simulates;
+* **rot**  — one entry bit-flipped on disk: the checksum catches it,
+  the cell recomputes and republishes, the rest stay hits.
+
+All arms must produce identical simulated numbers (the cache stores
+results, it never changes them); the report shows the wall-clock each
+arm pays and the cache counters that prove which path served it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.runner import run_matrix
+from repro.bench.scaling import BenchProfile
+from repro.faults.service import ServiceFaultInjector
+from repro.metrics.report import Table
+from repro.service.cache import ResultCache, cell_key
+from repro.service.protocol import JobSpec
+
+WORKLOADS = ["gups", "bfs"]
+SOLUTIONS = ["first-touch", "mtm"]
+
+
+def _summary(matrix) -> dict:
+    """Order-stable digest used to assert the arms are bit-identical."""
+    return {
+        workload: {solution: result.total_time
+                   for solution, result in row.items()}
+        for workload, row in matrix.results.items()
+    }
+
+
+def run_experiment(profile: BenchProfile, intervals: int | None = None,
+                   workloads: list[str] | None = None) -> str:
+    workloads = workloads if workloads is not None else WORKLOADS
+    table = Table(
+        "Sweep-service result cache: cold vs warm vs corrupted entry",
+        ["arm", "time", "vs cold", "hits", "misses", "stores", "corrupt"],
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as tmp:
+        cache = ResultCache(Path(tmp))
+        arms = {}
+        times = {}
+        for arm in ("cold", "warm", "rot"):
+            if arm == "rot":
+                spec = JobSpec(workloads=tuple(workloads),
+                               solutions=tuple(SOLUTIONS),
+                               profile=profile, intervals=intervals)
+                key = cell_key(spec, workloads[0], SOLUTIONS[0])
+                ServiceFaultInjector(seed=7).flip_byte(cache.entry_path(key))
+            before = cache.stats.as_dict()
+            t0 = time.perf_counter()
+            arms[arm] = run_matrix(list(workloads), SOLUTIONS, profile,
+                                   intervals=intervals, result_cache=cache,
+                                   obs=None)
+            times[arm] = time.perf_counter() - t0
+            delta = {k: v - before[k] for k, v in cache.stats.as_dict().items()}
+            table.add_row(
+                arm, f"{times[arm]:.3f}s", f"{times['cold'] / times[arm]:.1f}x",
+                str(delta["hits"]), str(delta["misses"]),
+                str(delta["stores"]), str(delta["corrupt"]),
+            )
+        if not (_summary(arms["cold"]) == _summary(arms["warm"])
+                == _summary(arms["rot"])):
+            raise AssertionError(
+                "cache-served results differ from simulated ones; the "
+                "cache must be bit-identity-neutral"
+            )
+        if len(cache.quarantined()) != 1:
+            raise AssertionError("the rotted entry was not quarantined")
+    return table.render()
+
+
+def test_service_cache(benchmark, profile):
+    out = benchmark.pedantic(run_experiment, args=(profile, 12),
+                             rounds=1, iterations=1)
+    print(out)
+
+
+if __name__ == "__main__":
+    from repro.bench.cli import bench_main
+
+    bench_main(run_experiment)

@@ -43,6 +43,7 @@ from repro.sim.snapshot import SnapshotCache, capture_engine
 
 if TYPE_CHECKING:
     from repro.obs.context import ObsConfig, ObsContext
+    from repro.service.cache import ResultCache
     from repro.sim.tracecache import TraceCache
 
 #: Process-wide default for ``run_matrix(workers=None)``; set by the
@@ -351,6 +352,7 @@ def run_matrix(
     trace_cache: "TraceCache | None" = None,
     use_cache: bool = True,
     recovery: bool = True,
+    result_cache: "ResultCache | None" = None,
     obs="default",
 ) -> MatrixResult:
     """Run every solution on every workload (Fig. 4 / Fig. 5 driver).
@@ -369,6 +371,15 @@ def run_matrix(
         use_cache: ``False`` disables batch-stream memoization entirely
             (the pre-optimization behaviour; the perf-smoke benchmark's
             baseline arm).
+        result_cache: optional on-disk
+            :class:`~repro.service.cache.ResultCache` (the sweep
+            service's): cells whose content address is already stored are
+            served from disk instead of simulating, and freshly computed
+            cells are published back.  Cached cells carry no ``perf``/
+            ``obs`` (they describe the run that computed them), so
+            aggregates never double-count.  Because cell execution is
+            deterministic in its content address, the assembled matrix
+            is bit-identical with or without the cache.
         obs: as in :func:`run_solution`; every cell records into a fresh
             private context and the collector absorbs each cell's data
             exactly once, serial and pooled alike.
@@ -382,13 +393,33 @@ def run_matrix(
     collector = _resolve_collector(obs)
     obs_config = collector.config if collector is not None else None
 
+    collected: dict[tuple[str, str], SimulationResult] = {}
+    cell_keys: dict[tuple[str, str], str] = {}
+    if result_cache is not None:
+        from repro.service.cache import cell_key
+        from repro.service.protocol import JobSpec
+
+        cache_spec = JobSpec(
+            workloads=tuple(workloads), solutions=tuple(solutions),
+            profile=profile, intervals=intervals, baseline=baseline,
+            fault_rate=fault_rate, fault_seed=fault_seed, recovery=recovery,
+        )
+        for workload in workloads:
+            for solution in solutions:
+                key = cell_key(cache_spec, workload, solution)
+                cell_keys[(workload, solution)] = key
+                hit = result_cache.get(key)
+                if hit is not None:
+                    collected[(workload, solution)] = hit
+    cached_coords = frozenset(collected)
+
     cells = [
         (workload, solution, profile, intervals, fault_rate, fault_seed,
          use_cache, recovery, obs_config)
         for workload in workloads
         for solution in solutions
+        if (workload, solution) not in cached_coords
     ]
-    collected: dict[tuple[str, str], SimulationResult] = {}
     if workers == 1:
         if not use_cache:
             trace_cache = None
@@ -418,6 +449,11 @@ def run_matrix(
             _run_cell, cells, workers, collector=collector
         ):
             collected[(workload, solution)] = result
+
+    if result_cache is not None:
+        for coords, result in collected.items():
+            if coords not in cached_coords:
+                result_cache.put(cell_keys[coords], result)
 
     if collector is not None:
         for result in collected.values():

@@ -1,0 +1,205 @@
+"""Process-level fault injection for the sweep service.
+
+:mod:`repro.faults.injector` perturbs the *simulated* kernel (EBUSY,
+ENOMEM, sample loss) inside one process.  This module extends the same
+discipline to the failure modes a *fleet* has and a process pool cannot
+survive:
+
+* **worker crash** — SIGKILL the current process between cells or on a
+  delay mid-cell (no atexit, no flush, no goodbye — exactly what a
+  OOM-killed or preempted worker looks like to the scheduler);
+* **severed socket** — hard-close a connection without shutdown
+  handshake, so the peer sees a reset instead of a clean EOF;
+* **cache corruption** — flip a bit (or truncate) inside an on-disk
+  result-cache entry, the rot the checksum discipline must catch.
+
+Rates draw from a private seeded generator (mirroring
+:class:`~repro.faults.injector.FaultInjector`), and the imperative
+helpers (``kill_now``, ``flip_byte``) are what the chaos tests and the
+``repro worker --chaos-*`` flags use for deterministic scripting.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceFaultConfig:
+    """Per-model process-level fault rates (all default off).
+
+    Attributes:
+        worker_kill_rate: probability a worker SIGKILLs itself after
+            finishing a cell (crash *between* cells).
+        midcell_kill_rate: probability a worker arms a delayed SIGKILL
+            when starting a cell (crash *mid*-cell).
+        midcell_kill_delay: seconds between cell start and the armed
+            mid-cell SIGKILL.
+        sever_rate: probability a socket send is preceded by a hard
+            close of the connection.
+        cache_flip_rate: probability a just-written cache entry gets one
+            byte flipped (storage rot).
+    """
+
+    worker_kill_rate: float = 0.0
+    midcell_kill_rate: float = 0.0
+    midcell_kill_delay: float = 0.05
+    sever_rate: float = 0.0
+    cache_flip_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name.endswith("_rate"):
+                value = getattr(self, f.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ConfigError(f"{f.name} must be in [0, 1], got {value}")
+        if self.midcell_kill_delay < 0:
+            raise ConfigError(
+                f"midcell_kill_delay must be >= 0, got {self.midcell_kill_delay}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            getattr(self, f.name) > 0.0
+            for f in fields(self) if f.name.endswith("_rate")
+        )
+
+
+class ServiceFaultInjector:
+    """Deterministic, seeded source of process-level chaos.
+
+    One injector serves one process (a worker, or a test harness acting
+    on others).  Draws come from a private generator so arming chaos
+    never perturbs simulation RNG streams — the same independence
+    guarantee the in-process injector gives.
+    """
+
+    def __init__(self, config: ServiceFaultConfig | None = None,
+                 seed: int = 0) -> None:
+        self.config = config if config is not None else ServiceFaultConfig()
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.severed = 0
+        self.flips = 0
+        self.kills_armed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # -- worker crash ----------------------------------------------------------
+
+    @staticmethod
+    def kill_now(pid: int | None = None) -> None:
+        """SIGKILL ``pid`` (default: this process). No cleanup runs."""
+        os.kill(pid if pid is not None else os.getpid(), signal.SIGKILL)
+
+    def arm_midcell_kill(self, delay: float | None = None) -> threading.Timer:
+        """Schedule a SIGKILL of this process ``delay`` seconds from now.
+
+        Returns the timer so a test can cancel it; the worker never
+        does — once armed, the crash lands wherever the cell happens to
+        be (that unpredictability *is* the point; determinism lives in
+        the requeued re-execution, not the crash site).
+        """
+        if delay is None:
+            delay = self.config.midcell_kill_delay
+        timer = threading.Timer(delay, self.kill_now)
+        timer.daemon = True
+        timer.start()
+        self.kills_armed += 1
+        return timer
+
+    def maybe_kill_between_cells(self) -> None:
+        """Draw the between-cells crash model (kills, or returns)."""
+        rate = self.config.worker_kill_rate
+        if rate <= 0.0 or self.rng.random() >= rate:
+            return
+        self.kill_now()
+
+    def maybe_arm_midcell_kill(self) -> threading.Timer | None:
+        """Draw the mid-cell crash model at cell start."""
+        rate = self.config.midcell_kill_rate
+        if rate <= 0.0 or self.rng.random() >= rate:
+            return None
+        return self.arm_midcell_kill()
+
+    # -- severed sockets -------------------------------------------------------
+
+    def maybe_sever(self, sock) -> bool:
+        """Hard-close ``sock`` per the sever model; True if severed."""
+        rate = self.config.sever_rate
+        if rate <= 0.0 or self.rng.random() >= rate:
+            return False
+        self.sever(sock)
+        return True
+
+    def sever(self, sock) -> None:
+        """Abortive close: RST to the peer, no shutdown handshake."""
+        import socket as _socket
+        import struct
+
+        try:
+            sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+        self.severed += 1
+
+    # -- cache corruption ------------------------------------------------------
+
+    def flip_byte(self, path, offset: int | None = None) -> int:
+        """XOR one payload byte of the file at ``path``; returns offset.
+
+        The flip lands past the header (magic + digest) when the file is
+        long enough, so it corrupts *data* the checksum must catch, not
+        the magic the reader rejects trivially.
+        """
+        from repro.service.cache import MAGIC, _DIGEST_BYTES
+
+        size = os.path.getsize(path)
+        if size == 0:
+            raise ConfigError(f"cannot flip a byte of empty file {path}")
+        if offset is None:
+            header = len(MAGIC) + _DIGEST_BYTES
+            lo = header if size > header + 1 else 0
+            offset = int(self.rng.integers(lo, size))
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        self.flips += 1
+        return offset
+
+    def truncate(self, path, keep: int | None = None) -> None:
+        """Chop the file at ``path`` (default: halfway), as a torn write."""
+        size = os.path.getsize(path)
+        if keep is None:
+            keep = size // 2
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+        self.flips += 1
+
+    def maybe_flip_cache_entry(self, path) -> bool:
+        """Draw the cache-rot model against a just-written entry."""
+        rate = self.config.cache_flip_rate
+        if rate <= 0.0 or self.rng.random() >= rate:
+            return False
+        self.flip_byte(path)
+        return True
+
+
+__all__ = ["ServiceFaultConfig", "ServiceFaultInjector"]

@@ -27,6 +27,7 @@ exported metrics.
 from __future__ import annotations
 
 import os
+import random
 import socket
 import time
 from pathlib import Path
@@ -143,11 +144,14 @@ class NdjsonFileSink(Sink):
 class SocketSink(Sink):
     """Line-protocol client over a TCP or Unix stream socket.
 
-    Connects lazily on the first batch and reconnects with exponential
-    backoff after any send failure.  Lines offered while disconnected
-    (or while the backoff window is open) are dropped and counted —
-    live telemetry must never stall the simulation behind a dead
-    collector.
+    Connects lazily on the first batch and reconnects with *jittered*
+    capped exponential backoff after any send failure: the retry window
+    doubles up to ``max_backoff``, and each wait draws uniformly from
+    the upper half of the window, so a fleet of publishers cut off by
+    one collector restart does not reconnect in lockstep (thundering
+    herd).  Lines offered while disconnected (or while the backoff
+    window is open) are dropped and counted — live telemetry must never
+    stall the simulation behind a dead collector.
     """
 
     def __init__(
@@ -156,18 +160,34 @@ class SocketSink(Sink):
         connect_timeout: float = 0.5,
         retry_backoff: float = 0.25,
         max_backoff: float = 2.0,
+        jitter: bool = True,
     ) -> None:
         self.family, self.target = parse_address(address)
         self.address = address
         self.connect_timeout = connect_timeout
         self.retry_backoff = retry_backoff
         self.max_backoff = max_backoff
+        self.jitter = jitter
         self.dropped = 0
         self.lines_sent = 0
         self.reconnects = 0
+        self._rng = random.Random()
         self._sock: socket.socket | None = None
         self._backoff = retry_backoff
         self._next_attempt = 0.0
+
+    def _retry_delay(self) -> float:
+        """Next wait: the current window, half-jittered, then doubled.
+
+        Half jitter (``U(w/2, w)``) rather than full keeps a floor under
+        the retry spacing — a sink must never busy-spin a dead address —
+        while still decorrelating peers.
+        """
+        window = self._backoff
+        self._backoff = min(self._backoff * 2.0, self.max_backoff)
+        if not self.jitter:
+            return window
+        return window * (0.5 + 0.5 * self._rng.random())
 
     def _connect(self) -> bool:
         if self._sock is not None:
@@ -187,8 +207,7 @@ class SocketSink(Sink):
             self.reconnects += 1
             return True
         except OSError:
-            self._next_attempt = now + self._backoff
-            self._backoff = min(self._backoff * 2.0, self.max_backoff)
+            self._next_attempt = now + self._retry_delay()
             return False
 
     def _disconnect(self) -> None:
@@ -198,8 +217,7 @@ class SocketSink(Sink):
             except OSError:
                 pass
             self._sock = None
-        self._next_attempt = time.monotonic() + self._backoff
-        self._backoff = min(self._backoff * 2.0, self.max_backoff)
+        self._next_attempt = time.monotonic() + self._retry_delay()
 
     def write_lines(self, lines: list[str]) -> None:
         """Send a batch, dropping (counted) while disconnected."""

@@ -37,8 +37,10 @@ cumulative summary (idempotent for a late-joining reader).
 final line (a crash mid-``writelines`` loses at most that line — the
 partial tail is buffered until the newline arrives, or forever if it
 never does), skips unparseable complete lines, and in ``follow`` mode
-tails a still-growing file until an ``end`` record or a quiet-period
-timeout.
+tails a still-growing file until an ``end`` record, a quiet-period
+timeout, or — since the writer may have been SIGKILLed before writing
+its ``end`` record — until every pid announced in a ``meta`` record has
+exited and a grace period passes (the *dead-writer escape*).
 """
 
 from __future__ import annotations
@@ -333,16 +335,36 @@ class StreamPublisher:
         self._closed = True
 
 
+def _pid_alive(pid: int) -> bool:
+    """True if ``pid`` exists (signal-0 probe; EPERM still means alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
 def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
-                timeout: float | None = None):
+                timeout: float | None = None,
+                dead_writer_grace: float | None = 2.0):
     """Yield decoded records from an NDJSON stream file.
 
     Tolerant of a truncated final line: only complete (newline-terminated)
     lines are decoded; a partial tail is buffered until it completes.
     Complete-but-unparseable lines are skipped.  In ``follow`` mode the
     file may not exist yet; the generator waits for it, keeps reading as
-    the file grows, and returns after yielding an ``end`` record or after
-    ``timeout`` seconds without new data.
+    the file grows, and returns after yielding an ``end`` record, after
+    ``timeout`` seconds without new data, or — the dead-writer escape —
+    once every writer pid announced by a ``meta`` record has exited and
+    the file has stayed quiet for ``dead_writer_grace`` seconds.  A
+    SIGKILLed producer never writes its ``end`` record; without the
+    escape a ``repro watch`` (or CI tail) with no ``timeout`` would hang
+    forever on its stream.  Pass ``dead_writer_grace=None`` to disable
+    the liveness probe.
     """
     import time as _time
 
@@ -350,17 +372,33 @@ def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
     last_data = deadline_clock()
     fh = None
     buffer = ""
+    writer_pids: set[int] = set()
+    writers_dead_since: float | None = None
+
+    def _idle_escape() -> bool:
+        """True once an idle generator should give up following."""
+        nonlocal writers_dead_since
+        now = deadline_clock()
+        if timeout is not None and now - last_data > timeout:
+            return True
+        if dead_writer_grace is None or not writer_pids:
+            return False
+        if any(_pid_alive(pid) for pid in writer_pids):
+            writers_dead_since = None
+            return False
+        if writers_dead_since is None:
+            writers_dead_since = now
+        # One last grace window: a writer may die *after* its final
+        # writelines reached the page cache but before we read it.
+        return now - max(writers_dead_since, last_data) > dead_writer_grace
+
     try:
         while True:
             if fh is None:
                 try:
                     fh = open(path, "r", encoding="utf-8")
                 except OSError:
-                    if not follow:
-                        return
-                    if timeout is not None and (
-                        deadline_clock() - last_data > timeout
-                    ):
+                    if not follow or _idle_escape():
                         return
                     _time.sleep(poll_interval)
                     continue
@@ -380,15 +418,14 @@ def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
                         record = json.loads(line)
                     except ValueError:
                         continue
+                    if (isinstance(record, dict) and record.get("type") == "meta"
+                            and isinstance(record.get("pid"), int)):
+                        writer_pids.add(record["pid"])
                     yield record
                     if isinstance(record, dict) and record.get("type") == "end":
                         return
             else:
-                if not follow:
-                    return
-                if timeout is not None and (
-                    deadline_clock() - last_data > timeout
-                ):
+                if not follow or _idle_escape():
                     return
                 _time.sleep(poll_interval)
     finally:

@@ -1,0 +1,57 @@
+"""Long-lived sweep service: scheduler daemon, worker fleet, result cache.
+
+The one-shot :func:`repro.bench.runner.run_matrix` builds a process pool,
+runs its cells, and tears everything down; a dead worker loses its cells
+and can wedge the pool.  This package lifts the same cell fan-out into a
+*service* that is robust by construction:
+
+* :mod:`repro.service.protocol` — length-prefixed message framing and
+  the picklable :class:`~repro.service.protocol.JobSpec` describing a
+  workload x solution matrix job;
+* :mod:`repro.service.lease` — the lease table: every cell assignment
+  carries a deadline; heartbeat-missing or crashed workers have their
+  leases expired and the cells requeued with capped exponential backoff,
+  ``max_attempts``, and a dead-letter list;
+* :mod:`repro.service.cache` — crash-safe, content-addressed, on-disk
+  result cache keyed by ``(workload, solution, config, seed)``
+  fingerprints; entries are written temp-file + atomic rename with a
+  checksum, and corrupt entries are quarantined and recomputed;
+* :mod:`repro.service.journal` — append-only NDJSON job journal so an
+  interrupted scheduler resumes submitted jobs instead of losing them;
+* :mod:`repro.service.scheduler` — the scheduler core (pure, lockable,
+  unit-testable) plus the socket server (``repro serve``) with SIGTERM
+  lease draining and serial in-process fallback when no workers register;
+* :mod:`repro.service.worker` — the ``repro worker`` fleet process:
+  claim / simulate / report with heartbeats, reconnecting with jittered
+  backoff, optionally chaos-armed via
+  :class:`repro.faults.service.ServiceFaultInjector`;
+* :mod:`repro.service.client` — the ``repro submit`` client.
+
+Determinism is the load-bearing property: every cell is a deterministic
+function of its :class:`~repro.service.protocol.JobSpec` coordinates, so
+re-executing a crashed worker's cells (or serving them from the cache)
+reproduces the serial :class:`~repro.bench.runner.MatrixResult` bit for
+bit — the chaos suites assert fingerprint identity under SIGKILL.
+"""
+
+from repro.service.cache import ResultCache, ResultCacheStats, cell_key
+from repro.service.client import ServiceClient
+from repro.service.lease import Lease, LeaseTable
+from repro.service.protocol import JobSpec
+from repro.service.scheduler import SchedulerConfig, SchedulerCore, SchedulerServer
+from repro.service.worker import Worker, jittered_backoff
+
+__all__ = [
+    "JobSpec",
+    "Lease",
+    "LeaseTable",
+    "ResultCache",
+    "ResultCacheStats",
+    "SchedulerConfig",
+    "SchedulerCore",
+    "SchedulerServer",
+    "ServiceClient",
+    "Worker",
+    "cell_key",
+    "jittered_backoff",
+]

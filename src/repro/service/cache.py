@@ -1,0 +1,257 @@
+"""Crash-safe, content-addressed, on-disk result cache.
+
+Entries are keyed by a fingerprint of everything that determines a
+cell's result — ``(workload, solution, config, seed)`` — so a repeated
+cell across jobs, clients, or scheduler restarts is served without
+simulating.  The storage discipline makes the cache safe against the
+two ways long-lived services corrupt their state:
+
+* **crashes mid-write** — entries are written to a temp file in the same
+  directory and published with :func:`os.replace` (atomic on POSIX), so
+  a reader can never observe a half-written entry under its final name;
+* **rot after write** (bit flips, truncation, partial fsync after power
+  loss) — every entry embeds a SHA-256 checksum of its payload; a
+  mismatch (or bad magic, short file, unpicklable payload) raises
+  :class:`~repro.errors.CacheCorrupt`, and :meth:`ResultCache.get`
+  quarantines the bad file and reports a miss, so the cell is
+  transparently recomputed and the entry rewritten.
+
+Entry layout (one file per key, fanned out over 256 subdirectories by
+the first key byte)::
+
+    MAGIC (8 bytes) || sha256(payload) (32 bytes) || payload (pickle)
+
+The payload is ``{"key": <key dict>, "result": SimulationResult}``; the
+key travels inside so a (vanishingly unlikely) hash collision or a
+misplaced file is detected instead of served.
+
+Results are stored with ``obs`` and ``perf`` stripped: telemetry and
+host-side wall times describe *the run that computed the entry*, and
+replaying them on a cache hit would double-count in collectors (the
+same discipline as the runner's per-cell cache-stat deltas).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import CacheCorrupt, is_transient
+
+if TYPE_CHECKING:
+    from repro.service.protocol import JobSpec
+    from repro.sim.engine import SimulationResult
+
+MAGIC = b"RPRORC01"
+_DIGEST_BYTES = 32
+
+
+def cell_key(spec: "JobSpec", workload: str, solution: str) -> str:
+    """Content address of one cell: hex SHA-256 of its canonical config.
+
+    Everything a cell's result depends on goes in; anything that cannot
+    change the simulated result (tag, client identity, worker count)
+    stays out.  The interval count is resolved per workload so a spec
+    with ``intervals=None`` and one pinned to the profile default share
+    entries.
+    """
+    profile = spec.profile
+    config = {
+        "workload": workload,
+        "solution": solution,
+        "scale": float(profile.scale),
+        "seed": int(profile.seed),
+        "intervals": int(spec.intervals if spec.intervals is not None
+                         else profile.intervals_for(workload)),
+        "fault_rate": float(spec.fault_rate),
+        "fault_seed": int(spec.fault_seed),
+        "recovery": bool(spec.recovery),
+    }
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ResultCacheStats:
+    """Counters of one :class:`ResultCache` (service status, benchmarks).
+
+    Attributes:
+        hits: cells served from disk without simulating.
+        misses: lookups that found no (valid) entry.
+        stores: entries published.
+        corrupt: entries that failed integrity checks and were
+            quarantined (each also counts as a miss).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt}
+
+    def delta(self, before: "ResultCacheStats | None") -> "ResultCacheStats":
+        if before is None:
+            return ResultCacheStats(self.hits, self.misses,
+                                    self.stores, self.corrupt)
+        return ResultCacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            stores=self.stores - before.stores,
+            corrupt=self.corrupt - before.corrupt,
+        )
+
+
+class ResultCache:
+    """Content-addressed cache of finished cell results under one root.
+
+    Layout: ``root/ab/<64-hex-key>.res`` plus ``root/quarantine/`` for
+    entries that failed integrity checks (kept, not deleted — they are
+    the forensic artifact chaos runs upload).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.quarantine_dir = self.root / "quarantine"
+        self.stats = ResultCacheStats()
+
+    # -- paths ----------------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.res"
+
+    def __contains__(self, key: str) -> bool:
+        return self.entry_path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.res"))
+
+    # -- write ----------------------------------------------------------------
+
+    def put(self, key: str, result: "SimulationResult") -> Path:
+        """Publish one entry atomically; returns the entry path.
+
+        The result is shallow-copied with ``obs``/``perf`` stripped (see
+        module docstring) — the caller's object is never mutated.
+        """
+        import copy
+
+        stored = copy.copy(result)
+        stored.obs = None
+        stored.perf = None
+        payload = pickle.dumps({"key": key, "result": stored}, protocol=5)
+        digest = hashlib.sha256(payload).digest()
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(MAGIC)
+                fh.write(digest)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink(missing_ok=True)
+        self.stats.stores += 1
+        return path
+
+    # -- read -----------------------------------------------------------------
+
+    def load_entry(self, path) -> "SimulationResult":
+        """Decode and integrity-check one entry file.
+
+        Raises:
+            CacheCorrupt: bad magic, truncation, checksum mismatch,
+                or an unpicklable payload.
+        """
+        path = Path(path)
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise CacheCorrupt(f"unreadable cache entry {path}: {exc}",
+                               path=str(path), reason="unreadable") from exc
+        if len(blob) < len(MAGIC) + _DIGEST_BYTES:
+            raise CacheCorrupt(f"truncated cache entry {path} "
+                               f"({len(blob)} bytes)",
+                               path=str(path), reason="truncated")
+        if blob[:len(MAGIC)] != MAGIC:
+            raise CacheCorrupt(f"bad magic in cache entry {path}",
+                               path=str(path), reason="magic")
+        digest = blob[len(MAGIC):len(MAGIC) + _DIGEST_BYTES]
+        payload = blob[len(MAGIC) + _DIGEST_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise CacheCorrupt(f"checksum mismatch in cache entry {path}",
+                               path=str(path), reason="checksum")
+        try:
+            decoded = pickle.loads(payload)
+        except Exception as exc:
+            raise CacheCorrupt(f"unpicklable cache entry {path}: {exc}",
+                               path=str(path), reason="unpickle") from exc
+        if not isinstance(decoded, dict) or "result" not in decoded:
+            raise CacheCorrupt(f"malformed cache payload in {path}",
+                               path=str(path), reason="unpickle")
+        expected = path.stem
+        if decoded.get("key") != expected:
+            raise CacheCorrupt(f"key mismatch in cache entry {path}",
+                               path=str(path), reason="key")
+        return decoded["result"]
+
+    def get(self, key: str) -> "SimulationResult | None":
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        A corrupt entry is quarantined (moved aside, never served) and
+        reported as a miss — the caller recomputes, and the next
+        :meth:`put` publishes a fresh entry under the same key.
+        """
+        path = self.entry_path(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            result = self.load_entry(path)
+        except CacheCorrupt as exc:
+            if not is_transient(exc):  # pragma: no cover - taxonomy guard
+                raise
+            self.quarantine(path, reason=exc.reason)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    # -- quarantine -----------------------------------------------------------
+
+    def quarantine(self, path, reason: str = "corrupt") -> Path | None:
+        """Move a bad entry aside (kept for forensics); returns new path."""
+        path = Path(path)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / f"{path.name}.{reason}"
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_dir / f"{path.name}.{reason}.{n}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
+
+    def quarantined(self) -> list[Path]:
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(self.quarantine_dir.iterdir())
+
+
+__all__ = ["MAGIC", "ResultCache", "ResultCacheStats", "cell_key"]

@@ -1,0 +1,239 @@
+"""Lease-based cell assignment.
+
+Every cell handed to a worker is wrapped in a :class:`Lease` with a
+deadline.  Heartbeats extend the deadline; a worker that crashes, hangs,
+or loses its socket stops heartbeating and the lease *expires*: the cell
+goes back on the queue with capped exponential backoff and an
+incremented attempt counter.  A cell that exhausts ``max_attempts``
+lands on the dead-letter list instead of looping forever.
+
+The table is deliberately time-explicit: every mutating method takes
+``now`` so the scheduler's tick thread, the unit tests, and the journal
+replay all drive the same arithmetic without monkey-patching clocks.
+Requeue backoff is deterministic (no jitter): cells re-enter the queue
+at ``eligible_at = now + min(cap, base * 2**(attempt-1))``, and claim
+order is FIFO over eligible cells — re-execution order never changes the
+assembled matrix because results are keyed, not ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class PendingCell:
+    """One cell waiting to be leased.
+
+    Attributes:
+        job_id: owning job.
+        workload / solution: cell coordinates.
+        attempt: how many leases this cell has already consumed.
+        eligible_at: earliest time the cell may be claimed (backoff).
+        seq: FIFO tiebreak among equally-eligible cells.
+    """
+
+    job_id: str
+    workload: str
+    solution: str
+    attempt: int = 0
+    eligible_at: float = 0.0
+    seq: int = 0
+
+
+@dataclass
+class Lease:
+    """One granted cell assignment with a deadline.
+
+    Attributes:
+        lease_id: unique id of this grant.
+        worker_id: holder.
+        deadline: absolute time after which the lease may be expired.
+        attempt: 1-based attempt number of the underlying cell.
+    """
+
+    lease_id: int
+    job_id: str
+    workload: str
+    solution: str
+    worker_id: str
+    deadline: float
+    attempt: int
+
+
+@dataclass
+class DeadLetter:
+    """A cell that exhausted its attempts (or failed non-transiently)."""
+
+    job_id: str
+    workload: str
+    solution: str
+    attempts: int
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {"job_id": self.job_id, "workload": self.workload,
+                "solution": self.solution, "attempts": self.attempts,
+                "reason": self.reason}
+
+
+class LeaseTable:
+    """Pending queue + active leases + dead letters for one scheduler.
+
+    Not thread-safe by itself — the scheduler core serializes access
+    under its lock (the table is also driven directly by unit tests).
+    """
+
+    def __init__(
+        self,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 5,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 8.0,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ConfigError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_timeout = lease_timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.pending: list[PendingCell] = []
+        self.active: dict[int, Lease] = {}
+        self.dead: list[DeadLetter] = []
+        #: total leases ever granted (also the id source)
+        self.granted = 0
+        self.expired = 0
+        self.requeues = 0
+        self._seq = 0
+
+    # -- enqueue / claim -------------------------------------------------------
+
+    def add(self, job_id: str, workload: str, solution: str,
+            now: float = 0.0, attempt: int = 0) -> None:
+        """Queue one cell, immediately eligible."""
+        self._seq += 1
+        self.pending.append(PendingCell(
+            job_id=job_id, workload=workload, solution=solution,
+            attempt=attempt, eligible_at=now, seq=self._seq,
+        ))
+
+    def backoff(self, attempt: int) -> float:
+        """Requeue delay before attempt ``attempt + 1`` may be claimed."""
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** max(0, attempt - 1)))
+
+    def eligible(self, now: float) -> list[PendingCell]:
+        """Claimable cells at ``now``, FIFO order."""
+        return sorted(
+            (c for c in self.pending if c.eligible_at <= now),
+            key=lambda c: c.seq,
+        )
+
+    def next_eligible_at(self) -> float | None:
+        """Earliest future eligibility, or None when the queue is empty."""
+        if not self.pending:
+            return None
+        return min(c.eligible_at for c in self.pending)
+
+    def claim(self, worker_id: str, now: float) -> Lease | None:
+        """Grant the oldest eligible cell to ``worker_id`` (None = idle)."""
+        eligible = self.eligible(now)
+        if not eligible:
+            return None
+        cell = eligible[0]
+        self.pending.remove(cell)
+        self.granted += 1
+        lease = Lease(
+            lease_id=self.granted,
+            job_id=cell.job_id,
+            workload=cell.workload,
+            solution=cell.solution,
+            worker_id=worker_id,
+            deadline=now + self.lease_timeout,
+            attempt=cell.attempt + 1,
+        )
+        self.active[lease.lease_id] = lease
+        return lease
+
+    # -- lease lifecycle -------------------------------------------------------
+
+    def heartbeat(self, lease_id: int, now: float) -> bool:
+        """Extend a live lease's deadline; False if it no longer exists."""
+        lease = self.active.get(lease_id)
+        if lease is None:
+            return False
+        lease.deadline = now + self.lease_timeout
+        return True
+
+    def complete(self, lease_id: int) -> Lease | None:
+        """Retire a lease on success; None if it was already reclaimed."""
+        return self.active.pop(lease_id, None)
+
+    def release(self, lease_id: int, now: float, reason: str,
+                transient: bool = True) -> Lease | None:
+        """Give a lease's cell back (worker nack / lost worker / expiry).
+
+        Transient failures requeue with capped exponential backoff until
+        ``max_attempts``; non-transient failures (or exhausted attempts)
+        dead-letter the cell.  Returns the released lease, or None if it
+        was not active.
+        """
+        lease = self.active.pop(lease_id, None)
+        if lease is None:
+            return None
+        if transient and lease.attempt < self.max_attempts:
+            self.requeues += 1
+            self._seq += 1
+            self.pending.append(PendingCell(
+                job_id=lease.job_id,
+                workload=lease.workload,
+                solution=lease.solution,
+                attempt=lease.attempt,
+                eligible_at=now + self.backoff(lease.attempt),
+                seq=self._seq,
+            ))
+        else:
+            self.dead.append(DeadLetter(
+                job_id=lease.job_id,
+                workload=lease.workload,
+                solution=lease.solution,
+                attempts=lease.attempt,
+                reason=reason,
+            ))
+        return lease
+
+    def expire(self, now: float) -> list[Lease]:
+        """Reclaim every lease past its deadline; returns what expired."""
+        overdue = [lease for lease in self.active.values()
+                   if lease.deadline < now]
+        for lease in overdue:
+            self.expired += 1
+            self.release(lease.lease_id, now,
+                         reason=f"lease expired (worker {lease.worker_id})")
+        return overdue
+
+    def release_worker(self, worker_id: str, now: float) -> list[Lease]:
+        """Reclaim every lease a lost worker held (connection dropped)."""
+        held = [lease for lease in self.active.values()
+                if lease.worker_id == worker_id]
+        for lease in held:
+            self.release(lease.lease_id, now,
+                         reason=f"worker {worker_id} lost")
+        return held
+
+    # -- introspection ---------------------------------------------------------
+
+    def job_open_cells(self, job_id: str) -> int:
+        """Cells of ``job_id`` still pending or leased."""
+        return (sum(1 for c in self.pending if c.job_id == job_id)
+                + sum(1 for lease in self.active.values()
+                      if lease.job_id == job_id))
+
+    def job_dead_letters(self, job_id: str) -> list[DeadLetter]:
+        return [d for d in self.dead if d.job_id == job_id]
+
+
+__all__ = ["DeadLetter", "Lease", "LeaseTable", "PendingCell"]

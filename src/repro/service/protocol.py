@@ -1,0 +1,230 @@
+"""Wire protocol of the sweep service: framing + message vocabulary.
+
+Messages are plain dicts with an ``"op"`` discriminator, pickled
+(protocol 5 — cell results are :class:`~repro.sim.engine.SimulationResult`
+objects, which already travel pickled through the pool runner) and
+framed with a 4-byte big-endian length prefix.  Framing failures raise
+:class:`~repro.errors.ProtocolError`; a clean EOF between frames returns
+``None`` so connection loops can distinguish "peer hung up" from "peer
+sent garbage".
+
+Ops (requests are answered with exactly one reply per request):
+
+=================  ==========================================================
+``hello``          ``{op, role: "worker"|"client", worker_id?, pid?}``
+``claim``          worker asks for a cell lease -> ``lease`` or ``idle``
+``heartbeat``      ``{op, worker_id, lease_id}`` -> ``ok`` or ``error``
+``result``         ``{op, worker_id, lease_id, payload}`` -> ``ok``/``error``
+``nack``           ``{op, worker_id, lease_id, message, transient}`` -> ``ok``
+``submit``         ``{op, spec: JobSpec}`` -> ``ok {job_id}``
+``status``         ``{op, job_id}`` -> ``job {state, ...}``
+``fetch``          ``{op, job_id}`` -> ``ok {result: MatrixResult}``/``error``
+``ping``           liveness probe -> ``ok {stats}``
+``shutdown``       ``{op, drain: bool}`` -> ``ok`` (then the server exits)
+=================  ==========================================================
+
+Replies: ``ok``, ``lease {lease_id, job_id, workload, solution, spec,
+attempt, deadline}``, ``idle {retry_after}``, ``job {...}``,
+``error {message, transient}``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.bench.scaling import BenchProfile
+from repro.errors import ConfigError, ProtocolError
+
+#: Bump when a message shape changes; ``hello`` carries it both ways.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (a pickled MatrixResult of a large job is
+#: megabytes; a corrupted length prefix would otherwise ask for GiB).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Picklable description of one workload x solution matrix job.
+
+    The spec is the *entire* input of every cell: cell execution is a
+    deterministic function of ``(spec, workload, solution)``, which is
+    what makes crash-requeue and cache dedup result-preserving.
+
+    Attributes:
+        workloads: workload names (rows of the matrix).
+        solutions: solution names (columns); ``baseline`` must be one.
+        profile: bench sizing profile (scale, seeds, interval defaults).
+        intervals: fixed interval count, or ``None`` for the profile's
+            per-workload defaults.
+        baseline: normalization column for the assembled MatrixResult.
+        fault_rate / fault_seed: in-process fault injection per cell.
+        recovery: planner retry/backoff on (False = fail-fast).
+        tag: free-form label for humans (journal, status output).
+    """
+
+    workloads: tuple[str, ...]
+    solutions: tuple[str, ...]
+    profile: BenchProfile
+    intervals: int | None = None
+    baseline: str = "first-touch"
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    recovery: bool = True
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ConfigError("JobSpec needs at least one workload")
+        if not self.solutions:
+            raise ConfigError("JobSpec needs at least one solution")
+        if self.baseline not in self.solutions:
+            raise ConfigError(
+                f"baseline {self.baseline!r} must be one of the solutions"
+            )
+        # Tuples keep the spec hashable and defeat accidental mutation;
+        # accept lists from callers.
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "solutions", tuple(self.solutions))
+
+    @property
+    def cells(self) -> list[tuple[str, str]]:
+        """Every (workload, solution) cell, in matrix order."""
+        return [(w, s) for w in self.workloads for s in self.solutions]
+
+
+@dataclass
+class Envelope:
+    """One decoded message plus the connection it arrived on."""
+
+    message: dict
+    conn: "Connection"
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Frame and send one message (length prefix + pickle)."""
+    payload = pickle.dumps(message, protocol=5)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Receive one framed message; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "op" not in message:
+        raise ProtocolError(f"message must be a dict with an 'op', got "
+                            f"{type(message).__name__}")
+    return message
+
+
+class Connection:
+    """One request/response channel over a stream socket.
+
+    Thin, lock-guarded wrapper so a single connection can be shared by
+    callers that promise request/response discipline (the worker keeps a
+    *separate* connection for heartbeats instead of interleaving).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        import threading
+
+        self.sock = sock
+        self._lock = threading.Lock()
+
+    def request(self, message: dict) -> dict:
+        """Send one message and wait for its reply."""
+        with self._lock:
+            send_message(self.sock, message)
+            reply = recv_message(self.sock)
+        if reply is None:
+            raise ProtocolError("peer closed the connection before replying")
+        return reply
+
+    def send(self, message: dict) -> None:
+        with self._lock:
+            send_message(self.sock, message)
+
+    def recv(self) -> dict | None:
+        return recv_message(self.sock)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def connect(address: str, timeout: float = 5.0) -> Connection:
+    """Open a client/worker connection to a scheduler at ``address``.
+
+    Accepts the same address forms as the streaming sinks
+    (``unix:PATH``, bare path, ``HOST:PORT``, ``:PORT``).
+    """
+    from repro.obs.sinks import parse_address
+
+    family, target = parse_address(address)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(target)
+    sock.settimeout(None)
+    return Connection(sock)
+
+
+def reply_error(message: str, transient: bool = False) -> dict:
+    return {"op": "error", "message": message, "transient": transient}
+
+
+def reply_ok(**fields) -> dict:
+    return {"op": "ok", **fields}
+
+
+__all__ = [
+    "Connection",
+    "Envelope",
+    "JobSpec",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "connect",
+    "recv_message",
+    "reply_error",
+    "reply_ok",
+    "send_message",
+]

@@ -1,0 +1,720 @@
+"""The sweep scheduler: lease-granting core + socket-serving daemon.
+
+Split in two so robustness logic is testable without sockets:
+
+* :class:`SchedulerCore` — pure state machine under one lock: job table,
+  lease table, result cache, journal.  Every method takes an explicit
+  ``now`` (defaulting to the monotonic clock) so unit tests drive lease
+  expiry and backoff deterministically.
+* :class:`SchedulerServer` — the ``repro serve`` daemon: accepts worker
+  and client connections (length-prefixed pickle frames, one reply per
+  request), runs the expiry tick thread, the optional in-process
+  fallback runner, and the SIGTERM drain.
+
+Robustness invariants the tests pin down:
+
+* a cell is only ever *completed once*: results are keyed by
+  ``(workload, solution)``, a completion for a reclaimed lease is
+  rejected (the requeued attempt owns the cell), and a crashed worker's
+  cells are re-executed deterministically — so the assembled
+  :class:`~repro.bench.runner.MatrixResult` is bit-identical to a serial
+  in-process run no matter how many workers died on the way;
+* every completed cell is journaled and written to the crash-safe
+  result cache *before* the job can be observed ``done``, so a
+  scheduler restart resumes from cache hits instead of resimulating;
+* a worker that stops heartbeating loses its lease after
+  ``lease_timeout``; its cell requeues with capped exponential backoff
+  up to ``max_attempts`` and then dead-letters (never an infinite loop).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError, ServiceError, is_transient
+from repro.service.cache import ResultCache, cell_key
+from repro.service.journal import Journal
+from repro.service.lease import LeaseTable
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Connection,
+    JobSpec,
+    recv_message,
+    reply_error,
+    reply_ok,
+    send_message,
+)
+
+if TYPE_CHECKING:
+    from repro.bench.runner import MatrixResult
+    from repro.sim.engine import SimulationResult
+
+#: Identity the in-process fallback runner claims leases under.
+INLINE_WORKER_ID = "<inline>"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of one scheduler (all times in seconds).
+
+    Attributes:
+        lease_timeout: heartbeat-free time before a lease expires.
+        max_attempts: lease grants per cell before dead-lettering.
+        backoff_base / backoff_cap: capped exponential requeue backoff.
+        tick_interval: expiry-scan period of the daemon's tick thread.
+        idle_retry: how long an idle worker is told to wait re-claiming.
+        inline_fallback: run cells in-process while no workers are
+            registered (graceful degradation to the serial runner).
+        drain_timeout: SIGTERM grace for in-flight leases before exit.
+    """
+
+    lease_timeout: float = 30.0
+    max_attempts: int = 5
+    backoff_base: float = 0.25
+    backoff_cap: float = 8.0
+    tick_interval: float = 0.5
+    idle_retry: float = 0.5
+    inline_fallback: bool = True
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.lease_timeout <= 0:
+            raise ConfigError(
+                f"lease_timeout must be > 0, got {self.lease_timeout}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+
+@dataclass
+class Job:
+    """One accepted sweep job and its accumulated results."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "running"  # running | done | failed
+    results: dict[tuple[str, str], "SimulationResult"] = field(
+        default_factory=dict
+    )
+    cache_hits: int = 0
+
+    @property
+    def cells_total(self) -> int:
+        return len(self.spec.cells)
+
+    @property
+    def cells_done(self) -> int:
+        return len(self.results)
+
+
+class SchedulerCore:
+    """Thread-safe scheduler state machine (no sockets)."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        journal: Journal | None = None,
+        config: SchedulerConfig | None = None,
+        obs=None,
+    ) -> None:
+        self.cache = cache
+        self.journal = journal
+        self.config = config if config is not None else SchedulerConfig()
+        self.obs = obs
+        self.leases = LeaseTable(
+            lease_timeout=self.config.lease_timeout,
+            max_attempts=self.config.max_attempts,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+        )
+        self.jobs: dict[str, Job] = {}
+        #: worker_id -> {"pid": int, "cells_done": int}
+        self.workers: dict[str, dict] = {}
+        self.stopping = False
+        self.lock = threading.RLock()
+        self.completions = 0
+        self.rejected_completions = 0
+
+    # -- obs helpers -----------------------------------------------------------
+
+    def _emit(self, name: str, **fields) -> None:
+        if self.obs is not None:
+            self.obs.emit(name, **fields)
+            self.obs.stream_flush(force=True)
+
+    # -- job intake ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, now: float | None = None,
+               job_id: str | None = None) -> str:
+        """Accept a job; cache-served cells complete immediately.
+
+        ``job_id`` is only supplied by journal replay (resume keeps the
+        original id so clients can re-poll it).
+        """
+        from repro.obs.events import (
+            EV_SERVICE_CACHE_HIT,
+            EV_SERVICE_CACHE_QUARANTINED,
+            EV_SERVICE_JOB_SUBMITTED,
+        )
+
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            if job_id is None:
+                job_id = f"job-{uuid.uuid4().hex[:8]}"
+            if job_id in self.jobs:
+                raise ServiceError(f"duplicate job id {job_id}")
+            job = Job(job_id=job_id, spec=spec)
+            self.jobs[job_id] = job
+            if self.journal is not None:
+                self.journal.record_submit(job_id, spec)
+            self._emit(EV_SERVICE_JOB_SUBMITTED, job_id=job_id,
+                       cells=job.cells_total, tag=spec.tag)
+            for workload, solution in spec.cells:
+                key = cell_key(spec, workload, solution)
+                corrupt_before = self.cache.stats.corrupt
+                cached = self.cache.get(key)
+                if self.cache.stats.corrupt > corrupt_before:
+                    self._emit(EV_SERVICE_CACHE_QUARANTINED, job_id=job_id,
+                               workload=workload, solution=solution)
+                if cached is not None:
+                    job.results[(workload, solution)] = cached
+                    job.cache_hits += 1
+                    if self.journal is not None:
+                        self.journal.record_cell(job_id, workload, solution,
+                                                 key, attempt=0,
+                                                 source="cache")
+                    self._emit(EV_SERVICE_CACHE_HIT, job_id=job_id,
+                               workload=workload, solution=solution)
+                else:
+                    self.leases.add(job_id, workload, solution, now=now)
+            self._check_job(job)
+            return job_id
+
+    def resume(self) -> list[str]:
+        """Replay the journal: resubmit every non-terminal job.
+
+        Completed cells hit the result cache, so a resume only
+        recomputes what the interrupted scheduler never finished.
+        """
+        if self.journal is None:
+            return []
+        resumed = []
+        for job_id, spec in self.journal.replay():
+            resumed.append(self.submit(spec, job_id=job_id))
+        return resumed
+
+    # -- worker registry -------------------------------------------------------
+
+    def register_worker(self, worker_id: str, pid: int = -1) -> None:
+        """Admit ``worker_id`` to the registry (idempotent re-hello)."""
+        from repro.obs.events import EV_SERVICE_WORKER_JOINED
+
+        with self.lock:
+            self.workers[worker_id] = {"pid": pid, "cells_done": 0}
+        self._emit(EV_SERVICE_WORKER_JOINED, worker=worker_id, pid=pid)
+
+    def worker_lost(self, worker_id: str, now: float | None = None) -> int:
+        """Reclaim a dead worker's leases; returns how many were held."""
+        from repro.obs.events import (
+            EV_SERVICE_CELL_REQUEUED,
+            EV_SERVICE_WORKER_LOST,
+        )
+
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            self.workers.pop(worker_id, None)
+            released = self.leases.release_worker(worker_id, now)
+            self._emit(EV_SERVICE_WORKER_LOST, worker=worker_id,
+                       leases=len(released))
+            for lease in released:
+                self._emit(EV_SERVICE_CELL_REQUEUED, job_id=lease.job_id,
+                           workload=lease.workload, solution=lease.solution,
+                           attempt=lease.attempt, cause="worker_lost")
+            self._after_release(released)
+            return len(released)
+
+    def remote_workers(self) -> int:
+        with self.lock:
+            return sum(1 for w in self.workers if w != INLINE_WORKER_ID)
+
+    # -- lease lifecycle -------------------------------------------------------
+
+    def claim(self, worker_id: str, now: float | None = None) -> dict | None:
+        """Grant a lease to ``worker_id`` (None when nothing is eligible)."""
+        from repro.obs.events import EV_SERVICE_LEASE_GRANTED
+
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            if self.stopping:
+                return None
+            lease = self.leases.claim(worker_id, now)
+            if lease is None:
+                return None
+            job = self.jobs[lease.job_id]
+            self._emit(EV_SERVICE_LEASE_GRANTED, job_id=lease.job_id,
+                       workload=lease.workload, solution=lease.solution,
+                       worker=worker_id, attempt=lease.attempt)
+            return {
+                "lease_id": lease.lease_id,
+                "job_id": lease.job_id,
+                "workload": lease.workload,
+                "solution": lease.solution,
+                "attempt": lease.attempt,
+                "deadline": lease.deadline,
+                "lease_timeout": self.config.lease_timeout,
+                "spec": job.spec,
+            }
+
+    def heartbeat(self, lease_id: int, now: float | None = None) -> bool:
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            return self.leases.heartbeat(lease_id, now)
+
+    def complete(self, lease_id: int, result: "SimulationResult",
+                 now: float | None = None, source: str = "") -> bool:
+        """Accept one finished cell; False if the lease was reclaimed.
+
+        A rejected completion is *safe* to discard: the lease expired,
+        so its cell is pending (or finished) under a newer attempt, and
+        cell execution is deterministic — whichever attempt lands first
+        writes the same bits.
+        """
+        from repro.obs.events import EV_SERVICE_CELL_DONE
+
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            lease = self.leases.complete(lease_id)
+            if lease is None:
+                self.rejected_completions += 1
+                return False
+            job = self.jobs[lease.job_id]
+            key = cell_key(job.spec, lease.workload, lease.solution)
+            self.cache.put(key, result)
+            job.results[(lease.workload, lease.solution)] = result
+            self.completions += 1
+            worker = self.workers.get(lease.worker_id)
+            if worker is not None:
+                worker["cells_done"] += 1
+            if self.journal is not None:
+                self.journal.record_cell(
+                    lease.job_id, lease.workload, lease.solution, key,
+                    attempt=lease.attempt,
+                    source=source or lease.worker_id,
+                )
+            self._emit(EV_SERVICE_CELL_DONE, job_id=lease.job_id,
+                       workload=lease.workload, solution=lease.solution,
+                       worker=lease.worker_id, attempt=lease.attempt)
+            self._check_job(job)
+            return True
+
+    def fail(self, lease_id: int, message: str, transient: bool = True,
+             now: float | None = None) -> None:
+        """A worker reported a cell failure (nack)."""
+        from repro.obs.events import EV_SERVICE_CELL_REQUEUED
+
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            lease = self.leases.release(lease_id, now, reason=message,
+                                        transient=transient)
+            if lease is None:
+                return
+            self._emit(EV_SERVICE_CELL_REQUEUED, job_id=lease.job_id,
+                       workload=lease.workload, solution=lease.solution,
+                       attempt=lease.attempt, cause="nack")
+            self._after_release([lease])
+
+    def fail_exception(self, lease_id: int, exc: BaseException,
+                       now: float | None = None) -> None:
+        """Nack from an exception, classified by :func:`is_transient`."""
+        self.fail(lease_id, f"{type(exc).__name__}: {exc}",
+                  transient=is_transient(exc), now=now)
+
+    def tick(self, now: float | None = None) -> int:
+        """Expire overdue leases; returns how many were reclaimed."""
+        from repro.obs.events import EV_SERVICE_LEASE_EXPIRED
+
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            expired = self.leases.expire(now)
+            for lease in expired:
+                self._emit(EV_SERVICE_LEASE_EXPIRED, job_id=lease.job_id,
+                           workload=lease.workload, solution=lease.solution,
+                           worker=lease.worker_id, attempt=lease.attempt)
+            self._after_release(expired)
+            return len(expired)
+
+    # -- job state -------------------------------------------------------------
+
+    def _after_release(self, released) -> None:
+        """Dead-letter bookkeeping after any lease release batch."""
+        from repro.obs.events import EV_SERVICE_CELL_DEAD_LETTER
+
+        if not released:
+            return
+        seen = {(d.job_id, d.workload, d.solution): d for d in self.leases.dead}
+        for lease in released:
+            dead = seen.get((lease.job_id, lease.workload, lease.solution))
+            if dead is not None and dead.attempts == lease.attempt:
+                if self.journal is not None:
+                    self.journal.record_dead_letter(dead.as_dict())
+                self._emit(EV_SERVICE_CELL_DEAD_LETTER, **dead.as_dict())
+        for job_id in {lease.job_id for lease in released}:
+            self._check_job(self.jobs[job_id])
+
+    def _check_job(self, job: Job) -> None:
+        from repro.obs.events import EV_SERVICE_JOB_DONE, EV_SERVICE_JOB_FAILED
+
+        if job.state != "running":
+            return
+        if job.cells_done == job.cells_total:
+            job.state = "done"
+            if self.journal is not None:
+                self.journal.record_job(job.job_id, "done")
+            self._emit(EV_SERVICE_JOB_DONE, job_id=job.job_id,
+                       cells=job.cells_total, cache_hits=job.cache_hits)
+        elif (self.leases.job_open_cells(job.job_id) == 0
+              and self.leases.job_dead_letters(job.job_id)):
+            job.state = "failed"
+            if self.journal is not None:
+                self.journal.record_job(job.job_id, "failed")
+            self._emit(EV_SERVICE_JOB_FAILED, job_id=job.job_id,
+                       dead=len(self.leases.job_dead_letters(job.job_id)))
+
+    def status(self, job_id: str) -> dict:
+        with self.lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job {job_id}")
+            return {
+                "job_id": job_id,
+                "state": job.state,
+                "cells_total": job.cells_total,
+                "cells_done": job.cells_done,
+                "cells_open": self.leases.job_open_cells(job_id),
+                "cache_hits": job.cache_hits,
+                "dead_letters": [d.as_dict()
+                                 for d in self.leases.job_dead_letters(job_id)],
+            }
+
+    def fetch(self, job_id: str) -> "MatrixResult":
+        """Assemble the finished job as a MatrixResult (keyed, not ordered,
+        so the fingerprint is independent of completion order)."""
+        from repro.bench.runner import MatrixResult, _aggregate_perf
+
+        with self.lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job {job_id}")
+            if job.state == "failed":
+                dead = self.leases.job_dead_letters(job_id)
+                raise ServiceError(
+                    f"job {job_id} failed; dead-lettered cells: "
+                    + ", ".join(f"{d.workload}/{d.solution}" for d in dead)
+                )
+            if job.state != "done":
+                raise ServiceError(f"job {job_id} is still {job.state}")
+            results: dict[str, dict[str, SimulationResult]] = {}
+            for workload in job.spec.workloads:
+                results[workload] = {
+                    solution: job.results[(workload, solution)]
+                    for solution in job.spec.solutions
+                }
+            return MatrixResult(
+                results=results,
+                baseline=job.spec.baseline,
+                perf=_aggregate_perf(job.results.values()),
+            )
+
+    def stats(self) -> dict:
+        with self.lock:
+            return {
+                "jobs": len(self.jobs),
+                "jobs_done": sum(1 for j in self.jobs.values()
+                                 if j.state == "done"),
+                "jobs_failed": sum(1 for j in self.jobs.values()
+                                   if j.state == "failed"),
+                "pending_cells": len(self.leases.pending),
+                "active_leases": len(self.leases.active),
+                "dead_letters": len(self.leases.dead),
+                "workers": sorted(self.workers),
+                "leases_granted": self.leases.granted,
+                "leases_expired": self.leases.expired,
+                "requeues": self.leases.requeues,
+                "completions": self.completions,
+                "rejected_completions": self.rejected_completions,
+                "cache": self.cache.stats.as_dict(),
+                "stopping": self.stopping,
+            }
+
+    # -- drain -----------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop granting leases; in-flight cells may still complete."""
+        from repro.obs.events import EV_SERVICE_DRAIN
+
+        with self.lock:
+            if not self.stopping:
+                self.stopping = True
+                self._emit(EV_SERVICE_DRAIN,
+                           active=len(self.leases.active),
+                           pending=len(self.leases.pending))
+
+    def drained(self) -> bool:
+        with self.lock:
+            return not self.leases.active
+
+    def finish_drain(self) -> None:
+        """Journal the interruption point so restart resumes cleanly."""
+        with self.lock:
+            if self.journal is not None:
+                for job in self.jobs.values():
+                    if job.state == "running":
+                        self.journal.record_job(job.job_id, "drained")
+                self.journal.close()
+
+
+# -- the daemon ----------------------------------------------------------------
+
+
+def _bind_listener(address: str) -> tuple[socket.socket, str]:
+    """Bind + listen on ``address``; returns (socket, resolved address)."""
+    from repro.obs.sinks import parse_address
+
+    family, target = parse_address(address)
+    if family == "unix":
+        if os.path.exists(target):
+            os.unlink(target)  # stale socket from a SIGKILLed scheduler
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(target)
+        resolved = f"unix:{target}"
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(target)
+        host, port = sock.getsockname()[:2]
+        resolved = f"{host}:{port}"
+    sock.listen(64)
+    return sock, resolved
+
+
+class SchedulerServer:
+    """``repro serve``: the socket front end of a :class:`SchedulerCore`.
+
+    One thread per connection (worker fleets are tens of processes, not
+    thousands), a tick thread for lease expiry, and an optional inline
+    runner that executes cells in-process while no remote workers are
+    registered — a schedulerless-looking client still gets its sweep.
+    """
+
+    def __init__(self, core: SchedulerCore, address: str = "127.0.0.1:0") -> None:
+        self.core = core
+        self._listener, self.address = _bind_listener(address)
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._drain = threading.Event()
+        self._accepting = True
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        for target, name in (
+            (self._accept_loop, "service-accept"),
+            (self._tick_loop, "service-tick"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        if self.core.config.inline_fallback:
+            thread = threading.Thread(target=self._inline_loop,
+                                      name="service-inline", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def serve_forever(self, poll: float = 0.2) -> None:
+        """Block until :meth:`shutdown` (the CLI's foreground mode)."""
+        self.start()
+        while not self._stop.is_set():
+            self._stop.wait(poll)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the daemon; with ``drain``, let in-flight leases land.
+
+        Draining stops new grants immediately (workers are told to back
+        off), waits up to ``drain_timeout`` for active leases to
+        complete or expire, journals still-running jobs as ``drained``,
+        and only then tears the sockets down — the SIGTERM path.
+        """
+        if drain:
+            self.core.begin_drain()
+            deadline = time.monotonic() + self.core.config.drain_timeout
+            while time.monotonic() < deadline and not self.core.drained():
+                time.sleep(min(0.05, self.core.config.tick_interval))
+                self.core.tick()
+        self.core.finish_drain()
+        self._stop.set()
+        self._accepting = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self.core.obs is not None:
+            self.core.obs.stream_close()
+
+    # -- threads ---------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by shutdown
+            thread = threading.Thread(
+                target=self._serve_connection, args=(sock,),
+                name="service-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _tick_loop(self) -> None:
+        while not self._stop.is_set():
+            self.core.tick()
+            self._stop.wait(self.core.config.tick_interval)
+
+    def _inline_loop(self) -> None:
+        """Graceful degradation: serial in-process execution of cells
+        while no remote workers are registered."""
+        from repro.service.worker import run_cell
+
+        while not self._stop.is_set():
+            if self.core.remote_workers() > 0 or self.core.stopping:
+                self._stop.wait(self.core.config.idle_retry)
+                continue
+            grant = self.core.claim(INLINE_WORKER_ID)
+            if grant is None:
+                self._stop.wait(self.core.config.idle_retry)
+                continue
+            try:
+                result = run_cell(grant["spec"], grant["workload"],
+                                  grant["solution"])
+            except Exception as exc:
+                self.core.fail_exception(grant["lease_id"], exc)
+                continue
+            self.core.complete(grant["lease_id"], result, source="inline")
+
+    # -- connection handling ---------------------------------------------------
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        from repro.errors import ProtocolError
+
+        conn = Connection(sock)
+        worker_id: str | None = None
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = recv_message(sock)
+                except (ProtocolError, OSError):
+                    return
+                if message is None:
+                    return  # peer hung up cleanly
+                try:
+                    reply = self._dispatch(message)
+                except ServiceError as exc:
+                    reply = reply_error(str(exc), transient=is_transient(exc))
+                except Exception as exc:  # never kill the daemon on a bug
+                    reply = reply_error(f"internal error: {exc}")
+                if (message.get("op") == "hello"
+                        and message.get("role") == "worker"):
+                    worker_id = message.get("worker_id")
+                try:
+                    send_message(sock, reply)
+                except OSError:
+                    return
+                if message.get("op") == "shutdown":
+                    threading.Thread(
+                        target=self.shutdown,
+                        kwargs={"drain": bool(message.get("drain", True))},
+                        daemon=True,
+                    ).start()
+                    return
+        finally:
+            # A worker connection dropping — SIGKILL, severed socket,
+            # clean exit alike — releases its leases immediately; the
+            # deadline path only backstops severed-but-open sockets.
+            if worker_id is not None:
+                self.core.worker_lost(worker_id)
+            conn.close()
+
+    def _dispatch(self, message: dict) -> dict:
+        op = message.get("op")
+        if op == "hello":
+            if message.get("role") == "worker":
+                self.core.register_worker(
+                    message.get("worker_id", f"worker-{uuid.uuid4().hex[:6]}"),
+                    pid=int(message.get("pid", -1)),
+                )
+            return reply_ok(version=PROTOCOL_VERSION)
+        if op == "claim":
+            grant = self.core.claim(message.get("worker_id", "?"))
+            if grant is None:
+                return {"op": "idle",
+                        "retry_after": self.core.config.idle_retry,
+                        "stopping": self.core.stopping}
+            return {"op": "lease", **grant}
+        if op == "heartbeat":
+            ok = self.core.heartbeat(int(message.get("lease_id", -1)))
+            if not ok:
+                return reply_error("lease expired or unknown", transient=True)
+            return reply_ok()
+        if op == "result":
+            accepted = self.core.complete(
+                int(message.get("lease_id", -1)), message.get("payload")
+            )
+            if not accepted:
+                return reply_error("lease expired; result discarded",
+                                   transient=True)
+            return reply_ok()
+        if op == "nack":
+            self.core.fail(int(message.get("lease_id", -1)),
+                           str(message.get("message", "worker nack")),
+                           transient=bool(message.get("transient", True)))
+            return reply_ok()
+        if op == "submit":
+            spec = message.get("spec")
+            if not isinstance(spec, JobSpec):
+                return reply_error("submit needs a JobSpec")
+            if self.core.stopping:
+                return reply_error("scheduler is draining", transient=True)
+            return reply_ok(job_id=self.core.submit(spec))
+        if op == "status":
+            return {"op": "job", **self.core.status(str(message.get("job_id")))}
+        if op == "fetch":
+            return reply_ok(result=self.core.fetch(str(message.get("job_id"))))
+        if op == "ping":
+            return reply_ok(stats=self.core.stats())
+        if op == "shutdown":
+            return reply_ok()
+        return reply_error(f"unknown op {op!r}")
+
+
+__all__ = [
+    "INLINE_WORKER_ID",
+    "Job",
+    "SchedulerConfig",
+    "SchedulerCore",
+    "SchedulerServer",
+]

@@ -1,0 +1,278 @@
+"""The ``repro worker`` fleet process: claim, simulate, report, repeat.
+
+A worker keeps two connections to the scheduler:
+
+* the **work channel** — strict request/response: ``claim`` for a
+  lease, ``result``/``nack`` to retire it;
+* the **heartbeat channel** — a background thread extends the current
+  lease's deadline every ``lease_timeout / 3`` seconds while a cell
+  simulates, so a *slow* cell is distinguishable from a *dead* worker.
+
+Both channels reconnect with capped exponential backoff *plus jitter*
+(:func:`jittered_backoff`) — a fleet restarting after a scheduler bounce
+must not thundering-herd it (the same fix the streaming
+:class:`~repro.obs.sinks.SocketSink` got).
+
+Cell execution (:func:`run_cell`) goes through the exact serial path of
+:func:`repro.bench.runner.run_solution` with a per-process trace cache,
+recording the cell's cache-stat *delta* — byte-for-byte the pool
+runner's discipline, which is what makes a service-assembled
+MatrixResult bit-identical to the in-process one.
+
+Chaos arming (``--chaos-*`` flags) wires a
+:class:`~repro.faults.service.ServiceFaultInjector` into the loop:
+``--chaos-kill-after-cells N`` SIGKILLs the worker after its Nth result
+(crash between cells); ``--chaos-kill-delay S`` arms a delayed SIGKILL
+when cell ``--chaos-kill-cell`` starts (crash mid-cell).  The scheduler
+must requeue either way; the chaos suites assert it does.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import uuid
+from typing import TYPE_CHECKING
+
+from repro.bench.runner import run_solution
+from repro.errors import ProtocolError, is_transient
+from repro.service.protocol import Connection, JobSpec, connect
+
+if TYPE_CHECKING:
+    from repro.faults.service import ServiceFaultInjector
+    from repro.sim.engine import SimulationResult
+
+#: Per-worker-process trace cache (sibling cells share synthesized
+#: streams, and each cell reports its delta — the pool discipline).
+_worker_cache = None
+
+
+def jittered_backoff(attempt: int, base: float = 0.25, cap: float = 8.0,
+                     rng: random.Random | None = None) -> float:
+    """Full-jitter capped exponential backoff: ``U(0, min(cap, base*2^n))``.
+
+    Full jitter decorrelates a fleet of peers retrying after a shared
+    failure (scheduler restart): every worker draws its own delay, so
+    reconnections spread over the window instead of arriving in lockstep.
+    """
+    window = min(cap, base * (2.0 ** max(0, attempt)))
+    draw = (rng.random() if rng is not None else random.random())
+    return window * draw
+
+
+def run_cell(spec: JobSpec, workload: str, solution: str) -> "SimulationResult":
+    """Execute one cell exactly as the serial matrix runner would.
+
+    Deterministic in ``(spec, workload, solution)``: seeds come from the
+    spec, the injector is rebuilt per run, obs is off (the service's own
+    telemetry is scheduler-side), and the shared per-process trace cache
+    is result-invisible.  Re-running after a crash reproduces the same
+    bits — the property every requeue relies on.
+    """
+    global _worker_cache
+    if _worker_cache is None:
+        from repro.sim.tracecache import TraceCache
+
+        _worker_cache = TraceCache()
+    before = _worker_cache.stats()
+    result = run_solution(
+        solution,
+        workload,
+        spec.profile,
+        intervals=spec.intervals,
+        fault_rate=spec.fault_rate,
+        fault_seed=spec.fault_seed,
+        trace_cache=_worker_cache,
+        recovery=spec.recovery,
+        obs=None,
+    )
+    if result.perf is not None:
+        result.perf.cache = _worker_cache.stats().delta(before)
+    return result
+
+
+class Worker:
+    """One fleet member: the claim/run/report loop plus heartbeats."""
+
+    def __init__(
+        self,
+        address: str,
+        worker_id: str | None = None,
+        chaos: "ServiceFaultInjector | None" = None,
+        chaos_kill_after_cells: int | None = None,
+        chaos_kill_cell: int | None = None,
+        chaos_kill_delay: float = 0.05,
+        reconnect_base: float = 0.25,
+        reconnect_cap: float = 8.0,
+        max_idle_claims: int | None = None,
+    ) -> None:
+        self.address = address
+        self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.chaos = chaos
+        self.chaos_kill_after_cells = chaos_kill_after_cells
+        self.chaos_kill_cell = chaos_kill_cell
+        self.chaos_kill_delay = chaos_kill_delay
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        #: exit after this many consecutive idle replies (None = serve
+        #: forever); lets CI workers retire once the queue stays empty.
+        self.max_idle_claims = max_idle_claims
+        self.cells_done = 0
+        self._rng = random.Random(hash((self.worker_id, os.getpid())) & 0xFFFF_FFFF)
+        self._work: Connection | None = None
+        self._stop_heartbeat = None
+
+    # -- connections -----------------------------------------------------------
+
+    def _connect_channel(self, role: str) -> Connection:
+        """Open one channel, retrying with jittered capped backoff."""
+        attempt = 0
+        while True:
+            try:
+                conn = connect(self.address)
+                conn.request({"op": "hello", "role": role,
+                              "worker_id": self.worker_id,
+                              "pid": os.getpid()})
+                return conn
+            except (OSError, ProtocolError):
+                delay = jittered_backoff(attempt, self.reconnect_base,
+                                         self.reconnect_cap, self._rng)
+                attempt += 1
+                time.sleep(delay)
+
+    def _heartbeat_loop(self, lease_id: int, interval: float, stop) -> None:
+        """Extend ``lease_id`` until told to stop (its own channel, so
+        heartbeats never interleave with the work channel's frames)."""
+        conn = None
+        try:
+            conn = self._connect_channel("heartbeat")
+            while not stop.wait(interval):
+                reply = conn.request({"op": "heartbeat",
+                                      "worker_id": self.worker_id,
+                                      "lease_id": lease_id})
+                if reply.get("op") != "ok":
+                    return  # lease reclaimed; stop wasting frames
+        except (OSError, ProtocolError):
+            return  # scheduler will expire the lease; the cell requeues
+        finally:
+            if conn is not None:
+                conn.close()
+
+    # -- the loop --------------------------------------------------------------
+
+    def run_forever(self) -> int:
+        """Serve cells until idle-retired or stopped; returns cells done."""
+        import threading
+
+        idle_streak = 0
+        while True:
+            if self._work is None:
+                self._work = self._connect_channel("worker")
+            try:
+                reply = self._work.request({"op": "claim",
+                                            "worker_id": self.worker_id})
+            except (OSError, ProtocolError):
+                self._work.close()
+                self._work = None
+                continue
+            if reply.get("op") == "idle":
+                idle_streak += 1
+                if reply.get("stopping") or (
+                    self.max_idle_claims is not None
+                    and idle_streak >= self.max_idle_claims
+                ):
+                    break
+                time.sleep(float(reply.get("retry_after", 0.5))
+                           * (0.5 + self._rng.random()))
+                continue
+            if reply.get("op") != "lease":
+                time.sleep(jittered_backoff(1, rng=self._rng))
+                continue
+            idle_streak = 0
+            self._serve_lease(reply, threading)
+        if self._work is not None:
+            self._work.close()
+            self._work = None
+        return self.cells_done
+
+    def _serve_lease(self, lease: dict, threading) -> None:
+        lease_id = int(lease["lease_id"])
+        spec: JobSpec = lease["spec"]
+        # A third of the lease timeout keeps two missed beats short of
+        # expiry; slow cells stay leased, dead workers expire fast.
+        interval = max(0.05, float(lease.get("lease_timeout", 3.0)) / 3.0)
+        stop = threading.Event()
+        hb = threading.Thread(
+            target=self._heartbeat_loop, args=(lease_id, interval, stop),
+            name="worker-heartbeat", daemon=True,
+        )
+        hb.start()
+        if (self.chaos is not None and self.chaos_kill_cell is not None
+                and self.cells_done == self.chaos_kill_cell):
+            # Crash mid-cell: armed at cell start, lands during run_cell.
+            self.chaos.arm_midcell_kill(self.chaos_kill_delay)
+        try:
+            result = run_cell(spec, lease["workload"], lease["solution"])
+        except Exception as exc:
+            stop.set()
+            self._send({"op": "nack", "worker_id": self.worker_id,
+                        "lease_id": lease_id,
+                        "message": f"{type(exc).__name__}: {exc}",
+                        "transient": is_transient(exc)})
+            return
+        stop.set()
+        self._send({"op": "result", "worker_id": self.worker_id,
+                    "lease_id": lease_id, "payload": result})
+        self.cells_done += 1
+        if self.chaos is not None:
+            if (self.chaos_kill_after_cells is not None
+                    and self.cells_done >= self.chaos_kill_after_cells):
+                self.chaos.kill_now()  # crash between cells
+            self.chaos.maybe_kill_between_cells()
+
+    def _send(self, message: dict) -> None:
+        """Fire one work-channel message, tolerating a dead scheduler.
+
+        A failed result send is *safe* to drop: the lease will expire
+        and the (deterministic) cell re-executes elsewhere.
+        """
+        if self._work is None:
+            return
+        try:
+            self._work.request(message)
+        except (OSError, ProtocolError):
+            self._work.close()
+            self._work = None
+
+
+def worker_main(
+    address: str,
+    worker_id: str | None = None,
+    chaos_kill_after_cells: int | None = None,
+    chaos_kill_cell: int | None = None,
+    chaos_kill_delay: float = 0.05,
+    chaos_seed: int = 0,
+    max_idle_claims: int | None = None,
+) -> int:
+    """Entry point of ``repro worker``; returns a process exit code."""
+    chaos = None
+    if chaos_kill_after_cells is not None or chaos_kill_cell is not None:
+        from repro.faults.service import ServiceFaultInjector
+
+        chaos = ServiceFaultInjector(seed=chaos_seed)
+    worker = Worker(
+        address,
+        worker_id=worker_id,
+        chaos=chaos,
+        chaos_kill_after_cells=chaos_kill_after_cells,
+        chaos_kill_cell=chaos_kill_cell,
+        chaos_kill_delay=chaos_kill_delay,
+        max_idle_claims=max_idle_claims,
+    )
+    done = worker.run_forever()
+    print(f"worker {worker.worker_id}: {done} cells served")
+    return 0
+
+
+__all__ = ["Worker", "jittered_backoff", "run_cell", "worker_main"]
