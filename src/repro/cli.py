@@ -255,6 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream service telemetry to STATE_DIR/stream.ndjson "
              "(watch it with `repro watch --run STATE_DIR`)",
     )
+    serve.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the shared frame-authentication secret "
+             "(fallback: the REPRO_SERVICE_SECRET environment variable); "
+             "required to bind TCP on a non-loopback address",
+    )
+    serve.add_argument(
+        "--insecure", action="store_true",
+        help="allow binding plaintext TCP on a non-loopback address "
+             "without a secret (the wire protocol is pickle: anyone who "
+             "can reach the port can execute code — trusted networks only)",
+    )
 
     worker = sub.add_parser(
         "worker", help="serve sweep cells for a scheduler daemon"
@@ -288,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--chaos-seed", type=int, default=0,
         help="seed for the chaos injector's private RNG (default: 0)",
+    )
+    worker.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the scheduler's shared frame-authentication "
+             "secret (fallback: REPRO_SERVICE_SECRET)",
     )
 
     submit = sub.add_parser(
@@ -337,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--no-wait", action="store_true",
         help="print the job id and exit without waiting for results",
+    )
+    submit.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the scheduler's shared frame-authentication "
+             "secret (fallback: REPRO_SERVICE_SECRET)",
     )
     return parser
 
@@ -524,12 +546,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.cache import ResultCache
     from repro.service.journal import Journal, pid_file_write
+    from repro.service.protocol import resolve_secret
     from repro.service.scheduler import (
         SchedulerConfig,
         SchedulerCore,
         SchedulerServer,
     )
 
+    secret = resolve_secret(args.secret_file)
     obs = None
     if args.obs_stream:
         from repro.obs.context import ObsConfig, ObsContext
@@ -548,7 +572,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         obs=obs,
     )
-    server = SchedulerServer(core, address=args.address)
+    server = SchedulerServer(core, address=args.address, secret=secret,
+                             allow_insecure_tcp=args.insecure)
     pid_file_write(args.state_dir)
     if not args.no_resume:
         resumed = core.resume()
@@ -575,6 +600,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_worker(args: argparse.Namespace) -> int:
     """``worker``: claim and run cells for a scheduler daemon."""
+    from repro.service.protocol import resolve_secret
     from repro.service.worker import worker_main
 
     return worker_main(
@@ -585,6 +611,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         chaos_kill_delay=args.chaos_kill_delay,
         chaos_seed=args.chaos_seed,
         max_idle_claims=args.max_idle_claims,
+        secret=resolve_secret(args.secret_file),
     )
 
 
@@ -592,7 +619,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     """``submit``: send a matrix job to a daemon, print the table."""
     from repro.bench.scaling import BenchProfile
     from repro.service.client import ServiceClient
-    from repro.service.protocol import JobSpec
+    from repro.service.protocol import JobSpec, resolve_secret
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     solutions = [s.strip() for s in args.solutions.split(",") if s.strip()]
@@ -613,7 +640,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         recovery=not args.fail_fast,
         tag=args.tag,
     )
-    with ServiceClient(args.address) as client:
+    with ServiceClient(args.address,
+                       secret=resolve_secret(args.secret_file)) as client:
         job_id = client.submit(spec)
         print(f"submitted {job_id} "
               f"({len(workloads)}x{len(solutions)} cells)", flush=True)

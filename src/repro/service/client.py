@@ -26,8 +26,10 @@ class ServiceClient:
 
     def __init__(self, address: str, connect_timeout: float = 30.0,
                  reconnect_base: float = 0.25,
-                 reconnect_cap: float = 5.0) -> None:
+                 reconnect_cap: float = 5.0,
+                 secret: bytes | None = None) -> None:
         self.address = address
+        self.secret = secret
         self.connect_timeout = connect_timeout
         self.reconnect_base = reconnect_base
         self.reconnect_cap = reconnect_cap
@@ -41,7 +43,7 @@ class ServiceClient:
         while True:
             try:
                 if self._conn is None:
-                    self._conn = connect(self.address)
+                    self._conn = connect(self.address, secret=self.secret)
                 return self._conn.request(message)
             except (OSError, ProtocolError):
                 if self._conn is not None:

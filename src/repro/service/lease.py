@@ -52,6 +52,10 @@ class Lease:
         worker_id: holder.
         deadline: absolute time after which the lease may be expired.
         attempt: 1-based attempt number of the underlying cell.
+        generation: the holder's registration generation at claim time;
+            ``release_worker`` can then reclaim only the leases a
+            *specific* registration held (re-registration under the
+            same worker id must not lose the new connection's leases).
     """
 
     lease_id: int
@@ -61,6 +65,7 @@ class Lease:
     worker_id: str
     deadline: float
     attempt: int
+    generation: int = 0
 
 
 @dataclass
@@ -138,7 +143,8 @@ class LeaseTable:
             return None
         return min(c.eligible_at for c in self.pending)
 
-    def claim(self, worker_id: str, now: float) -> Lease | None:
+    def claim(self, worker_id: str, now: float,
+              generation: int = 0) -> Lease | None:
         """Grant the oldest eligible cell to ``worker_id`` (None = idle)."""
         eligible = self.eligible(now)
         if not eligible:
@@ -154,6 +160,7 @@ class LeaseTable:
             worker_id=worker_id,
             deadline=now + self.lease_timeout,
             attempt=cell.attempt + 1,
+            generation=generation,
         )
         self.active[lease.lease_id] = lease
         return lease
@@ -215,10 +222,17 @@ class LeaseTable:
                          reason=f"lease expired (worker {lease.worker_id})")
         return overdue
 
-    def release_worker(self, worker_id: str, now: float) -> list[Lease]:
-        """Reclaim every lease a lost worker held (connection dropped)."""
+    def release_worker(self, worker_id: str, now: float,
+                       generation: int | None = None) -> list[Lease]:
+        """Reclaim every lease a lost worker held (connection dropped).
+
+        With ``generation``, only leases claimed under that registration
+        generation release — a stale connection's cleanup must not touch
+        leases the worker's *newer* registration holds.
+        """
         held = [lease for lease in self.active.values()
-                if lease.worker_id == worker_id]
+                if lease.worker_id == worker_id
+                and (generation is None or lease.generation == generation)]
         for lease in held:
             self.release(lease.lease_id, now,
                          reason=f"worker {worker_id} lost")

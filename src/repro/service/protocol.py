@@ -26,10 +26,37 @@ Ops (requests are answered with exactly one reply per request):
 Replies: ``ok``, ``lease {lease_id, job_id, workload, solution, spec,
 attempt, deadline}``, ``idle {retry_after}``, ``job {...}``,
 ``error {message, transient}``.
+
+Trust boundary
+--------------
+
+Frames are *pickle*, which means a peer that can speak the protocol can
+execute arbitrary code in the receiver — the wire format is only safe
+between mutually-trusting processes.  The boundary is enforced in
+layers:
+
+* **unix sockets** (the default for ``repro serve``) confine peers to
+  local users who can open the socket path — filesystem permissions are
+  the access control;
+* **loopback TCP** confines peers to the local machine;
+* **non-loopback TCP** (remote fleets) additionally requires a shared
+  secret: every frame carries an HMAC-SHA256 of its payload, verified
+  with :func:`hmac.compare_digest` *before* any unpickling, so a peer
+  that does not hold the secret cannot get bytes into ``pickle.loads``.
+  The scheduler refuses to bind plaintext TCP on a non-loopback address
+  (see ``repro serve --secret-file`` / ``REPRO_SERVICE_SECRET``).
+
+Both ends must agree on whether (and which) secret is in use — the MAC
+rides inside the length-framed body, so any mismatch surfaces as a
+:class:`ProtocolError` on the first frame, never as decoded data and
+never as a stalled read.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import pickle
 import socket
 import struct
@@ -45,7 +72,36 @@ PROTOCOL_VERSION = 1
 #: megabytes; a corrupted length prefix would otherwise ask for GiB).
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
+#: Environment variable ``resolve_secret`` falls back to.
+SECRET_ENV = "REPRO_SERVICE_SECRET"
+
 _LEN = struct.Struct("!I")
+_MAC_BYTES = 32  # HMAC-SHA256 digest size
+
+
+def _frame_mac(secret: bytes, payload: bytes) -> bytes:
+    return hmac.new(secret, payload, hashlib.sha256).digest()
+
+
+def resolve_secret(secret_file: str | None = None) -> bytes | None:
+    """Load the shared frame secret: explicit file > env var > None.
+
+    A secret file holds arbitrary bytes (trailing whitespace stripped,
+    so ``openssl rand -hex 32 > secret`` works); the ``REPRO_SERVICE_SECRET``
+    environment variable is the file-less fallback for CI fleets.
+    """
+    if secret_file:
+        try:
+            data = open(secret_file, "rb").read().strip()
+        except OSError as exc:
+            raise ConfigError(f"cannot read secret file {secret_file}: {exc}")
+        if not data:
+            raise ConfigError(f"secret file {secret_file} is empty")
+        return data
+    env = os.environ.get(SECRET_ENV)
+    if env:
+        return env.encode("utf-8")
+    return None
 
 
 @dataclass(frozen=True)
@@ -106,14 +162,23 @@ class Envelope:
     conn: "Connection"
 
 
-def send_message(sock: socket.socket, message: dict) -> None:
-    """Frame and send one message (length prefix + pickle)."""
+def send_message(sock: socket.socket, message: dict,
+                 secret: bytes | None = None) -> None:
+    """Frame and send one message (length prefix + [MAC +] pickle).
+
+    With ``secret``, the MAC travels *inside* the length-framed body,
+    so peers that disagree about whether a secret is in use still agree
+    on frame boundaries — the mismatch fails fast as a
+    :class:`ProtocolError` instead of a stalled read.
+    """
     payload = pickle.dumps(message, protocol=5)
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES"
         )
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+    body = payload if secret is None else (_frame_mac(secret, payload)
+                                           + payload)
+    sock.sendall(_LEN.pack(len(body)) + body)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
@@ -131,17 +196,35 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> dict | None:
-    """Receive one framed message; ``None`` on clean EOF."""
+def recv_message(sock: socket.socket,
+                 secret: bytes | None = None) -> dict | None:
+    """Receive one framed message; ``None`` on clean EOF.
+
+    With ``secret``, the frame's MAC is verified *before* the payload
+    reaches ``pickle.loads`` — an unauthenticated peer gets a
+    :class:`ProtocolError`, never code execution.
+    """
     header = _recv_exact(sock, _LEN.size)
     if header is None:
         return None
     (length,) = _LEN.unpack(header)
-    if length > MAX_FRAME_BYTES:
+    if length > MAX_FRAME_BYTES + _MAC_BYTES:
         raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
-    payload = _recv_exact(sock, length)
-    if payload is None:
+    body = _recv_exact(sock, length)
+    if body is None:
         raise ProtocolError("connection closed between header and payload")
+    if secret is not None:
+        if length < _MAC_BYTES:
+            raise ProtocolError(
+                "frame too short to carry a MAC (unauthenticated peer?)"
+            )
+        mac, payload = body[:_MAC_BYTES], body[_MAC_BYTES:]
+        if not hmac.compare_digest(mac, _frame_mac(secret, payload)):
+            raise ProtocolError(
+                "frame MAC mismatch (peer holds a different shared secret)"
+            )
+    else:
+        payload = body
     try:
         message = pickle.loads(payload)
     except Exception as exc:  # pickle raises a zoo of exception types
@@ -160,27 +243,29 @@ class Connection:
     *separate* connection for heartbeats instead of interleaving).
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket,
+                 secret: bytes | None = None) -> None:
         import threading
 
         self.sock = sock
+        self.secret = secret
         self._lock = threading.Lock()
 
     def request(self, message: dict) -> dict:
         """Send one message and wait for its reply."""
         with self._lock:
-            send_message(self.sock, message)
-            reply = recv_message(self.sock)
+            send_message(self.sock, message, secret=self.secret)
+            reply = recv_message(self.sock, secret=self.secret)
         if reply is None:
             raise ProtocolError("peer closed the connection before replying")
         return reply
 
     def send(self, message: dict) -> None:
         with self._lock:
-            send_message(self.sock, message)
+            send_message(self.sock, message, secret=self.secret)
 
     def recv(self) -> dict | None:
-        return recv_message(self.sock)
+        return recv_message(self.sock, secret=self.secret)
 
     def close(self) -> None:
         try:
@@ -189,7 +274,8 @@ class Connection:
             pass
 
 
-def connect(address: str, timeout: float = 5.0) -> Connection:
+def connect(address: str, timeout: float = 5.0,
+            secret: bytes | None = None) -> Connection:
     """Open a client/worker connection to a scheduler at ``address``.
 
     Accepts the same address forms as the streaming sinks
@@ -205,7 +291,7 @@ def connect(address: str, timeout: float = 5.0) -> Connection:
     sock.settimeout(timeout)
     sock.connect(target)
     sock.settimeout(None)
-    return Connection(sock)
+    return Connection(sock, secret=secret)
 
 
 def reply_error(message: str, transient: bool = False) -> dict:
@@ -222,9 +308,11 @@ __all__ = [
     "JobSpec",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SECRET_ENV",
     "connect",
     "recv_message",
     "reply_error",
     "reply_ok",
+    "resolve_secret",
     "send_message",
 ]

@@ -21,7 +21,9 @@ Robustness invariants the tests pin down:
   in-process run no matter how many workers died on the way;
 * every completed cell is journaled and written to the crash-safe
   result cache *before* the job can be observed ``done``, so a
-  scheduler restart resumes from cache hits instead of resimulating;
+  scheduler restart resumes from cache hits instead of resimulating —
+  and a lease is only retired once those writes land: a failed cache or
+  journal write requeues the cell (a recompute, never a lost cell);
 * a worker that stops heartbeating loses its lease after
   ``lease_timeout``; its cell requeues with capped exponential backoff
   up to ``max_attempts`` and then dead-letters (never an infinite loop).
@@ -136,8 +138,10 @@ class SchedulerCore:
             backoff_cap=self.config.backoff_cap,
         )
         self.jobs: dict[str, Job] = {}
-        #: worker_id -> {"pid": int, "cells_done": int}
+        #: worker_id -> {"pid": int, "cells_done": int, "gen": int}
         self.workers: dict[str, dict] = {}
+        #: monotonic registration counter (generation token source)
+        self._worker_generation = 0
         self.stopping = False
         self.lock = threading.RLock()
         self.completions = 0
@@ -214,16 +218,35 @@ class SchedulerCore:
 
     # -- worker registry -------------------------------------------------------
 
-    def register_worker(self, worker_id: str, pid: int = -1) -> None:
-        """Admit ``worker_id`` to the registry (idempotent re-hello)."""
+    def register_worker(self, worker_id: str, pid: int = -1) -> int:
+        """Admit ``worker_id`` to the registry; returns a generation token.
+
+        Each registration gets a fresh generation.  A worker that
+        reconnects under the same id (work-channel flap) re-registers
+        with a *newer* generation, so the stale connection's cleanup
+        (``worker_lost`` with the old token) cannot evict it or touch
+        leases it claimed on the new connection.
+        """
         from repro.obs.events import EV_SERVICE_WORKER_JOINED
 
         with self.lock:
-            self.workers[worker_id] = {"pid": pid, "cells_done": 0}
+            self._worker_generation += 1
+            gen = self._worker_generation
+            self.workers[worker_id] = {"pid": pid, "cells_done": 0,
+                                       "gen": gen}
         self._emit(EV_SERVICE_WORKER_JOINED, worker=worker_id, pid=pid)
+        return gen
 
-    def worker_lost(self, worker_id: str, now: float | None = None) -> int:
-        """Reclaim a dead worker's leases; returns how many were held."""
+    def worker_lost(self, worker_id: str, now: float | None = None,
+                    generation: int | None = None) -> int:
+        """Reclaim a dead worker's leases; returns how many were held.
+
+        With ``generation``, only that registration is torn down: a
+        newer registration under the same id keeps its registry entry
+        and its leases (only the stale generation's leases release).
+        Without it, the whole identity is evicted (direct callers that
+        know the worker process is gone).
+        """
         from repro.obs.events import (
             EV_SERVICE_CELL_REQUEUED,
             EV_SERVICE_WORKER_LOST,
@@ -232,8 +255,13 @@ class SchedulerCore:
         if now is None:
             now = time.monotonic()
         with self.lock:
-            self.workers.pop(worker_id, None)
-            released = self.leases.release_worker(worker_id, now)
+            entry = self.workers.get(worker_id)
+            superseded = (generation is not None and entry is not None
+                          and entry["gen"] != generation)
+            if not superseded:
+                self.workers.pop(worker_id, None)
+            released = self.leases.release_worker(worker_id, now,
+                                                  generation=generation)
             self._emit(EV_SERVICE_WORKER_LOST, worker=worker_id,
                        leases=len(released))
             for lease in released:
@@ -258,7 +286,9 @@ class SchedulerCore:
         with self.lock:
             if self.stopping:
                 return None
-            lease = self.leases.claim(worker_id, now)
+            entry = self.workers.get(worker_id)
+            generation = entry["gen"] if entry is not None else 0
+            lease = self.leases.claim(worker_id, now, generation=generation)
             if lease is None:
                 return None
             job = self.jobs[lease.job_id]
@@ -282,6 +312,21 @@ class SchedulerCore:
         with self.lock:
             return self.leases.heartbeat(lease_id, now)
 
+    def _requeue_failed_completion(self, lease_id: int, now: float,
+                                   reason: str) -> None:
+        """Give a lease's cell back after its completion could not be
+        recorded — the cell must re-enter the queue, never vanish."""
+        from repro.obs.events import EV_SERVICE_CELL_REQUEUED
+
+        released = self.leases.release(lease_id, now, reason=reason,
+                                       transient=True)
+        if released is None:
+            return
+        self._emit(EV_SERVICE_CELL_REQUEUED, job_id=released.job_id,
+                   workload=released.workload, solution=released.solution,
+                   attempt=released.attempt, cause="completion_error")
+        self._after_release([released])
+
     def complete(self, lease_id: int, result: "SimulationResult",
                  now: float | None = None, source: str = "") -> bool:
         """Accept one finished cell; False if the lease was reclaimed.
@@ -290,30 +335,55 @@ class SchedulerCore:
         so its cell is pending (or finished) under a newer attempt, and
         cell execution is deterministic — whichever attempt lands first
         writes the same bits.
+
+        The lease is only *retired* after the cache write and journal
+        record land.  If either raises (disk full, malformed payload),
+        the lease is released back to the queue instead — a failed
+        completion costs a recompute, never the cell.
+
+        Raises:
+            ServiceError: the payload is not a SimulationResult, or the
+                cache/journal write failed (the cell was requeued).
         """
         from repro.obs.events import EV_SERVICE_CELL_DONE
+        from repro.sim.engine import SimulationResult
 
         if now is None:
             now = time.monotonic()
         with self.lock:
-            lease = self.leases.complete(lease_id)
+            lease = self.leases.active.get(lease_id)
             if lease is None:
                 self.rejected_completions += 1
                 return False
+            if not isinstance(result, SimulationResult):
+                self._requeue_failed_completion(
+                    lease_id, now, reason="malformed result payload")
+                raise ServiceError(
+                    "result payload must be a SimulationResult, got "
+                    f"{type(result).__name__}; cell requeued"
+                )
             job = self.jobs[lease.job_id]
             key = cell_key(job.spec, lease.workload, lease.solution)
-            self.cache.put(key, result)
+            try:
+                self.cache.put(key, result)
+                if self.journal is not None:
+                    self.journal.record_cell(
+                        lease.job_id, lease.workload, lease.solution, key,
+                        attempt=lease.attempt,
+                        source=source or lease.worker_id,
+                    )
+            except Exception as exc:
+                self._requeue_failed_completion(
+                    lease_id, now, reason=f"completion failed: {exc}")
+                raise ServiceError(
+                    f"failed to record cell result ({exc}); cell requeued"
+                ) from exc
+            self.leases.complete(lease_id)
             job.results[(lease.workload, lease.solution)] = result
             self.completions += 1
             worker = self.workers.get(lease.worker_id)
             if worker is not None:
                 worker["cells_done"] += 1
-            if self.journal is not None:
-                self.journal.record_cell(
-                    lease.job_id, lease.workload, lease.solution, key,
-                    attempt=lease.attempt,
-                    source=source or lease.worker_id,
-                )
             self._emit(EV_SERVICE_CELL_DONE, job_id=lease.job_id,
                        workload=lease.workload, solution=lease.solution,
                        worker=lease.worker_id, attempt=lease.attempt)
@@ -491,18 +561,70 @@ class SchedulerCore:
 # -- the daemon ----------------------------------------------------------------
 
 
-def _bind_listener(address: str) -> tuple[socket.socket, str]:
-    """Bind + listen on ``address``; returns (socket, resolved address)."""
+#: Hosts a plaintext (secret-less) TCP scheduler may bind.
+_LOOPBACK_HOSTS = {"127.0.0.1", "localhost", "::1"}
+
+
+def _reclaim_unix_path(target: str) -> None:
+    """Unlink ``target`` only if it is a genuinely stale scheduler socket.
+
+    A live scheduler answers a connect probe; unlinking its socket would
+    silently strand its workers and clients, so refuse instead.  A path
+    that is not a socket at all is never unlinked.
+    """
+    import stat
+
+    try:
+        mode = os.stat(target).st_mode
+    except FileNotFoundError:
+        return
+    if not stat.S_ISSOCK(mode):
+        raise ConfigError(
+            f"{target} exists and is not a socket; refusing to replace it"
+        )
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(target)
+    except OSError:
+        os.unlink(target)  # stale socket from a SIGKILLed scheduler
+    else:
+        raise ServiceError(
+            f"a scheduler is already listening at unix:{target}; "
+            "stop it first (or serve on a different address)"
+        )
+    finally:
+        probe.close()
+
+
+def _bind_listener(address: str, secret: bytes | None = None,
+                   allow_insecure_tcp: bool = False
+                   ) -> tuple[socket.socket, str]:
+    """Bind + listen on ``address``; returns (socket, resolved address).
+
+    Enforces the protocol trust boundary: binding TCP on a non-loopback
+    host without a shared secret would hand arbitrary-code-execution
+    (pickle) to anyone who can reach the port, so it is refused unless
+    explicitly overridden.
+    """
     from repro.obs.sinks import parse_address
 
     family, target = parse_address(address)
     if family == "unix":
-        if os.path.exists(target):
-            os.unlink(target)  # stale socket from a SIGKILLed scheduler
+        _reclaim_unix_path(target)
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.bind(target)
         resolved = f"unix:{target}"
     else:
+        host = target[0]
+        if (secret is None and not allow_insecure_tcp
+                and host not in _LOOPBACK_HOSTS):
+            raise ConfigError(
+                f"refusing to bind plaintext TCP on non-loopback {host!r}: "
+                "the wire protocol is pickle and needs frame authentication "
+                "off-host; provide a shared secret (--secret-file or "
+                "REPRO_SERVICE_SECRET) or pass allow_insecure_tcp/--insecure"
+            )
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind(target)
@@ -521,9 +643,13 @@ class SchedulerServer:
     registered — a schedulerless-looking client still gets its sweep.
     """
 
-    def __init__(self, core: SchedulerCore, address: str = "127.0.0.1:0") -> None:
+    def __init__(self, core: SchedulerCore, address: str = "127.0.0.1:0",
+                 secret: bytes | None = None,
+                 allow_insecure_tcp: bool = False) -> None:
         self.core = core
-        self._listener, self.address = _bind_listener(address)
+        self.secret = secret
+        self._listener, self.address = _bind_listener(
+            address, secret=secret, allow_insecure_tcp=allow_insecure_tcp)
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._drain = threading.Event()
@@ -614,19 +740,25 @@ class SchedulerServer:
             except Exception as exc:
                 self.core.fail_exception(grant["lease_id"], exc)
                 continue
-            self.core.complete(grant["lease_id"], result, source="inline")
+            try:
+                self.core.complete(grant["lease_id"], result, source="inline")
+            except ServiceError:
+                # complete() already requeued the cell (cache/journal
+                # write failure); the loop just claims the next one.
+                continue
 
     # -- connection handling ---------------------------------------------------
 
     def _serve_connection(self, sock: socket.socket) -> None:
         from repro.errors import ProtocolError
 
-        conn = Connection(sock)
+        conn = Connection(sock, secret=self.secret)
         worker_id: str | None = None
+        worker_gen: int | None = None
         try:
             while not self._stop.is_set():
                 try:
-                    message = recv_message(sock)
+                    message = recv_message(sock, secret=self.secret)
                 except (ProtocolError, OSError):
                     return
                 if message is None:
@@ -640,8 +772,9 @@ class SchedulerServer:
                 if (message.get("op") == "hello"
                         and message.get("role") == "worker"):
                     worker_id = message.get("worker_id")
+                    worker_gen = reply.get("generation")
                 try:
-                    send_message(sock, reply)
+                    send_message(sock, reply, secret=self.secret)
                 except OSError:
                     return
                 if message.get("op") == "shutdown":
@@ -655,18 +788,22 @@ class SchedulerServer:
             # A worker connection dropping — SIGKILL, severed socket,
             # clean exit alike — releases its leases immediately; the
             # deadline path only backstops severed-but-open sockets.
+            # Scoped to this connection's registration generation so a
+            # flapped worker's *new* registration (same id, fresh
+            # connection) keeps its entry and its leases.
             if worker_id is not None:
-                self.core.worker_lost(worker_id)
+                self.core.worker_lost(worker_id, generation=worker_gen)
             conn.close()
 
     def _dispatch(self, message: dict) -> dict:
         op = message.get("op")
         if op == "hello":
             if message.get("role") == "worker":
-                self.core.register_worker(
+                gen = self.core.register_worker(
                     message.get("worker_id", f"worker-{uuid.uuid4().hex[:6]}"),
                     pid=int(message.get("pid", -1)),
                 )
+                return reply_ok(version=PROTOCOL_VERSION, generation=gen)
             return reply_ok(version=PROTOCOL_VERSION)
         if op == "claim":
             grant = self.core.claim(message.get("worker_id", "?"))

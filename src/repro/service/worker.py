@@ -106,8 +106,10 @@ class Worker:
         reconnect_base: float = 0.25,
         reconnect_cap: float = 8.0,
         max_idle_claims: int | None = None,
+        secret: bytes | None = None,
     ) -> None:
         self.address = address
+        self.secret = secret
         self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
         self.chaos = chaos
         self.chaos_kill_after_cells = chaos_kill_after_cells
@@ -125,28 +127,53 @@ class Worker:
 
     # -- connections -----------------------------------------------------------
 
-    def _connect_channel(self, role: str) -> Connection:
-        """Open one channel, retrying with jittered capped backoff."""
+    def _connect_channel(self, role: str, stop=None,
+                         max_attempts: int | None = None) -> Connection | None:
+        """Open one channel, retrying with jittered capped backoff.
+
+        ``stop`` (a threading.Event) aborts the retry loop the moment it
+        is set — the backoff wait uses the event, not a blind sleep —
+        and ``max_attempts`` bounds it; either exhaustion returns
+        ``None``.  Without them the loop retries forever (the work
+        channel's serve-forever contract).
+        """
         attempt = 0
         while True:
+            if stop is not None and stop.is_set():
+                return None
             try:
-                conn = connect(self.address)
+                conn = connect(self.address, secret=self.secret)
                 conn.request({"op": "hello", "role": role,
                               "worker_id": self.worker_id,
                               "pid": os.getpid()})
                 return conn
             except (OSError, ProtocolError):
-                delay = jittered_backoff(attempt, self.reconnect_base,
-                                         self.reconnect_cap, self._rng)
                 attempt += 1
-                time.sleep(delay)
+                if max_attempts is not None and attempt >= max_attempts:
+                    return None
+                delay = jittered_backoff(attempt - 1, self.reconnect_base,
+                                         self.reconnect_cap, self._rng)
+                if stop is not None:
+                    if stop.wait(delay):
+                        return None
+                else:
+                    time.sleep(delay)
 
     def _heartbeat_loop(self, lease_id: int, interval: float, stop) -> None:
         """Extend ``lease_id`` until told to stop (its own channel, so
-        heartbeats never interleave with the work channel's frames)."""
+        heartbeats never interleave with the work channel's frames).
+
+        The connect retries are bounded and watch ``stop``: once the
+        cell finishes (or the scheduler stays unreachable) the thread
+        exits instead of leaking in the backoff loop — the lease simply
+        expires scheduler-side.
+        """
         conn = None
         try:
-            conn = self._connect_channel("heartbeat")
+            conn = self._connect_channel("heartbeat", stop=stop,
+                                         max_attempts=8)
+            if conn is None:
+                return  # stopped or scheduler unreachable; lease expires
             while not stop.wait(interval):
                 reply = conn.request({"op": "heartbeat",
                                       "worker_id": self.worker_id,
@@ -254,6 +281,7 @@ def worker_main(
     chaos_kill_delay: float = 0.05,
     chaos_seed: int = 0,
     max_idle_claims: int | None = None,
+    secret: bytes | None = None,
 ) -> int:
     """Entry point of ``repro worker``; returns a process exit code."""
     chaos = None
@@ -269,6 +297,7 @@ def worker_main(
         chaos_kill_cell=chaos_kill_cell,
         chaos_kill_delay=chaos_kill_delay,
         max_idle_claims=max_idle_claims,
+        secret=secret,
     )
     done = worker.run_forever()
     print(f"worker {worker.worker_id}: {done} cells served")

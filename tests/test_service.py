@@ -609,3 +609,252 @@ def test_run_matrix_result_cache_shares_entries_with_service(tmp_path):
                          config=SchedulerConfig(lease_timeout=5.0))
     job_id = core.submit(small_spec(), now=0.0)
     assert core.status(job_id)["cache_hits"] == 2  # same content addresses
+
+
+# -- completion robustness ---------------------------------------------------
+
+
+def test_complete_requeues_cell_when_cache_write_fails(tmp_path, monkeypatch):
+    """A failed cache/journal write must cost a recompute, not the cell.
+
+    The lease is only retired after the writes land; on failure the
+    cell re-enters the queue (pending, not active, not dead-lettered)
+    and the job finishes on the retry.
+    """
+    core = make_core(tmp_path, journal=False)
+    job_id = core.submit(
+        small_spec(workloads=("gups",), solutions=("first-touch",)), now=0.0
+    )
+    grant = core.claim("w", now=0.0)
+    result = run_cell(grant["spec"], grant["workload"], grant["solution"])
+
+    real_put = core.cache.put
+    disk_full = {"on": True}
+
+    def flaky_put(key, res):
+        if disk_full["on"]:
+            raise OSError(28, "No space left on device")
+        return real_put(key, res)
+
+    monkeypatch.setattr(core.cache, "put", flaky_put)
+    with pytest.raises(ServiceError):
+        core.complete(grant["lease_id"], result, now=0.0)
+    assert not core.leases.active  # lease released, not stranded
+    assert core.leases.job_open_cells(job_id) == 1  # requeued, not lost
+    assert not core.leases.dead
+    status = core.status(job_id)
+    assert status["state"] == "running" and status["cells_done"] == 0
+
+    disk_full["on"] = False
+    retry = core.claim("w", now=100.0)
+    assert retry is not None and retry["attempt"] == 2
+    assert core.complete(retry["lease_id"], result, now=100.0)
+    assert core.status(job_id)["state"] == "done"
+
+
+def test_complete_rejects_malformed_payload_and_requeues(tmp_path):
+    """A non-SimulationResult 'result' payload never reaches the cache;
+    the lease releases so the cell recomputes under a fresh attempt."""
+    core = make_core(tmp_path, journal=False)
+    job_id = core.submit(
+        small_spec(workloads=("gups",), solutions=("first-touch",)), now=0.0
+    )
+    grant = core.claim("evil", now=0.0)
+    with pytest.raises(ServiceError):
+        core.complete(grant["lease_id"], {"not": "a result"}, now=0.0)
+    assert not core.leases.active
+    assert core.leases.job_open_cells(job_id) == 1
+    assert core.cache.stats.stores == 0  # payload never touched the cache
+    assert drive_inline(core) == 1
+    assert core.status(job_id)["state"] == "done"
+
+
+# -- frame authentication ----------------------------------------------------
+
+
+class _Tripwire:
+    """Pickled by reference; reconstruction flips ``tripped``."""
+
+    tripped = False
+
+    def __reduce__(self):
+        return (setattr, (_Tripwire, "tripped", True))
+
+
+def test_protocol_hmac_roundtrip_and_mismatch():
+    a, b = socket.socketpair()
+    try:
+        send_message(a, {"op": "ping", "n": 7}, secret=b"s3cret")
+        assert recv_message(b, secret=b"s3cret") == {"op": "ping", "n": 7}
+        send_message(a, {"op": "ping"}, secret=b"wr0ng")
+        with pytest.raises(ProtocolError):
+            recv_message(b, secret=b"s3cret")
+    finally:
+        a.close()
+        b.close()
+
+
+def test_protocol_mac_verified_before_unpickle():
+    """An unauthenticated frame must never reach pickle.loads: the
+    tripwire payload would flip a class attribute if it were decoded."""
+    a, b = socket.socketpair()
+    try:
+        send_message(a, {"op": "hello", "payload": _Tripwire()},
+                     secret=b"attacker")
+        with pytest.raises(ProtocolError):
+            recv_message(b, secret=b"defender")
+        assert not _Tripwire.tripped
+        # A plaintext peer against an authenticated receiver fails fast
+        # too (no stalled read): the body is too short for a MAC or the
+        # MAC check fails — either way, no unpickling.
+        send_message(a, {"op": "hello", "payload": _Tripwire()})
+        with pytest.raises(ProtocolError):
+            recv_message(b, secret=b"defender")
+        assert not _Tripwire.tripped
+    finally:
+        a.close()
+        b.close()
+
+
+def test_resolve_secret_file_env_and_absence(tmp_path, monkeypatch):
+    from repro.service.protocol import SECRET_ENV, resolve_secret
+
+    monkeypatch.delenv(SECRET_ENV, raising=False)
+    assert resolve_secret(None) is None
+    monkeypatch.setenv(SECRET_ENV, "from-env")
+    assert resolve_secret(None) == b"from-env"
+    secret_file = tmp_path / "secret"
+    secret_file.write_text("from-file\n")
+    assert resolve_secret(str(secret_file)) == b"from-file"  # file wins
+    empty = tmp_path / "empty"
+    empty.write_text("\n")
+    with pytest.raises(ConfigError):
+        resolve_secret(str(empty))
+    with pytest.raises(ConfigError):
+        resolve_secret(str(tmp_path / "missing"))
+
+
+def test_server_end_to_end_with_shared_secret(tmp_path):
+    from repro.service.client import ServiceClient
+    from repro.service.scheduler import SchedulerServer
+
+    core = make_core(tmp_path, journal=False)
+    server = SchedulerServer(core, address=f"unix:{tmp_path}/sched.sock",
+                             secret=b"hunter2")
+    server.start()
+    try:
+        with ServiceClient(server.address, secret=b"hunter2",
+                           connect_timeout=10.0) as client:
+            matrix = client.run(small_spec(), timeout=120)
+        serial = run_matrix(["gups"], ["first-touch", "mtm"], PROFILE,
+                            intervals=INTERVALS, obs=None)
+        assert matrix_fingerprint(matrix) == matrix_fingerprint(serial)
+        with ServiceClient(server.address, secret=b"wrong",
+                           connect_timeout=0.5) as intruder:
+            with pytest.raises(ServiceError):
+                intruder.ping()
+    finally:
+        server.shutdown(drain=False)
+
+
+def test_bind_refuses_plaintext_nonloopback_tcp():
+    from repro.service.scheduler import _bind_listener
+
+    with pytest.raises(ConfigError):
+        _bind_listener("0.0.0.0:0")
+    sock, _ = _bind_listener("0.0.0.0:0", secret=b"s")  # secret unlocks it
+    sock.close()
+    sock, _ = _bind_listener("0.0.0.0:0", allow_insecure_tcp=True)
+    sock.close()
+    sock, _ = _bind_listener("127.0.0.1:0")  # loopback needs neither
+    sock.close()
+
+
+# -- unix socket reclaim -----------------------------------------------------
+
+
+def test_bind_refuses_live_socket_reclaims_stale_keeps_files(tmp_path):
+    from repro.service.scheduler import _bind_listener
+
+    path = tmp_path / "sched.sock"
+    live, _ = _bind_listener(f"unix:{path}")
+    try:
+        with pytest.raises(ServiceError):  # a live scheduler is not stolen
+            _bind_listener(f"unix:{path}")
+    finally:
+        live.close()
+    assert path.exists()  # the dead listener left a stale inode...
+    relisten, _ = _bind_listener(f"unix:{path}")  # ...which is reclaimed
+    relisten.close()
+    path.unlink()
+    path.write_text("precious data")  # non-sockets are never unlinked
+    with pytest.raises(ConfigError):
+        _bind_listener(f"unix:{path}")
+    assert path.read_text() == "precious data"
+
+
+# -- worker registration generations -----------------------------------------
+
+
+def test_worker_reregistration_survives_stale_cleanup(tmp_path):
+    """A flapped worker re-registers under the same id; the old
+    connection's cleanup must not evict it or release its new leases."""
+    core = make_core(tmp_path, journal=False)
+    core.submit(small_spec(), now=0.0)  # two cells
+    gen1 = core.register_worker("w", pid=1)
+    lease1 = core.claim("w", now=0.0)
+    gen2 = core.register_worker("w", pid=1)  # work-channel flap, re-hello
+    assert gen2 != gen1
+    lease2 = core.claim("w", now=0.0)
+    # Stale connection thread fires its cleanup with the old generation:
+    # only the old connection's lease releases, the registration stays.
+    assert core.worker_lost("w", now=1.0, generation=gen1) == 1
+    assert core.remote_workers() == 1
+    assert lease2["lease_id"] in core.leases.active
+    assert lease1["lease_id"] not in core.leases.active
+    # Current-generation cleanup tears the identity down for real.
+    assert core.worker_lost("w", now=2.0, generation=gen2) == 1
+    assert core.remote_workers() == 0
+    assert not core.leases.active
+
+
+def test_worker_lost_without_generation_evicts_everything(tmp_path):
+    core = make_core(tmp_path, journal=False)
+    core.submit(small_spec(), now=0.0)
+    core.register_worker("w", pid=1)
+    core.claim("w", now=0.0)
+    core.register_worker("w", pid=1)
+    core.claim("w", now=0.0)
+    assert core.worker_lost("w", now=1.0) == 2  # legacy: all generations
+    assert core.remote_workers() == 0
+
+
+# -- heartbeat thread lifecycle ----------------------------------------------
+
+
+def test_heartbeat_loop_exits_when_stopped_during_reconnect():
+    """With an unreachable scheduler, setting the stop event must free
+    the heartbeat thread out of the connect-backoff loop."""
+    import time
+
+    from repro.service.worker import Worker
+
+    worker = Worker("127.0.0.1:1",  # nothing listens on port 1
+                    reconnect_base=30.0, reconnect_cap=30.0)
+    stop = threading.Event()
+    thread = threading.Thread(target=worker._heartbeat_loop,
+                              args=(1, 0.05, stop), daemon=True)
+    thread.start()
+    time.sleep(0.2)  # let it fail a connect and enter the backoff wait
+    stop.set()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+
+
+def test_connect_channel_bounded_attempts():
+    from repro.service.worker import Worker
+
+    worker = Worker("127.0.0.1:1", reconnect_base=0.01, reconnect_cap=0.02)
+    conn = worker._connect_channel("heartbeat", stop=threading.Event(),
+                                   max_attempts=3)
+    assert conn is None  # gave up instead of looping forever
