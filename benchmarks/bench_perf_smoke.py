@@ -33,8 +33,10 @@ import os
 import time
 from pathlib import Path
 
-from repro import perfflags
+from repro import kernels, perfflags
 from repro.bench.runner import SweepVariant, run_matrix, run_sweep
+from repro.mm.chunked import DEFAULT_CHUNK_PAGES
+from repro.mm.pagetable import AUTO_CHUNK_PAGES
 from repro.bench.scaling import BenchProfile
 from repro.core.baselines import make_engine
 
@@ -240,6 +242,12 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
         "workers_requested": REQUESTED_WORKERS,
         "workers_effective": workers,
         "cpu_count": os.cpu_count(),
+        "backend": perfflags.backend(),
+        "kernel_backend": kernels.active_backend(),
+        "numba_available": kernels.numba_available(),
+        "numba_version": kernels.numba_version(),
+        "chunk_pages": DEFAULT_CHUNK_PAGES,
+        "chunk_auto_threshold_pages": AUTO_CHUNK_PAGES,
         "baseline_seconds": round(baseline_seconds, 3),
         "optimized_seconds": round(optimized_seconds, 3),
         "speedup": round(matrix_speedup, 3),
@@ -272,6 +280,15 @@ def run_experiment(profile: BenchProfile, workloads: list[str] | None = None) ->
         },
         "results_identical": True,
     }
+    if OUTPUT.exists():
+        # bench_kernels.py appends its block to the same file; keep it
+        # when this driver re-writes the smoke payload.
+        try:
+            previous = json.loads(OUTPUT.read_text())
+        except (ValueError, OSError):
+            previous = {}
+        if "kernels" in previous:
+            payload["kernels"] = previous["kernels"]
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
     return (

@@ -1,0 +1,216 @@
+"""Numba implementations of the compiled kernels.
+
+Importing this module raises ``ImportError`` when Numba is absent; the
+dispatcher in :mod:`repro.kernels` catches that and falls through to
+the C/ctypes backend or the numpy fallback.  ``NUMBA_CACHE_DIR`` is set
+by the dispatcher *before* this import so ``@njit(cache=True)`` object
+code lands in the shared kernel cache directory and forked/spawned pool
+workers reuse it instead of recompiling.
+
+Every jitted loop mirrors :mod:`repro.kernels._cc` exactly: integer
+arithmetic and data movement only, no float reductions, so results are
+bit-identical to the numpy fallback by construction.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+from numba import njit
+
+NUMBA_VERSION = getattr(numba, "__version__", "unknown")
+
+
+@njit(cache=True)
+def _scatter_reset(touched, entry_counts, entry_writes, entry_socket):
+    for i in range(touched.size):
+        e = touched[i]
+        entry_counts[e] = 0
+        entry_writes[e] = 0
+        entry_socket[e] = -1
+
+
+def mmu_scatter_reset(touched, entry_counts, entry_writes, entry_socket):
+    """Reset interval state of previously-touched entries."""
+    _scatter_reset(touched, entry_counts, entry_writes, entry_socket)
+
+
+@njit(cache=True)
+def _mmu_ingest(
+    entries, counts, writes, sockets, pages, entry_counts, entry_writes,
+    entry_socket, flags, cumulative_counts, cumulative_writes,
+    accessed_bit, dirty_bit,
+):
+    # Touched slots are zero after the scatter reset, so accumulation
+    # equals the fallback's run-sum assignment.
+    for i in range(entries.size):
+        e = entries[i]
+        entry_counts[e] += counts[i]
+        entry_writes[e] += writes[i]
+        entry_socket[e] = sockets[i]
+        f = flags[e] | accessed_bit
+        if writes[i] > 0:
+            f |= dirty_bit
+        flags[e] = f
+        cumulative_counts[pages[i]] += counts[i]
+        cumulative_writes[pages[i]] += writes[i]
+
+
+def mmu_ingest(
+    entries, counts, writes, sockets, pages, entry_counts, entry_writes,
+    entry_socket, flags, cumulative_counts, cumulative_writes,
+    accessed_bit, dirty_bit,
+):
+    """Fused interval ingest for a strictly-ascending unique page batch."""
+    _mmu_ingest(
+        entries, counts, writes, sockets, pages, entry_counts, entry_writes,
+        entry_socket, flags, cumulative_counts, cumulative_writes,
+        np.uint16(accessed_bit), np.uint16(dirty_bit),
+    )
+
+
+@njit(cache=True)
+def _node_rle(node):
+    n = node.shape[0]
+    runs = 1
+    for i in range(1, n):
+        if node[i] != node[i - 1]:
+            runs += 1
+    bounds = np.empty(runs + 1, dtype=np.int64)
+    values = np.empty(runs, dtype=np.int64)
+    bounds[0] = 0
+    values[0] = node[0]
+    r = 0
+    for i in range(1, n):
+        if node[i] != node[i - 1]:
+            r += 1
+            bounds[r] = i
+            values[r] = node[i]
+    bounds[r + 1] = n
+    return bounds, values
+
+
+def node_rle(node):
+    """Run-length encoding ``(bounds, values)`` of a node array."""
+    return _node_rle(node)
+
+
+@njit(cache=True)
+def _span_majority(starts, npages, bounds, values, n_nodes):
+    nspans = starts.size
+    nbounds = bounds.size
+    scratch = np.empty(n_nodes, dtype=np.int64)
+    out = np.empty(nspans, dtype=np.int64)
+    for s in range(nspans):
+        start = starts[s]
+        end = start + npages[s]
+        scratch[:] = 0
+        total = 0
+        r = np.searchsorted(bounds, start, side="right") - 1
+        if r < 0:
+            r = 0
+        while r + 1 < nbounds and bounds[r] < end:
+            lo = bounds[r] if bounds[r] > start else start
+            hi = bounds[r + 1] if bounds[r + 1] < end else end
+            node = values[r]
+            if hi > lo and node >= 0:
+                scratch[node] += hi - lo
+                total += hi - lo
+            r += 1
+        if total == 0:
+            out[s] = -1
+            continue
+        best = 0
+        for v in range(1, n_nodes):
+            if scratch[v] > scratch[best]:
+                best = v
+        out[s] = best
+    return out
+
+
+def span_majority(starts, npages, bounds, values):
+    """Majority resident node of many spans over a node RLE."""
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    mapped = values >= 0
+    if not np.any(mapped):
+        return np.full(starts.size, -1, dtype=np.int64)
+    n_nodes = int(values[mapped].max()) + 1
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    npages = np.ascontiguousarray(npages, dtype=np.int64)
+    return _span_majority(starts, npages, bounds, values, n_nodes)
+
+
+@njit(cache=True)
+def _span_entries(starts, npages, entry, out_entries, out_counts):
+    k = 0
+    for s in range(starts.size):
+        prev = np.int64(-1)
+        emitted = 0
+        end = starts[s] + npages[s]
+        for p in range(starts[s], end):
+            e = entry[p]
+            if emitted == 0 or e != prev:
+                out_entries[k] = e
+                k += 1
+                emitted += 1
+                prev = e
+        out_counts[s] = emitted
+    return k
+
+
+def span_entries(starts, npages, entry):
+    """Unique leaf entries of many spans; ``(entries, offsets)``."""
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    npages = np.ascontiguousarray(npages, dtype=np.int64)
+    total = int(npages.sum())
+    out_entries = np.empty(total, dtype=np.int64)
+    out_counts = np.empty(starts.size, dtype=np.int64)
+    k = int(_span_entries(starts, npages, entry, out_entries, out_counts))
+    offsets = np.empty(starts.size + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(out_counts, out=offsets[1:])
+    return out_entries[:k].copy(), offsets
+
+
+@njit(cache=True)
+def _node_accumulate(nodes, counts, writes, acc, wr):
+    for i in range(nodes.size):
+        slot = np.int64(nodes[i]) + 1
+        acc[slot] += counts[i]
+        wr[slot] += writes[i]
+
+
+def node_accumulate(nodes, counts, writes, n_slots):
+    """Per-node int64 access/write sums (slot 0 = unmapped)."""
+    nodes = np.ascontiguousarray(nodes, dtype=np.int16)
+    acc = np.zeros(n_slots, dtype=np.int64)
+    wr = np.zeros(n_slots, dtype=np.int64)
+    _node_accumulate(nodes, counts, writes, acc, wr)
+    return acc, wr
+
+
+@njit(cache=True)
+def _score_detected(detected):
+    total = np.int64(0)
+    mn = detected[0]
+    mx = detected[0]
+    arg = 0
+    for i in range(detected.size):
+        d = detected[i]
+        total += d
+        if d < mn:
+            mn = d
+        if d > mx:
+            mx = d
+            arg = i
+    return total, mn, mx, arg
+
+
+def score_detected(detected):
+    """Fused ``(sum, min, max, argmax)`` of detected counts."""
+    detected = np.ascontiguousarray(detected, dtype=np.int64)
+    total, mn, mx, arg = _score_detected(detected)
+    return int(total), int(mn), int(mx), int(arg)

@@ -1,0 +1,262 @@
+"""Chunked storage for page-granular state arrays.
+
+Dense per-page arrays cost O(n_pages) memory the moment an address
+space is created — at the paper's regime (hundreds of GB, hundreds of
+millions of base pages) that is tens of GB of simulator state per
+array, mostly holding the fill value.  :class:`ChunkedArray` divides
+the index space into fixed-size power-of-two chunks where each chunk is
+either a **scalar** (every element holds that value — the initial state
+of all chunks, and again whenever a whole chunk is assigned one value)
+or a **dense ndarray**, materialized the first time a chunk is written
+non-uniformly.  Sparse workloads therefore pay for the chunks they
+touch, not the footprint.
+
+The class implements the indexing surface the simulator's hot paths
+actually use — integer/slice/fancy get and set (including the
+read-modify-write ``arr[idx] |= x`` desugaring), ``fill``, ``add_at``
+(the ``np.add.at`` equivalent), whole-array ``== scalar``, and
+``__array__`` — so :class:`~repro.mm.pagetable.PageTable` and
+:class:`~repro.mm.mmu.Mmu` can swap it in without changing callers.
+Scatter order is preserved per chunk, so duplicate-index assignment
+keeps numpy's last-write-wins semantics and stays bit-identical to the
+dense arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Default chunk length in elements (256 Ki pages = 1 GB of 4 KB pages).
+DEFAULT_CHUNK_PAGES = 1 << 18
+
+
+class ChunkedArray:
+    """A 1-D array of ``n`` elements stored as scalar-or-dense chunks."""
+
+    __slots__ = ("n", "dtype", "fill_value", "chunk_pages", "_shift", "_chunks")
+
+    def __init__(self, n: int, dtype, fill_value, chunk_pages: int = DEFAULT_CHUNK_PAGES) -> None:
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        if chunk_pages < 1 or chunk_pages & (chunk_pages - 1):
+            raise ConfigError(f"chunk_pages must be a power of two, got {chunk_pages}")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.fill_value = self.dtype.type(fill_value)
+        self.chunk_pages = chunk_pages
+        self._shift = chunk_pages.bit_length() - 1
+        nchunks = -(-n // chunk_pages)
+        self._chunks: list = [self.fill_value] * nchunks
+
+    # -- shape protocol --------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (self.n,)
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _chunk_len(self, c: int) -> int:
+        return min(self.n - (c << self._shift), self.chunk_pages)
+
+    def _dense(self, c: int) -> np.ndarray:
+        """The dense backing of chunk ``c``, materializing it if uniform."""
+        data = self._chunks[c]
+        if not isinstance(data, np.ndarray):
+            data = np.full(self._chunk_len(c), data, dtype=self.dtype)
+            self._chunks[c] = data
+        return data
+
+    def chunks(self):
+        """Yield ``(start, end, data)`` per chunk; ``data`` is scalar or array."""
+        for c, data in enumerate(self._chunks):
+            start = c << self._shift
+            yield start, start + self._chunk_len(c), data
+
+    def _grouped(self, idx: np.ndarray):
+        """Yield ``(chunk, positions)`` with positions in ascending order.
+
+        Ascending position order per chunk preserves numpy's
+        last-write-wins scatter semantics for duplicate indices.
+        """
+        cid = idx >> self._shift
+        if idx.size == 0:
+            return
+        if np.all(cid[1:] >= cid[:-1]):
+            uniq = np.unique(cid)
+            lefts = np.searchsorted(cid, uniq, side="left")
+            rights = np.searchsorted(cid, uniq, side="right")
+            for c, lo, hi in zip(uniq, lefts, rights):
+                yield int(c), slice(int(lo), int(hi))
+        else:
+            for c in np.unique(cid):
+                yield int(c), np.flatnonzero(cid == c)
+
+    # -- reads -----------------------------------------------------------------
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            i = int(key)
+            if i < 0:
+                i += self.n
+            data = self._chunks[i >> self._shift]
+            if isinstance(data, np.ndarray):
+                return data[i - ((i >> self._shift) << self._shift)]
+            return data
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self.n)
+            if step != 1:
+                return self.__getitem__(np.arange(start, stop, step, dtype=np.int64))
+            out = np.empty(max(stop - start, 0), dtype=self.dtype)
+            pos = start
+            while pos < stop:
+                c = pos >> self._shift
+                cstart = c << self._shift
+                hi = min(stop, cstart + self._chunk_len(c))
+                data = self._chunks[c]
+                if isinstance(data, np.ndarray):
+                    out[pos - start : hi - start] = data[pos - cstart : hi - cstart]
+                else:
+                    out[pos - start : hi - start] = data
+                pos = hi
+            return out
+        idx = np.asarray(key)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        idx = idx.astype(np.int64, copy=False)
+        out = np.empty(idx.size, dtype=self.dtype)
+        for c, sel in self._grouped(idx):
+            data = self._chunks[c]
+            if isinstance(data, np.ndarray):
+                out[sel] = data[idx[sel] - (c << self._shift)]
+            else:
+                out[sel] = data
+        return out
+
+    # -- writes ----------------------------------------------------------------
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(key, (int, np.integer)):
+            i = int(key)
+            if i < 0:
+                i += self.n
+            self._dense(i >> self._shift)[i - ((i >> self._shift) << self._shift)] = value
+            return
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self.n)
+            if step != 1:
+                self.__setitem__(np.arange(start, stop, step, dtype=np.int64), value)
+                return
+            if stop <= start:
+                return
+            scalar = np.ndim(value) == 0
+            vals = None if scalar else np.asarray(value)
+            pos = start
+            while pos < stop:
+                c = pos >> self._shift
+                cstart = c << self._shift
+                clen = self._chunk_len(c)
+                hi = min(stop, cstart + clen)
+                if scalar:
+                    if pos == cstart and hi == cstart + clen:
+                        # Whole-chunk uniform assignment collapses back
+                        # to scalar storage.
+                        self._chunks[c] = self.dtype.type(value)
+                    else:
+                        data = self._chunks[c]
+                        if isinstance(data, np.ndarray) or data != self.dtype.type(value):
+                            self._dense(c)[pos - cstart : hi - cstart] = value
+                else:
+                    self._dense(c)[pos - cstart : hi - cstart] = vals[pos - start : hi - start]
+                pos = hi
+            return
+        idx = np.asarray(key)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        idx = idx.astype(np.int64, copy=False)
+        if idx.size == 0:
+            return
+        scalar = np.ndim(value) == 0
+        vals = None if scalar else np.asarray(value)
+        for c, sel in self._grouped(idx):
+            local = idx[sel] - (c << self._shift)
+            if scalar:
+                data = self._chunks[c]
+                if not isinstance(data, np.ndarray) and data == self.dtype.type(value):
+                    continue
+                self._dense(c)[local] = value
+            else:
+                self._dense(c)[local] = vals[sel]
+
+    def fill(self, value) -> None:
+        """Set every element to ``value`` (all chunks become scalar)."""
+        v = self.dtype.type(value)
+        self._chunks = [v] * len(self._chunks)
+
+    def add_at(self, idx: np.ndarray, vals: np.ndarray) -> None:
+        """``np.add.at`` semantics: unbuffered scatter-add (dupes accumulate)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        for c, sel in self._grouped(idx):
+            np.add.at(self._dense(c), idx[sel] - (c << self._shift), vals[sel])
+
+    # -- whole-array operations ------------------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        if np.ndim(other) == 0:
+            out = np.empty(self.n, dtype=bool)
+            for start, end, data in self.chunks():
+                out[start:end] = data == other
+            return out
+        return np.asarray(self) == other
+
+    def __ne__(self, other):  # type: ignore[override]
+        result = self.__eq__(other)
+        return ~result
+
+    def __hash__(self) -> int:  # eq returns arrays; identity hash keeps pickling sane
+        return id(self)
+
+    def __array__(self, dtype=None, copy=None):
+        out = np.empty(self.n, dtype=self.dtype)
+        for start, end, data in self.chunks():
+            out[start:end] = data
+        if dtype is not None:
+            out = out.astype(dtype, copy=False)
+        return out
+
+    def count_equal(self, value) -> int:
+        """Number of elements equal to ``value`` (O(dense chunks))."""
+        total = 0
+        for start, end, data in self.chunks():
+            if isinstance(data, np.ndarray):
+                total += int(np.count_nonzero(data == value))
+            elif data == self.dtype.type(value):
+                total += end - start
+        return total
+
+    def count_nonzero_and(self, mask: int) -> int:
+        """Number of elements with any of ``mask``'s bits set."""
+        total = 0
+        for start, end, data in self.chunks():
+            if isinstance(data, np.ndarray):
+                total += int(np.count_nonzero(data & mask))
+            elif int(data) & mask:
+                total += end - start
+        return total
+
+    # -- storage accounting ----------------------------------------------------
+
+    def dense_chunks(self) -> int:
+        """Number of chunks that have been materialized."""
+        return sum(1 for d in self._chunks if isinstance(d, np.ndarray))
+
+    def storage_nbytes(self) -> int:
+        """Bytes held by materialized chunks (scalar chunks are free)."""
+        return sum(d.nbytes for d in self._chunks if isinstance(d, np.ndarray))

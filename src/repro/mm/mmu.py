@@ -33,10 +33,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import perfflags
+from repro import kernels, perfflags
 from repro.errors import ConfigError
+from repro.mm.chunked import ChunkedArray
 from repro.mm.pagetable import PageTable
+from repro.mm.pte import PteFlag
 from repro.sim.trace import AccessBatch
+
+
+def _add_at(arr, idx: np.ndarray, vals: np.ndarray) -> None:
+    """``np.add.at`` over either storage layout."""
+    if isinstance(arr, ChunkedArray):
+        arr.add_at(idx, vals)
+    else:
+        np.add.at(arr, idx, vals)
 
 
 class Mmu:
@@ -53,13 +63,23 @@ class Mmu:
         self.page_table = page_table
         self.num_sockets = num_sockets
         n = page_table.n_pages
-        # Entry-granularity interval state (huge pages aggregate onto heads).
-        self._entry_counts = np.zeros(n, dtype=np.int64)
-        self._entry_writes = np.zeros(n, dtype=np.int64)
-        self._entry_socket = np.full(n, -1, dtype=np.int8)
-        # Base-page-granularity ground truth.
-        self.cumulative_counts = np.zeros(n, dtype=np.int64)
-        self.cumulative_writes = np.zeros(n, dtype=np.int64)
+        # Entry-granularity interval state (huge pages aggregate onto
+        # heads).  Chunked page tables get chunked MMU state too — these
+        # five arrays are the other O(n_pages) allocations per space.
+        if page_table.chunked:
+            cp = page_table.chunk_pages
+            self._entry_counts = ChunkedArray(n, np.int64, 0, cp)
+            self._entry_writes = ChunkedArray(n, np.int64, 0, cp)
+            self._entry_socket = ChunkedArray(n, np.int8, -1, cp)
+            self.cumulative_counts = ChunkedArray(n, np.int64, 0, cp)
+            self.cumulative_writes = ChunkedArray(n, np.int64, 0, cp)
+        else:
+            self._entry_counts = np.zeros(n, dtype=np.int64)
+            self._entry_writes = np.zeros(n, dtype=np.int64)
+            self._entry_socket = np.full(n, -1, dtype=np.int8)
+            # Base-page-granularity ground truth.
+            self.cumulative_counts = np.zeros(n, dtype=np.int64)
+            self.cumulative_writes = np.zeros(n, dtype=np.int64)
         self.interval_index = -1
         self._current_batch: AccessBatch | None = None
         self._touched_entries: np.ndarray | None = None
@@ -80,9 +100,17 @@ class Mmu:
             # (and far cheaper than) three full-array fills.
             touched = self._touched_entries
             if touched is not None and touched.size:
-                self._entry_counts[touched] = 0
-                self._entry_writes[touched] = 0
-                self._entry_socket[touched] = -1
+                if perfflags.compiled() and not self.page_table.chunked:
+                    kernels.mmu_scatter_reset(
+                        touched,
+                        self._entry_counts,
+                        self._entry_writes,
+                        self._entry_socket,
+                    )
+                else:
+                    self._entry_counts[touched] = 0
+                    self._entry_writes[touched] = 0
+                    self._entry_socket[touched] = -1
         else:
             self._entry_counts.fill(0)
             self._entry_writes.fill(0)
@@ -98,6 +126,27 @@ class Mmu:
         if perfflags.vectorized() and (
             batch.pages.size < 2 or np.all(batch.pages[1:] > batch.pages[:-1])
         ):
+            if perfflags.compiled() and not self.page_table.chunked:
+                # One fused compiled pass: per-entry accumulation (every
+                # touched slot is zero after the reset above, so += equals
+                # the run-sum assignment), socket attribution, PTE
+                # access/dirty bits, and cumulative ground truth.
+                kernels.mmu_ingest(
+                    entries,
+                    batch.counts,
+                    batch.writes,
+                    batch.sockets,
+                    batch.pages,
+                    self._entry_counts,
+                    self._entry_writes,
+                    self._entry_socket,
+                    self.page_table.flags,
+                    self.cumulative_counts,
+                    self.cumulative_writes,
+                    int(PteFlag.ACCESSED),
+                    int(PteFlag.DIRTY),
+                )
+                return
             # Strictly-ascending unique pages (the AccessBatch histogram
             # invariant): per-entry sums are contiguous-run reductions over
             # the non-decreasing entry array, and every slot being summed
@@ -118,15 +167,15 @@ class Mmu:
             self.cumulative_counts[batch.pages] += batch.counts
             self.cumulative_writes[batch.pages] += batch.writes
             return
-        np.add.at(self._entry_counts, entries, batch.counts)
-        np.add.at(self._entry_writes, entries, batch.writes)
+        _add_at(self._entry_counts, entries, batch.counts)
+        _add_at(self._entry_writes, entries, batch.writes)
         # Dominant socket per entry: last writer wins among equal pages is
         # acceptable because batches already carry per-page dominants.
         self._entry_socket[entries] = batch.sockets
 
         self.page_table.set_accessed(entries, written=batch.writes > 0)
-        np.add.at(self.cumulative_counts, batch.pages, batch.counts)
-        np.add.at(self.cumulative_writes, batch.pages, batch.writes)
+        _add_at(self.cumulative_counts, batch.pages, batch.counts)
+        _add_at(self.cumulative_writes, batch.pages, batch.writes)
 
     @property
     def current_batch(self) -> AccessBatch:

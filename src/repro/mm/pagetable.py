@@ -9,19 +9,35 @@ pages that all carry the HUGE flag; their access/dirty bits live on the
 Everything is vectorized over numpy arrays: a profiler scanning ten
 thousand PTEs performs one array operation, which is what keeps simulating
 hundreds of thousands of pages tractable.
+
+Two storage layouts back the per-page state.  Small spaces use dense
+numpy arrays.  Spaces at or above :data:`AUTO_CHUNK_PAGES` pages (or any
+space constructed with ``chunked=True``) use
+:class:`~repro.mm.chunked.ChunkedArray` segments so a sparse
+hundreds-of-GB address space only materializes the chunks it touches;
+the choice is invisible above the ``PageTable`` API and bit-identical.
+In chunked mode the page->entry map is stored as an ``int16``
+delta-from-identity (0 for base pages, ``-(page % 512)`` inside a huge
+span), which both fits the chunk scalar representation (untouched
+chunks cost nothing) and quarters the dense-chunk footprint.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import perfflags
+from repro import kernels, perfflags
 from repro.errors import ConfigError, TranslationError
+from repro.mm.chunked import DEFAULT_CHUNK_PAGES, ChunkedArray
 from repro.mm.layout import PageTableGeometry, X86_64_GEOMETRY
 from repro.mm.pte import PteFlag
 from repro.units import PAGES_PER_HUGE_PAGE
 
 _UNMAPPED_NODE = -1
+
+#: Spaces at least this large default to chunked storage (4 Mi pages =
+#: 16 GB of 4 KB pages — past the regime where dense arrays are cheap).
+AUTO_CHUNK_PAGES = 1 << 22
 
 
 class PageTable:
@@ -30,22 +46,55 @@ class PageTable:
     Args:
         n_pages: size of the virtual space in base pages.
         geometry: radix geometry, used for table-page counting.
+        chunked: force chunked (True) or dense (False) storage; ``None``
+            picks dense below :data:`AUTO_CHUNK_PAGES` pages and chunked
+            at or above it.
+        chunk_pages: chunk length for chunked storage; must be a power
+            of two and a multiple of :data:`PAGES_PER_HUGE_PAGE`.
     """
 
-    def __init__(self, n_pages: int, geometry: PageTableGeometry = X86_64_GEOMETRY) -> None:
+    def __init__(
+        self,
+        n_pages: int,
+        geometry: PageTableGeometry = X86_64_GEOMETRY,
+        chunked: bool | None = None,
+        chunk_pages: int | None = None,
+    ) -> None:
         if n_pages < 1:
             raise ConfigError(f"n_pages must be >= 1, got {n_pages}")
         self.n_pages = n_pages
         self.geometry = geometry
-        self.flags = np.zeros(n_pages, dtype=np.uint16)
-        self.node = np.full(n_pages, _UNMAPPED_NODE, dtype=np.int16)
+        if chunked is None:
+            chunked = perfflags.chunked_override()
+        if chunked is None:
+            chunked = n_pages >= AUTO_CHUNK_PAGES
+        self.chunked = bool(chunked)
+        self.chunk_pages = int(chunk_pages) if chunk_pages else DEFAULT_CHUNK_PAGES
+        if self.chunk_pages % PAGES_PER_HUGE_PAGE:
+            raise ConfigError(
+                f"chunk_pages {self.chunk_pages} not a multiple of {PAGES_PER_HUGE_PAGE}"
+            )
+        if self.chunked:
+            self.flags = ChunkedArray(n_pages, np.uint16, 0, self.chunk_pages)
+            self.node = ChunkedArray(n_pages, np.int16, _UNMAPPED_NODE, self.chunk_pages)
+        else:
+            self.flags = np.zeros(n_pages, dtype=np.uint16)
+            self.node = np.full(n_pages, _UNMAPPED_NODE, dtype=np.int16)
         # Placement-change generation + cached run-length encoding of
         # ``node``; see _node_runs().
         self._node_version = 0
         self._node_rle: tuple[int, np.ndarray, np.ndarray] | None = None
         # Page -> leaf-entry map, maintained on huge collapse/split so
         # entry_index() is a single gather instead of flag arithmetic.
-        self._entry = np.arange(n_pages, dtype=np.int64)
+        # Chunked spaces store it as an int16 delta from the identity map
+        # (0 everywhere until a huge mapping appears), dense spaces as
+        # the resolved int64 entry per page.
+        if self.chunked:
+            self._entry = None
+            self._entry_delta = ChunkedArray(n_pages, np.int16, 0, self.chunk_pages)
+        else:
+            self._entry = np.arange(n_pages, dtype=np.int64)
+            self._entry_delta = None
         # Entry-map change tracking: every mutation of ``_entry`` (huge
         # map/unmap/collapse/split) bumps the version and records the
         # dirtied span, so incremental consumers (the MTM profiler's
@@ -84,9 +133,7 @@ class PageTable:
         self.node[sl] = node
         self._node_version += 1
         if huge:
-            span = np.arange(start, start + npages, dtype=np.int64)
-            self._entry[sl] = span - (span % PAGES_PER_HUGE_PAGE)
-            self._mark_entries_dirty(start, start + npages)
+            self._entry_mark_huge(start, start + npages)
 
     def unmap_range(self, start: int, npages: int) -> None:
         """Remove the mapping for ``npages`` pages starting at ``start``."""
@@ -102,8 +149,7 @@ class PageTable:
         self.flags[sl] = 0
         self.node[sl] = _UNMAPPED_NODE
         self._node_version += 1
-        self._entry[sl] = np.arange(start, start + npages, dtype=np.int64)
-        self._mark_entries_dirty(start, start + npages)
+        self._entry_mark_identity(start, start + npages)
 
     def is_mapped(self, pages: np.ndarray | int) -> np.ndarray | bool:
         """Presence test for one page or an array of pages."""
@@ -161,8 +207,7 @@ class PageTable:
             folded |= np.uint16(PteFlag.DIRTY)
         self.flags[sl] &= ~np.uint16(PteFlag.ACCESSED | PteFlag.DIRTY)
         self.flags[head] |= folded
-        self._entry[sl] = head
-        self._mark_entries_dirty(head, head + PAGES_PER_HUGE_PAGE)
+        self._entry_mark_huge(head, head + PAGES_PER_HUGE_PAGE)
 
     def split_huge(self, head: int) -> None:
         """Split the huge mapping at ``head`` back into base PTEs.
@@ -179,8 +224,7 @@ class PageTable:
         inherited = self.flags[head] & np.uint16(PteFlag.ACCESSED | PteFlag.DIRTY)
         self.flags[sl] &= ~np.uint16(PteFlag.HUGE)
         self.flags[sl] |= inherited
-        self._entry[sl] = np.arange(head, head + PAGES_PER_HUGE_PAGE, dtype=np.int64)
-        self._mark_entries_dirty(head, head + PAGES_PER_HUGE_PAGE)
+        self._entry_mark_identity(head, head + PAGES_PER_HUGE_PAGE)
 
     @property
     def entry_version(self) -> int:
@@ -207,6 +251,24 @@ class PageTable:
         if len(self._entry_dirty) > 4096:
             self._entry_dirty = [(self._entry_change_version, 0, self.n_pages)]
 
+    def _entry_mark_identity(self, start: int, end: int) -> None:
+        """Point ``[start, end)`` back at base-page entries (delta 0)."""
+        if self.chunked:
+            self._entry_delta[start:end] = 0
+        else:
+            self._entry[start:end] = np.arange(start, end, dtype=np.int64)
+        self._mark_entries_dirty(start, end)
+
+    def _entry_mark_huge(self, start: int, end: int) -> None:
+        """Point the huge-aligned ``[start, end)`` at its span heads."""
+        if self.chunked:
+            rel = np.arange(start, end, dtype=np.int64) % PAGES_PER_HUGE_PAGE
+            self._entry_delta[start:end] = (-rel).astype(np.int16)
+        else:
+            span = np.arange(start, end, dtype=np.int64)
+            self._entry[start:end] = span - (span % PAGES_PER_HUGE_PAGE)
+        self._mark_entries_dirty(start, end)
+
     def entry_index(self, pages: np.ndarray) -> np.ndarray:
         """The leaf entry holding each page's access/dirty bits.
 
@@ -216,6 +278,8 @@ class PageTable:
         pages = np.asarray(pages, dtype=np.int64)
         if perfflags.vectorized():
             # The maintained page->entry map: one gather, no flag math.
+            if self.chunked:
+                return pages + self._entry_delta[pages]
             return self._entry[pages]
         huge = (self.flags[pages] & PteFlag.HUGE) != 0
         entries = pages.copy()
@@ -236,6 +300,10 @@ class PageTable:
         npages = np.asarray(npages, dtype=np.int64)
         if starts.size == 0:
             return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+        if perfflags.compiled() and not self.chunked:
+            # Single fused pass over the dense entry map — no
+            # concatenated-pages materialization.
+            return kernels.span_entries(starts, npages, self._entry)
         bounds = np.concatenate(([0], np.cumsum(npages)))
         total = int(bounds[-1])
         span_id = np.repeat(np.arange(starts.size), npages)
@@ -260,14 +328,47 @@ class PageTable:
         a mapping or migration bumped ``_node_version``.
         """
         if self._node_rle is None or self._node_rle[0] != self._node_version:
-            change = np.flatnonzero(self.node[1:] != self.node[:-1])
-            bounds = np.empty(change.size + 2, dtype=np.int64)
-            bounds[0] = 0
-            bounds[1:-1] = change + 1
-            bounds[-1] = self.n_pages
-            values = self.node[bounds[:-1]].astype(np.int64)
+            if self.chunked:
+                bounds, values = self._node_runs_chunked()
+            elif perfflags.compiled():
+                bounds, values = kernels.node_rle(self.node)
+            else:
+                change = np.flatnonzero(self.node[1:] != self.node[:-1])
+                bounds = np.empty(change.size + 2, dtype=np.int64)
+                bounds[0] = 0
+                bounds[1:-1] = change + 1
+                bounds[-1] = self.n_pages
+                values = self.node[bounds[:-1]].astype(np.int64)
             self._node_rle = (self._node_version, bounds, values)
         return self._node_rle[1], self._node_rle[2]
+
+    def _node_runs_chunked(self) -> tuple[np.ndarray, np.ndarray]:
+        """Node RLE built chunk by chunk — scalar chunks contribute one
+        candidate run without ever densifying."""
+        start_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        prev_val: int | None = None
+        for start, _end, data in self.node.chunks():
+            if isinstance(data, np.ndarray):
+                change = np.flatnonzero(data[1:] != data[:-1])
+                run_starts = np.empty(change.size + 1, dtype=np.int64)
+                run_starts[0] = start
+                run_starts[1:] = start + change + 1
+                run_vals = data[np.concatenate(([0], change + 1))].astype(np.int64)
+            else:
+                run_starts = np.array([start], dtype=np.int64)
+                run_vals = np.array([data], dtype=np.int64)
+            if prev_val is not None and run_vals.size and run_vals[0] == prev_val:
+                # First run continues the previous chunk's last run.
+                run_starts = run_starts[1:]
+                run_vals = run_vals[1:]
+            if run_vals.size:
+                start_parts.append(run_starts)
+                value_parts.append(run_vals)
+                prev_val = int(run_vals[-1])
+        bounds = np.concatenate(start_parts + [np.array([self.n_pages], dtype=np.int64)])
+        values = np.concatenate(value_parts)
+        return bounds, values
 
     def span_majority_nodes(self, starts: np.ndarray, npages: np.ndarray) -> np.ndarray:
         """Majority resident node of many spans at once (-1 when unmapped).
@@ -283,8 +384,10 @@ class PageTable:
         npages = np.asarray(npages, dtype=np.int64)
         if starts.size == 0:
             return np.empty(0, dtype=np.int64)
-        ends = starts + npages
         bounds, values = self._node_runs()
+        if perfflags.compiled():
+            return kernels.span_majority(starts, npages, bounds, values)
+        ends = starts + npages
         lo = np.searchsorted(bounds, starts, side="right") - 1
         hi = np.searchsorted(bounds, ends, side="left")  # runs [lo, hi) overlap
         nruns = np.maximum(hi - lo, 0)
@@ -366,10 +469,14 @@ class PageTable:
 
     def mapped_pages(self) -> int:
         """Number of mapped base pages."""
+        if self.chunked:
+            return self.flags.count_nonzero_and(int(PteFlag.PRESENT))
         return int(np.count_nonzero(self.flags & PteFlag.PRESENT))
 
     def huge_mapped_pages(self) -> int:
         """Number of base pages covered by huge mappings."""
+        if self.chunked:
+            return self.flags.count_nonzero_and(int(PteFlag.HUGE))
         return int(np.count_nonzero(self.flags & PteFlag.HUGE))
 
     def leaf_entries(self) -> int:
@@ -380,7 +487,24 @@ class PageTable:
 
     def pages_on_node(self, node: int) -> int:
         """Mapped base pages resident on component ``node``."""
+        if self.chunked:
+            return self.node.count_equal(node)
         return int(np.count_nonzero(self.node == node))
+
+    def storage_nbytes(self) -> int:
+        """Bytes held by this table's per-page state arrays.
+
+        For chunked storage only materialized chunks count, which is the
+        number the large-footprint microbench compares against the dense
+        O(n_pages) cost.
+        """
+        if self.chunked:
+            return (
+                self.flags.storage_nbytes()
+                + self.node.storage_nbytes()
+                + self._entry_delta.storage_nbytes()
+            )
+        return self.flags.nbytes + self.node.nbytes + self._entry.nbytes
 
     # -- internals --------------------------------------------------------------
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import perfflags
+from repro import kernels, perfflags
 from repro.hw.topology import TierTopology
 from repro.mm.pagetable import PageTable
 from repro.sim.trace import AccessBatch
@@ -34,6 +34,16 @@ class PcmCounters:
         if batch.pages.size == 0:
             return
         nodes = page_table.node_of(batch.pages)
+        if perfflags.compiled():
+            # Compiled integer histogram; exact sums match the weighted
+            # float bincount below bit-for-bit (counts stay below 2**53).
+            length = max(self.topology.node_ids) + 2
+            acc, wr = kernels.node_accumulate(nodes, batch.counts, batch.writes, length)
+            for node in self.topology.node_ids:
+                if acc[node + 1] or wr[node + 1]:
+                    self.node_accesses[node] += int(acc[node + 1])
+                    self.node_writes[node] += int(wr[node + 1])
+            return
         if perfflags.vectorized():
             # One weighted histogram instead of a mask + two sums per node.
             # Unmapped pages (node -1) are shifted into bin 0 and dropped,

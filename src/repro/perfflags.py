@@ -1,6 +1,7 @@
 """Process-wide switches between optimized and legacy hot paths.
 
-Two independent switches:
+Three switches, forming the backend ladder ``legacy -> vectorized ->
+compiled``:
 
 * **vectorized** — the PR-2 optimizations (struct-of-arrays region
   bookkeeping, bulk entry/node resolution, scatter-reset MMU state,
@@ -11,6 +12,13 @@ Two independent switches:
   invalidations, instead of with the total footprint.  Incremental
   paths build on the vectorized ones, so they only activate when both
   switches are on.
+* **compiled** — the :mod:`repro.kernels` backend: hot-path loops
+  fused into single compiled passes (Numba ``@njit`` where installed,
+  a ctypes-loaded C shared object where only a C compiler is present,
+  and a pure-numpy fallback otherwise, so the switch is always safe to
+  enable).  Compiled paths replace individual *vectorized* array
+  pipelines one kernel at a time, so they only activate when the
+  vectorized switch is also on.
 
 All optimized implementations are bit-identical to the original
 per-region Python loops by construction — every RNG draw happens in
@@ -31,6 +39,11 @@ from contextlib import contextmanager
 
 _VECTORIZED = True
 _INCREMENTAL = True
+_COMPILED = False
+_CHUNKED_OVERRIDE: bool | None = None
+
+#: The selectable backend tiers, in increasing optimization order.
+BACKENDS = ("legacy", "vectorized", "compiled")
 
 
 def vectorized() -> bool:
@@ -55,18 +68,105 @@ def set_incremental(enabled: bool) -> None:
     _INCREMENTAL = bool(enabled)
 
 
+def compiled() -> bool:
+    """Whether the compiled :mod:`repro.kernels` hot paths are active.
+
+    Compiled kernels replace individual vectorized pipelines, so the
+    switch only bites while ``vectorized()`` is also on (mirroring how
+    ``incremental`` stacks on ``vectorized``).
+    """
+    return _COMPILED and _VECTORIZED
+
+
+def set_compiled(enabled: bool) -> None:
+    """Switch the compiled-kernel hot paths on or off."""
+    global _COMPILED
+    _COMPILED = bool(enabled)
+
+
+def backend() -> str:
+    """The active backend tier name (``legacy``/``vectorized``/``compiled``)."""
+    if compiled():
+        return "compiled"
+    if _VECTORIZED:
+        return "vectorized"
+    return "legacy"
+
+
+def set_backend(name: str) -> None:
+    """Select a backend tier by name.
+
+    ``legacy`` disables every optimization switch; ``vectorized``
+    enables the vectorized + incremental paths (the default);
+    ``compiled`` additionally routes ported hot loops through
+    :mod:`repro.kernels`.  All three tiers are bit-identical — the
+    differential suites assert it — so the choice only affects wall
+    clock (and, for ``compiled``, a one-time JIT/compile cost).
+    """
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    set_vectorized(name != "legacy")
+    set_incremental(name != "legacy")
+    set_compiled(name == "compiled")
+
+
+def chunked_override() -> bool | None:
+    """Process-wide page-table storage override.
+
+    ``None`` (the default) lets each :class:`~repro.mm.pagetable.PageTable`
+    auto-select dense vs chunked storage by footprint; ``True``/``False``
+    forces one layout for every newly created table.  Storage layout is
+    bit-identical either way — the override exists so the differential
+    suites can exercise chunked storage on small spaces (and dense
+    storage on huge ones).
+    """
+    return _CHUNKED_OVERRIDE
+
+
+def set_chunked_override(value: bool | None) -> None:
+    """Force (True/False) or restore auto (None) page-table chunking."""
+    global _CHUNKED_OVERRIDE
+    _CHUNKED_OVERRIDE = None if value is None else bool(value)
+
+
+@contextmanager
+def chunked_mode(value: bool = True):
+    """Run a block with page-table chunking forced on (or off)."""
+    prev = _CHUNKED_OVERRIDE
+    set_chunked_override(value)
+    try:
+        yield
+    finally:
+        set_chunked_override(prev)
+
+
 @contextmanager
 def legacy_mode():
     """Run a block on the legacy (pre-optimization) code paths.
 
-    Disables both the vectorized and the incremental switches and
+    Disables the vectorized, incremental, and compiled switches and
     restores their previous values on exit.
     """
-    prev_vec, prev_inc = _VECTORIZED, _INCREMENTAL
+    prev_vec, prev_inc, prev_comp = _VECTORIZED, _INCREMENTAL, _COMPILED
     set_vectorized(False)
     set_incremental(False)
+    set_compiled(False)
     try:
         yield
     finally:
         set_vectorized(prev_vec)
         set_incremental(prev_inc)
+        set_compiled(prev_comp)
+
+
+@contextmanager
+def backend_mode(name: str):
+    """Run a block on the named backend tier, restoring flags on exit."""
+    prev_vec, prev_inc, prev_comp = _VECTORIZED, _INCREMENTAL, _COMPILED
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_vectorized(prev_vec)
+        set_incremental(prev_inc)
+        set_compiled(prev_comp)

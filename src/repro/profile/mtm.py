@@ -32,7 +32,7 @@ import numpy as np
 
 from repro import nputil
 
-from repro import perfflags
+from repro import kernels, perfflags
 from repro.errors import ConfigError, SampleLossError
 from repro.mm.mmu import Mmu
 from repro.mm.pagetable import PageTable
@@ -381,15 +381,30 @@ class MtmProfiler(Profiler):
                 detected = mmu.scan_detect(
                     chosen, cfg.num_scans, self.rng, exposure=cfg.scan_exposure
                 )
-                hi = float(detected.mean())
-                max_diff = float(detected.max() - detected.min()) if detected.size > 1 else 0.0
-                region.record_interval(hi, max_diff, cfg.alpha)
-                if cfg.guided_splits:
+                if perfflags.compiled():
+                    # Fused sum/min/max/argmax pass.  total/size equals
+                    # detected.mean() bit-for-bit: detected counts are
+                    # small integers, so numpy's float64 accumulation is
+                    # exact and the final division is the same operation.
+                    total, dmin, dmax, darg = kernels.score_detected(detected)
+                    hi = total / detected.size
+                    max_diff = float(dmax - dmin) if detected.size > 1 else 0.0
+                    region.record_interval(hi, max_diff, cfg.alpha)
                     region.hottest_entry = (
-                        int(chosen[int(np.argmax(detected))]) if detected.max() > 0 else -1
+                        int(chosen[darg]) if cfg.guided_splits and dmax > 0 else -1
                     )
                 else:
-                    region.hottest_entry = -1
+                    hi = float(detected.mean())
+                    max_diff = (
+                        float(detected.max() - detected.min()) if detected.size > 1 else 0.0
+                    )
+                    region.record_interval(hi, max_diff, cfg.alpha)
+                    if cfg.guided_splits:
+                        region.hottest_entry = (
+                            int(chosen[int(np.argmax(detected))]) if detected.max() > 0 else -1
+                        )
+                    else:
+                        region.hottest_entry = -1
                 # Hint-fault attribution every hint_every_scans scans (Sec. 6.2).
                 self._scan_counter += int(chosen.size) * cfg.num_scans
                 if self._scan_counter >= cfg.hint_every_scans:
