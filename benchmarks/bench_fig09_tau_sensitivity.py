@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.bench.scaling import BenchProfile
 from repro.bench.runner import SweepVariant, run_solution, run_sweep
+from repro.bench.sweeps import apply_tau as _apply_tau
 from repro.metrics.report import Table
 from repro.profile.mtm import MtmProfilerConfig
 from repro.sim.costmodel import effective_interval
@@ -31,14 +32,6 @@ SWEEP = [
     (3, 0, 3), (3, 1, 1), (3, 1, 2), (3, 2, 0), (3, 2, 1), (3, 3, 0),
     (6, 0, 6), (6, 2, 2), (6, 2, 4), (6, 4, 0), (6, 4, 2), (6, 6, 0),
 ]
-
-
-def _apply_tau(engine, params: dict) -> None:
-    """Install one sweep point's thresholds at the branch interval."""
-    cfg = engine.profiler.config
-    cfg.tau_m = params["tau_m"]
-    cfg.tau_s = params["tau_s"]
-    engine.profiler._tau_m_current = params["tau_m"]
 
 
 def run_experiment(profile: BenchProfile, workload: str = "voltdb",

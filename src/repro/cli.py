@@ -275,6 +275,16 @@ def build_parser() -> argparse.ArgumentParser:
              "without a secret (the wire protocol is pickle: anyone who "
              "can reach the port can execute code — trusted networks only)",
     )
+    serve.add_argument(
+        "--affinity-staleness", type=float, default=5.0, metavar="SEC",
+        help="max seconds the FIFO head may wait while claims redirect "
+             "to cells matching a worker's warm snapshots (0 disables "
+             "affinity; default: 5)",
+    )
+    serve.add_argument(
+        "--no-compress", action="store_true",
+        help="never negotiate frame compression with peers",
+    )
 
     worker = sub.add_parser(
         "worker", help="serve sweep cells for a scheduler daemon"
@@ -313,6 +323,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--secret-file", default=None, metavar="PATH",
         help="file holding the scheduler's shared frame-authentication "
              "secret (fallback: REPRO_SERVICE_SECRET)",
+    )
+    worker.add_argument(
+        "--no-warm", action="store_true",
+        help="disable the warm-snapshot cache (every sweep cell "
+             "re-simulates its warmup from scratch)",
+    )
+    worker.add_argument(
+        "--warm-bytes", type=int, default=None, metavar="BYTES",
+        help="in-memory byte budget of the warm-snapshot cache "
+             "(default: 512 MiB)",
+    )
+    worker.add_argument(
+        "--warm-spill-dir", default=None, metavar="DIR",
+        help="directory for spilled warm snapshots (default: a private "
+             "temp dir, removed on drain)",
+    )
+    worker.add_argument(
+        "--no-pipeline", action="store_true",
+        help="disable prefetching the next lease while a cell runs",
+    )
+    worker.add_argument(
+        "--no-compress", action="store_true",
+        help="do not offer frame compression at hello",
     )
 
     submit = sub.add_parser(
@@ -367,6 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--secret-file", default=None, metavar="PATH",
         help="file holding the scheduler's shared frame-authentication "
              "secret (fallback: REPRO_SERVICE_SECRET)",
+    )
+    submit.add_argument(
+        "--no-compress", action="store_true",
+        help="do not offer frame compression at hello",
     )
     return parser
 
@@ -579,11 +616,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             lease_timeout=args.lease_timeout,
             max_attempts=args.max_attempts,
             inline_fallback=not args.no_inline,
+            affinity_staleness=args.affinity_staleness,
         ),
         obs=obs,
     )
     server = SchedulerServer(core, address=args.address, secret=secret,
-                             allow_insecure_tcp=args.insecure)
+                             allow_insecure_tcp=args.insecure,
+                             compress=not args.no_compress)
     pid_file_write(args.state_dir)
     if not args.no_resume:
         resumed = core.resume()
@@ -622,6 +661,11 @@ def cmd_worker(args: argparse.Namespace) -> int:
         chaos_seed=args.chaos_seed,
         max_idle_claims=args.max_idle_claims,
         secret=resolve_secret(args.secret_file),
+        warm=not args.no_warm,
+        warm_bytes=args.warm_bytes,
+        warm_spill_dir=args.warm_spill_dir,
+        pipeline=not args.no_pipeline,
+        compress=not args.no_compress,
     )
 
 
@@ -651,7 +695,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         tag=args.tag,
     )
     with ServiceClient(args.address,
-                       secret=resolve_secret(args.secret_file)) as client:
+                       secret=resolve_secret(args.secret_file),
+                       compress=not args.no_compress) as client:
         job_id = client.submit(spec)
         print(f"submitted {job_id} "
               f"({len(workloads)}x{len(solutions)} cells)", flush=True)

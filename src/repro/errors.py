@@ -99,6 +99,23 @@ class ProtocolError(ServiceError):
     """
 
 
+class FrameTooLarge(ProtocolError):
+    """A message would exceed the protocol frame bound.
+
+    Raised *before* any bytes hit the wire, so the connection stays
+    usable: the sender can report the failure in-band (the worker turns
+    an oversized ``result`` into a clean ``completion_error`` requeue)
+    instead of tearing the stream mid-frame.
+
+    Attributes:
+        frame_bytes: size the frame would have been (-1 unknown).
+    """
+
+    def __init__(self, message: str, *, frame_bytes: int = -1) -> None:
+        super().__init__(message)
+        self.frame_bytes = frame_bytes
+
+
 class LeaseExpired(TransientError, ServiceError):
     """A cell lease outlived its deadline without heartbeats.
 

@@ -168,6 +168,18 @@ class LiveAggregate:
             (node, used[node], cap.get(node, 0.0)) for node in sorted(used)
         ]
 
+    def service_gauges(self) -> dict[str, float]:
+        """Latest ``service.*`` gauges (scheduler-side telemetry).
+
+        A ``repro serve --obs-stream`` daemon publishes its result-cache
+        counters (``service.cache.*``) and warm-fleet state
+        (``service.warm.*``: snapshot hits/misses, cached bytes,
+        affinity grants) as gauges; plain simulation streams carry none,
+        so an empty dict hides the service panel entirely.
+        """
+        return {name: value for (name, _labels), value in self.gauges.items()
+                if name.startswith("service.")}
+
     def summary(self) -> dict:
         """Everything the renderers need, as plain values."""
         intervals = sum(t.intervals for t in self.tracks.values())
@@ -208,6 +220,7 @@ class LiveAggregate:
             "dropped_events": self.counter_total("obs.dropped_events"),
             "relay_backpressure": self.counter_total("obs.relay_backpressure"),
             "tiers": self.tier_occupancy(),
+            "service": self.service_gauges(),
             "done": self.done,
         }
 
@@ -282,6 +295,22 @@ def render_text(agg: LiveAggregate, budget: float = DEFAULT_BUDGET) -> str:
         f"trace cache: {s['cache_hit_ratio'] * 100:.1f}% hit "
         f"({s['cache_hits']:.0f} hits / {s['cache_misses']:.0f} misses)"
     )
+    svc = s["service"]
+    if svc:
+        lines.append(
+            f"service result cache: "
+            f"{svc.get('service.cache.hits', 0):.0f} hits / "
+            f"{svc.get('service.cache.misses', 0):.0f} misses · "
+            f"{svc.get('service.cache.stores', 0):.0f} stores · "
+            f"{svc.get('service.cache.corrupt', 0):.0f} corrupt"
+        )
+        lines.append(
+            f"warm fleet: {svc.get('service.warm.hits', 0):.0f} warm hits / "
+            f"{svc.get('service.warm.misses', 0):.0f} misses · "
+            f"{_fmt_bytes(svc.get('service.warm.cached_bytes', 0))} cached · "
+            f"affinity {svc.get('service.warm.affinity_hits', 0):.0f} hits / "
+            f"{svc.get('service.warm.affinity_skips', 0):.0f} redirects"
+        )
     lines.append(
         f"stream drops: events {s['dropped_events']:.0f} · "
         f"relay backpressure {s['relay_backpressure']:.0f}"
@@ -401,6 +430,35 @@ def render_html(agg: LiveAggregate, budget: float = DEFAULT_BUDGET,
     verdict_cls = "status-over" if over else "status-ok"
     verdict = "✗ over budget" if over else "✓ within budget"
     status = "done" if s["done"] else "running"
+    svc = s["service"]
+    service_panel = ""
+    if svc:
+        svc_tiles = [
+            ("Result cache",
+             f"{svc.get('service.cache.hits', 0):.0f} hits",
+             f"{svc.get('service.cache.misses', 0):.0f} misses · "
+             f"{svc.get('service.cache.stores', 0):.0f} stores · "
+             f"{svc.get('service.cache.corrupt', 0):.0f} corrupt"),
+            ("Warm snapshots",
+             f"{svc.get('service.warm.hits', 0):.0f} hits",
+             f"{svc.get('service.warm.misses', 0):.0f} misses · "
+             f"{_esc(_fmt_bytes(svc.get('service.warm.cached_bytes', 0)))}"
+             " cached"),
+            ("Affinity",
+             f"{svc.get('service.warm.affinity_hits', 0):.0f} warm grants",
+             f"{svc.get('service.warm.affinity_skips', 0):.0f} redirects "
+             "past the FIFO head"),
+        ]
+        svc_html = "".join(
+            f'<div class="tile"><div class="label">{_esc(label)}</div>'
+            f'<div class="value">{value}</div>'
+            f'<div class="detail">{detail}</div></div>'
+            for label, value, detail in svc_tiles
+        )
+        service_panel = (
+            f'<div class="panel"><h2>Sweep service</h2>'
+            f'<div class="tiles">{svc_html}</div></div>'
+        )
     return f"""<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
 <meta name="viewport" content="width=device-width, initial-scale=1">
@@ -411,6 +469,7 @@ def render_html(agg: LiveAggregate, budget: float = DEFAULT_BUDGET,
 <p class="sub">{status} · {s['records']} stream records · schema v{STREAM_SCHEMA_VERSION}</p>
 <div class="tiles">{tile_html}</div>
 <div class="panel"><h2>Tier occupancy</h2>{tier_rows or '<p class="sub">no occupancy gauges yet</p>'}</div>
+{service_panel}
 <div class="panel"><h2>Profiling overhead vs budget</h2>
 <div class="meter-row"><span class="name">profiling</span>
 <span class="meter"><span class="fill" style="width:{overhead_frac * 100:.1f}%"></span>

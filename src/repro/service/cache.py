@@ -72,6 +72,48 @@ def cell_key(spec: "JobSpec", workload: str, solution: str) -> str:
         "fault_seed": int(spec.fault_seed),
         "recovery": bool(spec.recovery),
     }
+    if spec.sweep is not None:
+        # Sweep cells name their variant in the "solution" slot; the
+        # real engine solution, branch point, and variant parameters
+        # all shape the result, so they join the fingerprint.
+        config["sweep"] = {
+            "solution": spec.sweep.solution,
+            "apply": spec.sweep.apply,
+            "warmup_intervals": int(spec.sweep.warmup_intervals),
+            "params": {str(k): v
+                       for k, v in spec.sweep.params_for(solution).items()},
+        }
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def warmup_key(spec: "JobSpec", workload: str) -> str | None:
+    """Content address of a cell's *shared warmup prefix*, or ``None``.
+
+    Two cells share a warm snapshot exactly when this key matches: same
+    workload, sizing, seed, engine solution, fault plan, and warmup
+    length.  Variant parameters and the post-warmup interval count stay
+    *out* — they only shape the run after the branch point, which is the
+    whole reason the prefix is shareable.
+
+    The key is a canonical-JSON SHA-256 (the :func:`cell_key`
+    discipline), so it is stable across processes, machines, and Python
+    versions — schedulers, workers, and journal replay all derive the
+    same key from the same spec.
+    """
+    if spec.sweep is None:
+        return None
+    profile = spec.profile
+    config = {
+        "workload": workload,
+        "scale": float(profile.scale),
+        "seed": int(profile.seed),
+        "solution": spec.sweep.solution,
+        "fault_rate": float(spec.fault_rate),
+        "fault_seed": int(spec.fault_seed),
+        "recovery": bool(spec.recovery),
+        "warmup_intervals": int(spec.sweep.warmup_intervals),
+    }
     canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -254,4 +296,5 @@ class ResultCache:
         return sorted(self.quarantine_dir.iterdir())
 
 
-__all__ = ["MAGIC", "ResultCache", "ResultCacheStats", "cell_key"]
+__all__ = ["MAGIC", "ResultCache", "ResultCacheStats", "cell_key",
+           "warmup_key"]

@@ -14,7 +14,7 @@ import time
 from typing import TYPE_CHECKING
 
 from repro.errors import ProtocolError, ServiceError
-from repro.service.protocol import Connection, JobSpec, connect
+from repro.service.protocol import Connection, JobSpec, connect, supported_codecs
 from repro.service.worker import jittered_backoff
 
 if TYPE_CHECKING:
@@ -22,19 +22,40 @@ if TYPE_CHECKING:
 
 
 class ServiceClient:
-    """One client connection, self-healing across scheduler bounces."""
+    """One client connection, self-healing across scheduler bounces.
+
+    With ``compress`` (default) the client offers its frame codecs in a
+    hello so fetched matrices travel compressed — the biggest frames in
+    the protocol by far.
+    """
 
     def __init__(self, address: str, connect_timeout: float = 30.0,
                  reconnect_base: float = 0.25,
                  reconnect_cap: float = 5.0,
-                 secret: bytes | None = None) -> None:
+                 secret: bytes | None = None,
+                 compress: bool = True) -> None:
         self.address = address
         self.secret = secret
         self.connect_timeout = connect_timeout
         self.reconnect_base = reconnect_base
         self.reconnect_cap = reconnect_cap
+        self.compress = compress
         self._rng = random.Random()
         self._conn: Connection | None = None
+
+    def _connect(self) -> Connection:
+        conn = connect(self.address, secret=self.secret)
+        if self.compress:
+            hello = {"op": "hello", "role": "client",
+                     "codecs": list(supported_codecs())}
+            try:
+                reply = conn.request(hello)
+            except Exception:
+                conn.close()
+                raise
+            # Plain until the hello round trip lands; then both sides flip.
+            conn.codec = reply.get("codec")
+        return conn
 
     def _request(self, message: dict) -> dict:
         """Request with reconnect-on-failure (jittered capped backoff)."""
@@ -43,7 +64,7 @@ class ServiceClient:
         while True:
             try:
                 if self._conn is None:
-                    self._conn = connect(self.address, secret=self.secret)
+                    self._conn = self._connect()
                 return self._conn.request(message)
             except (OSError, ProtocolError):
                 if self._conn is not None:

@@ -64,13 +64,24 @@ class Journal:
         })
 
     def record_cell(self, job_id: str, workload: str, solution: str,
-                    cache_key: str, attempt: int, source: str) -> None:
-        """One finished cell (``source``: worker id, "cache", "inline")."""
-        self._append({
+                    cache_key: str, attempt: int, source: str,
+                    warmup_key: str | None = None) -> None:
+        """One finished cell (``source``: worker id, "cache", "inline").
+
+        ``warmup_key`` (shared-warmup fingerprint, sweep cells only) is
+        advisory like the rest of the record, but it lets resume — and
+        forensics — see warm-state locality: a replayed spec derives the
+        *same* key, so the journal doubles as a cross-process stability
+        check of the warmup fingerprint.
+        """
+        record = {
             "op": "cell", "job_id": job_id, "workload": workload,
             "solution": solution, "cache_key": cache_key,
             "attempt": attempt, "source": source,
-        })
+        }
+        if warmup_key is not None:
+            record["warmup_key"] = warmup_key
+        self._append(record)
 
     def record_job(self, job_id: str, state: str) -> None:
         """Terminal / lifecycle job state (``done``/``failed``/``drained``)."""

@@ -18,7 +18,7 @@ assembled matrix because results are keyed, not ordered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 
@@ -33,6 +33,8 @@ class PendingCell:
         attempt: how many leases this cell has already consumed.
         eligible_at: earliest time the cell may be claimed (backoff).
         seq: FIFO tiebreak among equally-eligible cells.
+        warmup_key: shared-warmup fingerprint (affinity grouping), or
+            ``None`` for cells with no shareable prefix.
     """
 
     job_id: str
@@ -41,6 +43,7 @@ class PendingCell:
     attempt: int = 0
     eligible_at: float = 0.0
     seq: int = 0
+    warmup_key: str | None = None
 
 
 @dataclass
@@ -66,6 +69,7 @@ class Lease:
     deadline: float
     attempt: int
     generation: int = 0
+    warmup_key: str | None = None
 
 
 @dataclass
@@ -97,15 +101,23 @@ class LeaseTable:
         max_attempts: int = 5,
         backoff_base: float = 0.25,
         backoff_cap: float = 8.0,
+        affinity_staleness: float = 5.0,
     ) -> None:
         if lease_timeout <= 0:
             raise ConfigError(f"lease_timeout must be > 0, got {lease_timeout}")
         if max_attempts < 1:
             raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        if affinity_staleness < 0:
+            raise ConfigError(
+                f"affinity_staleness must be >= 0, got {affinity_staleness}"
+            )
         self.lease_timeout = lease_timeout
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: how long the FIFO head may wait while affinity redirects
+        #: claims to warm-matching cells behind it (0 disables affinity)
+        self.affinity_staleness = affinity_staleness
         self.pending: list[PendingCell] = []
         self.active: dict[int, Lease] = {}
         self.dead: list[DeadLetter] = []
@@ -113,17 +125,23 @@ class LeaseTable:
         self.granted = 0
         self.expired = 0
         self.requeues = 0
+        #: grants whose cell matched a snapshot the worker advertised
+        self.affinity_hits = 0
+        #: grants where affinity jumped a warm cell past the FIFO head
+        self.affinity_skips = 0
         self._seq = 0
 
     # -- enqueue / claim -------------------------------------------------------
 
     def add(self, job_id: str, workload: str, solution: str,
-            now: float = 0.0, attempt: int = 0) -> None:
+            now: float = 0.0, attempt: int = 0,
+            warmup_key: str | None = None) -> None:
         """Queue one cell, immediately eligible."""
         self._seq += 1
         self.pending.append(PendingCell(
             job_id=job_id, workload=workload, solution=solution,
             attempt=attempt, eligible_at=now, seq=self._seq,
+            warmup_key=warmup_key,
         ))
 
     def backoff(self, attempt: int) -> float:
@@ -144,12 +162,37 @@ class LeaseTable:
         return min(c.eligible_at for c in self.pending)
 
     def claim(self, worker_id: str, now: float,
-              generation: int = 0) -> Lease | None:
-        """Grant the oldest eligible cell to ``worker_id`` (None = idle)."""
+              generation: int = 0,
+              warm_keys: frozenset | set | tuple = ()) -> Lease | None:
+        """Grant one eligible cell to ``worker_id`` (None = idle).
+
+        Default order is FIFO (oldest ``seq`` first).  When the worker
+        advertises warm snapshots (``warm_keys``) and the FIFO head does
+        not match one, the grant may *redirect* to the oldest eligible
+        cell that does — but only while the head has been eligible for
+        less than ``affinity_staleness`` seconds.  Once the head is
+        stale it is granted unconditionally, so affinity trades at most
+        a bounded delay for locality and can never starve the queue.
+        """
         eligible = self.eligible(now)
         if not eligible:
             return None
         cell = eligible[0]
+        keys = warm_keys if isinstance(warm_keys, (set, frozenset)) \
+            else frozenset(warm_keys)
+        if (keys and self.affinity_staleness > 0
+                and cell.warmup_key not in keys
+                and now - cell.eligible_at < self.affinity_staleness):
+            match = next(
+                (c for c in eligible
+                 if c.warmup_key is not None and c.warmup_key in keys),
+                None,
+            )
+            if match is not None:
+                cell = match
+                self.affinity_skips += 1
+        if cell.warmup_key is not None and cell.warmup_key in keys:
+            self.affinity_hits += 1
         self.pending.remove(cell)
         self.granted += 1
         lease = Lease(
@@ -161,6 +204,7 @@ class LeaseTable:
             deadline=now + self.lease_timeout,
             attempt=cell.attempt + 1,
             generation=generation,
+            warmup_key=cell.warmup_key,
         )
         self.active[lease.lease_id] = lease
         return lease
@@ -201,6 +245,7 @@ class LeaseTable:
                 attempt=lease.attempt,
                 eligible_at=now + self.backoff(lease.attempt),
                 seq=self._seq,
+                warmup_key=lease.warmup_key,
             ))
         else:
             self.dead.append(DeadLetter(

@@ -39,18 +39,22 @@ import uuid
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigError, ServiceError, is_transient
-from repro.service.cache import ResultCache, cell_key
+from repro.errors import (
+    ConfigError,
+    FrameTooLarge,
+    ServiceError,
+    is_transient,
+)
+from repro.service.cache import ResultCache, cell_key, warmup_key
 from repro.service.journal import Journal
 from repro.service.lease import LeaseTable
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     Connection,
     JobSpec,
-    recv_message,
+    negotiate_codec,
     reply_error,
     reply_ok,
-    send_message,
 )
 
 if TYPE_CHECKING:
@@ -74,6 +78,9 @@ class SchedulerConfig:
         inline_fallback: run cells in-process while no workers are
             registered (graceful degradation to the serial runner).
         drain_timeout: SIGTERM grace for in-flight leases before exit.
+        affinity_staleness: how long the FIFO head may be bypassed by
+            warm-snapshot affinity before it must be granted (0
+            disables affinity redirects entirely).
     """
 
     lease_timeout: float = 30.0
@@ -84,6 +91,7 @@ class SchedulerConfig:
     idle_retry: float = 0.5
     inline_fallback: bool = True
     drain_timeout: float = 30.0
+    affinity_staleness: float = 5.0
 
     def __post_init__(self) -> None:
         if self.lease_timeout <= 0:
@@ -136,9 +144,11 @@ class SchedulerCore:
             max_attempts=self.config.max_attempts,
             backoff_base=self.config.backoff_base,
             backoff_cap=self.config.backoff_cap,
+            affinity_staleness=self.config.affinity_staleness,
         )
         self.jobs: dict[str, Job] = {}
-        #: worker_id -> {"pid": int, "cells_done": int, "gen": int}
+        #: worker_id -> {"pid": int, "cells_done": int, "gen": int,
+        #:               "warm_keys": frozenset, "warm": dict}
         self.workers: dict[str, dict] = {}
         #: monotonic registration counter (generation token source)
         self._worker_generation = 0
@@ -153,6 +163,38 @@ class SchedulerCore:
         if self.obs is not None:
             self.obs.emit(name, **fields)
             self.obs.stream_flush(force=True)
+
+    def _refresh_gauges(self) -> None:
+        """Publish result-cache and warm-snapshot gauges (`repro watch`).
+
+        Called with the lock held, before the next event flush so the
+        dashboard sees gauge updates ride along with lifecycle events.
+        """
+        if self.obs is None:
+            return
+        cache = self.cache.stats
+        self.obs.set_gauge("service.cache.hits", float(cache.hits))
+        self.obs.set_gauge("service.cache.misses", float(cache.misses))
+        self.obs.set_gauge("service.cache.stores", float(cache.stores))
+        self.obs.set_gauge("service.cache.corrupt", float(cache.corrupt))
+        warm = self.warm_summary()
+        self.obs.set_gauge("service.warm.hits", float(warm["hits"]))
+        self.obs.set_gauge("service.warm.misses", float(warm["misses"]))
+        self.obs.set_gauge("service.warm.cached_bytes",
+                           float(warm["cached_bytes"]))
+        self.obs.set_gauge("service.warm.affinity_hits",
+                           float(self.leases.affinity_hits))
+        self.obs.set_gauge("service.warm.affinity_skips",
+                           float(self.leases.affinity_skips))
+
+    def warm_summary(self) -> dict:
+        """Fleet-wide warm-snapshot counters (sum of worker reports)."""
+        totals = {"hits": 0, "misses": 0, "cached_bytes": 0, "snapshots": 0}
+        for entry in self.workers.values():
+            warm = entry.get("warm") or {}
+            for field_name in totals:
+                totals[field_name] += int(warm.get(field_name, 0))
+        return totals
 
     # -- job intake ------------------------------------------------------------
 
@@ -184,6 +226,7 @@ class SchedulerCore:
                        cells=job.cells_total, tag=spec.tag)
             for workload, solution in spec.cells:
                 key = cell_key(spec, workload, solution)
+                wkey = warmup_key(spec, workload)
                 corrupt_before = self.cache.stats.corrupt
                 cached = self.cache.get(key)
                 if self.cache.stats.corrupt > corrupt_before:
@@ -195,11 +238,14 @@ class SchedulerCore:
                     if self.journal is not None:
                         self.journal.record_cell(job_id, workload, solution,
                                                  key, attempt=0,
-                                                 source="cache")
+                                                 source="cache",
+                                                 warmup_key=wkey)
                     self._emit(EV_SERVICE_CACHE_HIT, job_id=job_id,
                                workload=workload, solution=solution)
                 else:
-                    self.leases.add(job_id, workload, solution, now=now)
+                    self.leases.add(job_id, workload, solution, now=now,
+                                    warmup_key=wkey)
+            self._refresh_gauges()
             self._check_job(job)
             return job_id
 
@@ -233,9 +279,25 @@ class SchedulerCore:
             self._worker_generation += 1
             gen = self._worker_generation
             self.workers[worker_id] = {"pid": pid, "cells_done": 0,
-                                       "gen": gen}
+                                       "gen": gen,
+                                       "warm_keys": frozenset(),
+                                       "warm": {}}
         self._emit(EV_SERVICE_WORKER_JOINED, worker=worker_id, pid=pid)
         return gen
+
+    def advertise_warm(self, worker_id: str,
+                       warm_keys=None, warm_stats=None) -> None:
+        """Record a worker's warm-snapshot advertisement (claim/heartbeat).
+
+        Caller must hold ``self.lock``.
+        """
+        entry = self.workers.get(worker_id)
+        if entry is None:
+            return
+        if warm_keys is not None:
+            entry["warm_keys"] = frozenset(warm_keys)
+        if warm_stats is not None:
+            entry["warm"] = dict(warm_stats)
 
     def worker_lost(self, worker_id: str, now: float | None = None,
                     generation: int | None = None) -> int:
@@ -277,21 +339,32 @@ class SchedulerCore:
 
     # -- lease lifecycle -------------------------------------------------------
 
-    def claim(self, worker_id: str, now: float | None = None) -> dict | None:
-        """Grant a lease to ``worker_id`` (None when nothing is eligible)."""
+    def claim(self, worker_id: str, now: float | None = None,
+              warm_keys=None, warm_stats=None) -> dict | None:
+        """Grant a lease to ``worker_id`` (None when nothing is eligible).
+
+        ``warm_keys`` advertises the warm snapshots the worker holds;
+        affinity prefers granting it a matching cell (bounded by the
+        staleness rule in :meth:`LeaseTable.claim`).  ``warm_stats`` is
+        the worker's cumulative warm-cache counters for the dashboard.
+        """
         from repro.obs.events import EV_SERVICE_LEASE_GRANTED
 
         if now is None:
             now = time.monotonic()
         with self.lock:
+            self.advertise_warm(worker_id, warm_keys, warm_stats)
             if self.stopping:
                 return None
             entry = self.workers.get(worker_id)
             generation = entry["gen"] if entry is not None else 0
-            lease = self.leases.claim(worker_id, now, generation=generation)
+            keys = entry["warm_keys"] if entry is not None else frozenset()
+            lease = self.leases.claim(worker_id, now, generation=generation,
+                                      warm_keys=keys)
             if lease is None:
                 return None
             job = self.jobs[lease.job_id]
+            self._refresh_gauges()
             self._emit(EV_SERVICE_LEASE_GRANTED, job_id=lease.job_id,
                        workload=lease.workload, solution=lease.solution,
                        worker=worker_id, attempt=lease.attempt)
@@ -303,13 +376,17 @@ class SchedulerCore:
                 "attempt": lease.attempt,
                 "deadline": lease.deadline,
                 "lease_timeout": self.config.lease_timeout,
+                "warmup_key": lease.warmup_key,
                 "spec": job.spec,
             }
 
-    def heartbeat(self, lease_id: int, now: float | None = None) -> bool:
+    def heartbeat(self, lease_id: int, now: float | None = None,
+                  worker_id: str | None = None, warm_keys=None) -> bool:
         if now is None:
             now = time.monotonic()
         with self.lock:
+            if worker_id is not None:
+                self.advertise_warm(worker_id, warm_keys)
             return self.leases.heartbeat(lease_id, now)
 
     def _requeue_failed_completion(self, lease_id: int, now: float,
@@ -371,6 +448,7 @@ class SchedulerCore:
                         lease.job_id, lease.workload, lease.solution, key,
                         attempt=lease.attempt,
                         source=source or lease.worker_id,
+                        warmup_key=lease.warmup_key,
                     )
             except Exception as exc:
                 self._requeue_failed_completion(
@@ -384,6 +462,7 @@ class SchedulerCore:
             worker = self.workers.get(lease.worker_id)
             if worker is not None:
                 worker["cells_done"] += 1
+            self._refresh_gauges()
             self._emit(EV_SERVICE_CELL_DONE, job_id=lease.job_id,
                        workload=lease.workload, solution=lease.solution,
                        worker=lease.worker_id, attempt=lease.attempt)
@@ -391,8 +470,14 @@ class SchedulerCore:
             return True
 
     def fail(self, lease_id: int, message: str, transient: bool = True,
-             now: float | None = None) -> None:
-        """A worker reported a cell failure (nack)."""
+             now: float | None = None, cause: str = "nack") -> None:
+        """A worker reported a cell failure (nack).
+
+        ``cause`` labels the requeue event; workers that detect an
+        oversized result frame sender-side report
+        ``cause="completion_error"`` so the failure reads like any
+        other completion problem, not a torn connection.
+        """
         from repro.obs.events import EV_SERVICE_CELL_REQUEUED
 
         if now is None:
@@ -404,7 +489,7 @@ class SchedulerCore:
                 return
             self._emit(EV_SERVICE_CELL_REQUEUED, job_id=lease.job_id,
                        workload=lease.workload, solution=lease.solution,
-                       attempt=lease.attempt, cause="nack")
+                       attempt=lease.attempt, cause=cause)
             self._after_release([lease])
 
     def fail_exception(self, lease_id: int, exc: BaseException,
@@ -528,6 +613,9 @@ class SchedulerCore:
                 "completions": self.completions,
                 "rejected_completions": self.rejected_completions,
                 "cache": self.cache.stats.as_dict(),
+                "warm": self.warm_summary(),
+                "affinity_hits": self.leases.affinity_hits,
+                "affinity_skips": self.leases.affinity_skips,
                 "stopping": self.stopping,
             }
 
@@ -645,15 +733,32 @@ class SchedulerServer:
 
     def __init__(self, core: SchedulerCore, address: str = "127.0.0.1:0",
                  secret: bytes | None = None,
-                 allow_insecure_tcp: bool = False) -> None:
+                 allow_insecure_tcp: bool = False,
+                 compress: bool = True) -> None:
         self.core = core
         self.secret = secret
+        #: offer frame compression during hello (peers still negotiate)
+        self.compress = compress
         self._listener, self.address = _bind_listener(
             address, secret=secret, allow_insecure_tcp=allow_insecure_tcp)
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._drain = threading.Event()
         self._accepting = True
+        self._inline_warm = None
+        self._wire_lock = threading.Lock()
+        self._live_conns: set[Connection] = set()
+        self._closed_wire = {"bytes_sent": 0, "bytes_received": 0,
+                             "frames_sent": 0, "frames_received": 0}
+
+    def wire_stats(self) -> dict:
+        """Bytes/frames over every connection this server has served."""
+        with self._wire_lock:
+            totals = dict(self._closed_wire)
+            for conn in self._live_conns:
+                for key, value in conn.wire_stats().items():
+                    totals[key] += value
+        return totals
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -734,9 +839,16 @@ class SchedulerServer:
             if grant is None:
                 self._stop.wait(self.core.config.idle_retry)
                 continue
+            if grant["spec"].sweep is not None and self._inline_warm is None:
+                # The inline runner warms like any worker (memory-only:
+                # it shares the scheduler's lifetime, nothing to spill).
+                from repro.sim.snapshot import SnapshotCache
+
+                self._inline_warm = SnapshotCache()
             try:
                 result = run_cell(grant["spec"], grant["workload"],
-                                  grant["solution"])
+                                  grant["solution"],
+                                  warm_cache=self._inline_warm)
             except Exception as exc:
                 self.core.fail_exception(grant["lease_id"], exc)
                 continue
@@ -753,12 +865,14 @@ class SchedulerServer:
         from repro.errors import ProtocolError
 
         conn = Connection(sock, secret=self.secret)
+        with self._wire_lock:
+            self._live_conns.add(conn)
         worker_id: str | None = None
         worker_gen: int | None = None
         try:
             while not self._stop.is_set():
                 try:
-                    message = recv_message(sock, secret=self.secret)
+                    message = conn.recv()
                 except (ProtocolError, OSError):
                     return
                 if message is None:
@@ -774,9 +888,21 @@ class SchedulerServer:
                     worker_id = message.get("worker_id")
                     worker_gen = reply.get("generation")
                 try:
-                    send_message(sock, reply, secret=self.secret)
+                    conn.send(reply)
+                except FrameTooLarge as exc:
+                    # Nothing hit the wire; keep the stream coherent by
+                    # answering with an in-band error instead (a fetch
+                    # of a giant MatrixResult must not tear the socket).
+                    try:
+                        conn.send(reply_error(
+                            f"reply exceeds the frame bound: {exc}"))
+                    except OSError:
+                        return
                 except OSError:
                     return
+                if message.get("op") == "hello":
+                    # Codec switches only after the (plain) hello reply.
+                    conn.codec = reply.get("codec")
                 if message.get("op") == "shutdown":
                     threading.Thread(
                         target=self.shutdown,
@@ -793,27 +919,42 @@ class SchedulerServer:
             # connection) keeps its entry and its leases.
             if worker_id is not None:
                 self.core.worker_lost(worker_id, generation=worker_gen)
+            with self._wire_lock:
+                self._live_conns.discard(conn)
+                for key, value in conn.wire_stats().items():
+                    self._closed_wire[key] += value
             conn.close()
 
     def _dispatch(self, message: dict) -> dict:
         op = message.get("op")
         if op == "hello":
+            codec = (negotiate_codec(message.get("codecs") or ())
+                     if self.compress else None)
             if message.get("role") == "worker":
                 gen = self.core.register_worker(
                     message.get("worker_id", f"worker-{uuid.uuid4().hex[:6]}"),
                     pid=int(message.get("pid", -1)),
                 )
-                return reply_ok(version=PROTOCOL_VERSION, generation=gen)
-            return reply_ok(version=PROTOCOL_VERSION)
+                return reply_ok(version=PROTOCOL_VERSION, generation=gen,
+                                codec=codec)
+            return reply_ok(version=PROTOCOL_VERSION, codec=codec)
         if op == "claim":
-            grant = self.core.claim(message.get("worker_id", "?"))
+            grant = self.core.claim(
+                message.get("worker_id", "?"),
+                warm_keys=message.get("warm_keys"),
+                warm_stats=message.get("warm_stats"),
+            )
             if grant is None:
                 return {"op": "idle",
                         "retry_after": self.core.config.idle_retry,
                         "stopping": self.core.stopping}
             return {"op": "lease", **grant}
         if op == "heartbeat":
-            ok = self.core.heartbeat(int(message.get("lease_id", -1)))
+            ok = self.core.heartbeat(
+                int(message.get("lease_id", -1)),
+                worker_id=message.get("worker_id"),
+                warm_keys=message.get("warm_keys"),
+            )
             if not ok:
                 return reply_error("lease expired or unknown", transient=True)
             return reply_ok()
@@ -828,7 +969,8 @@ class SchedulerServer:
         if op == "nack":
             self.core.fail(int(message.get("lease_id", -1)),
                            str(message.get("message", "worker nack")),
-                           transient=bool(message.get("transient", True)))
+                           transient=bool(message.get("transient", True)),
+                           cause=str(message.get("cause", "nack")))
             return reply_ok()
         if op == "submit":
             spec = message.get("spec")
@@ -842,7 +984,9 @@ class SchedulerServer:
         if op == "fetch":
             return reply_ok(result=self.core.fetch(str(message.get("job_id"))))
         if op == "ping":
-            return reply_ok(stats=self.core.stats())
+            stats = self.core.stats()
+            stats["wire"] = self.wire_stats()
+            return reply_ok(stats=stats)
         if op == "shutdown":
             return reply_ok()
         return reply_error(f"unknown op {op!r}")

@@ -36,12 +36,18 @@ import uuid
 from typing import TYPE_CHECKING
 
 from repro.bench.runner import run_solution
-from repro.errors import ProtocolError, is_transient
-from repro.service.protocol import Connection, JobSpec, connect
+from repro.errors import FrameTooLarge, ProtocolError, is_transient
+from repro.service.protocol import (
+    Connection,
+    JobSpec,
+    connect,
+    supported_codecs,
+)
 
 if TYPE_CHECKING:
     from repro.faults.service import ServiceFaultInjector
     from repro.sim.engine import SimulationResult
+    from repro.sim.snapshot import SnapshotCache
 
 #: Per-worker-process trace cache (sibling cells share synthesized
 #: streams, and each cell reports its delta — the pool discipline).
@@ -61,7 +67,8 @@ def jittered_backoff(attempt: int, base: float = 0.25, cap: float = 8.0,
     return window * draw
 
 
-def run_cell(spec: JobSpec, workload: str, solution: str) -> "SimulationResult":
+def run_cell(spec: JobSpec, workload: str, solution: str,
+             warm_cache: "SnapshotCache | None" = None) -> "SimulationResult":
     """Execute one cell exactly as the serial matrix runner would.
 
     Deterministic in ``(spec, workload, solution)``: seeds come from the
@@ -69,12 +76,21 @@ def run_cell(spec: JobSpec, workload: str, solution: str) -> "SimulationResult":
     telemetry is scheduler-side), and the shared per-process trace cache
     is result-invisible.  Re-running after a crash reproduces the same
     bits — the property every requeue relies on.
+
+    Sweep cells (``spec.sweep`` set; ``solution`` is a variant label)
+    additionally accept a ``warm_cache``: the shared warmup prefix is
+    simulated once per warmup key, captured, and every same-key cell
+    forks from the snapshot — bit-identical to the cold path because
+    fork-then-run equals continue-then-run (the PR 3 invariant), so
+    warm and cold fleets assemble byte-for-byte the same results.
     """
     global _worker_cache
     if _worker_cache is None:
         from repro.sim.tracecache import TraceCache
 
         _worker_cache = TraceCache()
+    if spec.sweep is not None:
+        return _run_sweep_cell(spec, workload, solution, warm_cache)
     before = _worker_cache.stats()
     result = run_solution(
         solution,
@@ -92,8 +108,79 @@ def run_cell(spec: JobSpec, workload: str, solution: str) -> "SimulationResult":
     return result
 
 
+def _run_sweep_cell(spec: JobSpec, workload: str, label: str,
+                    warm_cache: "SnapshotCache | None") -> "SimulationResult":
+    """One shared-warmup sweep cell, warm (fork) or cold (from scratch).
+
+    The cold path is exactly :func:`repro.bench.runner._run_variant_cold`
+    — the serial sweep runner's per-variant body — so a cold fleet, the
+    inline runner, and ``run_sweep(use_snapshots=False)`` all produce
+    the same bits.  The warm path captures the warmup under the cell's
+    :func:`~repro.service.cache.warmup_key` and forks; on a cache miss
+    it warms, captures, then *still forks* from the fresh snapshot, so
+    first and subsequent same-key cells take the identical code path.
+    """
+    from repro.bench.runner import _make_injector, _run_variant_cold
+    from repro.service.cache import warmup_key
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.snapshot import capture_engine
+
+    sweep = spec.sweep
+    profile = spec.profile
+    total = (spec.intervals if spec.intervals is not None
+             else profile.intervals_for(workload))
+    rest = total - sweep.warmup_intervals
+    params = sweep.params_for(label)
+    apply_fn = sweep.resolve_apply()
+    before = _worker_cache.stats()
+    if warm_cache is None:
+        result = _run_variant_cold(
+            sweep.solution, workload, profile, params, apply_fn,
+            sweep.warmup_intervals, rest, spec.fault_rate, spec.fault_seed,
+            False, _worker_cache, {"recovery": spec.recovery},
+        )
+    else:
+        wkey = warmup_key(spec, workload)
+
+        def _warmup():
+            from repro.core.baselines import make_engine
+
+            engine = make_engine(
+                sweep.solution,
+                workload,
+                scale=profile.scale,
+                seed=profile.seed,
+                injector=_make_injector(spec.fault_rate, spec.fault_seed),
+                recovery=spec.recovery,
+                trace_cache=_worker_cache,
+                obs=None,
+            )
+            for _ in range(sweep.warmup_intervals):
+                engine.step()
+            return capture_engine(engine, key=(wkey,))
+
+        snap = warm_cache.get_or_create((wkey,), _warmup)
+        engine = SimulationEngine.fork(snap, trace_cache=_worker_cache,
+                                       obs=None)
+        apply_fn(engine, params)
+        result = engine.run(rest)
+    if result.perf is not None:
+        result.perf.cache = _worker_cache.stats().delta(before)
+    return result
+
+
 class Worker:
-    """One fleet member: the claim/run/report loop plus heartbeats."""
+    """One fleet member: the claim/run/report loop plus heartbeats.
+
+    Beyond the basic loop, a worker keeps a byte-budgeted
+    :class:`~repro.sim.snapshot.SnapshotCache` of warm sweep prefixes
+    (``warm``), advertises its warm keys in claims and heartbeats so the
+    scheduler's affinity can route same-warmup cells back, prefetches
+    the next lease while the current cell simulates (``pipeline``,
+    bounded to one in-flight), and negotiates frame compression at
+    hello (``compress``).  ``stop_event`` drains it: finish the current
+    cell, hand back any prefetched lease, scrub spilled snapshots, exit.
+    """
 
     def __init__(
         self,
@@ -107,7 +194,14 @@ class Worker:
         reconnect_cap: float = 8.0,
         max_idle_claims: int | None = None,
         secret: bytes | None = None,
+        warm: bool = True,
+        warm_bytes: int | None = None,
+        warm_spill_dir: str | None = None,
+        pipeline: bool = True,
+        compress: bool = True,
     ) -> None:
+        import threading
+
         self.address = address
         self.secret = secret
         self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
@@ -120,10 +214,19 @@ class Worker:
         #: exit after this many consecutive idle replies (None = serve
         #: forever); lets CI workers retire once the queue stays empty.
         self.max_idle_claims = max_idle_claims
+        self.warm = warm
+        self.warm_bytes = warm_bytes
+        self.warm_spill_dir = warm_spill_dir
+        self.pipeline = pipeline
+        self.compress = compress
+        #: set (SIGTERM handler, tests) to drain: current cell finishes,
+        #: prefetched leases are nacked back, spill files are removed.
+        self.stop_event = threading.Event()
         self.cells_done = 0
         self._rng = random.Random(hash((self.worker_id, os.getpid())) & 0xFFFF_FFFF)
         self._work: Connection | None = None
-        self._stop_heartbeat = None
+        self._warm_cache: "SnapshotCache | None" = None
+        self._owns_spill_dir = False
 
     # -- connections -----------------------------------------------------------
 
@@ -143,9 +246,15 @@ class Worker:
                 return None
             try:
                 conn = connect(self.address, secret=self.secret)
-                conn.request({"op": "hello", "role": role,
-                              "worker_id": self.worker_id,
-                              "pid": os.getpid()})
+                hello = {"op": "hello", "role": role,
+                         "worker_id": self.worker_id,
+                         "pid": os.getpid()}
+                if self.compress:
+                    hello["codecs"] = list(supported_codecs())
+                reply = conn.request(hello)
+                # The codec switches on only after the (plain) hello
+                # round trip; both sides flip together.
+                conn.codec = reply.get("codec")
                 return conn
             except (OSError, ProtocolError):
                 attempt += 1
@@ -177,7 +286,8 @@ class Worker:
             while not stop.wait(interval):
                 reply = conn.request({"op": "heartbeat",
                                       "worker_id": self.worker_id,
-                                      "lease_id": lease_id})
+                                      "lease_id": lease_id,
+                                      "warm_keys": self._advertised_keys()})
                 if reply.get("op") != "ok":
                     return  # lease reclaimed; stop wasting frames
         except (OSError, ProtocolError):
@@ -186,71 +296,207 @@ class Worker:
             if conn is not None:
                 conn.close()
 
+    # -- warm-state cache ------------------------------------------------------
+
+    def _warm_for(self, spec: JobSpec) -> "SnapshotCache | None":
+        """The warm snapshot cache for a sweep cell (lazily created)."""
+        if not self.warm or spec.sweep is None:
+            return None
+        if self._warm_cache is None:
+            import tempfile
+
+            from repro.sim.snapshot import DEFAULT_SNAPSHOT_BYTES, SnapshotCache
+
+            spill = self.warm_spill_dir
+            if spill is None:
+                spill = tempfile.mkdtemp(prefix="repro-warm-")
+                self._owns_spill_dir = True
+            self._warm_cache = SnapshotCache(
+                max_bytes=(self.warm_bytes if self.warm_bytes is not None
+                           else DEFAULT_SNAPSHOT_BYTES),
+                spill_dir=spill,
+            )
+        return self._warm_cache
+
+    def _advertised_keys(self) -> list[str]:
+        """Warmup keys this worker holds warm (claim/heartbeat ads)."""
+        cache = self._warm_cache
+        if cache is None:
+            return []
+        try:
+            return [key[0] for key in cache.keys()
+                    if isinstance(key, tuple) and key]
+        except RuntimeError:  # racing a concurrent insert; ads are best-effort
+            return []
+
+    def _warm_stats(self) -> dict | None:
+        cache = self._warm_cache
+        if cache is None:
+            return None
+        stats = cache.stats()
+        return {"hits": stats.hits, "misses": stats.misses,
+                "cached_bytes": stats.cached_bytes,
+                "snapshots": len(cache.keys())}
+
+    def _cleanup_warm(self) -> None:
+        """Shutdown hygiene: remove this worker's spilled snapshots."""
+        cache = self._warm_cache
+        if cache is None:
+            return
+        cache.cleanup_spill()
+        if self._owns_spill_dir and cache.spill_dir is not None:
+            import shutil
+
+            shutil.rmtree(cache.spill_dir, ignore_errors=True)
+
     # -- the loop --------------------------------------------------------------
+
+    def _claim_message(self) -> dict:
+        message = {"op": "claim", "worker_id": self.worker_id,
+                   "warm_keys": self._advertised_keys()}
+        stats = self._warm_stats()
+        if stats is not None:
+            message["warm_stats"] = stats
+        return message
+
+    def _start_heartbeat(self, lease: dict, threading):
+        """Begin heartbeating one lease; returns its stop event.
+
+        Started the moment a lease is *held* — including a prefetched
+        lease that has not begun running — so pipelining never lets a
+        queued lease silently expire behind a long current cell.
+        """
+        # A third of the lease timeout keeps two missed beats short of
+        # expiry; slow cells stay leased, dead workers expire fast.
+        interval = max(0.05, float(lease.get("lease_timeout", 3.0)) / 3.0)
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(int(lease["lease_id"]), interval, stop),
+            name="worker-heartbeat", daemon=True,
+        )
+        thread.start()
+        return stop
+
+    def _prefetch(self, box: dict, threading) -> None:
+        """Claim the next lease while the current cell runs (one in
+        flight; the Connection lock serializes it with the result send)."""
+        work = self._work
+        if work is None:
+            return
+        try:
+            reply = work.request(self._claim_message())
+        except (OSError, ProtocolError):
+            return  # main loop reconnects on its own next claim
+        if reply.get("op") == "lease":
+            box["grant"] = reply
+            box["hb"] = self._start_heartbeat(reply, threading)
 
     def run_forever(self) -> int:
         """Serve cells until idle-retired or stopped; returns cells done."""
         import threading
 
         idle_streak = 0
-        while True:
-            if self._work is None:
-                self._work = self._connect_channel("worker")
-            try:
-                reply = self._work.request({"op": "claim",
-                                            "worker_id": self.worker_id})
-            except (OSError, ProtocolError):
+        next_grant: tuple[dict, object] | None = None
+        try:
+            while not self.stop_event.is_set():
+                if next_grant is not None:
+                    grant, hb = next_grant
+                    next_grant = None
+                else:
+                    if self._work is None:
+                        self._work = self._connect_channel(
+                            "worker", stop=self.stop_event)
+                        if self._work is None:
+                            break  # draining before we ever connected
+                    try:
+                        reply = self._work.request(self._claim_message())
+                    except (OSError, ProtocolError):
+                        self._work.close()
+                        self._work = None
+                        continue
+                    if reply.get("op") == "idle":
+                        idle_streak += 1
+                        if reply.get("stopping") or (
+                            self.max_idle_claims is not None
+                            and idle_streak >= self.max_idle_claims
+                        ):
+                            break
+                        if self.stop_event.wait(
+                            float(reply.get("retry_after", 0.5))
+                            * (0.5 + self._rng.random())
+                        ):
+                            break
+                        continue
+                    if reply.get("op") != "lease":
+                        time.sleep(jittered_backoff(1, rng=self._rng))
+                        continue
+                    idle_streak = 0
+                    grant, hb = reply, self._start_heartbeat(reply, threading)
+                prefetch_box: dict = {}
+                prefetcher = None
+                if self.pipeline and not self.stop_event.is_set():
+                    prefetcher = threading.Thread(
+                        target=self._prefetch, args=(prefetch_box, threading),
+                        name="worker-prefetch", daemon=True,
+                    )
+                    prefetcher.start()
+                self._serve_lease(grant, hb)
+                if prefetcher is not None:
+                    prefetcher.join()
+                    if "grant" in prefetch_box:
+                        idle_streak = 0
+                        next_grant = (prefetch_box["grant"],
+                                      prefetch_box["hb"])
+        finally:
+            if next_grant is not None:
+                # Drain: hand the unrun prefetched lease straight back
+                # instead of letting it expire against its deadline.
+                grant, hb = next_grant
+                hb.set()
+                self._send({"op": "nack", "worker_id": self.worker_id,
+                            "lease_id": int(grant["lease_id"]),
+                            "message": "worker draining",
+                            "transient": True})
+            self._cleanup_warm()
+            if self._work is not None:
                 self._work.close()
                 self._work = None
-                continue
-            if reply.get("op") == "idle":
-                idle_streak += 1
-                if reply.get("stopping") or (
-                    self.max_idle_claims is not None
-                    and idle_streak >= self.max_idle_claims
-                ):
-                    break
-                time.sleep(float(reply.get("retry_after", 0.5))
-                           * (0.5 + self._rng.random()))
-                continue
-            if reply.get("op") != "lease":
-                time.sleep(jittered_backoff(1, rng=self._rng))
-                continue
-            idle_streak = 0
-            self._serve_lease(reply, threading)
-        if self._work is not None:
-            self._work.close()
-            self._work = None
         return self.cells_done
 
-    def _serve_lease(self, lease: dict, threading) -> None:
+    def _serve_lease(self, lease: dict, hb_stop) -> None:
         lease_id = int(lease["lease_id"])
         spec: JobSpec = lease["spec"]
-        # A third of the lease timeout keeps two missed beats short of
-        # expiry; slow cells stay leased, dead workers expire fast.
-        interval = max(0.05, float(lease.get("lease_timeout", 3.0)) / 3.0)
-        stop = threading.Event()
-        hb = threading.Thread(
-            target=self._heartbeat_loop, args=(lease_id, interval, stop),
-            name="worker-heartbeat", daemon=True,
-        )
-        hb.start()
         if (self.chaos is not None and self.chaos_kill_cell is not None
                 and self.cells_done == self.chaos_kill_cell):
             # Crash mid-cell: armed at cell start, lands during run_cell.
             self.chaos.arm_midcell_kill(self.chaos_kill_delay)
         try:
-            result = run_cell(spec, lease["workload"], lease["solution"])
+            result = run_cell(spec, lease["workload"], lease["solution"],
+                              warm_cache=self._warm_for(spec))
         except Exception as exc:
-            stop.set()
+            hb_stop.set()
             self._send({"op": "nack", "worker_id": self.worker_id,
                         "lease_id": lease_id,
                         "message": f"{type(exc).__name__}: {exc}",
                         "transient": is_transient(exc)})
             return
-        stop.set()
-        self._send({"op": "result", "worker_id": self.worker_id,
-                    "lease_id": lease_id, "payload": result})
+        hb_stop.set()
+        try:
+            self._send({"op": "result", "worker_id": self.worker_id,
+                        "lease_id": lease_id, "payload": result},
+                       raise_oversize=True)
+        except FrameTooLarge as exc:
+            # Nothing hit the wire, so the connection is intact: report
+            # the failure in-band and let the scheduler requeue the cell
+            # as a completion error instead of tearing the stream.
+            self._send({"op": "nack", "worker_id": self.worker_id,
+                        "lease_id": lease_id,
+                        "message": f"result exceeds the frame bound "
+                                   f"({exc.frame_bytes} bytes)",
+                        "transient": True,
+                        "cause": "completion_error"})
+            return
         self.cells_done += 1
         if self.chaos is not None:
             if (self.chaos_kill_after_cells is not None
@@ -258,16 +504,23 @@ class Worker:
                 self.chaos.kill_now()  # crash between cells
             self.chaos.maybe_kill_between_cells()
 
-    def _send(self, message: dict) -> None:
+    def _send(self, message: dict, raise_oversize: bool = False) -> None:
         """Fire one work-channel message, tolerating a dead scheduler.
 
         A failed result send is *safe* to drop: the lease will expire
-        and the (deterministic) cell re-executes elsewhere.
+        and the (deterministic) cell re-executes elsewhere.  An
+        oversized frame propagates when ``raise_oversize`` (the caller
+        converts it to a nack — the connection is still clean), and is
+        otherwise dropped.
         """
         if self._work is None:
             return
         try:
             self._work.request(message)
+        except FrameTooLarge:
+            # Never sent, so the stream stays coherent either way.
+            if raise_oversize:
+                raise
         except (OSError, ProtocolError):
             self._work.close()
             self._work = None
@@ -282,8 +535,19 @@ def worker_main(
     chaos_seed: int = 0,
     max_idle_claims: int | None = None,
     secret: bytes | None = None,
+    warm: bool = True,
+    warm_bytes: int | None = None,
+    warm_spill_dir: str | None = None,
+    pipeline: bool = True,
+    compress: bool = True,
 ) -> int:
-    """Entry point of ``repro worker``; returns a process exit code."""
+    """Entry point of ``repro worker``; returns a process exit code.
+
+    Installs a SIGTERM handler that *drains* instead of dying: the
+    current cell finishes and reports, any prefetched lease is nacked
+    back, and spilled warm snapshots are scrubbed from disk.  (SIGKILL
+    still tests the crash path — that is what the chaos suite is for.)
+    """
     chaos = None
     if chaos_kill_after_cells is not None or chaos_kill_cell is not None:
         from repro.faults.service import ServiceFaultInjector
@@ -298,7 +562,21 @@ def worker_main(
         chaos_kill_delay=chaos_kill_delay,
         max_idle_claims=max_idle_claims,
         secret=secret,
+        warm=warm,
+        warm_bytes=warm_bytes,
+        warm_spill_dir=warm_spill_dir,
+        pipeline=pipeline,
+        compress=compress,
     )
+    import signal
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal handler shape
+        worker.stop_event.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass  # not the main thread (embedded in tests); drain via stop_event
     done = worker.run_forever()
     print(f"worker {worker.worker_id}: {done} cells served")
     return 0

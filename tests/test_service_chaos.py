@@ -26,13 +26,13 @@ from repro.bench.scaling import BenchProfile
 from repro.service.cache import ResultCache, cell_key
 from repro.service.client import ServiceClient
 from repro.service.journal import Journal
-from repro.service.protocol import JobSpec
+from repro.service.protocol import JobSpec, SweepSpec
 from repro.service.scheduler import (
     SchedulerConfig,
     SchedulerCore,
     SchedulerServer,
 )
-from tests.support import matrix_fingerprint
+from tests.support import fingerprint, matrix_fingerprint
 
 PROFILE = BenchProfile(name="chaos", scale=1.0 / 1024, seed=3)
 INTERVALS = 6
@@ -132,6 +132,71 @@ def test_worker_killed_mid_cell_requeues_and_matches(
         # (connection-loss path or deadline expiry) and re-executed.
         assert stats["requeues"] >= 1
         assert stats["dead_letters"] == 0
+    finally:
+        server.shutdown(drain=False)
+        reap(chaos, steady)
+
+
+def warm_sweep_spec() -> JobSpec:
+    # Eight cells, short warmup, long tail.  The mid-cell kill timer is
+    # armed at cell start but its wakeup can drift ~100ms on a loaded
+    # box; with this many cells the chaos worker still holds a lease
+    # (current + pipelined prefetch) wherever the SIGKILL lands, so the
+    # requeue assertion below is not a timing coin-flip.
+    return JobSpec(
+        workloads=("gups",),
+        solutions=(),
+        profile=PROFILE,
+        intervals=10,
+        sweep=SweepSpec(
+            solution="mtm",
+            apply="repro.bench.sweeps:apply_tau",
+            warmup_intervals=2,
+            variants=[(f"({m},{s})",
+                       {"tau_m": float(m), "tau_s": float(s)})
+                      for m, s in ((1, 1), (1, 2), (1, 3), (2, 1),
+                                   (2, 2), (2, 3), (3, 1), (3, 2))],
+        ),
+    )
+
+
+def test_worker_killed_holding_warm_snapshots_mid_cell(tmp_path):
+    """SIGKILL a warm worker mid-cell; its snapshots die with it.
+
+    Warm state is pure derived cache: the chaos worker runs the shared
+    warmup, spills the snapshot to disk, completes one warm cell, then
+    is killed mid-cell.  The steady worker — which never saw those
+    snapshots — rebuilds the warmup from its own cold run, and the
+    assembled sweep is bit-identical to an in-process cold reference.
+    No cell is lost, nothing dead-letters.
+    """
+    from repro.service.worker import run_cell
+
+    spec = warm_sweep_spec()
+    serial = {label: fingerprint(run_cell(spec, "gups", label))
+              for label in spec.solutions}
+    spill = tmp_path / "spill"
+    server = start_server(tmp_path, lease_timeout=3.0)
+    chaos = spawn_worker(server.address, "--id", "chaos",
+                         "--warm-spill-dir", str(spill),
+                         "--warm-bytes", "1",  # force every snapshot to disk
+                         "--chaos-kill-cell", "1",
+                         "--chaos-kill-delay", "0.05")
+    steady = spawn_worker(server.address, "--id", "steady",
+                          "--max-idle-claims", "60")
+    try:
+        with ServiceClient(server.address) as client:
+            matrix = client.run(spec, timeout=120)
+        chaos.wait(timeout=20)
+        assert chaos.returncode == -signal.SIGKILL  # died holding warm state
+        assert spill.exists() and list(spill.glob("snap-*.pkl"))  # left behind
+        got = {label: fingerprint(matrix.results["gups"][label])
+               for label in spec.solutions}
+        assert got == serial
+        stats = server.core.stats()
+        assert stats["completions"] == len(spec.solutions)
+        assert stats["dead_letters"] == 0
+        assert stats["requeues"] >= 1  # the mid-cell kill dropped a lease
     finally:
         server.shutdown(drain=False)
         reap(chaos, steady)
