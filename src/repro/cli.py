@@ -15,7 +15,9 @@ Commands:
   cell assignment, crash-safe result cache, journal-backed resume;
 * ``worker`` — one fleet member serving cells for a ``serve`` daemon;
 * ``submit`` — hand a workload x solution matrix job to a daemon and
-  print the assembled table.
+  print the assembled table;
+* ``fleet`` — live fleet dashboard over a ``serve`` daemon (wire poll
+  with ``--connect``, or tail its ``--obs-stream`` NDJSON).
 
 ``run`` and ``compare`` accept ``--obs [--obs-out DIR]`` to record
 structured events, phase spans, metrics, and migration provenance, and
@@ -151,8 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="query the migration provenance of an --obs run"
     )
     trace.add_argument(
-        "--run", required=True, metavar="DIR",
+        "--run", default=None, metavar="DIR",
         help="observability export directory (an earlier run's --obs-out)",
+    )
+    trace.add_argument(
+        "--job", default=None, metavar="PATH",
+        help="summarize a stitched per-job fleet trace instead: a job "
+             "directory under the scheduler's STATE_DIR/traces/ (or its "
+             "trace.json, or the traces/ root to list jobs)",
     )
     trace.add_argument(
         "--page", type=int, default=None, metavar="N",
@@ -284,6 +292,73 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-compress", action="store_true",
         help="never negotiate frame compression with peers",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text), /healthz, and "
+             "/fleet.json on this loopback HTTP port (0 picks a free "
+             "port, printed on startup; default: off)",
+    )
+    serve.add_argument(
+        "--metrics-host", default="127.0.0.1", metavar="HOST",
+        help="bind address of the metrics endpoint (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="stitch per-job Perfetto traces (scheduler + worker tracks) "
+             "into STATE_DIR/traces/<job>/trace.json; query with "
+             "`repro trace --job` (default: off)",
+    )
+    serve.add_argument(
+        "--alerts", action="store_true",
+        help="evaluate the stock SLO alert rules each tick (worker "
+             "staleness, lease-expiry storms, cache corruption, dead "
+             "letters); transitions emit obs events and journal records "
+             "(default: off)",
+    )
+    serve.add_argument(
+        "--alert-rules", default=None, metavar="FILE",
+        help="JSON file of custom alert rules (implies --alerts)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet", help="live fleet dashboard over a scheduler daemon"
+    )
+    fsrc = fleet.add_mutually_exclusive_group(required=True)
+    fsrc.add_argument(
+        "--connect", metavar="ADDR",
+        help="poll the scheduler's fleet snapshot over its wire address "
+             "(as printed by `repro serve`)",
+    )
+    fsrc.add_argument(
+        "--run", metavar="DIR",
+        help="tail DIR/stream.ndjson of a `repro serve --obs-stream` "
+             "state directory instead of connecting",
+    )
+    fleet.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SEC",
+        help="dashboard refresh period (default: 1.0)",
+    )
+    fleet.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit",
+    )
+    fleet.add_argument(
+        "--wait", type=float, default=None, metavar="SEC",
+        help="with --once: wait up to SEC for the source to appear",
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=None, metavar="SEC",
+        help="stop after SEC seconds",
+    )
+    fleet.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a static HTML fleet page to FILE each refresh",
+    )
+    fleet.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the scheduler's shared frame-authentication "
+             "secret (fallback: REPRO_SERVICE_SECRET; --connect only)",
     )
 
     worker = sub.add_parser(
@@ -550,6 +625,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace``: answer a provenance query from an export directory."""
+    if args.job is not None:
+        from repro.obs.cli import trace_job_report
+
+        print(trace_job_report(args.job))
+        return 0
+    if args.run is None:
+        print("trace needs --run DIR (provenance) or --job PATH "
+              "(stitched fleet trace)", file=sys.stderr)
+        return 2
     if args.follow:
         from repro.obs.cli import trace_follow
 
@@ -575,6 +659,23 @@ def cmd_watch(args: argparse.Namespace) -> int:
         wait=args.wait,
         html=args.html,
         budget=args.budget,
+    )
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet``: live fleet dashboard (wire poll or stream tail)."""
+    from repro.obs.watch import run_fleet
+    from repro.service.protocol import resolve_secret
+
+    return run_fleet(
+        connect=args.connect,
+        run=args.run,
+        refresh=args.refresh,
+        once=args.once,
+        duration=args.duration,
+        wait=args.wait,
+        html=args.html,
+        secret=resolve_secret(args.secret_file) if args.connect else None,
     )
 
 
@@ -609,9 +710,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         obs = ObsContext(ObsConfig(stream=True), label="service")
         obs.add_sink(NdjsonFileSink(os.path.join(args.state_dir,
                                                  "stream.ndjson")))
+    journal = Journal(args.state_dir)
+    traces = None
+    if args.trace:
+        from repro.service.tracing import JobTraceBook
+
+        traces = JobTraceBook(os.path.join(args.state_dir, "traces"))
     core = SchedulerCore(
         cache=ResultCache(os.path.join(args.state_dir, "cache")),
-        journal=Journal(args.state_dir),
+        journal=journal,
         config=SchedulerConfig(
             lease_timeout=args.lease_timeout,
             max_attempts=args.max_attempts,
@@ -619,10 +726,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             affinity_staleness=args.affinity_staleness,
         ),
         obs=obs,
+        traces=traces,
     )
+    alerts = None
+    if args.alerts or args.alert_rules:
+        from repro.service.alerts import AlertEngine, default_rules, load_rules
+
+        rules = (load_rules(args.alert_rules) if args.alert_rules
+                 else default_rules(args.lease_timeout))
+        alerts = AlertEngine(rules, obs=obs, journal=journal)
     server = SchedulerServer(core, address=args.address, secret=secret,
                              allow_insecure_tcp=args.insecure,
-                             compress=not args.no_compress)
+                             compress=not args.no_compress,
+                             alerts=alerts)
+    health = None
+    if args.metrics_port is not None:
+        from repro.service.health import HealthServer
+
+        health = HealthServer(core, alerts=alerts, host=args.metrics_host,
+                              port=args.metrics_port)
+        health.start()
+        print(f"metrics at {health.url}/metrics "
+              f"(also /healthz, /fleet.json)", flush=True)
     pid_file_write(args.state_dir)
     if not args.no_resume:
         resumed = core.resume()
@@ -642,7 +767,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGINT, _drain)
     print(f"scheduler listening on {server.address} "
           f"(state: {args.state_dir})", flush=True)
-    server.serve_forever()
+    try:
+        server.serve_forever()
+    finally:
+        if health is not None:
+            health.stop()
     print("scheduler drained; exiting")
     return 0
 
@@ -745,6 +874,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_trace(args)
         if args.command == "watch":
             return cmd_watch(args)
+        if args.command == "fleet":
+            return cmd_fleet(args)
         if args.command == "report":
             return cmd_report(args)
         if args.command == "serve":

@@ -108,10 +108,128 @@ def trace_follow(run_dir, page: int | None = None, timeout: float | None = None,
     return printed
 
 
+def trace_job_report(path) -> str:
+    """Summarize a stitched per-job fleet trace (``repro trace --job``).
+
+    ``path`` may be the ``trace.json`` itself, a job directory holding
+    one, or a ``traces/`` root (in which case the finished jobs are
+    listed).  The trace is re-validated on every read: a stitched trace
+    that stops loading in Perfetto should fail *here* first.
+    """
+    from repro.obs.export import validate_chrome_trace
+
+    path = Path(path)
+    if path.is_dir() and not (path / "trace.json").exists():
+        jobs = sorted(p.parent.name for p in path.glob("*/trace.json"))
+        if not jobs:
+            raise ConfigError(
+                f"no trace.json under {path} — was the scheduler run "
+                f"with --trace?"
+            )
+        lines = [f"{len(jobs)} stitched job trace(s) under {path}:"]
+        lines += [f"  {job}" for job in jobs]
+        lines.append("query one with --job " + str(path / jobs[0]))
+        return "\n".join(lines)
+    if path.is_dir():
+        path = path / "trace.json"
+    if not path.exists():
+        raise ConfigError(
+            f"no stitched trace at {path} — was the scheduler run "
+            f"with --trace?"
+        )
+    with open(path, encoding="utf-8") as fh:
+        trace = json.load(fh)
+    events = trace.get("traceEvents", [])
+    meta = trace.get("otherData", {})
+    problems = validate_chrome_trace(trace)
+
+    tracks: dict[int, str] = {}
+    spans: dict[int, int] = {}
+    instants: dict[int, int] = {}
+    end_us = 0.0
+    for ev in events:
+        pid = ev.get("pid", 0)
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "process_name":
+            tracks[pid] = ev.get("args", {}).get("name", f"pid {pid}")
+        elif ph == "X":
+            spans[pid] = spans.get(pid, 0) + 1
+            end_us = max(end_us, ev.get("ts", 0) + ev.get("dur", 0))
+        elif ph == "i":
+            instants[pid] = instants.get(pid, 0) + 1
+
+    lines = [
+        f"job {meta.get('job_id', '?')} — trace {meta.get('trace_id', '?')} "
+        f"({meta.get('state', '?')}, {end_us / 1e6:.3f}s, "
+        f"{len(events)} events)"
+    ]
+    table = Table(f"Tracks ({path})", ["pid", "track", "spans", "instants"])
+    for pid in sorted(set(tracks) | set(spans) | set(instants)):
+        table.add_row(pid, tracks.get(pid, "?"), spans.get(pid, 0),
+                      instants.get(pid, 0))
+    lines.append(table.render())
+    if problems:
+        lines.append(f"INVALID: {len(problems)} validator problem(s), "
+                     f"first: {problems[0]}")
+    else:
+        lines.append("trace validates clean (Chrome/Perfetto loadable); "
+                     "open in ui.perfetto.dev")
+    return "\n".join(lines)
+
+
+def service_report(state_dir) -> str:
+    """Fleet report for a scheduler state directory.
+
+    Folds the ``service.*`` stream (when the daemon ran with
+    ``--obs-stream``) through the fleet aggregate and appends the
+    journal's alert history — the post-hoc twin of ``repro fleet``.
+    """
+    from repro.obs.stream import iter_ndjson
+    from repro.obs.watch import FleetAggregate, render_fleet_text
+    from repro.service.journal import JOURNAL_NAME, Journal
+
+    state_dir = Path(state_dir)
+    lines: list[str] = []
+    stream = state_dir / "stream.ndjson"
+    if stream.exists():
+        agg = FleetAggregate()
+        for record in iter_ndjson(stream):
+            agg.feed(record)
+        lines.append(render_fleet_text(agg))
+    if (state_dir / JOURNAL_NAME).exists():
+        journal = Journal(state_dir)
+        alerts = journal.alerts()
+        table = Table(f"Alert history ({state_dir})",
+                      ["#", "state", "rule", "metric", "value", "threshold"])
+        for i, entry in enumerate(alerts):
+            table.add_row(i, entry.get("state", "?"), entry.get("rule", "?"),
+                          entry.get("metric", "?"),
+                          f"{entry.get('value', 0):g}",
+                          f"{entry.get('threshold', 0):g}")
+        lines.append(table.render())
+        if not alerts:
+            lines.append("no alert transitions journaled")
+    if not lines:
+        raise ConfigError(
+            f"{state_dir} has neither a stream.ndjson nor a journal — "
+            f"not a scheduler state directory?"
+        )
+    return "\n".join(lines)
+
+
 def obs_report(run_dir) -> str:
-    """Metrics + event-count report for one run directory."""
+    """Metrics + event-count report for one run directory.
+
+    Service state directories (a journal but no ``metrics.json``) route
+    to :func:`service_report` so ``repro report --run STATE_DIR`` folds
+    the fleet counters and alert history instead of erroring.
+    """
+    from repro.service.journal import JOURNAL_NAME
+
     run_dir = Path(run_dir)
     path = run_dir / "metrics.json"
+    if not path.exists() and (run_dir / JOURNAL_NAME).exists():
+        return service_report(run_dir)
     if not path.exists():
         raise ConfigError(
             f"no metrics at {path} — was the run made with --obs?"
@@ -144,4 +262,5 @@ def obs_report(run_dir) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["obs_report", "trace_follow", "trace_report"]
+__all__ = ["obs_report", "service_report", "trace_follow",
+           "trace_job_report", "trace_report"]

@@ -65,6 +65,37 @@ METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
 #: dropped from the *stream* (the bus buffer is bounded separately).
 DEFAULT_MAX_PENDING = 50_000
 
+#: Default dead-writer escape window of :func:`iter_ndjson` (seconds).
+DEFAULT_DEAD_WRITER_GRACE = 2.0
+
+#: Environment override for the dead-writer grace: a float, or one of
+#: ``none``/``off``/``disabled`` to turn the liveness probe off.
+DEAD_WRITER_GRACE_ENV = "REPRO_STREAM_DEAD_GRACE"
+
+#: Sentinel distinguishing "caller passed nothing" from an explicit None.
+_GRACE_UNSET = object()
+
+
+def resolve_dead_writer_grace(value=_GRACE_UNSET) -> float | None:
+    """The dead-writer grace to use: explicit kwarg > env > default.
+
+    An explicit ``None`` (or env ``none``/``off``/``disabled``) disables
+    the liveness probe entirely; a malformed env value falls back to the
+    default rather than killing a tail that was working yesterday.
+    """
+    if value is not _GRACE_UNSET:
+        return value
+    raw = os.environ.get(DEAD_WRITER_GRACE_ENV)
+    if raw is None:
+        return DEFAULT_DEAD_WRITER_GRACE
+    lowered = raw.strip().lower()
+    if lowered in ("none", "off", "disabled", "disable"):
+        return None
+    try:
+        return float(lowered)
+    except ValueError:
+        return DEFAULT_DEAD_WRITER_GRACE
+
 _PROVENANCE_FIELDS = (
     "interval", "stage", "page_start", "npages", "src_node", "dst_node",
     "reason", "score", "attempt", "detail",
@@ -99,6 +130,12 @@ def validate_stream_record(record) -> list[str]:
                           f"!= {STREAM_SCHEMA_VERSION}")
         if not isinstance(record.get("pid"), int):
             errors.append("meta: missing/non-int pid")
+        pids = record.get("pids")
+        if pids is not None and (
+            not isinstance(pids, list)
+            or any(not isinstance(p, int) for p in pids)
+        ):
+            errors.append("meta: pids must be a list of ints")
     elif rtype == "event":
         if record.get("name") not in ALL_EVENTS:
             errors.append(f"event: name {record.get('name')!r} not in "
@@ -350,7 +387,7 @@ def _pid_alive(pid: int) -> bool:
 
 def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
                 timeout: float | None = None,
-                dead_writer_grace: float | None = 2.0):
+                dead_writer_grace=_GRACE_UNSET):
     """Yield decoded records from an NDJSON stream file.
 
     Tolerant of a truncated final line: only complete (newline-terminated)
@@ -360,13 +397,26 @@ def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
     the file grows, and returns after yielding an ``end`` record, after
     ``timeout`` seconds without new data, or — the dead-writer escape —
     once every writer pid announced by a ``meta`` record has exited and
-    the file has stayed quiet for ``dead_writer_grace`` seconds.  A
-    SIGKILLed producer never writes its ``end`` record; without the
-    escape a ``repro watch`` (or CI tail) with no ``timeout`` would hang
-    forever on its stream.  Pass ``dead_writer_grace=None`` to disable
-    the liveness probe.
+    the file has stayed quiet for the dead-writer grace.  A SIGKILLed
+    producer never writes its ``end`` record; without the escape a
+    ``repro watch`` (or CI tail) with no ``timeout`` would hang forever
+    on its stream.
+
+    Writer pids accumulate across *all* meta records: a multi-process
+    stream (the socket collector's merged file, a relay) announces one
+    ``meta`` per track, each carrying the writer's ``pid`` and
+    optionally a ``pids`` list for processes writing through it; the
+    escape only triggers once every announced pid is gone.
+
+    The grace defaults to :data:`DEFAULT_DEAD_WRITER_GRACE`, may be
+    overridden by the :data:`DEAD_WRITER_GRACE_ENV` environment variable
+    (a float, or ``none``/``off``/``disabled``), and an explicit kwarg —
+    including ``dead_writer_grace=None`` to disable the probe — beats
+    both (:func:`resolve_dead_writer_grace`).
     """
     import time as _time
+
+    dead_writer_grace = resolve_dead_writer_grace(dead_writer_grace)
 
     deadline_clock = _time.monotonic
     last_data = deadline_clock()
@@ -418,9 +468,14 @@ def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
                         record = json.loads(line)
                     except ValueError:
                         continue
-                    if (isinstance(record, dict) and record.get("type") == "meta"
-                            and isinstance(record.get("pid"), int)):
-                        writer_pids.add(record["pid"])
+                    if (isinstance(record, dict)
+                            and record.get("type") == "meta"):
+                        if isinstance(record.get("pid"), int):
+                            writer_pids.add(record["pid"])
+                        pids = record.get("pids")
+                        if isinstance(pids, list):
+                            writer_pids.update(
+                                p for p in pids if isinstance(p, int))
                     yield record
                     if isinstance(record, dict) and record.get("type") == "end":
                         return
@@ -434,6 +489,8 @@ def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
 
 
 __all__ = [
+    "DEAD_WRITER_GRACE_ENV",
+    "DEFAULT_DEAD_WRITER_GRACE",
     "DEFAULT_MAX_PENDING",
     "METRIC_KINDS",
     "RECORD_TYPES",
@@ -441,5 +498,6 @@ __all__ = [
     "StreamPublisher",
     "encode_record",
     "iter_ndjson",
+    "resolve_dead_writer_grace",
     "validate_stream_record",
 ]

@@ -481,6 +481,471 @@ def render_html(agg: LiveAggregate, budget: float = DEFAULT_BUDGET,
 """
 
 
+# -- the fleet dashboard ------------------------------------------------------
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _spark(values, width: int = 24) -> str:
+    """Unicode sparkline of the last ``width`` samples."""
+    tail = [max(0.0, float(v)) for v in list(values)[-width:]]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARK_CHARS[0] * len(tail)
+    steps = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(steps, int(v / top * steps + 0.5))] for v in tail
+    )
+
+
+class FleetAggregate:
+    """State behind ``repro fleet``: per-worker fleet health.
+
+    Two feeding modes, mirrored onto the same summary:
+
+    * **snapshot mode** (``--connect``): :meth:`feed_snapshot` replaces
+      the state wholesale with a scheduler fleet snapshot (the ``fleet``
+      protocol op / ``/fleet.json``);
+    * **stream mode** (``--run``): :meth:`feed` folds ``service.*``
+      stream records from a ``repro serve --obs-stream`` NDJSON file.
+
+    :meth:`sample_throughput` turns the completions counter into a
+    per-refresh rate series for the sparkline.
+    """
+
+    def __init__(self) -> None:
+        #: wid -> {"cells_done", "staleness", "in_flight", "warm_keys",
+        #:         "lost"}
+        self.workers: dict[str, dict] = {}
+        self.queue_depth = 0
+        self.active_leases = 0
+        self.dead_letters = 0
+        self.counters = {"leases_granted": 0, "leases_expired": 0,
+                         "requeues": 0, "completions": 0}
+        self.lease_latency: dict = {}
+        self.jobs = {"running": 0, "done": 0, "failed": 0}
+        self.cache: dict = {}
+        self.warm: dict = {}
+        #: rule name -> alert entry (currently firing)
+        self.alerts: dict[str, dict] = {}
+        self.alert_history = 0
+        self.records = 0
+        self.stopping = False
+        self._throughput: list[float] = []
+        self._last_completions = 0.0
+        self._last_sample: float | None = None
+
+    # -- snapshot mode ---------------------------------------------------------
+
+    def feed_snapshot(self, snapshot: dict) -> None:
+        """Replace the aggregate's state from one ``fleet`` snapshot."""
+        self.records += 1
+        self.queue_depth = int(snapshot.get("queue_depth", 0))
+        self.active_leases = int(snapshot.get("active_leases", 0))
+        self.dead_letters = int(snapshot.get("dead_letters", 0))
+        for key in self.counters:
+            self.counters[key] = int(
+                snapshot.get("counters", {}).get(key, self.counters[key]))
+        self.lease_latency = dict(snapshot.get("lease_latency", {}))
+        self.jobs.update(snapshot.get("jobs", {}))
+        self.cache = dict(snapshot.get("cache", {}))
+        self.warm = dict(snapshot.get("warm", {}))
+        self.stopping = bool(snapshot.get("stopping", False))
+        self.workers = {
+            wid: {
+                "cells_done": entry.get("cells_done", 0),
+                "staleness": entry.get("staleness", 0.0),
+                "in_flight": [
+                    f"{lease.get('workload')}/{lease.get('solution')}"
+                    for lease in entry.get("in_flight", [])
+                ],
+                "warm_keys": entry.get("warm_keys", 0),
+                "lost": False,
+            }
+            for wid, entry in snapshot.get("workers", {}).items()
+        }
+        firing = {}
+        for entry in snapshot.get("alerts", []) or []:
+            firing[entry.get("rule", "?")] = dict(entry)
+        self.alerts = firing
+
+    # -- stream mode -----------------------------------------------------------
+
+    def _worker(self, wid: str) -> dict:
+        worker = self.workers.get(wid)
+        if worker is None:
+            worker = self.workers[wid] = {
+                "cells_done": 0, "staleness": 0.0, "in_flight": [],
+                "warm_keys": 0, "lost": False,
+            }
+        return worker
+
+    def feed(self, record) -> None:
+        """Fold one ``service.*`` stream record (others are ignored)."""
+        if not isinstance(record, dict):
+            return
+        rtype = record.get("type")
+        if rtype == "event":
+            name = record.get("name", "")
+            if not name.startswith("service."):
+                return
+            self.records += 1
+            wid = record.get("worker")
+            cell = f"{record.get('workload')}/{record.get('solution')}"
+            if name == "service.worker_joined":
+                self._worker(wid)["lost"] = False
+            elif name == "service.worker_lost":
+                if wid in self.workers:
+                    self.workers[wid]["lost"] = True
+                    self.workers[wid]["in_flight"] = []
+            elif name == "service.lease_granted":
+                self.counters["leases_granted"] += 1
+                worker = self._worker(wid)
+                if cell not in worker["in_flight"]:
+                    worker["in_flight"].append(cell)
+            elif name == "service.lease_expired":
+                self.counters["leases_expired"] += 1
+                if wid in self.workers:
+                    flight = self.workers[wid]["in_flight"]
+                    if cell in flight:
+                        flight.remove(cell)
+            elif name == "service.cell_done":
+                self.counters["completions"] += 1
+                worker = self._worker(wid)
+                worker["cells_done"] += 1
+                if cell in worker["in_flight"]:
+                    worker["in_flight"].remove(cell)
+            elif name == "service.cell_requeued":
+                self.counters["requeues"] += 1
+            elif name == "service.cell_dead_letter":
+                self.dead_letters += 1
+            elif name == "service.job_submitted":
+                self.jobs["running"] += 1
+            elif name in ("service.job_done", "service.job_failed"):
+                state = "done" if name.endswith("done") else "failed"
+                self.jobs["running"] = max(0, self.jobs["running"] - 1)
+                self.jobs[state] += 1
+            elif name == "service.alert.firing":
+                rule = record.get("rule", "?")
+                self.alerts[rule] = {
+                    "rule": rule, "metric": record.get("metric", ""),
+                    "value": record.get("value", 0.0),
+                    "threshold": record.get("threshold", 0.0),
+                    "description": record.get("description", ""),
+                }
+                self.alert_history += 1
+            elif name == "service.alert.resolved":
+                self.alerts.pop(record.get("rule", "?"), None)
+                self.alert_history += 1
+        elif rtype == "metric" and record.get("kind") == "gauge":
+            name = record.get("name", "")
+            if name.startswith("service.cache."):
+                self.records += 1
+                self.cache[name.rsplit(".", 1)[1]] = record.get("value", 0)
+            elif name.startswith("service.warm."):
+                self.records += 1
+                self.warm[name.rsplit(".", 1)[1]] = record.get("value", 0)
+
+    # -- derived ---------------------------------------------------------------
+
+    def sample_throughput(self, now: float) -> None:
+        """One rate sample (cells/s since the previous call)."""
+        completions = float(self.counters["completions"])
+        if self._last_sample is not None and now > self._last_sample:
+            rate = (completions - self._last_completions) / (
+                now - self._last_sample)
+            self._throughput.append(max(0.0, rate))
+            if len(self._throughput) > 120:
+                del self._throughput[:-120]
+        self._last_sample = now
+        self._last_completions = completions
+
+    def throughput(self) -> list[float]:
+        return list(self._throughput)
+
+    def summary(self) -> dict:
+        live = [w for w in self.workers.values() if not w["lost"]]
+        return {
+            "workers": len(live),
+            "workers_lost": sum(1 for w in self.workers.values() if w["lost"]),
+            "queue_depth": self.queue_depth,
+            "active_leases": self.active_leases or sum(
+                len(w["in_flight"]) for w in live),
+            "dead_letters": self.dead_letters,
+            "counters": dict(self.counters),
+            "lease_latency": dict(self.lease_latency),
+            "jobs": dict(self.jobs),
+            "cache": dict(self.cache),
+            "warm": dict(self.warm),
+            "alerts": sorted(self.alerts.values(),
+                             key=lambda a: a.get("rule", "")),
+            "alert_history": self.alert_history,
+            "throughput": self.throughput(),
+            "records": self.records,
+            "stopping": self.stopping,
+        }
+
+
+def render_fleet_text(agg: FleetAggregate) -> str:
+    """One ``repro fleet`` frame as plain text."""
+    s = agg.summary()
+    c = s["counters"]
+    lines = []
+    status = "draining" if s["stopping"] else "serving"
+    lines.append(
+        f"repro fleet · {status} · workers {s['workers']} "
+        f"(+{s['workers_lost']} lost) · queue {s['queue_depth']} · "
+        f"in flight {s['active_leases']}"
+    )
+    lines.append(
+        f"leases: {c['leases_granted']} granted · {c['completions']} done · "
+        f"{c['leases_expired']} expired · {c['requeues']} requeued · "
+        f"{s['dead_letters']} dead-lettered"
+    )
+    latency = s["lease_latency"]
+    if latency.get("count"):
+        lines.append(
+            f"lease latency: p50 {latency.get('p50', 0.0) * 1e3:.0f} ms · "
+            f"p95 {latency.get('p95', 0.0) * 1e3:.0f} ms · "
+            f"p99 {latency.get('p99', 0.0) * 1e3:.0f} ms "
+            f"({latency['count']} samples)"
+        )
+    jobs = s["jobs"]
+    lines.append(
+        f"jobs: {jobs.get('running', 0)} running · "
+        f"{jobs.get('done', 0)} done · {jobs.get('failed', 0)} failed"
+    )
+    spark = _spark(s["throughput"])
+    if spark:
+        current = s["throughput"][-1] if s["throughput"] else 0.0
+        lines.append(f"throughput {spark} {current:.1f} cells/s")
+    cache = s["cache"]
+    if cache:
+        hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+        ratio = hits / (hits + misses) if (hits + misses) else 0.0
+        lines.append(
+            f"result cache: {ratio * 100:.0f}% hit ({hits:.0f}/{misses:.0f}) "
+            f"· {cache.get('corrupt', 0):.0f} corrupt"
+        )
+    warm = s["warm"]
+    if warm:
+        lines.append(
+            f"warm snapshots: {warm.get('hits', 0):.0f} hits / "
+            f"{warm.get('misses', 0):.0f} misses · "
+            f"{_fmt_bytes(warm.get('cached_bytes', 0))} cached"
+        )
+    if agg.workers:
+        lines.append("workers:")
+        for wid in sorted(agg.workers):
+            worker = agg.workers[wid]
+            state = "lost" if worker["lost"] else (
+                "busy" if worker["in_flight"] else "idle")
+            flight = ", ".join(worker["in_flight"][:3]) or "-"
+            stale = worker.get("staleness", 0.0)
+            lines.append(
+                f"  {wid:<28} {state:<5} cells {worker['cells_done']:<5} "
+                f"stale {stale:5.1f}s  warm {worker.get('warm_keys', 0):<3} "
+                f"running {flight}"
+            )
+    if s["alerts"]:
+        lines.append("ALERTS:")
+        for alert in s["alerts"]:
+            lines.append(
+                f"  !! {alert['rule']}: {alert.get('description', '')} "
+                f"(value {alert.get('value', 0):g}, "
+                f"threshold {alert.get('threshold', 0):g})"
+            )
+    else:
+        lines.append(f"alerts: none firing ({s['alert_history']} transitions)")
+    return "\n".join(lines)
+
+
+def render_fleet_html(agg: FleetAggregate,
+                      title: str = "repro fleet") -> str:
+    """Self-contained static fleet page (same dataviz skin as watch)."""
+    s = agg.summary()
+    c = s["counters"]
+    latency = s["lease_latency"]
+    tiles = [
+        ("Workers", f"{s['workers']}",
+         f"{s['workers_lost']} lost · {s['active_leases']} cells in flight"),
+        ("Queue", f"{s['queue_depth']}",
+         f"{c['leases_granted']} granted · {c['requeues']} requeued"),
+        ("Completions", f"{c['completions']}",
+         f"{c['leases_expired']} expired · {s['dead_letters']} dead letters"),
+        ("Lease p95", f"{latency.get('p95', 0.0) * 1e3:.0f} ms",
+         f"p50 {latency.get('p50', 0.0) * 1e3:.0f} · "
+         f"p99 {latency.get('p99', 0.0) * 1e3:.0f} ms "
+         f"({latency.get('count', 0)} samples)"),
+        ("Jobs", f"{s['jobs'].get('running', 0)} running",
+         f"{s['jobs'].get('done', 0)} done · "
+         f"{s['jobs'].get('failed', 0)} failed"),
+        ("Alerts", f"{len(s['alerts'])}",
+         f"{s['alert_history']} transitions"),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div>'
+        f'<div class="detail">{_esc(detail)}</div></div>'
+        for label, value, detail in tiles
+    )
+    worker_rows = ""
+    for wid in sorted(agg.workers):
+        worker = agg.workers[wid]
+        state = "lost" if worker["lost"] else (
+            "busy" if worker["in_flight"] else "idle")
+        flight = ", ".join(worker["in_flight"][:3]) or "—"
+        worker_rows += (
+            f'<div class="meter-row"><span class="name">{_esc(wid)}</span>'
+            f'<span class="num">{_esc(state)} · '
+            f"{worker['cells_done']} cells · "
+            f"stale {worker.get('staleness', 0.0):.1f}s · "
+            f"{_esc(flight)}</span></div>"
+        )
+    alert_rows = "".join(
+        f'<div class="meter-row"><span class="name status-over">'
+        f"{_esc(alert['rule'])}</span>"
+        f'<span class="num">{_esc(alert.get("description", ""))} '
+        f"(value {alert.get('value', 0):g})</span></div>"
+        for alert in s["alerts"]
+    ) or '<p class="sub">none firing</p>'
+    spark = _spark(s["throughput"], width=48)
+    status = "draining" if s["stopping"] else "serving"
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_HTML_STYLE}</style></head>
+<body class="viz-root">
+<h1>{_esc(title)}</h1>
+<p class="sub">{status} · {s['records']} updates</p>
+<div class="tiles">{tile_html}</div>
+<div class="panel"><h2>Throughput (cells/s)</h2>
+<p style="font-size:20px;margin:0">{_esc(spark) or '—'}</p></div>
+<div class="panel"><h2>Workers</h2>{worker_rows or '<p class="sub">none registered</p>'}</div>
+<div class="panel"><h2>Alerts</h2>{alert_rows}</div>
+</body></html>
+"""
+
+
+def run_fleet(
+    connect: str | None = None,
+    run: str | None = None,
+    refresh: float = 1.0,
+    once: bool = False,
+    duration: float | None = None,
+    wait: float | None = None,
+    html: str | None = None,
+    secret: bytes | None = None,
+    out=None,
+) -> int:
+    """Drive the ``repro fleet`` dashboard.
+
+    Exactly one of ``connect`` (poll the scheduler's ``fleet`` op over
+    the wire protocol) or ``run`` (tail a ``repro serve --obs-stream``
+    NDJSON file).  Returns 0 once the fleet drains / the stream ends,
+    1 when nothing was ever observed.
+    """
+    if out is None:
+        out = print
+    agg = FleetAggregate()
+    lock = threading.Lock()
+    stop = threading.Event()
+    client = None
+
+    def write_html() -> None:
+        if html:
+            with lock:
+                page = render_fleet_html(agg)
+            with open(html, "w", encoding="utf-8") as fh:
+                fh.write(page)
+
+    if connect is not None:
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(connect, connect_timeout=wait or 10.0,
+                               secret=secret)
+
+        def poll_once() -> bool:
+            """Fetch one fleet snapshot; False while the daemon is away."""
+            from repro.errors import ServiceError
+
+            try:
+                snapshot = client.fleet()
+            except ServiceError:
+                return False
+            with lock:
+                agg.feed_snapshot(snapshot)
+                agg.sample_throughput(time.monotonic())
+            return True
+    else:
+        path = resolve_stream_path(run)
+
+        def pump() -> None:
+            for record in iter_ndjson(path, follow=not once,
+                                      timeout=duration):
+                with lock:
+                    agg.feed(record)
+                if stop.is_set():
+                    return
+
+        if once:
+            deadline = time.monotonic() + (wait or 0.0)
+            while True:
+                attempt = FleetAggregate()
+                for record in iter_ndjson(path):
+                    attempt.feed(record)
+                agg = attempt
+                if agg.records or time.monotonic() >= deadline:
+                    break
+                time.sleep(0.2)
+            write_html()
+            out(render_fleet_text(agg))
+            return 0 if agg.records else 1
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+
+    if once and connect is not None:
+        observed = poll_once()
+        write_html()
+        out(render_fleet_text(agg))
+        client.close()
+        return 0 if observed else 1
+
+    started = time.monotonic()
+    is_tty = hasattr(sys.stdout, "isatty") and sys.stdout.isatty()
+    try:
+        while True:
+            time.sleep(refresh)
+            if client is not None:
+                poll_once()
+            else:
+                with lock:
+                    agg.sample_throughput(time.monotonic())
+            with lock:
+                frame = render_fleet_text(agg)
+                draining = agg.stopping
+            if is_tty:
+                out("\x1b[2J\x1b[H" + frame)
+            else:
+                out(frame)
+            write_html()
+            if draining and not agg.workers:
+                break
+            if duration is not None and time.monotonic() - started >= duration:
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        if client is not None:
+            client.close()
+        write_html()
+    return 0 if agg.records else 1
+
+
 # -- sources ------------------------------------------------------------------
 
 
@@ -687,11 +1152,15 @@ def run_watch(
 
 __all__ = [
     "DEFAULT_BUDGET",
+    "FleetAggregate",
     "LiveAggregate",
     "SocketCollector",
     "TrackState",
+    "render_fleet_html",
+    "render_fleet_text",
     "render_html",
     "render_text",
     "resolve_stream_path",
+    "run_fleet",
     "run_watch",
 ]

@@ -97,6 +97,11 @@ class ServiceClient:
     def ping(self) -> dict:
         return self._checked({"op": "ping"})["stats"]
 
+    def fleet(self) -> dict:
+        """Fleet snapshot (workers, queue, latency, alerts) — the
+        ``repro fleet --connect`` dashboard's feed."""
+        return self._checked({"op": "fleet"})["fleet"]
+
     def fetch(self, job_id: str) -> "MatrixResult":
         return self._checked({"op": "fetch", "job_id": job_id})["result"]
 

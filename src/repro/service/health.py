@@ -1,0 +1,277 @@
+"""Scheduler health/metrics endpoint: ``/metrics``, ``/healthz``, ``/fleet.json``.
+
+A tiny stdlib :mod:`http.server` thread the scheduler optionally runs
+(``repro serve --metrics-port``; off by default).  It renders the
+:meth:`~repro.service.scheduler.SchedulerCore.fleet_snapshot` as
+Prometheus text exposition format — queue depth, lease
+grant/complete/expiry counters, lease-latency p50/p95/p99, per-worker
+heartbeat staleness, result-cache and warm-snapshot hit ratios,
+dead-letter count, active alerts — so a stock Prometheus scrape (or a
+plain ``curl``) sees fleet health without speaking the pickle protocol.
+
+The endpoint is strictly read-only and loopback-bound by default: it
+exposes *state*, never control, and it shares nothing with the trust
+boundary of the wire protocol (no pickle, no secrets).  Rendering takes
+the scheduler lock once per scrape, which is the whole overhead story —
+nothing here is on the cell hot path.
+
+:func:`validate_prometheus_text` is a dependency-free structural
+validator of the exposition format, used by tests and the CI
+fleet-observability job (the same pattern as
+:func:`~repro.obs.export.validate_chrome_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+_PREFIX = "repro_service"
+
+#: sample line: name{labels} value  (labels optional; value a float)
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"  # label set
+    r" [^ ]+$"                             # exactly one value
+)
+_TYPE_RE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+    r"(counter|gauge|histogram|summary|untyped)$"
+)
+_HELP_RE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def _ratio(hits: float, misses: float) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _esc_label(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+class _Renderer:
+    """Accumulates one scrape's worth of exposition lines."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def metric(self, name: str, kind: str, help_text: str,
+               samples: list[tuple[dict, float]]) -> None:
+        """Append one metric family: HELP/TYPE then each labelled sample."""
+        full = f"{_PREFIX}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {kind}")
+        for labels, value in samples:
+            if labels:
+                inner = ",".join(f'{k}="{_esc_label(v)}"'
+                                 for k, v in sorted(labels.items()))
+                self.lines.append(f"{full}{{{inner}}} {value:g}")
+            else:
+                self.lines.append(f"{full} {value:g}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(snapshot: dict, alerts: list[dict] | None = None) -> str:
+    """Prometheus text exposition of one fleet snapshot."""
+    r = _Renderer()
+    counters = snapshot.get("counters", {})
+    r.metric("queue_depth", "gauge", "Cells waiting for a lease.",
+             [({}, float(snapshot.get("queue_depth", 0)))])
+    r.metric("active_leases", "gauge", "Cells currently leased out.",
+             [({}, float(snapshot.get("active_leases", 0)))])
+    r.metric("dead_letters", "gauge", "Cells that exhausted their attempts.",
+             [({}, float(snapshot.get("dead_letters", 0)))])
+    for name, help_text in (
+        ("leases_granted", "Leases ever granted."),
+        ("leases_expired", "Leases reclaimed by deadline expiry."),
+        ("requeues", "Cells returned to the queue after a failed lease."),
+        ("completions", "Cell results accepted."),
+        ("rejected_completions", "Results discarded for reclaimed leases."),
+        ("affinity_hits", "Grants matching a worker's warm snapshot."),
+        ("affinity_skips", "Grants redirected past the FIFO head."),
+    ):
+        r.metric(f"{name}_total", "counter", help_text,
+                 [({}, float(counters.get(name, 0)))])
+    latency = snapshot.get("lease_latency", {})
+    r.metric("lease_latency_seconds", "summary",
+             "Lease grant-to-completion latency (recent window).",
+             [({"quantile": q}, float(latency.get(f"p{int(float(q) * 100)}", 0.0)))
+              for q in ("0.5", "0.95", "0.99")])
+    r.metric("lease_latency_count", "counter",
+             "Completions folded into the latency window.",
+             [({}, float(latency.get("count", 0)))])
+    workers = snapshot.get("workers", {})
+    r.metric("workers", "gauge", "Registered workers.",
+             [({}, float(len(workers)))])
+    r.metric("worker_heartbeat_staleness_seconds", "gauge",
+             "Seconds since each worker last spoke to the scheduler.",
+             [({"worker": wid}, float(entry.get("staleness", 0.0)))
+              for wid, entry in sorted(workers.items())])
+    r.metric("worker_cells_done_total", "counter",
+             "Cells each worker has completed.",
+             [({"worker": wid}, float(entry.get("cells_done", 0)))
+              for wid, entry in sorted(workers.items())])
+    r.metric("worker_in_flight", "gauge",
+             "Leases each worker currently holds.",
+             [({"worker": wid}, float(len(entry.get("in_flight", []))))
+              for wid, entry in sorted(workers.items())])
+    cache = snapshot.get("cache", {})
+    r.metric("cache_hit_ratio", "gauge",
+             "Result-cache hit ratio since scheduler start.",
+             [({}, _ratio(cache.get("hits", 0), cache.get("misses", 0)))])
+    r.metric("cache_corrupt_total", "counter",
+             "Result-cache entries quarantined as corrupt.",
+             [({}, float(cache.get("corrupt", 0)))])
+    warm = snapshot.get("warm", {})
+    r.metric("warm_hit_ratio", "gauge",
+             "Fleet-wide warm-snapshot hit ratio.",
+             [({}, _ratio(warm.get("hits", 0), warm.get("misses", 0)))])
+    r.metric("warm_cached_bytes", "gauge",
+             "Bytes of warm snapshots held across the fleet.",
+             [({}, float(warm.get("cached_bytes", 0)))])
+    jobs = snapshot.get("jobs", {})
+    r.metric("jobs", "gauge", "Jobs by state.",
+             [({"state": state}, float(jobs.get(state, 0)))
+              for state in ("running", "done", "failed")])
+    active_alerts = alerts if alerts is not None \
+        else snapshot.get("alerts", []) or []
+    r.metric("alerts_active", "gauge", "Alert rules currently firing.",
+             [({}, float(len(active_alerts)))])
+    r.metric("alert_firing", "gauge", "Per-rule firing state (1=firing).",
+             [({"rule": a.get("rule", "?")}, 1.0) for a in active_alerts])
+    r.metric("up", "gauge", "Scheduler liveness (0 while draining).",
+             [({}, 0.0 if snapshot.get("stopping") else 1.0)])
+    return r.text()
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Structural problems with an exposition payload ([] when valid)."""
+    problems: list[str] = []
+    if not text.endswith("\n"):
+        problems.append("payload must end with a newline")
+    typed: set[str] = set()
+    for i, line in enumerate(text.splitlines()):
+        where = f"line {i + 1}"
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            if not _HELP_RE.match(line):
+                problems.append(f"{where}: malformed HELP: {line!r}")
+        elif line.startswith("# TYPE"):
+            if not _TYPE_RE.match(line):
+                problems.append(f"{where}: malformed TYPE: {line!r}")
+            else:
+                typed.add(line.split()[2])
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            if not _SAMPLE_RE.match(line):
+                problems.append(f"{where}: malformed sample: {line!r}")
+                continue
+            value = line.rsplit(" ", 1)[1]
+            if value not in ("+Inf", "-Inf", "NaN"):
+                try:
+                    float(value)
+                except ValueError:
+                    problems.append(f"{where}: non-numeric value {value!r}")
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            base = name
+            for suffix in ("_count", "_sum", "_bucket"):
+                if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                    base = name[: -len(suffix)]
+            if base not in typed and name not in typed:
+                problems.append(f"{where}: sample {name!r} has no TYPE")
+    return problems
+
+
+class HealthServer:
+    """Threaded HTTP endpoint over one scheduler (+ optional alerts).
+
+    Routes:
+
+    * ``/metrics`` — Prometheus text exposition;
+    * ``/healthz`` — ``200 ok`` (``503 draining`` once drain begins);
+    * ``/fleet.json`` — the raw fleet snapshot (the dashboard's food).
+
+    ``port=0`` binds an ephemeral port (tests, benchmarks); ``port`` is
+    then the resolved one.  The serving thread is a daemon: it can never
+    hold the process open past scheduler shutdown.
+    """
+
+    def __init__(self, core, alerts=None, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.core = core
+        self.alerts = alerts
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            """Routes GETs to the owning server; never raises into http.server."""
+
+            def log_message(self, format, *args):  # noqa: A002 - stdlib shape
+                pass  # scrapes must not spam the scheduler's stderr
+
+            def do_GET(self):  # noqa: N802 - stdlib shape
+                """Serve one GET via ``HealthServer._route``; 500 on surprise."""
+                try:
+                    status, ctype, body = outer._route(self.path)
+                except Exception as exc:  # surface, never kill the thread
+                    status, ctype = 500, "text/plain; charset=utf-8"
+                    body = f"internal error: {exc}\n".encode()
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _route(self, path: str) -> tuple[int, str, bytes]:
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            snapshot = self.core.fleet_snapshot()
+            active = self.alerts.active() if self.alerts is not None else []
+            text = render_prometheus(snapshot, alerts=active)
+            return 200, "text/plain; version=0.0.4; charset=utf-8", \
+                text.encode()
+        if path == "/healthz":
+            if self.core.stopping:
+                return 503, "text/plain; charset=utf-8", b"draining\n"
+            return 200, "text/plain; charset=utf-8", b"ok\n"
+        if path == "/fleet.json":
+            snapshot = self.core.fleet_snapshot()
+            snapshot["alerts"] = (self.alerts.active()
+                                  if self.alerts is not None else [])
+            return 200, "application/json; charset=utf-8", \
+                (json.dumps(snapshot, sort_keys=True) + "\n").encode()
+        return 404, "text/plain; charset=utf-8", b"not found\n"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="service-health", daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+
+__all__ = ["HealthServer", "render_prometheus", "validate_prometheus_text"]

@@ -59,6 +59,9 @@ class Lease:
             ``release_worker`` can then reclaim only the leases a
             *specific* registration held (re-registration under the
             same worker id must not lose the new connection's leases).
+        granted_at: claim time on the scheduler's clock; completion
+            latency (``complete_time - granted_at``) feeds the
+            lease-latency percentiles on the metrics endpoint.
     """
 
     lease_id: int
@@ -70,6 +73,7 @@ class Lease:
     attempt: int
     generation: int = 0
     warmup_key: str | None = None
+    granted_at: float = 0.0
 
 
 @dataclass
@@ -205,6 +209,7 @@ class LeaseTable:
             attempt=cell.attempt + 1,
             generation=generation,
             warmup_key=cell.warmup_key,
+            granted_at=now,
         )
         self.active[lease.lease_id] = lease
         return lease

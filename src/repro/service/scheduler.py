@@ -134,11 +134,18 @@ class SchedulerCore:
         journal: Journal | None = None,
         config: SchedulerConfig | None = None,
         obs=None,
+        traces=None,
     ) -> None:
+        from repro.obs.registry import LatencyReservoir
+
         self.cache = cache
         self.journal = journal
         self.config = config if config is not None else SchedulerConfig()
         self.obs = obs
+        #: optional :class:`~repro.service.tracing.JobTraceBook`
+        self.traces = traces
+        #: lease grant→complete latency window (percentiles on /metrics)
+        self.lease_latency = LatencyReservoir()
         self.leases = LeaseTable(
             lease_timeout=self.config.lease_timeout,
             max_attempts=self.config.max_attempts,
@@ -148,7 +155,8 @@ class SchedulerCore:
         )
         self.jobs: dict[str, Job] = {}
         #: worker_id -> {"pid": int, "cells_done": int, "gen": int,
-        #:               "warm_keys": frozenset, "warm": dict}
+        #:               "warm_keys": frozenset, "warm": dict,
+        #:               "last_seen": float (monotonic)}
         self.workers: dict[str, dict] = {}
         #: monotonic registration counter (generation token source)
         self._worker_generation = 0
@@ -222,6 +230,8 @@ class SchedulerCore:
             self.jobs[job_id] = job
             if self.journal is not None:
                 self.journal.record_submit(job_id, spec)
+            if self.traces is not None:
+                self.traces.begin_job(job_id, wall=time.time())
             self._emit(EV_SERVICE_JOB_SUBMITTED, job_id=job_id,
                        cells=job.cells_total, tag=spec.tag)
             for workload, solution in spec.cells:
@@ -281,7 +291,8 @@ class SchedulerCore:
             self.workers[worker_id] = {"pid": pid, "cells_done": 0,
                                        "gen": gen,
                                        "warm_keys": frozenset(),
-                                       "warm": {}}
+                                       "warm": {},
+                                       "last_seen": time.monotonic()}
         self._emit(EV_SERVICE_WORKER_JOINED, worker=worker_id, pid=pid)
         return gen
 
@@ -354,9 +365,11 @@ class SchedulerCore:
             now = time.monotonic()
         with self.lock:
             self.advertise_warm(worker_id, warm_keys, warm_stats)
+            entry = self.workers.get(worker_id)
+            if entry is not None:
+                entry["last_seen"] = time.monotonic()
             if self.stopping:
                 return None
-            entry = self.workers.get(worker_id)
             generation = entry["gen"] if entry is not None else 0
             keys = entry["warm_keys"] if entry is not None else frozenset()
             lease = self.leases.claim(worker_id, now, generation=generation,
@@ -368,6 +381,15 @@ class SchedulerCore:
             self._emit(EV_SERVICE_LEASE_GRANTED, job_id=lease.job_id,
                        workload=lease.workload, solution=lease.solution,
                        worker=worker_id, attempt=lease.attempt)
+            trace = None
+            if self.traces is not None:
+                trace = self.traces.context_for(lease.job_id)
+                if trace is not None:
+                    self.traces.record_grant(
+                        lease.job_id, lease.lease_id, worker_id,
+                        lease.workload, lease.solution, lease.attempt,
+                        wall=time.time(),
+                    )
             return {
                 "lease_id": lease.lease_id,
                 "job_id": lease.job_id,
@@ -378,16 +400,25 @@ class SchedulerCore:
                 "lease_timeout": self.config.lease_timeout,
                 "warmup_key": lease.warmup_key,
                 "spec": job.spec,
+                "trace": trace,
             }
 
     def heartbeat(self, lease_id: int, now: float | None = None,
-                  worker_id: str | None = None, warm_keys=None) -> bool:
+                  worker_id: str | None = None, warm_keys=None,
+                  trace_id: str | None = None) -> bool:
         if now is None:
             now = time.monotonic()
         with self.lock:
             if worker_id is not None:
                 self.advertise_warm(worker_id, warm_keys)
-            return self.leases.heartbeat(lease_id, now)
+                entry = self.workers.get(worker_id)
+                if entry is not None:
+                    entry["last_seen"] = time.monotonic()
+            alive = self.leases.heartbeat(lease_id, now)
+            if alive and trace_id and self.traces is not None:
+                self.traces.record_heartbeat(
+                    trace_id, worker_id or "?", lease_id, wall=time.time())
+            return alive
 
     def _requeue_failed_completion(self, lease_id: int, now: float,
                                    reason: str) -> None:
@@ -405,7 +436,8 @@ class SchedulerCore:
         self._after_release([released])
 
     def complete(self, lease_id: int, result: "SimulationResult",
-                 now: float | None = None, source: str = "") -> bool:
+                 now: float | None = None, source: str = "",
+                 trace: dict | None = None) -> bool:
         """Accept one finished cell; False if the lease was reclaimed.
 
         A rejected completion is *safe* to discard: the lease expired,
@@ -459,9 +491,17 @@ class SchedulerCore:
             self.leases.complete(lease_id)
             job.results[(lease.workload, lease.solution)] = result
             self.completions += 1
+            if lease.granted_at > 0.0:
+                latency = max(0.0, now - lease.granted_at)
+                self.lease_latency.observe(latency)
+                if self.obs is not None:
+                    self.obs.observe("service.lease.latency", latency)
+            if trace is not None and self.traces is not None:
+                self.traces.record_worker_payload(trace)
             worker = self.workers.get(lease.worker_id)
             if worker is not None:
                 worker["cells_done"] += 1
+                worker["last_seen"] = time.monotonic()
             self._refresh_gauges()
             self._emit(EV_SERVICE_CELL_DONE, job_id=lease.job_id,
                        workload=lease.workload, solution=lease.solution,
@@ -549,6 +589,8 @@ class SchedulerCore:
                 self.journal.record_job(job.job_id, "failed")
             self._emit(EV_SERVICE_JOB_FAILED, job_id=job.job_id,
                        dead=len(self.leases.job_dead_letters(job.job_id)))
+        if job.state in ("done", "failed") and self.traces is not None:
+            self.traces.finish_job(job.job_id, job.state, wall=time.time())
 
     def status(self, job_id: str) -> dict:
         with self.lock:
@@ -616,6 +658,68 @@ class SchedulerCore:
                 "warm": self.warm_summary(),
                 "affinity_hits": self.leases.affinity_hits,
                 "affinity_skips": self.leases.affinity_skips,
+                "lease_latency": {
+                    "count": self.lease_latency.count,
+                    **self.lease_latency.percentiles(),
+                },
+                "stopping": self.stopping,
+            }
+
+    def fleet_snapshot(self, now: float | None = None) -> dict:
+        """Point-in-time fleet view for /metrics, /fleet.json, alerts,
+        and the ``repro fleet`` dashboard.
+
+        Per-worker ``staleness`` is seconds since that worker last
+        spoke to the scheduler (register, claim, heartbeat, or result).
+        """
+        if now is None:
+            now = time.monotonic()
+        with self.lock:
+            in_flight: dict[str, list[dict]] = {}
+            for lease in self.leases.active.values():
+                in_flight.setdefault(lease.worker_id, []).append({
+                    "lease_id": lease.lease_id,
+                    "job_id": lease.job_id,
+                    "workload": lease.workload,
+                    "solution": lease.solution,
+                    "attempt": lease.attempt,
+                    "age": max(0.0, now - lease.granted_at),
+                })
+            workers = {}
+            for worker_id, entry in self.workers.items():
+                workers[worker_id] = {
+                    "pid": entry.get("pid", -1),
+                    "cells_done": entry.get("cells_done", 0),
+                    "staleness": max(0.0, now - entry.get("last_seen", now)),
+                    "warm_keys": len(entry.get("warm_keys") or ()),
+                    "warm": dict(entry.get("warm") or {}),
+                    "in_flight": in_flight.get(worker_id, []),
+                }
+            jobs = {"total": len(self.jobs)}
+            for state in ("running", "done", "failed"):
+                jobs[state] = sum(1 for j in self.jobs.values()
+                                  if j.state == state)
+            return {
+                "queue_depth": len(self.leases.pending),
+                "active_leases": len(self.leases.active),
+                "dead_letters": len(self.leases.dead),
+                "counters": {
+                    "leases_granted": self.leases.granted,
+                    "leases_expired": self.leases.expired,
+                    "requeues": self.leases.requeues,
+                    "completions": self.completions,
+                    "rejected_completions": self.rejected_completions,
+                    "affinity_hits": self.leases.affinity_hits,
+                    "affinity_skips": self.leases.affinity_skips,
+                },
+                "lease_latency": {
+                    "count": self.lease_latency.count,
+                    **self.lease_latency.percentiles(),
+                },
+                "workers": workers,
+                "cache": self.cache.stats.as_dict(),
+                "warm": self.warm_summary(),
+                "jobs": jobs,
                 "stopping": self.stopping,
             }
 
@@ -734,9 +838,13 @@ class SchedulerServer:
     def __init__(self, core: SchedulerCore, address: str = "127.0.0.1:0",
                  secret: bytes | None = None,
                  allow_insecure_tcp: bool = False,
-                 compress: bool = True) -> None:
+                 compress: bool = True,
+                 alerts=None) -> None:
         self.core = core
         self.secret = secret
+        #: optional :class:`~repro.service.alerts.AlertEngine`, evaluated
+        #: once per tick against the fleet snapshot
+        self.alerts = alerts
         #: offer frame compression during hello (peers still negotiate)
         self.compress = compress
         self._listener, self.address = _bind_listener(
@@ -824,6 +932,11 @@ class SchedulerServer:
     def _tick_loop(self) -> None:
         while not self._stop.is_set():
             self.core.tick()
+            if self.alerts is not None:
+                try:
+                    self.alerts.evaluate(self.core.fleet_snapshot())
+                except Exception:
+                    pass  # alerting must never take the scheduler down
             self._stop.wait(self.core.config.tick_interval)
 
     def _inline_loop(self) -> None:
@@ -954,13 +1067,15 @@ class SchedulerServer:
                 int(message.get("lease_id", -1)),
                 worker_id=message.get("worker_id"),
                 warm_keys=message.get("warm_keys"),
+                trace_id=message.get("trace_id"),
             )
             if not ok:
                 return reply_error("lease expired or unknown", transient=True)
             return reply_ok()
         if op == "result":
             accepted = self.core.complete(
-                int(message.get("lease_id", -1)), message.get("payload")
+                int(message.get("lease_id", -1)), message.get("payload"),
+                trace=message.get("trace"),
             )
             if not accepted:
                 return reply_error("lease expired; result discarded",
@@ -987,6 +1102,11 @@ class SchedulerServer:
             stats = self.core.stats()
             stats["wire"] = self.wire_stats()
             return reply_ok(stats=stats)
+        if op == "fleet":
+            snapshot = self.core.fleet_snapshot()
+            snapshot["alerts"] = (self.alerts.active()
+                                  if self.alerts is not None else [])
+            return reply_ok(fleet=snapshot)
         if op == "shutdown":
             return reply_ok()
         return reply_error(f"unknown op {op!r}")

@@ -1,0 +1,258 @@
+"""Cross-process trace stitching for the sweep fleet.
+
+The scheduler mints one :class:`~repro.obs.spans.TraceContext` per
+submitted job and ships it to workers inside lease grants.  Workers that
+see a trace context wrap their cell execution in a
+:class:`~repro.obs.spans.SpanTracer` and send the finished spans back
+*next to* the result (never inside the
+:class:`~repro.engine.results.SimulationResult`, which keeps fingerprints
+byte-identical).  This module's :class:`JobTraceBook` collects the
+scheduler-side lifecycle (submit, grants, heartbeats, completion) and
+every worker's span payload, then writes one merged Perfetto
+``trace.json`` per job with per-process tracks:
+
+* ``pid 1`` — the scheduler: the job span plus grant instants.
+* one pid per worker OS process — that worker's cell spans, nested under
+  the job span via explicit ``args.parent`` plus Perfetto flow events
+  (``s``/``f``) keyed by lease id from each grant to its cell span.
+
+Each process times spans against its own ``perf_counter`` origin, so the
+stitcher aligns tracks using the wall-clock ``epoch`` every tracer
+records: a worker span lands at ``epoch + ts - job_wall0`` on the job's
+timeline (clamped at zero against clock skew — alignment is cosmetic and
+must never make the trace invalid).
+
+Everything here is off the hot path: recording is dict/list appends
+under a private lock, and the merge/write happens once per job at
+completion.  The book is only constructed when ``repro serve --trace``
+asks for it; a ``None`` book costs the scheduler one attribute test.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.spans import (TraceContext, mint_trace_context,
+                             spans_from_dicts)
+
+
+class JobTrace:
+    """Accumulating record of one job's distributed execution."""
+
+    def __init__(self, ctx: TraceContext, started_wall: float) -> None:
+        self.ctx = ctx
+        self.started_wall = started_wall
+        self.finished_wall: float | None = None
+        self.state = "running"
+        #: grant instants: {wall, lease_id, worker_id, workload, solution, attempt}
+        self.grants: list[dict] = []
+        #: heartbeat instants: {wall, worker_id, lease_id}
+        self.heartbeats: list[dict] = []
+        #: worker span payloads: {worker_id, pid, epoch, spans, lease_id}
+        self.payloads: list[dict] = []
+
+
+class JobTraceBook:
+    """Mints per-job trace contexts and merges the distributed spans.
+
+    Thread-safe; the scheduler calls in from its request threads and the
+    tick thread.  Finished jobs are written to
+    ``out_dir/<job_id>/trace.json`` and pruned from memory.
+    """
+
+    def __init__(self, out_dir) -> None:
+        self.out_dir = Path(out_dir)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, JobTrace] = {}
+        self._by_trace: dict[str, str] = {}
+        #: job_id -> written trace path (finished jobs)
+        self.written: dict[str, str] = {}
+
+    # -- scheduler-side lifecycle ---------------------------------------------
+
+    def begin_job(self, job_id: str, wall: float) -> TraceContext:
+        """Mint the job's trace context at submit time."""
+        ctx = mint_trace_context(job_id)
+        with self._lock:
+            self._jobs[job_id] = JobTrace(ctx, wall)
+            self._by_trace[ctx.trace_id] = job_id
+        return ctx
+
+    def context_for(self, job_id: str) -> dict | None:
+        """Wire-ready trace dict for a grant, or None for untraced jobs."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job.ctx.as_wire() if job is not None else None
+
+    def record_grant(self, job_id: str, lease_id: int, worker_id: str,
+                     workload: str, solution: str, attempt: int,
+                     wall: float) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                job.grants.append({
+                    "wall": wall, "lease_id": lease_id,
+                    "worker_id": worker_id, "workload": workload,
+                    "solution": solution, "attempt": attempt,
+                })
+
+    def record_heartbeat(self, trace_id: str, worker_id: str,
+                         lease_id: int, wall: float) -> None:
+        with self._lock:
+            job_id = self._by_trace.get(trace_id)
+            job = self._jobs.get(job_id) if job_id else None
+            if job is not None:
+                job.heartbeats.append({
+                    "wall": wall, "worker_id": worker_id,
+                    "lease_id": lease_id,
+                })
+
+    def record_worker_payload(self, payload: dict) -> None:
+        """Absorb one worker's span payload (rides beside a result).
+
+        ``payload`` carries ``trace_id``, ``worker_id``, ``pid``,
+        ``epoch``, ``lease_id`` and ``spans`` (dicts via
+        :func:`~repro.obs.spans.spans_as_dicts`).  Unknown trace ids are
+        dropped — late results from a pruned job must not resurrect it.
+        """
+        if not isinstance(payload, dict):
+            return
+        with self._lock:
+            job_id = self._by_trace.get(str(payload.get("trace_id", "")))
+            job = self._jobs.get(job_id) if job_id else None
+            if job is not None:
+                job.payloads.append(payload)
+
+    def finish_job(self, job_id: str, state: str, wall: float) -> str | None:
+        """Close, merge, write, and prune one job's trace.
+
+        Returns the written trace path, or None for untraced jobs.
+        """
+        with self._lock:
+            job = self._jobs.pop(job_id, None)
+            if job is None:
+                return None
+            self._by_trace.pop(job.ctx.trace_id, None)
+        job.state = state
+        job.finished_wall = wall
+        trace = build_job_trace(job)
+        job_dir = self.out_dir / job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        path = job_dir / "trace.json"
+        with open(path, "w") as fh:
+            json.dump(trace, fh)
+        with self._lock:
+            self.written[job_id] = str(path)
+        return str(path)
+
+    def open_jobs(self) -> list[str]:
+        with self._lock:
+            return sorted(self._jobs)
+
+
+# -- merge -------------------------------------------------------------------
+
+_SCHED_PID = 1
+
+
+def _meta(name: str, pid: int, value: str, tid: int = 0) -> dict:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": value}}
+
+
+def build_job_trace(job: JobTrace) -> dict:
+    """One Chrome trace dict for a finished :class:`JobTrace`."""
+    ctx = job.ctx
+    wall0 = job.started_wall
+    end_wall = job.finished_wall if job.finished_wall is not None else wall0
+
+    def rel_us(wall: float) -> float:
+        return max(0.0, (wall - wall0) * 1e6)
+
+    events: list[dict] = [
+        _meta("process_name", _SCHED_PID, "scheduler"),
+        _meta("thread_name", _SCHED_PID, "jobs"),
+    ]
+    # The job span: everything in the trace nests under this.
+    events.append({
+        "name": ctx.parent_span, "cat": "service", "ph": "X",
+        "ts": 0.0, "dur": rel_us(end_wall),
+        "pid": _SCHED_PID, "tid": 0,
+        "args": {"trace_id": ctx.trace_id, "job_id": ctx.job_id,
+                 "state": job.state},
+    })
+    for grant in job.grants:
+        ts = rel_us(grant["wall"])
+        events.append({
+            "name": f"grant:{grant['workload']}/{grant['solution']}",
+            "cat": "service", "ph": "i", "s": "t", "ts": ts,
+            "pid": _SCHED_PID, "tid": 0,
+            "args": {"lease_id": grant["lease_id"],
+                     "worker": grant["worker_id"],
+                     "attempt": grant["attempt"]},
+        })
+        # Flow origin: one arrow per lease from the grant to the cell span.
+        events.append({
+            "name": "lease", "cat": "service", "ph": "s",
+            "id": grant["lease_id"], "ts": ts,
+            "pid": _SCHED_PID, "tid": 0,
+        })
+
+    # Worker tracks: one OS pid each, spans aligned by wall-clock epoch.
+    seen_pids: dict[int, str] = {}
+    for payload in job.payloads:
+        pid = int(payload.get("pid", 0)) or _SCHED_PID + 1
+        worker_id = str(payload.get("worker_id", "worker"))
+        if pid not in seen_pids:
+            seen_pids[pid] = worker_id
+            events.append(_meta("process_name", pid, f"worker:{worker_id}"))
+            events.append(_meta("thread_name", pid, "cells"))
+        epoch = float(payload.get("epoch", wall0))
+        lease_id = payload.get("lease_id")
+        spans = spans_from_dicts(payload.get("spans", []))
+        for span in spans:
+            ts = rel_us(epoch + span.ts)
+            args = dict(span.args)
+            args.setdefault("trace_id", ctx.trace_id)
+            args.setdefault("parent", ctx.parent_span)
+            events.append({
+                "name": span.name, "cat": span.cat, "ph": "X",
+                "ts": ts, "dur": span.dur * 1e6,
+                "pid": pid, "tid": 0, "args": args,
+            })
+            if span.name == "cell" and lease_id is not None:
+                # Flow terminus: binds this cell span to its grant.
+                events.append({
+                    "name": "lease", "cat": "service", "ph": "f",
+                    "bp": "e", "id": lease_id, "ts": ts,
+                    "pid": pid, "tid": 0,
+                })
+    # Heartbeats land on the holder's track when we know its pid.
+    worker_pid = {wid: pid for pid, wid in seen_pids.items()}
+    for beat in job.heartbeats:
+        pid = worker_pid.get(beat["worker_id"], _SCHED_PID)
+        events.append({
+            "name": "heartbeat", "cat": "service", "ph": "i", "s": "t",
+            "ts": rel_us(beat["wall"]), "pid": pid, "tid": 0,
+            "args": {"lease_id": beat["lease_id"],
+                     "worker": beat["worker_id"]},
+        })
+    trace = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": ctx.trace_id, "job_id": ctx.job_id,
+                      "state": job.state},
+    }
+    # The stitcher must never emit an invalid trace; cheap (once per job)
+    # and turns silent schema drift into a loud failure.
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise AssertionError(
+            f"stitched trace for {ctx.job_id} invalid: {problems[:3]}")
+    return trace
+
+
+__all__ = ["JobTrace", "JobTraceBook", "build_job_trace"]

@@ -620,3 +620,138 @@ class TestCliLazyDir:
         assert records[-1]["type"] == "end"
         metrics = json.loads((out / "metrics.json").read_text())
         assert metrics["counters"]
+
+
+# -- socket collector under concurrency ----------------------------------------
+
+
+class TestSocketCollectorConcurrency:
+    def _push(self, addr, records):
+        """One publisher connection: send records as NDJSON lines."""
+        family, target = parse_address(addr)
+        sock = socket.socket(
+            socket.AF_UNIX if family == "unix" else socket.AF_INET,
+            socket.SOCK_STREAM)
+        sock.connect(target)
+        for record in records:
+            sock.sendall((json.dumps(record) + "\n").encode())
+        return sock
+
+    def test_concurrent_publishers_one_aborting_midstream(self, tmp_path):
+        """Three publishers at once; one dies abortively (RST, no FIN)
+        mid-stream.  The collector keeps the other feeds intact and
+        never folds the aborted connection's torn tail."""
+        addr = f"unix:{tmp_path}/collect.sock"
+        agg = LiveAggregate()
+        lock = threading.Lock()
+        from repro.obs.watch import SocketCollector
+
+        collector = SocketCollector(addr, agg, lock)
+        collector.start()
+        try:
+            meta = {"v": STREAM_SCHEMA_VERSION, "type": "meta",
+                    "track": "x", "pid": os.getpid(), "t0": 0.0}
+            good_a = self._push(addr, [dict(meta, track="a")])
+            good_b = self._push(addr, [dict(meta, track="b")])
+            bad = self._push(addr, [dict(meta, track="dying")])
+            # the aborter sends a complete record, then a torn line,
+            # then resets the connection instead of closing it
+            bad.sendall(b'{"type": "event", "name": "interval.end", "tor')
+            bad.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                           __import__("struct").pack("ii", 1, 0))
+            bad.close()  # RST
+            for i, sock in enumerate((good_a, good_b)):
+                for interval in range(3):
+                    sock.sendall((json.dumps(
+                        {"type": "event", "name": "interval.end",
+                         "interval": interval, "track": "ab"[i]},
+                    ) + "\n").encode())
+                sock.close()
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                with lock:
+                    done = (agg.tracks.get("a") is not None
+                            and agg.tracks["a"].intervals == 3
+                            and agg.tracks.get("b") is not None
+                            and agg.tracks["b"].intervals == 3)
+                if done:
+                    break
+                time.sleep(0.05)
+            with lock:
+                assert agg.tracks["a"].intervals == 3
+                assert agg.tracks["b"].intervals == 3
+                # the aborted publisher's meta landed; its torn event
+                # line must not have been decoded
+                assert agg.tracks.get("dying") is not None
+                assert agg.tracks["dying"].intervals == 0
+        finally:
+            collector.close()
+
+
+# -- dead-writer grace resolution ----------------------------------------------
+
+
+class TestDeadWriterGrace:
+    def test_env_overrides_default(self, monkeypatch):
+        from repro.obs.stream import (
+            DEAD_WRITER_GRACE_ENV,
+            DEFAULT_DEAD_WRITER_GRACE,
+            resolve_dead_writer_grace,
+        )
+
+        monkeypatch.delenv(DEAD_WRITER_GRACE_ENV, raising=False)
+        assert resolve_dead_writer_grace() == DEFAULT_DEAD_WRITER_GRACE
+        monkeypatch.setenv(DEAD_WRITER_GRACE_ENV, "0.25")
+        assert resolve_dead_writer_grace() == 0.25
+        monkeypatch.setenv(DEAD_WRITER_GRACE_ENV, "off")
+        assert resolve_dead_writer_grace() is None
+        monkeypatch.setenv(DEAD_WRITER_GRACE_ENV, "banana")
+        assert resolve_dead_writer_grace() == DEFAULT_DEAD_WRITER_GRACE
+
+    def test_explicit_kwarg_beats_env(self, monkeypatch):
+        from repro.obs.stream import (
+            DEAD_WRITER_GRACE_ENV,
+            resolve_dead_writer_grace,
+        )
+
+        monkeypatch.setenv(DEAD_WRITER_GRACE_ENV, "9.0")
+        assert resolve_dead_writer_grace(0.5) == 0.5
+        assert resolve_dead_writer_grace(None) is None  # explicit disable
+
+    def test_follow_escapes_via_env_grace(self, tmp_path, monkeypatch):
+        from repro.obs.stream import DEAD_WRITER_GRACE_ENV
+
+        monkeypatch.setenv(DEAD_WRITER_GRACE_ENV, "0.1")
+        path = tmp_path / "s.ndjson"
+        # a dead writer pid and no end record: only the grace escape ends
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        path.write_text(json.dumps(
+            {"v": STREAM_SCHEMA_VERSION, "type": "meta", "track": "t",
+             "pid": proc.pid, "t0": 0.0}) + "\n")
+        t0 = time.monotonic()
+        got = list(iter_ndjson(path, follow=True, poll_interval=0.02))
+        assert time.monotonic() - t0 < 5.0
+        assert [r["type"] for r in got] == ["meta"]
+
+    def test_meta_pids_list_keeps_stream_alive(self, tmp_path):
+        """A meta record may announce several writer pids; the escape
+        waits for all of them — a live pid in `pids` holds the tail
+        open even when the announcing pid is dead."""
+        path = tmp_path / "s.ndjson"
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        record = {"v": STREAM_SCHEMA_VERSION, "type": "meta", "track": "t",
+                  "pid": proc.pid, "pids": [os.getpid()], "t0": 0.0}
+        assert validate_stream_record(record) == []
+        assert validate_stream_record(
+            dict(record, pids=["not-a-pid"])) != []
+        path.write_text(json.dumps(record) + "\n")
+        t0 = time.monotonic()
+        got = list(iter_ndjson(path, follow=True, poll_interval=0.02,
+                               timeout=0.5, dead_writer_grace=0.1))
+        elapsed = time.monotonic() - t0
+        # our own live pid blocked the dead-writer escape; only the
+        # explicit timeout ended the tail
+        assert elapsed >= 0.5
+        assert [r["type"] for r in got] == ["meta"]
