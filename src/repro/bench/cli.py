@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import sys
+from pathlib import Path
 from typing import Callable
 
 from repro import perfflags
@@ -141,6 +143,9 @@ def bench_main(
             kwargs["workload"] = names[0]
         else:
             raise ConfigError("this experiment has a fixed workload set")
+    import time
+
+    started = time.perf_counter()
     try:
         print(run_experiment(profile, **kwargs))
     except BaseException:
@@ -151,8 +156,54 @@ def bench_main(
                 if cleanup is not None:
                     cleanup()
         raise
+    seconds = time.perf_counter() - started
     if collector is not None:
         paths = collector.export(args.obs_out)
         collector.stream_close()
         print(f"observability export written to {paths['trace']} "
               f"(open in ui.perfetto.dev) and {args.obs_out}/")
+    _append_history(run_experiment, profile, args, seconds)
+
+
+def _append_history(run_experiment, profile, args, seconds: float) -> None:
+    """One trajectory record per successful driver invocation.
+
+    Only ``bench_main`` appends — pytest-benchmark entry points call
+    ``run_experiment`` directly and must not pollute the trajectory.
+    The record carries the flattened numeric content of the
+    ``BENCH_perf.json`` next to the driver, so ``repro diff --bench``
+    can compare pinned numbers (not just wall clock) across entries.
+    A history failure never fails the bench run.
+    """
+    import json
+
+    from repro.bench.history import (
+        append_record,
+        flatten_metrics,
+        resolve_history_path,
+    )
+
+    try:
+        driver_file = Path(inspect.getfile(run_experiment))
+        driver = driver_file.stem
+        root = driver_file.resolve().parent.parent
+        path = resolve_history_path(root)
+        if path is None:
+            return
+        metrics: dict[str, float] = {}
+        perf_path = root / "BENCH_perf.json"
+        if perf_path.exists():
+            with open(perf_path, encoding="utf-8") as fh:
+                metrics = flatten_metrics(json.load(fh))
+        record = append_record(
+            path,
+            driver=driver,
+            profile=profile.name,
+            seconds=seconds,
+            backend=getattr(args, "backend", ""),
+            workers=getattr(args, "workers", 1),
+            metrics=metrics,
+        )
+        print(f"bench history: appended {record['iso']} to {path}")
+    except OSError as exc:  # pragma: no cover - depends on host fs state
+        print(f"bench history: skipped ({exc})", file=sys.stderr)

@@ -46,6 +46,64 @@ class SeriesStats:
         return cls(mean=mean, ci95=ci95, samples=tuple(samples))
 
 
+def bootstrap_ci(
+    samples: list[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap percentile CI of the sample mean.
+
+    Resampling-based, so it needs no distributional assumption — the
+    right tool for the skewed, few-sample series the analytics diff
+    layer compares (bench-history metrics, dwell-time samples).  Seeded
+    for reproducibility: the same samples always yield the same CI.
+    """
+    import numpy as np
+
+    if not samples:
+        raise ConfigError("no samples")
+    data = np.asarray(samples, dtype=np.float64)
+    if len(data) == 1:
+        return (float(data[0]), float(data[0]))
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(data), size=(n_boot, len(data)))
+    means = data[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)))
+
+
+def bootstrap_diff_ci(
+    a: list[float],
+    b: list[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap CI of ``mean(a) - mean(b)`` (two independent samples).
+
+    A CI containing zero means the observed mean difference is not
+    statistically distinguishable at the given confidence.
+    """
+    import numpy as np
+
+    if not a or not b:
+        raise ConfigError("both sample sets must be non-empty")
+    xa = np.asarray(a, dtype=np.float64)
+    xb = np.asarray(b, dtype=np.float64)
+    if len(xa) == 1 and len(xb) == 1:
+        d = float(xa[0] - xb[0])
+        return (d, d)
+    rng = np.random.default_rng(seed)
+    means_a = xa[rng.integers(0, len(xa), size=(n_boot, len(xa)))].mean(axis=1)
+    means_b = xb[rng.integers(0, len(xb), size=(n_boot, len(xb)))].mean(axis=1)
+    diffs = means_a - means_b
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(diffs, alpha)),
+            float(np.quantile(diffs, 1.0 - alpha)))
+
+
 def repeated_comparison(
     workload: str,
     solutions: list[str],

@@ -10,7 +10,16 @@ Commands:
   ("why did page N move?"), or tail a live stream with ``--follow``;
 * ``watch`` — live dashboard over a streaming (``--obs-stream``) run,
   from its NDJSON file or as a listening socket server (``--connect``);
-* ``report`` — summarize an observability export (event counts, metrics);
+* ``report`` — summarize an observability export (event counts,
+  metrics; ``--json`` for scripts, with the ping-pong summary folded in
+  when an analytics store exists);
+* ``query`` — columnar analytics over an artifact directory: ingests it
+  into ``analytics.npz`` on first use, then answers dwell-time,
+  top-K hot pages, lifecycle funnel, ping-pong, or generic
+  filter/group/top-N table queries;
+* ``diff`` — compare two runs metric-by-metric (deltas, bootstrap CIs,
+  verdicts, optional ``--html`` report), or ``--bench`` to check the
+  newest ``BENCH_history.jsonl`` record against earlier entries;
 * ``serve`` — the fault-tolerant sweep scheduler daemon: lease-based
   cell assignment, crash-safe result cache, journal-backed resume;
 * ``worker`` — one fleet member serving cells for a ``serve`` daemon;
@@ -107,6 +116,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="also stream to a line-protocol socket (unix:PATH or "
              "HOST:PORT) served by `repro watch --connect ADDR`; "
              "implies --obs",
+    )
+    parser.add_argument(
+        "--obs-compress", action="store_true",
+        help="gzip the exported JSONL artifacts (*.jsonl.gz); every "
+             "reader (trace/report/query) handles both forms",
     )
 
 
@@ -232,6 +246,137 @@ def build_parser() -> argparse.ArgumentParser:
         "--obs", action="store_true", default=True,
         help="include the observability summary (default; reserved for "
              "future report sections)",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the report as machine-readable JSON (scriptable; "
+             "folds the ping-pong summary when an analytics store exists)",
+    )
+
+    query = sub.add_parser(
+        "query", help="columnar analytics over an --obs artifact directory"
+    )
+    query.add_argument(
+        "--run", required=True, metavar="DIR",
+        help="artifact directory: a run/sweep --obs-out, a service "
+             "state dir, or a bare --obs-stream directory",
+    )
+    query.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="analytics bundle path (default: DIR/analytics.npz; "
+             "ingested on first use)",
+    )
+    query.add_argument(
+        "--reingest", action="store_true",
+        help="rebuild the analytics store even if one exists",
+    )
+    query.add_argument(
+        "--analysis", default="summary",
+        choices=["summary", "dwell", "top-pages", "funnel", "ping-pong",
+                 "table"],
+        help="built-in analysis to run (default: summary); 'table' is "
+             "the generic filter/group/top-N verb over --table",
+    )
+    query.add_argument(
+        "--table", default="events", metavar="NAME",
+        help="table for --analysis table (provenance/events/metrics/"
+             "spans/journal; default: events)",
+    )
+    query.add_argument(
+        "--where", action="append", default=None, metavar="COL=VAL",
+        help="row filter, repeatable (ops: = != < > <= >=)",
+    )
+    query.add_argument(
+        "--group", default=None, metavar="COL",
+        help="group rows by this column (with --analysis table)",
+    )
+    query.add_argument(
+        "--agg", default="count", metavar="SPEC",
+        help="aggregate per group: count, sum:COL, mean:COL, min:COL, "
+             "max:COL (default: count)",
+    )
+    query.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="keep only the N largest groups (or hot pages for "
+             "--analysis top-pages)",
+    )
+    query.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="ungrouped row limit (default: 20)",
+    )
+    query.add_argument(
+        "--from", dest="start", type=int, default=None, metavar="I",
+        help="restrict windowed analyses to intervals >= I",
+    )
+    query.add_argument(
+        "--to", dest="end", type=int, default=None, metavar="I",
+        help="restrict windowed analyses to intervals < I",
+    )
+    query.add_argument(
+        "--min-trips", type=int, default=2, metavar="N",
+        help="ping-pong: round trips needed to flag a page (default: 2)",
+    )
+    query.add_argument(
+        "--window", type=int, default=8, metavar="I",
+        help="ping-pong: max intervals for a return to count as a "
+             "round trip (default: 8)",
+    )
+    query.add_argument(
+        "--json", action="store_true",
+        help="print the raw machine-readable report",
+    )
+    query.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the machine-readable report to FILE",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two runs (or the bench history) metric by "
+                     "metric",
+    )
+    diff.add_argument(
+        "a", nargs="?", default=None, metavar="A",
+        help="baseline artifact directory (or analytics.npz)",
+    )
+    diff.add_argument(
+        "b", nargs="?", default=None, metavar="B",
+        help="candidate artifact directory (or analytics.npz)",
+    )
+    diff.add_argument(
+        "--bench", action="store_true",
+        help="diff the newest BENCH_history.jsonl record against the "
+             "trajectory of earlier records instead of two run dirs",
+    )
+    diff.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="FILE",
+        help="bench history file for --bench (default: "
+             "BENCH_history.jsonl)",
+    )
+    diff.add_argument(
+        "--driver", default=None, metavar="NAME",
+        help="with --bench: restrict to one driver's records "
+             "(e.g. bench_perf_smoke)",
+    )
+    diff.add_argument(
+        "--tol", type=float, default=None, metavar="FRAC",
+        help="relative change treated as noise (default: 0.01 for runs, "
+             "0.05 for --bench)",
+    )
+    diff.add_argument(
+        "--reingest", action="store_true",
+        help="rebuild both analytics stores before diffing",
+    )
+    diff.add_argument(
+        "--limit", type=int, default=40, metavar="N",
+        help="max changed metrics to print (default: 40)",
+    )
+    diff.add_argument(
+        "--json", action="store_true",
+        help="print the raw machine-readable diff",
+    )
+    diff.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a self-contained HTML diff report to FILE",
     )
 
     serve = sub.add_parser(
@@ -527,7 +672,8 @@ def _abort_obs(ctx) -> None:
 def _export_obs(ctx, args: argparse.Namespace) -> None:
     if ctx is None:
         return
-    paths = ctx.export(args.obs_out)
+    paths = ctx.export(args.obs_out,
+                       compress=getattr(args, "obs_compress", False))
     ctx.stream_close()
     print(f"observability export written to {paths['trace']} "
           f"(open in ui.perfetto.dev); query with "
@@ -681,10 +827,159 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """``report``: summarize an export directory."""
+    import json as _json
+
     from repro.obs.cli import obs_report
 
-    print(obs_report(args.run))
+    if args.json:
+        print(_json.dumps(obs_report(args.run, as_json=True), indent=2,
+                          sort_keys=True))
+    else:
+        print(obs_report(args.run))
     return 0
+
+
+def _render_query_text(report: dict) -> str:
+    """Terminal rendering of one analysis report."""
+    analysis = report.get("analysis")
+    if analysis == "dwell":
+        table = Table("Per-tier dwell time (intervals between migrations)",
+                      ["tier", "closed", "mean", "max", "open", "open mean"])
+        for tier, stats in sorted(report["tiers"].items(),
+                                  key=lambda kv: int(kv[0])):
+            table.add_row(tier, stats["closed_count"],
+                          f"{stats['mean']:.2f}", stats["max"],
+                          stats["open_count"], f"{stats['open_mean']:.2f}")
+        return (table.render()
+                + f"\n{report['samples_total']} closed dwell samples "
+                  f"(migrated pages only)")
+    if analysis == "top-pages":
+        table = Table(f"Top-{report['k']} hot pages (hotness-mass share)",
+                      ["page", "score", "share"])
+        for entry in report["pages"]:
+            table.add_row(entry["page"], f"{entry['score']:.4g}",
+                          f"{entry['share']:.2%}")
+        return table.render()
+    if analysis == "funnel":
+        table = Table("Migration lifecycle funnel", ["stage", "records"])
+        for stage, count in report["stages"].items():
+            table.add_row(stage, count)
+        lat = report["latency"]
+        return (table.render()
+                + f"\ncommit share {report['commit_share']:.1%}; "
+                  f"plan->commit latency over {report['occurrences']} "
+                  f"occurrence(s): mean {lat['mean']:.2f}, "
+                  f"p50 {lat['p50']:g}, p95 {lat['p95']:g}, "
+                  f"max {lat['max']}")
+    if analysis == "ping-pong":
+        params = report["params"]
+        table = Table(
+            f"Ping-pong pages (>= {params['min_round_trips']} round trips "
+            f"within {params['window']} intervals)",
+            ["page", "round trips"])
+        for entry in report["pages"][:20]:
+            table.add_row(entry["page"], entry["round_trips"])
+        lines = [table.render(),
+                 f"{report['page_count']} page(s) flagged, "
+                 f"{len(report['deny_ranges'])} deny range(s)"]
+        if report["deny_ranges"]:
+            shown = ", ".join(f"[{a}, {b})"
+                              for a, b in report["deny_ranges"][:10])
+            lines.append(f"deny-list seed: {shown}"
+                         + (" ..." if len(report["deny_ranges"]) > 10
+                            else ""))
+        return "\n".join(lines)
+    if analysis == "summary":
+        table = Table(f"Analytics store summary "
+                      f"({report['meta'].get('label', '?')})",
+                      ["table", "rows"])
+        for name, rows in sorted(report["tables"].items()):
+            table.add_row(name, rows)
+        lines = [table.render(),
+                 f"{report['meta'].get('intervals', 0)} interval(s), "
+                 f"source: {report['meta'].get('source', '?')}"]
+        if report.get("stages"):
+            lines.append("stages: " + ", ".join(
+                f"{k}={v}" for k, v in report["stages"].items()))
+        return "\n".join(lines)
+    # generic table query
+    if "group" in report:
+        table = Table(f"{report['table']}: {report['agg']} by "
+                      f"{report['group']} ({report['matched']} rows matched)",
+                      [report["group"], report["agg"]])
+        for key, value in report["rows"]:
+            table.add_row(key, f"{value:g}")
+        return table.render()
+    lines = [f"{report['matched']} row(s) matched in {report['table']}:"]
+    lines += [str(row) for row in report["rows"]]
+    return "\n".join(lines)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``query``: run one built-in analysis (or a table query)."""
+    import json as _json
+
+    from repro.obs import analytics
+
+    store = analytics.ensure_store(args.run, store_path=args.store,
+                                   reingest=args.reingest)
+    with store:
+        if args.analysis == "summary":
+            report = analytics.store_summary(store)
+        elif args.analysis == "dwell":
+            report = analytics.dwell_time(store, start=args.start,
+                                          end=args.end)
+        elif args.analysis == "top-pages":
+            report = analytics.top_pages(store, k=args.top or 10)
+        elif args.analysis == "funnel":
+            report = analytics.lifecycle_funnel(store)
+        elif args.analysis == "ping-pong":
+            report = analytics.ping_pong(store,
+                                         min_round_trips=args.min_trips,
+                                         window=args.window)
+        else:
+            report = analytics.query_table(
+                store, args.table, where=args.where, group=args.group,
+                agg=args.agg, top=args.top, limit=args.limit)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.out}")
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(_render_query_text(report))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """``diff``: compare two runs, or the bench-history trajectory."""
+    import json as _json
+
+    from repro.obs import analytics
+
+    if args.bench:
+        diff = analytics.diff_bench(args.history, driver=args.driver,
+                                    tol=args.tol if args.tol is not None
+                                    else 0.05)
+    else:
+        if not args.a or not args.b:
+            print("diff needs two artifact directories (or --bench)",
+                  file=sys.stderr)
+            return 2
+        diff = analytics.diff_runs(args.a, args.b,
+                                   tol=args.tol if args.tol is not None
+                                   else 0.01, reingest=args.reingest)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(analytics.render_diff_html(diff))
+        print(f"HTML diff written to {args.html}",
+              file=sys.stderr if args.json else sys.stdout)
+    if args.json:
+        print(_json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(analytics.render_diff_text(diff, limit=args.limit))
+    return 1 if diff["summary"]["regressed"] else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -878,6 +1173,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_fleet(args)
         if args.command == "report":
             return cmd_report(args)
+        if args.command == "query":
+            return cmd_query(args)
+        if args.command == "diff":
+            return cmd_diff(args)
         if args.command == "serve":
             return cmd_serve(args)
         if args.command == "worker":

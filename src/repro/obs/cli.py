@@ -22,10 +22,13 @@ from repro.obs.provenance import STAGE_COMMITTED, ProvenanceLog
 
 
 def _load_provenance(run_dir: Path) -> ProvenanceLog:
-    path = run_dir / "provenance.jsonl"
-    if not path.exists():
+    from repro.obs.analytics import find_artifact
+
+    path = find_artifact(run_dir, "provenance.jsonl")
+    if path is None:
         raise ConfigError(
-            f"no provenance log at {path} — was the run made with --obs?"
+            f"no provenance log under {run_dir} — was the run made "
+            f"with --obs?"
         )
     return ProvenanceLog.read_jsonl(path)
 
@@ -62,11 +65,16 @@ def trace_report(run_dir, page: int | None = None, limit: int = 50) -> str:
     if not history:
         lines.append("no migration provenance covers this page")
     else:
-        latency = log.queue_latency(page)
+        latencies = log.queue_latencies(page)
         commits = sum(1 for r in history if r.stage == STAGE_COMMITTED)
-        if latency is not None:
-            lines.append(f"{commits} commit(s); first plan->commit queue "
-                         f"latency: {latency} interval(s)")
+        if latencies:
+            rendered = ", ".join(str(v) for v in latencies[:8])
+            if len(latencies) > 8:
+                rendered += f", ... ({len(latencies)} total)"
+            mean = sum(latencies) / len(latencies)
+            lines.append(f"{commits} commit(s); plan->commit queue "
+                         f"latencies: {rendered} interval(s) "
+                         f"(mean {mean:.2f})")
         else:
             lines.append("planned but never committed")
     return "\n".join(lines)
@@ -217,18 +225,47 @@ def service_report(state_dir) -> str:
     return "\n".join(lines)
 
 
-def obs_report(run_dir) -> str:
+def _pingpong_summary(run_dir: Path) -> dict | None:
+    """Ping-pong report from an already-ingested analytics store.
+
+    Only folds when ``analytics.npz`` exists — ``repro report`` must
+    stay read-only; building the store is ``repro query``'s job.
+    """
+    from repro.obs.analytics import ping_pong
+    from repro.obs.store import STORE_NAME, Store
+
+    store_path = run_dir / STORE_NAME
+    if not store_path.exists():
+        return None
+    try:
+        with Store(store_path) as store:
+            return ping_pong(store)
+    except ConfigError:
+        return None
+
+
+def obs_report(run_dir, as_json: bool = False):
     """Metrics + event-count report for one run directory.
 
     Service state directories (a journal but no ``metrics.json``) route
     to :func:`service_report` so ``repro report --run STATE_DIR`` folds
-    the fleet counters and alert history instead of erroring.
+    the fleet counters and alert history instead of erroring.  With
+    ``as_json`` the same content returns as a machine-readable dict
+    (scriptable ``repro report --json``); when the directory holds an
+    analytics store, the ping-pong summary is folded into both forms.
     """
     from repro.service.journal import JOURNAL_NAME
 
     run_dir = Path(run_dir)
     path = run_dir / "metrics.json"
     if not path.exists() and (run_dir / JOURNAL_NAME).exists():
+        if as_json:
+            from repro.service.journal import Journal
+
+            journal = Journal(run_dir)
+            return {"kind": "service", "run": str(run_dir),
+                    "records": journal.lines(),
+                    "alerts": journal.alerts()}
         return service_report(run_dir)
     if not path.exists():
         raise ConfigError(
@@ -236,6 +273,12 @@ def obs_report(run_dir) -> str:
         )
     with open(path) as fh:
         data = json.load(fh)
+    pingpong = _pingpong_summary(run_dir)
+    if as_json:
+        out = {"kind": "run", "run": str(run_dir), **data}
+        if pingpong is not None:
+            out["pingpong"] = pingpong
+        return out
     lines: list[str] = []
 
     counts = data.get("event_counts", {})
@@ -259,6 +302,16 @@ def obs_report(run_dir) -> str:
             f"min={stat['min']:.3g} max={stat['max']:.3g}",
         )
     lines.append(table.render())
+    if pingpong is not None:
+        params = pingpong["params"]
+        lines.append(
+            f"ping-pong: {pingpong['page_count']} page(s) with >= "
+            f"{params['min_round_trips']} round trips within "
+            f"{params['window']} intervals, "
+            f"{len(pingpong['deny_ranges'])} deny range(s) "
+            f"(full report: `repro query --run {run_dir} "
+            f"--analysis ping-pong`)"
+        )
     return "\n".join(lines)
 
 

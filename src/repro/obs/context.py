@@ -269,11 +269,14 @@ class ObsContext:
 
     # -- export ---------------------------------------------------------------
 
-    def export(self, out_dir) -> dict:
-        """Write every sink under ``out_dir``; returns written paths."""
+    def export(self, out_dir, compress: bool = False) -> dict:
+        """Write every sink under ``out_dir``; returns written paths.
+
+        ``compress`` gzips the JSONL artifacts (``*.jsonl.gz``).
+        """
         from repro.obs.export import export_context
 
-        return export_context(self, out_dir)
+        return export_context(self, out_dir, compress=compress)
 
 
 # -- process-wide default collector -------------------------------------------

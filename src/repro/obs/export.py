@@ -88,9 +88,15 @@ def validate_chrome_trace(trace) -> list[str]:
 
 
 def write_events_jsonl(ctx, path) -> int:
-    """Track-tagged event lines; returns the number written."""
+    """Track-tagged event lines; returns the number written.
+
+    Gzip-compressed when ``path`` ends in ``.gz`` (the analytics ingest
+    and ``iter_ndjson`` read either form transparently).
+    """
+    from repro.obs.stream import open_text
+
     written = 0
-    with open(path, "w") as fh:
+    with open_text(path, "w") as fh:
         for event in ctx.bus.events:
             fh.write(json.dumps(
                 {"track": ctx.label or "main", **event.as_dict()}) + "\n")
@@ -103,15 +109,21 @@ def write_events_jsonl(ctx, path) -> int:
     return written
 
 
-def export_context(ctx, out_dir) -> dict:
-    """Write trace.json / events.jsonl / metrics.json / provenance.jsonl."""
+def export_context(ctx, out_dir, compress: bool = False) -> dict:
+    """Write trace.json / events.jsonl / metrics.json / provenance.jsonl.
+
+    With ``compress`` the two JSONL artifacts (the bulky ones) are
+    written gzipped as ``*.jsonl.gz``; every reader in the repo resolves
+    either suffix.
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    suffix = ".gz" if compress else ""
     paths = {
         "trace": out / "trace.json",
-        "events": out / "events.jsonl",
+        "events": out / f"events.jsonl{suffix}",
         "metrics": out / "metrics.json",
-        "provenance": out / "provenance.jsonl",
+        "provenance": out / f"provenance.jsonl{suffix}",
     }
     trace = build_chrome_trace(ctx)
     with open(paths["trace"], "w") as fh:

@@ -92,35 +92,60 @@ class ProvenanceLog:
             out[r.stage] = out.get(r.stage, 0) + 1
         return out
 
-    def queue_latency(self, page: int) -> int | None:
-        """Intervals between first plan and first commit covering ``page``.
+    def for_interval(self, start: int, end: int) -> list[ProvenanceRecord]:
+        """Records with ``start <= interval < end``, in log order.
 
-        ``None`` when the page never committed (or never appeared).
+        The range query behind windowed analyses (per-tier dwell time,
+        ping-pong detection over an interval window).
         """
-        planned = None
+        return [r for r in self.records if start <= r.interval < end]
+
+    def queue_latencies(self, page: int) -> list[int]:
+        """Plan→commit queue latency of *every* migration of ``page``.
+
+        A page that migrates repeatedly has one latency per occurrence:
+        each ``planned`` record joins a FIFO of pending plans for its
+        ``(src, dst)`` direction, and the next ``committed`` record in
+        the same direction resolves the oldest one.  Pending plans that
+        never commit contribute nothing.
+        """
+        pending: dict[tuple[int, int], list[int]] = {}
+        latencies: list[int] = []
         for r in self.for_page(page):
-            if r.stage == STAGE_PLANNED and planned is None:
-                planned = r.interval
-            if r.stage == STAGE_COMMITTED and planned is not None:
-                return r.interval - planned
-        return None
+            key = (r.src_node, r.dst_node)
+            if r.stage == STAGE_PLANNED:
+                pending.setdefault(key, []).append(r.interval)
+            elif r.stage == STAGE_COMMITTED and pending.get(key):
+                latencies.append(r.interval - pending[key].pop(0))
+        return latencies
+
+    def queue_latency(self, page: int) -> int | None:
+        """First migration's plan→commit latency (``None`` if never
+        committed); see :meth:`queue_latencies` for all occurrences."""
+        latencies = self.queue_latencies(page)
+        return latencies[0] if latencies else None
 
     # -- JSONL round trip ----------------------------------------------------
 
     def write_jsonl(self, path) -> None:
+        """Write the log as JSONL (gzipped when ``path`` ends ``.gz``)."""
         import json
 
-        with open(path, "w") as fh:
+        from repro.obs.stream import open_text
+
+        with open_text(path, "w") as fh:
             for r in self.records:
                 fh.write(json.dumps(r.as_dict()) + "\n")
 
     @classmethod
     def read_jsonl(cls, path) -> "ProvenanceLog":
-        """Load a log written by :meth:`write_jsonl`."""
+        """Load a log written by :meth:`write_jsonl` (plain or ``.gz``)."""
         import json
 
+        from repro.obs.stream import open_text
+
         log = cls()
-        with open(path) as fh:
+        with open_text(path) as fh:
             for line in fh:
                 line = line.strip()
                 if not line:

@@ -83,7 +83,9 @@ class NdjsonFileSink(Sink):
     filesystem, so a run that fails before its first interval leaves no
     half-made ``--obs-out`` directory behind (and
     :meth:`cleanup_if_empty` removes one this sink *did* create but never
-    wrote into).
+    wrote into).  A path ending in ``.gz`` appends through gzip, so a
+    long-running stream can compress at rest; ``iter_ndjson`` reads both
+    transparently.
     """
 
     def __init__(self, path) -> None:
@@ -94,15 +96,31 @@ class NdjsonFileSink(Sink):
         self._created_dir: Path | None = None
 
     def write_lines(self, lines: list[str]) -> None:
-        """Append a batch, creating the file (and parent dir) on demand."""
+        """Append a batch, creating the file (and parent dir) on demand.
+
+        Gzip paths append each batch as a *complete* gzip member
+        (open/write/close per batch): multi-member files decompress as
+        one stream, so a live tail — or a crash — never leaves an
+        unterminated member behind, and readers see every flushed batch
+        without waiting for the final close.
+        """
         if not lines:
+            return
+        if not self._ensure_dir():
+            self.dropped += len(lines)
+            return
+        if str(self.path).endswith(".gz"):
+            import gzip
+
+            try:
+                with gzip.open(self.path, "at", encoding="utf-8") as fh:
+                    fh.writelines(lines)
+                self.lines_written += len(lines)
+            except OSError:
+                self.dropped += len(lines)
             return
         if self._fh is None:
             try:
-                parent = self.path.parent
-                if not parent.exists():
-                    parent.mkdir(parents=True, exist_ok=True)
-                    self._created_dir = parent
                 self._fh = open(self.path, "a", encoding="utf-8")
             except OSError:
                 self.dropped += len(lines)
@@ -112,6 +130,16 @@ class NdjsonFileSink(Sink):
             self.lines_written += len(lines)
         except OSError:
             self.dropped += len(lines)
+
+    def _ensure_dir(self) -> bool:
+        try:
+            parent = self.path.parent
+            if not parent.exists():
+                parent.mkdir(parents=True, exist_ok=True)
+                self._created_dir = parent
+        except OSError:
+            return False
+        return True
 
     def flush(self) -> None:
         if self._fh is not None:

@@ -102,6 +102,21 @@ _PROVENANCE_FIELDS = (
 )
 
 
+def open_text(path, mode: str = "r"):
+    """Open a text file, transparently gzipped when the name ends ``.gz``.
+
+    The single chokepoint for JSONL artifact IO: readers and writers
+    (``iter_ndjson``, :class:`~repro.obs.provenance.ProvenanceLog`, the
+    analytics ingest) route through it, so large artifact directories
+    can compress at rest without any caller knowing the difference.
+    """
+    if str(path).endswith(".gz"):
+        import gzip
+
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 #: Shared compact encoder: skipping the per-call circular-reference memo
 #: measurably cheapens the per-interval hot path (records are flat).
 _ENCODE = json.JSONEncoder(
@@ -446,13 +461,18 @@ def iter_ndjson(path, follow: bool = False, poll_interval: float = 0.1,
         while True:
             if fh is None:
                 try:
-                    fh = open(path, "r", encoding="utf-8")
+                    fh = open_text(path)
                 except OSError:
                     if not follow or _idle_escape():
                         return
                     _time.sleep(poll_interval)
                     continue
-            chunk = fh.read()
+            try:
+                chunk = fh.read()
+            except EOFError:
+                # A gzipped stream still being written ends mid-member;
+                # treat the truncated tail as "no new data yet".
+                chunk = ""
             if chunk:
                 last_data = deadline_clock()
                 buffer += chunk
@@ -498,6 +518,7 @@ __all__ = [
     "StreamPublisher",
     "encode_record",
     "iter_ndjson",
+    "open_text",
     "resolve_dead_writer_grace",
     "validate_stream_record",
 ]

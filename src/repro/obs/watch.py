@@ -383,9 +383,19 @@ _HTML_STYLE = """
 """
 
 
+#: Public aliases: the dataviz tokens are shared with the analytics
+#: diff report (``repro diff --html``), which must match the dashboards.
+HTML_STYLE = _HTML_STYLE
+
+
 def _esc(text) -> str:
     return (str(text).replace("&", "&amp;").replace("<", "&lt;")
             .replace(">", "&gt;"))
+
+
+def escape_html(text) -> str:
+    """Escape text for embedding in the shared HTML reports."""
+    return _esc(text)
 
 
 def render_html(agg: LiveAggregate, budget: float = DEFAULT_BUDGET,
@@ -1153,6 +1163,8 @@ def run_watch(
 __all__ = [
     "DEFAULT_BUDGET",
     "FleetAggregate",
+    "HTML_STYLE",
+    "escape_html",
     "LiveAggregate",
     "SocketCollector",
     "TrackState",

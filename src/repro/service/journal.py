@@ -176,6 +176,23 @@ class Journal:
         with open(self.path, "r", encoding="utf-8") as fh:
             return sum(1 for line in fh if line.strip())
 
+    def records(self):
+        """Decoded journal records in append order (tolerant of torn
+        lines, like :meth:`replay`); the analytics ingest's view."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
 
 def pid_file_write(state_dir, pid: int | None = None) -> Path:
     """Record the scheduler's pid under its state dir (ops tooling)."""
